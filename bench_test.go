@@ -1,0 +1,406 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one Benchmark per artifact; see DESIGN.md's experiment index), plus
+// ablation benches for the design choices the system makes and
+// micro-benchmarks for the hot paths.
+//
+// The per-figure benches run the quick-scale experiments so the whole suite
+// completes in minutes; cmd/pprsim runs the full-scale versions.
+package ppr
+
+import (
+	"testing"
+
+	"ppr/internal/chipseq"
+	"ppr/internal/core/chunkdp"
+	"ppr/internal/core/pparq"
+	"ppr/internal/core/runlen"
+	"ppr/internal/core/softphy"
+	"ppr/internal/experiments"
+	"ppr/internal/frame"
+	"ppr/internal/modem"
+	"ppr/internal/phy"
+	"ppr/internal/stats"
+)
+
+func benchOpts(i int) experiments.Options {
+	return experiments.Options{Seed: uint64(i%4 + 1), Quick: true}
+}
+
+// ---- One benchmark per table and figure ----
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves := experiments.Fig3(benchOpts(i))
+		if len(curves) != 6 {
+			b.Fatal("wrong curve count")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(benchOpts(i))
+		if len(rows) != 5 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig8(benchOpts(i))
+		if len(fig.Curves) != 6 {
+			b.Fatal("wrong curve count")
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(benchOpts(i))
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig10(benchOpts(i))
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig11(benchOpts(i))
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := experiments.Fig12(benchOpts(i))
+		if len(series) != 6 {
+			b.Fatal("wrong series count")
+		}
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig13(benchOpts(i))
+		if len(res.Packet1) == 0 {
+			b.Fatal("empty timeline")
+		}
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig14(benchOpts(i))
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig15(benchOpts(i))
+	}
+}
+
+func BenchmarkFig16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig16(benchOpts(i))
+		if res.Transfers == 0 {
+			b.Fatal("no transfers")
+		}
+	}
+}
+
+func BenchmarkSummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Summary(benchOpts(i))
+		if len(rows) == 0 {
+			b.Fatal("no summary rows")
+		}
+	}
+}
+
+// ---- Ablations: the design choices DESIGN.md calls out ----
+
+// randomRuns builds a labelled packet with bursty bad regions, the input
+// shape the chunking strategies compete on.
+func randomRuns(rng *stats.RNG, n int) runlen.Runs {
+	labels := make([]softphy.Label, n)
+	i := 0
+	for i < n {
+		if rng.Bool(0.15) {
+			burst := 1 + rng.Intn(40)
+			for j := 0; j < burst && i < n; j++ {
+				labels[i] = softphy.Bad
+				i++
+			}
+		} else {
+			i += 1 + rng.Intn(30)
+		}
+	}
+	return runlen.FromLabels(labels)
+}
+
+// BenchmarkAblationFeedback compares the Eq. 4/5 dynamic program against
+// the naive per-run and single-span feedback strategies: both the compute
+// cost (ns/op) and the achieved overhead (reported as bits/op metrics).
+func BenchmarkAblationFeedback(b *testing.B) {
+	rng := stats.NewRNG(1)
+	const n = 3000 // 1500-byte packet in symbols
+	inputs := make([]runlen.Runs, 64)
+	for i := range inputs {
+		inputs[i] = randomRuns(rng, n)
+	}
+	p := chunkdp.DefaultParams(n)
+	for _, strat := range []struct {
+		name string
+		run  func(runlen.Runs, chunkdp.Params) chunkdp.Plan
+	}{
+		{"optimal-dp", chunkdp.Optimal},
+		{"greedy", chunkdp.Greedy},
+		{"naive-per-run", chunkdp.NaivePerRun},
+		{"single-span", chunkdp.SingleSpan},
+	} {
+		b.Run(strat.name, func(b *testing.B) {
+			var totalCost float64
+			for i := 0; i < b.N; i++ {
+				plan := strat.run(inputs[i%len(inputs)], p)
+				totalCost += plan.CostBits
+			}
+			b.ReportMetric(totalCost/float64(b.N), "overhead-bits/op")
+		})
+	}
+}
+
+// BenchmarkAblationThreshold compares fixed-η labelling against the
+// adaptive threshold (including its learning updates).
+func BenchmarkAblationThreshold(b *testing.B) {
+	rng := stats.NewRNG(2)
+	ds := make([]phy.Decision, 3000)
+	truth := make([]bool, len(ds))
+	for i := range ds {
+		if rng.Bool(0.2) {
+			ds[i] = phy.Decision{Symbol: 1, Hint: float64(6 + rng.Intn(20))}
+		} else {
+			ds[i] = phy.Decision{Symbol: 1, Hint: float64(rng.Intn(3))}
+			truth[i] = true
+		}
+	}
+	b.Run("fixed-eta", func(b *testing.B) {
+		th := softphy.Threshold{Eta: softphy.DefaultEta}
+		for i := 0; i < b.N; i++ {
+			labels := th.LabelAll(0, ds)
+			if len(labels) != len(ds) {
+				b.Fatal("bad labels")
+			}
+		}
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		ad := softphy.NewAdaptive(10, 1, softphy.DefaultEta)
+		for i := 0; i < b.N; i++ {
+			labels := ad.LabelAll(0, ds)
+			// Feed back a slice of verified outcomes, as PP-ARQ would.
+			for k := 0; k < 64; k++ {
+				idx := (i*64 + k) % len(ds)
+				ad.Observe(ds[idx].Hint, truth[idx])
+			}
+			if len(labels) != len(ds) {
+				b.Fatal("bad labels")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationDecoder compares the three SoftPHY hint sources on the
+// despreading hot path.
+func BenchmarkAblationDecoder(b *testing.B) {
+	rng := stats.NewRNG(3)
+	obs := make([]phy.Observation, 256)
+	for i := range obs {
+		cw := chipseq.Codeword(byte(rng.Intn(16)))
+		soft := make([]float64, 32)
+		for j := 0; j < 32; j++ {
+			v := 1.0
+			if chipseq.ChipAt(cw, j) == 0 {
+				v = -1.0
+			}
+			if rng.Bool(0.05) {
+				v = -v
+				cw ^= 1 << uint(31-j)
+			}
+			soft[j] = v + rng.NormFloat64()*0.3
+		}
+		obs[i] = phy.Observation{Hard: cw, Soft: soft}
+	}
+	for _, dec := range []phy.Decoder{phy.HardDecoder{}, phy.SoftDecoder{}, phy.MatchedFilterDecoder{}} {
+		b.Run(dec.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := dec.Decode(obs[i%len(obs)])
+				if d.Symbol > 15 {
+					b.Fatal("bad symbol")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPostamble isolates the postamble decoding feature: the
+// same preamble-destroyed chip stream through a status-quo receiver and a
+// PPR receiver, reporting the recovery rate each achieves.
+func BenchmarkAblationPostamble(b *testing.B) {
+	payload := make([]byte, 200)
+	streams := make([][]byte, 16)
+	for i := range streams {
+		rng2 := stats.NewRNG(uint64(i))
+		f := frame.New(1, 2, uint16(i), payload)
+		chips := f.AirChips()
+		ruined := (frame.SyncBytes + frame.HeaderBytes) * frame.ChipsPerByte
+		for k := 0; k < ruined; k++ {
+			chips[k] = byte(rng2.Intn(2))
+		}
+		streams[i] = chips
+	}
+	for _, enabled := range []bool{false, true} {
+		name := "without-postamble"
+		if enabled {
+			name = "with-postamble"
+		}
+		b.Run(name, func(b *testing.B) {
+			rx := frame.NewReceiver(phy.HardDecoder{})
+			rx.UsePostamble = enabled
+			recovered := 0
+			for i := 0; i < b.N; i++ {
+				for _, rec := range rx.Receive(streams[i%len(streams)]) {
+					if rec.HeaderOK {
+						recovered++
+					}
+				}
+			}
+			b.ReportMetric(float64(recovered)/float64(b.N), "recovered/op")
+		})
+	}
+}
+
+// BenchmarkAblationDiversity measures the multi-receiver combining
+// extension: delivery with the best single receiver vs min-hint combining
+// across all four sinks.
+func BenchmarkAblationDiversity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Diversity(benchOpts(i))
+		if res.Packets == 0 {
+			b.Fatal("no packets")
+		}
+		b.ReportMetric(res.SingleRate, "single-rate")
+		b.ReportMetric(res.CombinedRate, "combined-rate")
+	}
+}
+
+// ---- Micro-benchmarks for the hot paths ----
+
+func BenchmarkChunkDP(b *testing.B) {
+	rng := stats.NewRNG(5)
+	rs := randomRuns(rng, 3000)
+	p := chunkdp.DefaultParams(3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan := chunkdp.Optimal(rs, p)
+		if len(plan.Chunks) == 0 && len(rs.Bad()) > 0 {
+			b.Fatal("no chunks")
+		}
+	}
+}
+
+func BenchmarkSyncScan(b *testing.B) {
+	f := frame.New(1, 2, 3, make([]byte, 1500))
+	chips := f.AirChips()
+	buf := frame.NewChipBuffer(chips)
+	b.SetBytes(int64(len(chips)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syncs := frame.FindSyncs(buf, frame.DefaultSyncMaxDist)
+		if len(syncs) != 2 {
+			b.Fatal("wrong sync count")
+		}
+	}
+}
+
+func BenchmarkDespread1500B(b *testing.B) {
+	chips := phy.ChipsOf(phy.SpreadBytes(make([]byte, 1500)))
+	b.SetBytes(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := phy.DecodeStream(phy.HardDecoder{}, chips)
+		if len(ds) != 3000 {
+			b.Fatal("wrong symbol count")
+		}
+	}
+}
+
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	rng := stats.NewRNG(7)
+	payload := make([]byte, 500)
+	for i := range payload {
+		payload[i] = byte(rng.Intn(256))
+	}
+	rx := frame.NewReceiver(phy.HardDecoder{})
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := frame.New(1, 2, uint16(i), payload)
+		ok := false
+		for _, rec := range rx.Receive(f.AirChips()) {
+			if rec.CRCOK {
+				ok = true
+			}
+		}
+		if !ok {
+			b.Fatal("round trip failed")
+		}
+	}
+}
+
+func BenchmarkMSKModemRoundTrip(b *testing.B) {
+	rng := stats.NewRNG(6)
+	chips := make([]byte, 4096)
+	for i := range chips {
+		chips[i] = byte(rng.Intn(2))
+	}
+	m, d := modem.NewModulator(), modem.NewDemodulator()
+	b.SetBytes(int64(len(chips)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := m.Modulate(chips)
+		got, _ := d.Demodulate(s, 0)
+		if len(got) == 0 {
+			b.Fatal("no chips")
+		}
+	}
+}
+
+// cleanBenchLink is a loss-free link for protocol-overhead benchmarking.
+type cleanBenchLink struct{ rx *frame.Receiver }
+
+func (l *cleanBenchLink) Transmit(f frame.Frame) *frame.Reception {
+	recs := l.rx.Receive(f.AirChips())
+	for i := range recs {
+		if recs[i].HeaderOK {
+			return &recs[i]
+		}
+	}
+	return nil
+}
+
+func BenchmarkPPARQTransferClean(b *testing.B) {
+	fwd := &cleanBenchLink{rx: frame.NewReceiver(phy.HardDecoder{})}
+	rev := &cleanBenchLink{rx: frame.NewReceiver(phy.HardDecoder{})}
+	s := pparq.NewSender(fwd, rev, 1, 2, pparq.Config{})
+	payload := make([]byte, 250)
+	b.SetBytes(250)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Transfer(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

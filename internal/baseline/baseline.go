@@ -1,0 +1,232 @@
+// Package baseline implements the two schemes the paper evaluates PPR
+// against (Secs. 3.4, 7.2):
+//
+//   - Packet CRC: the status quo. One CRC-32 over the whole payload; the
+//     packet is delivered entirely or not at all.
+//   - Fragmented CRC: the payload is divided into fragments, each followed
+//     by its own CRC-32 (Fig. 4); fragments whose checksums verify are
+//     delivered and the rest discarded.
+//
+// It also implements the fragment-size policies of Sec. 3.4: fixed sizes
+// (Table 2 sweeps them), an adaptive controller that grows c when recent
+// fragments are clean and shrinks it on errors, and the post-facto optimal
+// size computed from an error trace — the "best case" the paper grants the
+// fragmented-CRC baseline in its comparisons.
+package baseline
+
+import (
+	"fmt"
+
+	"ppr/internal/crcutil"
+)
+
+// FragOverhead is the per-fragment checksum size in bytes.
+const FragOverhead = crcutil.Size32
+
+// EncodeFragmented lays application data out as fragment‖CRC32 repeated,
+// with the final fragment possibly short. fragBytes is the application
+// bytes per fragment (c in the paper).
+func EncodeFragmented(data []byte, fragBytes int) []byte {
+	if fragBytes <= 0 {
+		panic(fmt.Sprintf("baseline: fragment size %d", fragBytes))
+	}
+	out := make([]byte, 0, len(data)+(len(data)/fragBytes+1)*FragOverhead)
+	for off := 0; off < len(data); off += fragBytes {
+		end := off + fragBytes
+		if end > len(data) {
+			end = len(data)
+		}
+		out = append(out, data[off:end]...)
+		out = crcutil.Append32(out, data[off:end])
+	}
+	return out
+}
+
+// EncodedLen returns the on-payload size of fragmenting dataLen application
+// bytes at fragBytes per fragment.
+func EncodedLen(dataLen, fragBytes int) int {
+	if dataLen == 0 {
+		return 0
+	}
+	nFrags := (dataLen + fragBytes - 1) / fragBytes
+	return dataLen + nFrags*FragOverhead
+}
+
+// AppCapacity returns how many application bytes fit in a link payload of
+// payloadBytes when fragmented at fragBytes: the inverse of EncodedLen,
+// used to size workloads so every scheme puts equal bytes on the air.
+func AppCapacity(payloadBytes, fragBytes int) int {
+	perFrag := fragBytes + FragOverhead
+	full := payloadBytes / perFrag
+	rem := payloadBytes % perFrag
+	app := full * fragBytes
+	if rem > FragOverhead {
+		app += rem - FragOverhead
+	}
+	return app
+}
+
+// Fragment is one decoded fragment.
+type Fragment struct {
+	// Offset is the fragment's position in the original application data.
+	Offset int
+	// Data is the fragment's application bytes as received.
+	Data []byte
+	// OK reports whether the fragment's CRC verified.
+	OK bool
+}
+
+// DecodeFragmented splits a received payload back into fragments and checks
+// each CRC. Delivered data is exactly the concatenation of OK fragments —
+// "fragmented CRC delivers each chunk whose checksum verifies correctly,
+// and discards the remainder" (Sec. 7.2).
+func DecodeFragmented(payload []byte, fragBytes int) []Fragment {
+	if fragBytes <= 0 {
+		panic(fmt.Sprintf("baseline: fragment size %d", fragBytes))
+	}
+	var out []Fragment
+	appOff := 0
+	for off := 0; off < len(payload); {
+		end := off + fragBytes + FragOverhead
+		if end > len(payload) {
+			end = len(payload)
+		}
+		chunk := payload[off:end]
+		if len(chunk) <= FragOverhead {
+			// Trailing runt: no room for data+CRC; treat as a failed
+			// fragment of whatever remains.
+			out = append(out, Fragment{Offset: appOff, Data: nil, OK: false})
+			break
+		}
+		data, ok := crcutil.Verify32(chunk)
+		out = append(out, Fragment{Offset: appOff, Data: data, OK: ok})
+		appOff += len(data)
+		off = end
+	}
+	return out
+}
+
+// DeliveredBytes sums the application bytes of verified fragments.
+func DeliveredBytes(frags []Fragment) int {
+	n := 0
+	for _, f := range frags {
+		if f.OK {
+			n += len(f.Data)
+		}
+	}
+	return n
+}
+
+// PacketCRCDelivered implements the status-quo scheme's verdict: all
+// application bytes on a verified packet CRC, none otherwise.
+func PacketCRCDelivered(payloadLen int, crcOK bool) int {
+	if crcOK {
+		return payloadLen
+	}
+	return 0
+}
+
+// OptimalFragmentBytes computes, post facto, the fragment size (in bytes,
+// from the given candidate set) that maximises delivered application bytes
+// over a trace of per-byte correctness — the "best case" fragment size of
+// Sec. 3.4. byteOK[i] says whether byte i of the payload survived; the
+// budget is the link payload size, so larger fragments waste less on CRCs
+// but lose more per error. Returns the winning size and its delivered
+// byte count.
+func OptimalFragmentBytes(traces [][]bool, payloadBytes int, candidates []int) (best int, delivered int) {
+	if len(candidates) == 0 {
+		panic("baseline: no candidate fragment sizes")
+	}
+	best = candidates[0]
+	for _, c := range candidates {
+		total := 0
+		for _, byteOK := range traces {
+			total += simulateDelivery(byteOK, payloadBytes, c)
+		}
+		if total > delivered {
+			delivered = total
+			best = c
+		}
+	}
+	return best, delivered
+}
+
+// simulateDelivery replays a correctness trace under fragment size c: a
+// fragment is delivered iff every one of its bytes (data and CRC) arrived
+// intact.
+func simulateDelivery(byteOK []bool, payloadBytes, c int) int {
+	appBytes := AppCapacity(payloadBytes, c)
+	delivered := 0
+	pos := 0
+	for off := 0; off < appBytes; off += c {
+		end := off + c
+		if end > appBytes {
+			end = appBytes
+		}
+		fragLen := end - off + FragOverhead
+		ok := true
+		for i := pos; i < pos+fragLen && i < len(byteOK); i++ {
+			if !byteOK[i] {
+				ok = false
+				break
+			}
+		}
+		if pos+fragLen > len(byteOK) {
+			ok = false
+		}
+		if ok {
+			delivered += end - off
+		}
+		pos += fragLen
+	}
+	return delivered
+}
+
+// AdaptiveFragmenter adjusts the fragment size online, as Sec. 3.4
+// suggests: "if the current value leads to a large number of contiguous
+// error-free fragments, then c should be increased; otherwise, it should be
+// reduced."
+type AdaptiveFragmenter struct {
+	// Min and Max bound the fragment size in bytes.
+	Min, Max int
+	// GrowAfter is the number of consecutive fully-clean packets that
+	// triggers a doubling.
+	GrowAfter int
+	c         int
+	cleanRun  int
+}
+
+// NewAdaptiveFragmenter starts at the given fragment size within [min,
+// max].
+func NewAdaptiveFragmenter(initial, min, max int) *AdaptiveFragmenter {
+	if min <= 0 || max < min || initial < min || initial > max {
+		panic(fmt.Sprintf("baseline: bad adaptive fragmenter bounds %d in [%d,%d]", initial, min, max))
+	}
+	return &AdaptiveFragmenter{Min: min, Max: max, GrowAfter: 4, c: initial}
+}
+
+// FragBytes returns the current fragment size.
+func (a *AdaptiveFragmenter) FragBytes() int { return a.c }
+
+// Record feeds back one packet's outcome: how many fragments it carried and
+// how many verified.
+func (a *AdaptiveFragmenter) Record(fragsTotal, fragsOK int) {
+	if fragsTotal == 0 {
+		return
+	}
+	if fragsOK == fragsTotal {
+		a.cleanRun++
+		if a.cleanRun >= a.GrowAfter {
+			a.cleanRun = 0
+			if c := a.c * 2; c <= a.Max {
+				a.c = c
+			}
+		}
+		return
+	}
+	a.cleanRun = 0
+	// Any loss: halve, bounded below.
+	if c := a.c / 2; c >= a.Min {
+		a.c = c
+	}
+}

@@ -1,0 +1,240 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+
+	"ppr/internal/stats"
+)
+
+func TestEncodeDecodeRoundTripClean(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for _, fragBytes := range []int{1, 7, 50, 200} {
+		data := make([]byte, 333)
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		enc := EncodeFragmented(data, fragBytes)
+		if len(enc) != EncodedLen(len(data), fragBytes) {
+			t.Errorf("frag %d: encoded len %d, want %d", fragBytes, len(enc), EncodedLen(len(data), fragBytes))
+		}
+		frags := DecodeFragmented(enc, fragBytes)
+		var got []byte
+		for _, f := range frags {
+			if !f.OK {
+				t.Fatalf("frag %d: clean fragment failed CRC", fragBytes)
+			}
+			got = append(got, f.Data...)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("frag %d: round trip mismatch", fragBytes)
+		}
+		if DeliveredBytes(frags) != len(data) {
+			t.Errorf("frag %d: delivered %d of %d", fragBytes, DeliveredBytes(frags), len(data))
+		}
+	}
+}
+
+func TestDecodeDiscardsOnlyCorruptFragments(t *testing.T) {
+	data := make([]byte, 500)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	const c = 50
+	enc := EncodeFragmented(data, c)
+	// Corrupt one byte inside the third fragment's data.
+	enc[2*(c+FragOverhead)+10] ^= 0xff
+	frags := DecodeFragmented(enc, c)
+	for i, f := range frags {
+		wantOK := i != 2
+		if f.OK != wantOK {
+			t.Errorf("fragment %d OK=%v, want %v", i, f.OK, wantOK)
+		}
+	}
+	if DeliveredBytes(frags) != len(data)-c {
+		t.Errorf("delivered %d, want %d", DeliveredBytes(frags), len(data)-c)
+	}
+}
+
+func TestDecodeCorruptCRCKillsOneFragment(t *testing.T) {
+	data := make([]byte, 100)
+	const c = 25
+	enc := EncodeFragmented(data, c)
+	enc[c] ^= 1 // first fragment's CRC byte
+	frags := DecodeFragmented(enc, c)
+	if frags[0].OK {
+		t.Error("corrupt CRC accepted")
+	}
+	for i := 1; i < len(frags); i++ {
+		if !frags[i].OK {
+			t.Errorf("fragment %d collateral damage", i)
+		}
+	}
+}
+
+func TestFragmentOffsets(t *testing.T) {
+	data := make([]byte, 120)
+	frags := DecodeFragmented(EncodeFragmented(data, 50), 50)
+	wantOffsets := []int{0, 50, 100}
+	if len(frags) != 3 {
+		t.Fatalf("%d fragments", len(frags))
+	}
+	for i, f := range frags {
+		if f.Offset != wantOffsets[i] {
+			t.Errorf("fragment %d offset %d, want %d", i, f.Offset, wantOffsets[i])
+		}
+	}
+	if len(frags[2].Data) != 20 {
+		t.Errorf("short final fragment has %d bytes", len(frags[2].Data))
+	}
+}
+
+func TestEncodedLenFormula(t *testing.T) {
+	cases := []struct{ dataLen, frag, want int }{
+		{0, 50, 0},
+		{50, 50, 54},
+		{51, 50, 59},
+		{1500, 50, 1500 + 30*4},
+		{1500, 1500, 1504},
+	}
+	for _, c := range cases {
+		if got := EncodedLen(c.dataLen, c.frag); got != c.want {
+			t.Errorf("EncodedLen(%d,%d) = %d, want %d", c.dataLen, c.frag, got, c.want)
+		}
+	}
+}
+
+func TestAppCapacityInverseOfEncodedLen(t *testing.T) {
+	for _, frag := range []int{5, 50, 128, 500} {
+		for payload := 40; payload <= 1500; payload += 97 {
+			app := AppCapacity(payload, frag)
+			if app < 0 {
+				t.Fatalf("negative capacity")
+			}
+			if app > 0 && EncodedLen(app, frag) > payload {
+				t.Errorf("frag %d payload %d: capacity %d encodes to %d",
+					frag, payload, app, EncodedLen(app, frag))
+			}
+			// Capacity is maximal: one more byte must not fit.
+			if EncodedLen(app+1, frag) <= payload {
+				t.Errorf("frag %d payload %d: capacity %d not maximal", frag, payload, app)
+			}
+		}
+	}
+}
+
+func TestPacketCRCDelivered(t *testing.T) {
+	if PacketCRCDelivered(100, true) != 100 || PacketCRCDelivered(100, false) != 0 {
+		t.Error("packet CRC delivery")
+	}
+}
+
+func TestOptimalFragmentPrefersLargeWhenClean(t *testing.T) {
+	// No errors at all: biggest fragment wins (least CRC overhead).
+	traces := [][]bool{allOK(1500), allOK(1500)}
+	best, _ := OptimalFragmentBytes(traces, 1500, []int{10, 50, 250, 1400})
+	if best != 1400 {
+		t.Errorf("clean trace picked fragment %d, want 1400", best)
+	}
+}
+
+func TestOptimalFragmentPrefersSmallUnderScatteredErrors(t *testing.T) {
+	// Errors every ~100 bytes: large fragments always die; small survive.
+	trace := allOK(1500)
+	for i := 50; i < 1500; i += 100 {
+		trace[i] = false
+	}
+	best, delivered := OptimalFragmentBytes([][]bool{trace}, 1500, []int{10, 50, 250, 1400})
+	if best != 10 {
+		t.Errorf("scattered errors picked fragment %d, want 10", best)
+	}
+	if delivered == 0 {
+		t.Error("nothing delivered at optimal size")
+	}
+}
+
+func TestOptimalFragmentBurstErrors(t *testing.T) {
+	// One contiguous 100-byte burst: medium/large fragments lose only the
+	// burst region; the returned best must deliver at least as much as any
+	// candidate.
+	trace := allOK(1500)
+	for i := 700; i < 800; i++ {
+		trace[i] = false
+	}
+	candidates := []int{10, 50, 250}
+	best, delivered := OptimalFragmentBytes([][]bool{trace}, 1500, candidates)
+	for _, c := range candidates {
+		if d := simulateDelivery(trace, 1500, c); d > delivered {
+			t.Errorf("candidate %d delivers %d > chosen %d's %d", c, d, best, delivered)
+		}
+	}
+}
+
+func allOK(n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = true
+	}
+	return b
+}
+
+func TestAdaptiveFragmenterGrowsWhenClean(t *testing.T) {
+	a := NewAdaptiveFragmenter(50, 10, 400)
+	for i := 0; i < 8; i++ {
+		a.Record(10, 10)
+	}
+	if a.FragBytes() <= 50 {
+		t.Errorf("fragment size %d did not grow on clean packets", a.FragBytes())
+	}
+}
+
+func TestAdaptiveFragmenterShrinksOnErrors(t *testing.T) {
+	a := NewAdaptiveFragmenter(200, 10, 400)
+	a.Record(10, 3)
+	if a.FragBytes() != 100 {
+		t.Errorf("fragment size %d after loss, want 100", a.FragBytes())
+	}
+	// Bounded below.
+	for i := 0; i < 10; i++ {
+		a.Record(10, 0)
+	}
+	if a.FragBytes() < 10 {
+		t.Errorf("fragment size %d fell below Min", a.FragBytes())
+	}
+}
+
+func TestAdaptiveFragmenterBoundedAbove(t *testing.T) {
+	a := NewAdaptiveFragmenter(300, 10, 400)
+	for i := 0; i < 40; i++ {
+		a.Record(5, 5)
+	}
+	if a.FragBytes() > 400 {
+		t.Errorf("fragment size %d exceeded Max", a.FragBytes())
+	}
+}
+
+func TestAdaptiveFragmenterMixedTraffic(t *testing.T) {
+	// Alternating clean and lossy packets should keep c in a middle band,
+	// never pinned at the extremes.
+	a := NewAdaptiveFragmenter(100, 10, 1400)
+	rng := stats.NewRNG(2)
+	for i := 0; i < 500; i++ {
+		if rng.Bool(0.3) {
+			a.Record(10, 8)
+		} else {
+			a.Record(10, 10)
+		}
+	}
+	if a.FragBytes() == 1400 {
+		t.Error("adaptive size pinned at max despite 30% lossy packets")
+	}
+}
+
+func TestNewAdaptiveFragmenterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAdaptiveFragmenter(5, 10, 400)
+}

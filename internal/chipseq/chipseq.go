@@ -1,0 +1,178 @@
+// Package chipseq implements the IEEE 802.15.4 2.4 GHz direct-sequence
+// spread spectrum code book used by the CC2420 radios in the PPR testbed.
+//
+// Each 4-bit data symbol maps to one of 16 quasi-orthogonal 32-chip
+// pseudo-noise sequences (b = 4, B = 32 in the paper's notation, Sec. 2).
+// Per IEEE 802.15.4-2006 Table 24, sequences 1–7 are successive 4-chip right
+// rotations of the base sequence, and sequences 8–15 are the conjugates of
+// 0–7 (every odd-indexed chip inverted). The geometry of this code book —
+// in particular the pairwise Hamming distances between codewords — is what
+// makes Hamming distance a usable SoftPHY hint (Sec. 3.2), so we reproduce
+// the standard's exact sequences rather than an arbitrary orthogonal set.
+package chipseq
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const (
+	// NumSymbols is the number of codewords (2^BitsPerSymbol).
+	NumSymbols = 16
+	// ChipsPerSymbol is the spreading factor B: chips per codeword.
+	ChipsPerSymbol = 32
+	// BitsPerSymbol is b: data bits carried by each codeword.
+	BitsPerSymbol = 4
+)
+
+// baseChips is the symbol-0 chip sequence from IEEE 802.15.4-2006 Table 24,
+// chip c0 first.
+const baseChips = "11011001110000110101001000101110"
+
+// codebook[s] holds the 32-chip sequence for symbol s with chip i stored at
+// bit position (31-i), so the binary representation reads in chip order.
+var codebook [NumSymbols]uint32
+
+// signedChips[s][i] is +1.0 for chip 1 and -1.0 for chip 0, precomputed for
+// the soft-decision correlation metric.
+var signedChips [NumSymbols][ChipsPerSymbol]float64
+
+func init() {
+	var base uint32
+	for i := 0; i < ChipsPerSymbol; i++ {
+		if baseChips[i] == '1' {
+			base |= 1 << uint(31-i)
+		}
+	}
+	for s := 0; s < 8; s++ {
+		codebook[s] = rotateRightChips(base, 4*s)
+	}
+	// The conjugate inverts every odd-indexed chip (the Q-phase chips of the
+	// O-QPSK half-sine modulation): mask has 1s at chip positions 1,3,5,...
+	const oddMask = 0x55555555 // bit(31-i) set for odd i
+	for s := 0; s < 8; s++ {
+		codebook[8+s] = codebook[s] ^ oddMask
+	}
+	for s := 0; s < NumSymbols; s++ {
+		for i := 0; i < ChipsPerSymbol; i++ {
+			if ChipAt(codebook[s], i) == 1 {
+				signedChips[s][i] = 1
+			} else {
+				signedChips[s][i] = -1
+			}
+		}
+	}
+}
+
+// rotateRightChips rotates the 32-chip sequence right by n chip positions in
+// chip order (chip i moves to chip (i+n) mod 32).
+func rotateRightChips(cw uint32, n int) uint32 {
+	// Chip i is at bit (31-i); moving chips right in chip order is a right
+	// rotate in bit order as well.
+	return bits.RotateLeft32(cw, -n)
+}
+
+// Codeword returns the 32-chip sequence for the 4-bit symbol s.
+func Codeword(s byte) uint32 {
+	if s >= NumSymbols {
+		panic(fmt.Sprintf("chipseq: symbol %d out of range", s))
+	}
+	return codebook[s]
+}
+
+// ChipAt extracts chip i (0 ≤ i < 32) from a codeword, returning 0 or 1.
+func ChipAt(cw uint32, i int) int {
+	return int(cw>>uint(31-i)) & 1
+}
+
+// Signed returns the ±1 representation of symbol s's chips, used as the
+// reference waveform in soft-decision decoding.
+func Signed(s byte) *[ChipsPerSymbol]float64 {
+	if s >= NumSymbols {
+		panic(fmt.Sprintf("chipseq: symbol %d out of range", s))
+	}
+	return &signedChips[s]
+}
+
+// NearestHard maps a hard-decided 32-chip word to the closest codeword and
+// returns the decoded symbol together with the Hamming distance to it —
+// exactly the SoftPHY hint of Sec. 3.2. Ties resolve to the lowest symbol,
+// which is deterministic and unbiased with respect to correctness labelling.
+func NearestHard(received uint32) (sym byte, dist int) {
+	best, bestDist := byte(0), ChipsPerSymbol+1
+	for s := 0; s < NumSymbols; s++ {
+		d := bits.OnesCount32(received ^ codebook[s])
+		if d < bestDist {
+			best, bestDist = byte(s), d
+		}
+	}
+	return best, bestDist
+}
+
+// Correlate computes the soft-decision correlation metric of Eq. 1 between
+// received chip samples r (length 32) and symbol s's codeword:
+// C(R, Cs) = Σ_j (2c_sj − 1) r_j.
+func Correlate(r []float64, s byte) float64 {
+	if len(r) != ChipsPerSymbol {
+		panic(fmt.Sprintf("chipseq: Correlate needs %d samples, got %d", ChipsPerSymbol, len(r)))
+	}
+	ref := Signed(s)
+	var c float64
+	for j := 0; j < ChipsPerSymbol; j++ {
+		c += ref[j] * r[j]
+	}
+	return c
+}
+
+// NearestSoft picks the codeword with the highest correlation metric against
+// the received chip samples and also returns the runner-up correlation,
+// letting callers derive margin-based confidence hints.
+func NearestSoft(r []float64) (sym byte, best, runnerUp float64) {
+	if len(r) != ChipsPerSymbol {
+		panic(fmt.Sprintf("chipseq: NearestSoft needs %d samples, got %d", ChipsPerSymbol, len(r)))
+	}
+	best = -1e18
+	runnerUp = -1e18
+	for s := 0; s < NumSymbols; s++ {
+		c := Correlate(r, byte(s))
+		if c > best {
+			runnerUp = best
+			best = c
+			sym = byte(s)
+		} else if c > runnerUp {
+			runnerUp = c
+		}
+	}
+	return sym, best, runnerUp
+}
+
+// PairDistance returns the Hamming distance between the codewords of symbols
+// a and b.
+func PairDistance(a, b byte) int {
+	return bits.OnesCount32(Codeword(a) ^ Codeword(b))
+}
+
+// MinPairDistance returns the minimum Hamming distance between any two
+// distinct codewords in the book. Decoding errors at low SINR collapse onto
+// codewords at this distance, which is why incorrect codewords show large
+// Hamming-distance hints (Fig. 3).
+func MinPairDistance() int {
+	min := ChipsPerSymbol + 1
+	for a := 0; a < NumSymbols; a++ {
+		for b := a + 1; b < NumSymbols; b++ {
+			if d := PairDistance(byte(a), byte(b)); d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}
+
+// String renders a codeword as its 32-character chip string, chip 0 first.
+func String(cw uint32) string {
+	b := make([]byte, ChipsPerSymbol)
+	for i := 0; i < ChipsPerSymbol; i++ {
+		b[i] = '0' + byte(ChipAt(cw, i))
+	}
+	return string(b)
+}

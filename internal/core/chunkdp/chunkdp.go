@@ -1,0 +1,311 @@
+// Package chunkdp implements the receiver-side dynamic program of Sec. 5.1:
+// given the run-length representation of a partially-correct packet, choose
+// the set of "chunks" (groups of consecutive bad runs, possibly spanning the
+// short good runs between them) whose retransmission minimises the expected
+// feedback-plus-retransmission bit cost, per Eqs. 4 and 5:
+//
+//	C(c_ii) = log S + log λᵇᵢ + min(λᵍᵢ, λC)                     (4)
+//	C(c_ij) = min( 2·log S + Σ_{l=i}^{j-1} λᵍ_l [+ min(λᵍⱼ, λC)],
+//	               min_k C(c_ik) + C(c_k+1,j) )                   (5)
+//
+// One deliberate deviation from the paper's formulas: the merge branch of
+// Eq. 5 as printed omits the trailing good run's checksum cost min(λᵍⱼ, λC)
+// that Eq. 4 charges, which would make merged and split chunkings
+// incommensurable; we charge it in both so every chunking's cost accounts
+// for every gap exactly once.
+//
+// The table is memoized bottom-up over intervals of bad runs, the O(L³)
+// implementation the paper describes. For pathologically fragmented packets
+// (L beyond a few hundred bad runs) Optimal falls back to a linear greedy
+// chunker that makes each merge decision locally; its cost is within the
+// per-gap decision bound of optimal and it keeps worst-case packets cheap.
+package chunkdp
+
+import (
+	"fmt"
+	"math"
+
+	"ppr/internal/core/runlen"
+)
+
+// Params fixes the cost model's constants.
+type Params struct {
+	// SBits is the packet size S in bits; offsets and lengths in feedback
+	// cost ~log₂ S bits each.
+	SBits int
+	// ChecksumBits is λC, the per-good-run checksum length in bits.
+	ChecksumBits int
+	// BitsPerSymbol converts run lengths (in channel symbols) to bits;
+	// 4 for the 802.15.4 code book.
+	BitsPerSymbol int
+}
+
+// DefaultParams returns the cost model used by PP-ARQ: 32-bit run
+// checksums over packets of the given symbol count.
+func DefaultParams(numSymbols int) Params {
+	return Params{SBits: numSymbols * 4, ChecksumBits: 32, BitsPerSymbol: 4}
+}
+
+// Chunk is one contiguous symbol range the receiver asks the sender to
+// retransmit. It always starts and ends with bad runs (Sec. 5.1).
+type Chunk struct {
+	// FirstBad and LastBad are the inclusive indexes (into the packet's bad
+	// runs) this chunk covers.
+	FirstBad, LastBad int
+	// StartSym and EndSym delimit the covered symbol range [StartSym,
+	// EndSym): from the first symbol of bad run FirstBad through the last
+	// symbol of bad run LastBad, including any good runs in between.
+	StartSym, EndSym int
+}
+
+// Len returns the chunk's length in symbols.
+func (c Chunk) Len() int { return c.EndSym - c.StartSym }
+
+// Plan is the output of the optimizer: the chunks to request and the cost
+// model's estimate of the total overhead in bits.
+type Plan struct {
+	// Chunks lists the retransmission requests in symbol order.
+	Chunks []Chunk
+	// CostBits is C(c_1L), the optimised objective value. Zero when the
+	// packet has no bad runs.
+	CostBits float64
+}
+
+// maxExactL bounds the interval DP; beyond it Optimal switches to the
+// greedy chunker. 400 bad runs keeps the O(L³) table under ~10⁸ steps.
+const maxExactL = 400
+
+// log2 is the cost model's log; the paper writes log S for the bits needed
+// to describe an offset. Zero-length values cost nothing to describe.
+func log2(v int) float64 {
+	if v <= 1 {
+		return 0
+	}
+	return math.Log2(float64(v))
+}
+
+// gaps returns, for each bad run i, the length in symbols of the good run
+// following it: the gap to the next bad run for interior runs, and the
+// trailing good run (possibly zero) for the last.
+func gaps(rs runlen.Runs, bad []runlen.Run) []int {
+	g := make([]int, len(bad))
+	for i := range bad {
+		if i+1 < len(bad) {
+			g[i] = bad[i+1].Start - bad[i].End()
+		} else {
+			g[i] = rs.NumSymbols - bad[i].End()
+		}
+	}
+	return g
+}
+
+// Optimal computes the minimum-cost chunking for the labelled packet.
+func Optimal(rs runlen.Runs, p Params) Plan {
+	bad := rs.Bad()
+	L := len(bad)
+	if L == 0 {
+		return Plan{}
+	}
+	if L > maxExactL {
+		return Greedy(rs, p)
+	}
+	g := gaps(rs, bad)
+	logS := log2(p.SBits)
+	gapBits := func(i int) float64 { return float64(g[i] * p.BitsPerSymbol) }
+	checksum := func(i int) float64 {
+		return math.Min(gapBits(i), float64(p.ChecksumBits))
+	}
+
+	// cost[i][j] = C(c_i,j); split[i][j] = k for the best split, or -1 for
+	// a merged (single) chunk.
+	cost := make([][]float64, L)
+	split := make([][]int, L)
+	for i := range cost {
+		cost[i] = make([]float64, L)
+		split[i] = make([]int, L)
+	}
+	for i := 0; i < L; i++ {
+		// Eq. 4: describe this bad run (offset + length) and checksum the
+		// good run after it.
+		cost[i][i] = logS + log2(bad[i].Len*p.BitsPerSymbol) + checksum(i)
+		split[i][i] = -1
+	}
+	for span := 2; span <= L; span++ {
+		for i := 0; i+span-1 < L; i++ {
+			j := i + span - 1
+			// Merge branch of Eq. 5: one chunk covering bad runs i..j pays
+			// offset+length descriptions (2 log S), resends the interior
+			// good runs, and checksums the trailing good run.
+			merged := 2*logS + checksum(j)
+			for l := i; l < j; l++ {
+				merged += gapBits(l)
+			}
+			best, bestK := merged, -1
+			for k := i; k < j; k++ {
+				if c := cost[i][k] + cost[k+1][j]; c < best {
+					best, bestK = c, k
+				}
+			}
+			cost[i][j] = best
+			split[i][j] = bestK
+		}
+	}
+
+	plan := Plan{CostBits: cost[0][L-1]}
+	var build func(i, j int)
+	build = func(i, j int) {
+		if k := split[i][j]; k >= 0 {
+			build(i, k)
+			build(k+1, j)
+			return
+		}
+		plan.Chunks = append(plan.Chunks, Chunk{
+			FirstBad: i, LastBad: j,
+			StartSym: bad[i].Start, EndSym: bad[j].End(),
+		})
+	}
+	build(0, L-1)
+	return plan
+}
+
+// Greedy is the linear-time approximate chunker used for extremely
+// fragmented packets: it walks the gaps left to right and merges bad run
+// i+1 into the current chunk whenever resending the gap's good symbols
+// (net of the checksum they'd otherwise need) costs less than describing a
+// fresh chunk. Exported for the ablation benchmarks.
+func Greedy(rs runlen.Runs, p Params) Plan {
+	bad := rs.Bad()
+	L := len(bad)
+	if L == 0 {
+		return Plan{}
+	}
+	g := gaps(rs, bad)
+	logS := log2(p.SBits)
+	var plan Plan
+	cur := Chunk{FirstBad: 0, LastBad: 0, StartSym: bad[0].Start, EndSym: bad[0].End()}
+	for i := 1; i < L; i++ {
+		gapBits := float64(g[i-1] * p.BitsPerSymbol)
+		gapChecksum := math.Min(gapBits, float64(p.ChecksumBits))
+		mergeCost := gapBits
+		splitCost := gapChecksum + logS + log2(bad[i].Len*p.BitsPerSymbol)
+		if mergeCost <= splitCost {
+			cur.LastBad = i
+			cur.EndSym = bad[i].End()
+		} else {
+			plan.Chunks = append(plan.Chunks, cur)
+			cur = Chunk{FirstBad: i, LastBad: i, StartSym: bad[i].Start, EndSym: bad[i].End()}
+		}
+	}
+	plan.Chunks = append(plan.Chunks, cur)
+	// Evaluate the finished chunking under the same Eq. 4/5 model the DP
+	// optimises, so greedy and optimal costs are directly comparable (the
+	// local merge heuristic above is only a decision rule, not a cost).
+	plan.CostBits = CostOf(plan.Chunks, rs, p)
+	return plan
+}
+
+// NaivePerRun is the baseline feedback strategy the paper argues against
+// (Sec. 5, "the naive way"): one chunk per bad run regardless of gap
+// lengths. Exported for the ablation benchmarks.
+func NaivePerRun(rs runlen.Runs, p Params) Plan {
+	bad := rs.Bad()
+	if len(bad) == 0 {
+		return Plan{}
+	}
+	g := gaps(rs, bad)
+	logS := log2(p.SBits)
+	var plan Plan
+	for i, b := range bad {
+		plan.Chunks = append(plan.Chunks, Chunk{
+			FirstBad: i, LastBad: i, StartSym: b.Start, EndSym: b.End(),
+		})
+		plan.CostBits += logS + log2(b.Len*p.BitsPerSymbol) +
+			math.Min(float64(g[i]*p.BitsPerSymbol), float64(p.ChecksumBits))
+	}
+	return plan
+}
+
+// SingleSpan is the other degenerate strategy: one chunk from the first bad
+// symbol to the last, resending everything in between. Exported for the
+// ablation benchmarks.
+func SingleSpan(rs runlen.Runs, p Params) Plan {
+	bad := rs.Bad()
+	L := len(bad)
+	if L == 0 {
+		return Plan{}
+	}
+	g := gaps(rs, bad)
+	logS := log2(p.SBits)
+	plan := Plan{Chunks: []Chunk{{
+		FirstBad: 0, LastBad: L - 1,
+		StartSym: bad[0].Start, EndSym: bad[L-1].End(),
+	}}}
+	plan.CostBits = 2 * logS
+	for l := 0; l < L-1; l++ {
+		plan.CostBits += float64(g[l] * p.BitsPerSymbol)
+	}
+	plan.CostBits += math.Min(float64(g[L-1]*p.BitsPerSymbol), float64(p.ChecksumBits))
+	return plan
+}
+
+// Validate checks a plan's structural invariants against the runs it was
+// computed from: chunks are disjoint, ordered, start and end on bad runs,
+// and together cover every bad symbol.
+func Validate(plan Plan, rs runlen.Runs) error {
+	bad := rs.Bad()
+	covered := 0
+	prevEnd := -1
+	prevLastBad := -1
+	for ci, c := range plan.Chunks {
+		if c.StartSym <= prevEnd {
+			return fmt.Errorf("chunkdp: chunk %d overlaps or disorders previous", ci)
+		}
+		if c.FirstBad != prevLastBad+1 {
+			return fmt.Errorf("chunkdp: chunk %d skips bad runs (first=%d, prev last=%d)", ci, c.FirstBad, prevLastBad)
+		}
+		if c.FirstBad > c.LastBad || c.LastBad >= len(bad) {
+			return fmt.Errorf("chunkdp: chunk %d has invalid bad range [%d,%d]", ci, c.FirstBad, c.LastBad)
+		}
+		if bad[c.FirstBad].Start != c.StartSym || bad[c.LastBad].End() != c.EndSym {
+			return fmt.Errorf("chunkdp: chunk %d does not start/end on bad runs", ci)
+		}
+		for b := c.FirstBad; b <= c.LastBad; b++ {
+			covered += bad[b].Len
+		}
+		prevEnd = c.EndSym - 1
+		prevLastBad = c.LastBad
+	}
+	if prevLastBad != len(bad)-1 {
+		return fmt.Errorf("chunkdp: plan covers bad runs through %d of %d", prevLastBad, len(bad)-1)
+	}
+	total := 0
+	for _, b := range bad {
+		total += b.Len
+	}
+	if covered != total {
+		return fmt.Errorf("chunkdp: plan covers %d bad symbols of %d", covered, total)
+	}
+	return nil
+}
+
+// CostOf evaluates the Eq. 4/5 cost model on an arbitrary chunking — the
+// reference the exhaustive test oracle and ablations share. Chunks must be
+// a valid partition of the bad runs into consecutive groups.
+func CostOf(chunks []Chunk, rs runlen.Runs, p Params) float64 {
+	bad := rs.Bad()
+	g := gaps(rs, bad)
+	logS := log2(p.SBits)
+	var cost float64
+	for _, c := range chunks {
+		if c.FirstBad == c.LastBad {
+			cost += logS + log2(bad[c.FirstBad].Len*p.BitsPerSymbol)
+		} else {
+			cost += 2 * logS
+			for l := c.FirstBad; l < c.LastBad; l++ {
+				cost += float64(g[l] * p.BitsPerSymbol)
+			}
+		}
+		cost += math.Min(float64(g[c.LastBad]*p.BitsPerSymbol), float64(p.ChecksumBits))
+	}
+	return cost
+}

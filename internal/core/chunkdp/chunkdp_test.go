@@ -1,0 +1,263 @@
+package chunkdp
+
+import (
+	"math"
+	"testing"
+
+	"ppr/internal/core/runlen"
+	"ppr/internal/core/softphy"
+	"ppr/internal/stats"
+)
+
+// runsFromPattern builds Runs from a compact string: 'b' = bad symbol,
+// 'g' = good symbol.
+func runsFromPattern(pattern string) runlen.Runs {
+	labels := make([]softphy.Label, len(pattern))
+	for i, c := range pattern {
+		if c == 'b' {
+			labels[i] = softphy.Bad
+		}
+	}
+	return runlen.FromLabels(labels)
+}
+
+// bruteForce enumerates every partition of the bad runs into consecutive
+// groups and returns the cheapest under the Eq. 4/5 cost model.
+func bruteForce(rs runlen.Runs, p Params) Plan {
+	bad := rs.Bad()
+	L := len(bad)
+	if L == 0 {
+		return Plan{}
+	}
+	best := Plan{CostBits: math.Inf(1)}
+	// Each of the L-1 boundaries is split or merged: 2^(L-1) chunkings.
+	for mask := 0; mask < 1<<(L-1); mask++ {
+		var chunks []Chunk
+		first := 0
+		for i := 0; i < L; i++ {
+			if i == L-1 || mask&(1<<i) != 0 {
+				chunks = append(chunks, Chunk{
+					FirstBad: first, LastBad: i,
+					StartSym: bad[first].Start, EndSym: bad[i].End(),
+				})
+				first = i + 1
+			}
+		}
+		if c := CostOf(chunks, rs, p); c < best.CostBits {
+			best = Plan{Chunks: chunks, CostBits: c}
+		}
+	}
+	return best
+}
+
+func TestOptimalEmptyPacket(t *testing.T) {
+	plan := Optimal(runsFromPattern("gggggggg"), DefaultParams(8))
+	if len(plan.Chunks) != 0 || plan.CostBits != 0 {
+		t.Errorf("all-good packet gave %+v", plan)
+	}
+}
+
+func TestOptimalSingleBadRun(t *testing.T) {
+	rs := runsFromPattern("ggggbbbbgggg")
+	p := DefaultParams(12)
+	plan := Optimal(rs, p)
+	if len(plan.Chunks) != 1 {
+		t.Fatalf("chunks: %+v", plan.Chunks)
+	}
+	c := plan.Chunks[0]
+	if c.StartSym != 4 || c.EndSym != 8 {
+		t.Errorf("chunk range [%d,%d), want [4,8)", c.StartSym, c.EndSym)
+	}
+	if err := Validate(plan, rs); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalMergesShortGaps(t *testing.T) {
+	// Two bad runs separated by a single good symbol: describing a second
+	// chunk costs ~2·log2(S) ≈ 22 bits for S=1500·8, while resending the
+	// gap costs 4 bits. Must merge.
+	pattern := "bbbb" + "g" + "bbbb"
+	for i := len(pattern); i < 300; i++ {
+		pattern += "g"
+	}
+	rs := runsFromPattern(pattern)
+	plan := Optimal(rs, DefaultParams(rs.NumSymbols))
+	if len(plan.Chunks) != 1 {
+		t.Fatalf("expected merge into 1 chunk, got %+v", plan.Chunks)
+	}
+	if plan.Chunks[0].StartSym != 0 || plan.Chunks[0].EndSym != 9 {
+		t.Errorf("merged chunk [%d,%d)", plan.Chunks[0].StartSym, plan.Chunks[0].EndSym)
+	}
+}
+
+func TestOptimalSplitsLongGaps(t *testing.T) {
+	// Two bad runs separated by 200 good symbols (800 bits): resending the
+	// gap is far costlier than a second chunk description. Must split.
+	pattern := "bb"
+	for i := 0; i < 200; i++ {
+		pattern += "g"
+	}
+	pattern += "bb"
+	rs := runsFromPattern(pattern)
+	plan := Optimal(rs, DefaultParams(rs.NumSymbols))
+	if len(plan.Chunks) != 2 {
+		t.Fatalf("expected split into 2 chunks, got %+v", plan.Chunks)
+	}
+}
+
+func TestOptimalMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 300; trial++ {
+		// Random packets with up to 10 bad runs.
+		n := 40 + rng.Intn(200)
+		labels := make([]softphy.Label, n)
+		pBad := 0.05 + 0.3*rng.Float64()
+		for i := range labels {
+			if rng.Bool(pBad) {
+				labels[i] = softphy.Bad
+			}
+		}
+		rs := runlen.FromLabels(labels)
+		if len(rs.Bad()) > 12 {
+			continue // keep brute force tractable
+		}
+		p := DefaultParams(n)
+		opt := Optimal(rs, p)
+		bf := bruteForce(rs, p)
+		if math.Abs(opt.CostBits-bf.CostBits) > 1e-9 {
+			t.Fatalf("trial %d: DP cost %v != brute force %v\nruns: %+v",
+				trial, opt.CostBits, bf.CostBits, rs.All)
+		}
+		if err := Validate(opt, rs); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The DP's reconstructed chunking must evaluate to its claimed cost.
+		if c := CostOf(opt.Chunks, rs, p); math.Abs(c-opt.CostBits) > 1e-9 {
+			t.Fatalf("trial %d: plan cost %v but CostOf %v", trial, opt.CostBits, c)
+		}
+	}
+}
+
+func TestOptimalNeverWorseThanDegenerateStrategies(t *testing.T) {
+	rng := stats.NewRNG(8)
+	for trial := 0; trial < 200; trial++ {
+		n := 100 + rng.Intn(400)
+		labels := make([]softphy.Label, n)
+		for i := range labels {
+			if rng.Bool(0.15) {
+				labels[i] = softphy.Bad
+			}
+		}
+		rs := runlen.FromLabels(labels)
+		p := DefaultParams(n)
+		opt := Optimal(rs, p)
+		if naive := NaivePerRun(rs, p); opt.CostBits > naive.CostBits+1e-9 {
+			t.Fatalf("optimal %v worse than naive %v", opt.CostBits, naive.CostBits)
+		}
+		if span := SingleSpan(rs, p); opt.CostBits > span.CostBits+1e-9 {
+			t.Fatalf("optimal %v worse than single span %v", opt.CostBits, span.CostBits)
+		}
+		if greedy := Greedy(rs, p); opt.CostBits > greedy.CostBits+1e-9 {
+			t.Fatalf("optimal %v worse than greedy %v", opt.CostBits, greedy.CostBits)
+		}
+	}
+}
+
+func TestGreedyValidPlans(t *testing.T) {
+	rng := stats.NewRNG(9)
+	for trial := 0; trial < 100; trial++ {
+		n := 100 + rng.Intn(1000)
+		labels := make([]softphy.Label, n)
+		for i := range labels {
+			if rng.Bool(0.4) {
+				labels[i] = softphy.Bad
+			}
+		}
+		rs := runlen.FromLabels(labels)
+		if err := Validate(Greedy(rs, DefaultParams(n)), rs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOptimalFallsBackForHugeL(t *testing.T) {
+	// Alternating b/g makes L = n/2; above maxExactL the greedy path runs.
+	n := 2 * (maxExactL + 50)
+	labels := make([]softphy.Label, n)
+	for i := range labels {
+		if i%2 == 0 {
+			labels[i] = softphy.Bad
+		}
+	}
+	rs := runlen.FromLabels(labels)
+	plan := Optimal(rs, DefaultParams(n))
+	if err := Validate(plan, rs); err != nil {
+		t.Fatal(err)
+	}
+	// With single-symbol gaps everywhere, everything should merge into one
+	// chunk under any sensible cost model.
+	if len(plan.Chunks) != 1 {
+		t.Errorf("expected full merge, got %d chunks", len(plan.Chunks))
+	}
+}
+
+func TestNaiveAndSpanStructure(t *testing.T) {
+	rs := runsFromPattern("bbgggbbgggbb")
+	p := DefaultParams(12)
+	naive := NaivePerRun(rs, p)
+	if len(naive.Chunks) != 3 {
+		t.Errorf("naive chunks %d, want 3", len(naive.Chunks))
+	}
+	span := SingleSpan(rs, p)
+	if len(span.Chunks) != 1 || span.Chunks[0].StartSym != 0 || span.Chunks[0].EndSym != 12 {
+		t.Errorf("span chunks %+v", span.Chunks)
+	}
+	if err := Validate(naive, rs); err != nil {
+		t.Error(err)
+	}
+	if err := Validate(span, rs); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsBrokenPlans(t *testing.T) {
+	rs := runsFromPattern("bbgggbb")
+	p := DefaultParams(7)
+	plan := Optimal(rs, p)
+	// Drop a chunk.
+	if len(plan.Chunks) == 2 {
+		broken := Plan{Chunks: plan.Chunks[:1]}
+		if Validate(broken, rs) == nil {
+			t.Error("accepted plan missing bad runs")
+		}
+	}
+	// Distort a boundary.
+	broken := Plan{Chunks: append([]Chunk(nil), plan.Chunks...)}
+	broken.Chunks[0].StartSym++
+	if Validate(broken, rs) == nil {
+		t.Error("accepted chunk not starting on a bad run")
+	}
+}
+
+func TestChunkLen(t *testing.T) {
+	c := Chunk{StartSym: 10, EndSym: 25}
+	if c.Len() != 15 {
+		t.Errorf("Len %d", c.Len())
+	}
+}
+
+func TestCostModelScaling(t *testing.T) {
+	// Bigger checksums make splitting less attractive at the margin; the
+	// optimal cost is monotone non-decreasing in ChecksumBits.
+	rs := runsFromPattern("bbggggggggggbbggggggggggbb")
+	prev := 0.0
+	for _, cb := range []int{4, 8, 16, 32} {
+		p := Params{SBits: rs.NumSymbols * 4, ChecksumBits: cb, BitsPerSymbol: 4}
+		cost := Optimal(rs, p).CostBits
+		if cost < prev-1e-9 {
+			t.Fatalf("cost decreased (%v -> %v) as checksum grew to %d", prev, cost, cb)
+		}
+		prev = cost
+	}
+}

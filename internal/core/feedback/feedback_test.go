@@ -1,0 +1,308 @@
+package feedback
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ppr/internal/core/chunkdp"
+	"ppr/internal/stats"
+)
+
+func TestSegmentsComplement(t *testing.T) {
+	chunks := []chunkdp.Chunk{
+		{StartSym: 10, EndSym: 20},
+		{StartSym: 30, EndSym: 35},
+	}
+	segs := Segments(50, chunks)
+	want := []Segment{{0, 10}, {20, 10}, {35, 15}}
+	if !reflect.DeepEqual(segs, want) {
+		t.Errorf("segments %+v, want %+v", segs, want)
+	}
+}
+
+func TestSegmentsEdges(t *testing.T) {
+	// Chunk at the very start and very end: no leading/trailing segment.
+	chunks := []chunkdp.Chunk{{StartSym: 0, EndSym: 5}, {StartSym: 45, EndSym: 50}}
+	segs := Segments(50, chunks)
+	want := []Segment{{5, 40}}
+	if !reflect.DeepEqual(segs, want) {
+		t.Errorf("segments %+v, want %+v", segs, want)
+	}
+	// No chunks: one segment covering everything.
+	if segs := Segments(10, nil); !reflect.DeepEqual(segs, []Segment{{0, 10}}) {
+		t.Errorf("no-chunk segments %+v", segs)
+	}
+	// Chunks covering everything: no segments.
+	if segs := Segments(10, []chunkdp.Chunk{{StartSym: 0, EndSym: 10}}); segs != nil {
+		t.Errorf("full-chunk segments %+v", segs)
+	}
+}
+
+func TestSegmentsChunksCoverage(t *testing.T) {
+	// Segments + chunks together tile the packet exactly.
+	rng := stats.NewRNG(1)
+	for trial := 0; trial < 100; trial++ {
+		n := 20 + rng.Intn(200)
+		var chunks []chunkdp.Chunk
+		pos := 0
+		for pos < n-4 && rng.Bool(0.7) {
+			start := pos + rng.Intn(5)
+			end := start + 1 + rng.Intn(6)
+			if end > n {
+				break
+			}
+			chunks = append(chunks, chunkdp.Chunk{StartSym: start, EndSym: end})
+			pos = end + 1
+		}
+		covered := make([]bool, n)
+		for _, c := range chunks {
+			for i := c.StartSym; i < c.EndSym; i++ {
+				covered[i] = true
+			}
+		}
+		for _, s := range Segments(n, chunks) {
+			for i := s.Start; i < s.End(); i++ {
+				if covered[i] {
+					t.Fatalf("trial %d: symbol %d double-covered", trial, i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("trial %d: symbol %d uncovered", trial, i)
+			}
+		}
+	}
+}
+
+func TestChecksumWidth(t *testing.T) {
+	cases := []struct{ syms, lambdaC, want int }{
+		{100, 32, 32}, // long segment clamps to λC
+		{4, 32, 16},   // short segment: its own bit length
+		{1, 32, 4},
+		{0, 32, 1}, // degenerate: at least one bit
+		{8, 16, 16},
+	}
+	for _, c := range cases {
+		if got := ChecksumWidth(c.syms, c.lambdaC); got != c.want {
+			t.Errorf("ChecksumWidth(%d,%d) = %d, want %d", c.syms, c.lambdaC, got, c.want)
+		}
+	}
+}
+
+func randomSymbols(rng *stats.RNG, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(16))
+	}
+	return s
+}
+
+func makeRequest(rng *stats.RNG, numSymbols int) Request {
+	var chunks []chunkdp.Chunk
+	pos := 0
+	for pos < numSymbols-6 {
+		start := pos + 1 + rng.Intn(8)
+		end := start + 1 + rng.Intn(10)
+		if end >= numSymbols {
+			break
+		}
+		chunks = append(chunks, chunkdp.Chunk{StartSym: start, EndSym: end})
+		pos = end
+		if rng.Bool(0.4) {
+			break
+		}
+	}
+	r := Request{Seq: uint16(rng.Intn(65536)), NumSymbols: numSymbols, Chunks: chunks}
+	for _, s := range Segments(numSymbols, chunks) {
+		syms := randomSymbols(rng, s.Len)
+		r.SegChecksums = append(r.SegChecksums, SymbolChecksum(syms, ChecksumWidth(s.Len, DefaultChecksumBits)))
+	}
+	return r
+}
+
+func requestsEqual(a, b Request) bool {
+	if a.Seq != b.Seq || a.NumSymbols != b.NumSymbols || a.CRCVerified != b.CRCVerified {
+		return false
+	}
+	if len(a.Chunks) != len(b.Chunks) {
+		return false
+	}
+	for i := range a.Chunks {
+		if a.Chunks[i].StartSym != b.Chunks[i].StartSym || a.Chunks[i].EndSym != b.Chunks[i].EndSym {
+			return false
+		}
+	}
+	return reflect.DeepEqual(a.SegChecksums, b.SegChecksums)
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(2)
+	for trial := 0; trial < 300; trial++ {
+		r := makeRequest(rng, 20+rng.Intn(400))
+		enc := r.Encode(DefaultChecksumBits)
+		dec, err := DecodeRequest(enc, DefaultChecksumBits)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !requestsEqual(r, dec) {
+			t.Fatalf("trial %d:\n sent %+v\n got  %+v", trial, r, dec)
+		}
+	}
+}
+
+func TestRequestACKFastPath(t *testing.T) {
+	r := Request{Seq: 77, NumSymbols: 500, CRCVerified: true}
+	enc := r.Encode(DefaultChecksumBits)
+	if len(enc) > 5 {
+		t.Errorf("plain ACK should be ~33 bits, got %d bytes", len(enc))
+	}
+	dec, err := DecodeRequest(enc, DefaultChecksumBits)
+	if err != nil || !dec.CRCVerified || dec.Seq != 77 {
+		t.Errorf("ACK round trip: %+v, %v", dec, err)
+	}
+}
+
+func TestRequestBitsMatchesEncoding(t *testing.T) {
+	rng := stats.NewRNG(3)
+	for trial := 0; trial < 100; trial++ {
+		r := makeRequest(rng, 50+rng.Intn(300))
+		bits := RequestBits(r, DefaultChecksumBits)
+		enc := r.Encode(DefaultChecksumBits)
+		// Encoded bytes = ceil(bits/8).
+		if want := (bits + 7) / 8; len(enc) != want {
+			t.Fatalf("trial %d: RequestBits %d predicts %d bytes, encoding is %d",
+				trial, bits, want, len(enc))
+		}
+	}
+}
+
+func TestDecodeRequestRejectsGarbage(t *testing.T) {
+	rng := stats.NewRNG(4)
+	rejected := 0
+	for trial := 0; trial < 200; trial++ {
+		garbage := make([]byte, rng.Intn(20))
+		for i := range garbage {
+			garbage[i] = byte(rng.Intn(256))
+		}
+		if _, err := DecodeRequest(garbage, DefaultChecksumBits); err != nil {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Error("decoder accepted all garbage inputs")
+	}
+	if _, err := DecodeRequest(nil, DefaultChecksumBits); err == nil {
+		t.Error("decoder accepted empty input")
+	}
+}
+
+func TestDecodeRequestRejectsOutOfRangeChunk(t *testing.T) {
+	r := Request{
+		Seq: 1, NumSymbols: 10,
+		Chunks: []chunkdp.Chunk{{StartSym: 5, EndSym: 30}}, // past packet end
+	}
+	for _, s := range Segments(30, r.Chunks) {
+		r.SegChecksums = append(r.SegChecksums, SymbolChecksum(randomSymbols(stats.NewRNG(0), s.Len), ChecksumWidth(s.Len, 32)))
+	}
+	enc := r.Encode(DefaultChecksumBits)
+	if _, err := DecodeRequest(enc, DefaultChecksumBits); err == nil {
+		t.Error("accepted chunk exceeding NumSymbols")
+	}
+}
+
+func makeResponse(rng *stats.RNG, numSymbols int) Response {
+	var chunks []RespChunk
+	pos := 0
+	for pos < numSymbols-6 {
+		start := pos + 1 + rng.Intn(8)
+		length := 1 + rng.Intn(10)
+		if start+length >= numSymbols {
+			break
+		}
+		chunks = append(chunks, RespChunk{Start: start, Syms: randomSymbols(rng, length)})
+		pos = start + length
+		if rng.Bool(0.4) {
+			break
+		}
+	}
+	r := Response{Seq: uint16(rng.Intn(65536)), NumSymbols: numSymbols, Chunks: chunks}
+	var asChunks []chunkdp.Chunk
+	for _, c := range chunks {
+		asChunks = append(asChunks, chunkdp.Chunk{StartSym: c.Start, EndSym: c.End()})
+	}
+	for _, s := range Segments(numSymbols, asChunks) {
+		r.SegChecksums = append(r.SegChecksums, SymbolChecksum(randomSymbols(rng, s.Len), ChecksumWidth(s.Len, DefaultChecksumBits)))
+	}
+	return r
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(5)
+	for trial := 0; trial < 300; trial++ {
+		r := makeResponse(rng, 20+rng.Intn(400))
+		enc := r.Encode(DefaultChecksumBits)
+		dec, err := DecodeResponse(enc, DefaultChecksumBits)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if dec.Seq != r.Seq || dec.NumSymbols != r.NumSymbols {
+			t.Fatalf("trial %d: header mismatch", trial)
+		}
+		if len(dec.Chunks) != len(r.Chunks) {
+			t.Fatalf("trial %d: chunk count %d != %d", trial, len(dec.Chunks), len(r.Chunks))
+		}
+		for i := range r.Chunks {
+			if dec.Chunks[i].Start != r.Chunks[i].Start || !bytes.Equal(dec.Chunks[i].Syms, r.Chunks[i].Syms) {
+				t.Fatalf("trial %d: chunk %d mismatch", trial, i)
+			}
+		}
+		if !reflect.DeepEqual(dec.SegChecksums, r.SegChecksums) {
+			t.Fatalf("trial %d: checksums mismatch", trial)
+		}
+	}
+}
+
+func TestSymbolChecksumSensitivity(t *testing.T) {
+	rng := stats.NewRNG(6)
+	syms := randomSymbols(rng, 40)
+	w := ChecksumWidth(len(syms), 32)
+	orig := SymbolChecksum(syms, w)
+	changed := 0
+	for i := range syms {
+		mod := append([]byte(nil), syms...)
+		mod[i] ^= 0x1
+		if SymbolChecksum(mod, w) != orig {
+			changed++
+		}
+	}
+	if changed != len(syms) {
+		t.Errorf("only %d of %d single-symbol changes altered the checksum", changed, len(syms))
+	}
+}
+
+func TestCompactnessVsNaiveEncoding(t *testing.T) {
+	// The gamma-coded format must beat a naive fixed 2×16-bit-per-range
+	// encoding for typical small chunk sets — the whole point of Sec. 5's
+	// careful feedback design.
+	rng := stats.NewRNG(7)
+	numSymbols := 3000 // 1500-byte packet
+	var chunks []chunkdp.Chunk
+	pos := 100
+	for i := 0; i < 5; i++ {
+		end := pos + 10 + rng.Intn(30)
+		chunks = append(chunks, chunkdp.Chunk{StartSym: pos, EndSym: end})
+		pos = end + 200 + rng.Intn(200)
+	}
+	r := Request{Seq: 1, NumSymbols: numSymbols, Chunks: chunks}
+	for _, s := range Segments(numSymbols, chunks) {
+		r.SegChecksums = append(r.SegChecksums, 0xabc&((1<<ChecksumWidth(s.Len, 32))-1))
+	}
+	gammaBits := RequestBits(r, 32)
+	naiveBits := 33 + len(chunks)*32 + len(r.SegChecksums)*32
+	if gammaBits >= naiveBits {
+		t.Errorf("gamma encoding %d bits not smaller than naive %d", gammaBits, naiveBits)
+	}
+}

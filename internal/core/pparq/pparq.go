@@ -1,0 +1,294 @@
+// Package pparq implements the streaming-ACK PP-ARQ protocol of Sec. 5.2 —
+// the full sender/receiver exchange built on top of SoftPHY labels, the
+// chunking dynamic program, and the feedback codec:
+//
+//  1. the sender transmits the full packet, checksum appended;
+//  2. the receiver decodes it (possibly partially, possibly only via its
+//     postamble), computes the optimal feedback set of chunks, and sends it
+//     back with per-good-segment checksums;
+//  3. the sender retransmits exactly the requested runs (plus any good run
+//     whose receiver checksum fails its own verification — a detected
+//     SoftPHY miss) together with checksums of everything it did not
+//     retransmit;
+//  4. rounds repeat until every symbol of the packet is verified.
+//
+// Control packets (feedback and retransmission frames) travel over the same
+// lossy links as data; a control frame is accepted only when its own packet
+// CRC verifies and is re-sent otherwise. All transmitted bytes, in both
+// directions and for every attempt, are accounted in Stats — that
+// accounting is what Figs. 11 and 16 measure.
+package pparq
+
+import (
+	"errors"
+	"fmt"
+
+	"ppr/internal/bitutil"
+	"ppr/internal/core/feedback"
+	"ppr/internal/core/recovery"
+	"ppr/internal/core/softphy"
+	"ppr/internal/frame"
+)
+
+// Control payload type bytes. A data frame's payload is the raw
+// network-layer data; control frames prefix their body with one of these.
+const (
+	// TypeFeedback marks a receiver→sender feedback request.
+	TypeFeedback = 0x02
+	// TypeResponse marks a sender→receiver partial retransmission.
+	TypeResponse = 0x03
+)
+
+// Link is one direction of a wireless hop: it carries a frame to the peer
+// and reports what the peer's receiver pipeline produced. A nil reception
+// means the peer never acquired the frame (no preamble or postamble lock).
+type Link interface {
+	// Transmit sends the frame and returns the peer's reception, if any.
+	Transmit(f frame.Frame) *frame.Reception
+}
+
+// Config tunes the protocol.
+type Config struct {
+	// Labeler interprets SoftPHY hints; defaults to the paper's η = 6
+	// threshold rule.
+	Labeler softphy.Labeler
+	// LambdaC is the per-segment checksum width in bits (default 32).
+	LambdaC int
+	// MaxRounds bounds feedback/retransmission rounds per packet.
+	MaxRounds int
+	// MaxAttempts bounds transmissions of any single frame (data retries
+	// when the receiver never acquires it, and control-frame retries).
+	MaxAttempts int
+}
+
+// fill returns cfg with defaults applied.
+func (c Config) fill() Config {
+	if c.Labeler == nil {
+		c.Labeler = softphy.Threshold{Eta: softphy.DefaultEta}
+	}
+	if c.LambdaC == 0 {
+		c.LambdaC = feedback.DefaultChecksumBits
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 8
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 16
+	}
+	return c
+}
+
+// Stats accounts every byte the protocol put on the air for one transfer.
+type Stats struct {
+	// DataAirBytes counts full data-frame transmissions (initial send plus
+	// any full retransmissions after acquisition failures).
+	DataAirBytes int
+	// RetxAirBytes counts partial-retransmission (response) frames.
+	RetxAirBytes int
+	// FeedbackAirBytes counts reverse-link feedback frames.
+	FeedbackAirBytes int
+	// Rounds is the number of feedback/retransmission rounds used.
+	Rounds int
+	// RetxPayloadSizes records the payload size in bytes of each response
+	// frame — the distribution Fig. 16 plots.
+	RetxPayloadSizes []int
+	// FullResends counts times the whole data frame had to be resent
+	// because the receiver acquired nothing.
+	FullResends int
+	// Misses counts good segments whose checksums failed sender-side
+	// verification (SoftPHY misses caught by the protocol).
+	Misses int
+}
+
+// TotalAirBytes sums every byte transmitted in both directions.
+func (s Stats) TotalAirBytes() int {
+	return s.DataAirBytes + s.RetxAirBytes + s.FeedbackAirBytes
+}
+
+// ErrGiveUp is returned when the protocol exhausts MaxRounds or
+// MaxAttempts without verifying the whole packet.
+var ErrGiveUp = errors.New("pparq: gave up before packet fully verified")
+
+// Sender holds the transmit-side state: the symbols of packets in flight,
+// keyed by sequence number, so it can serve retransmission requests.
+type Sender struct {
+	cfg  Config
+	fwd  Link
+	rev  Link
+	src  uint16
+	dst  uint16
+	seq  uint16
+	sent map[uint16][]byte // seq → payload symbols (one byte per symbol)
+}
+
+// NewSender builds a sender for the src→dst link pair. fwd carries frames
+// to the receiver; rev carries the receiver's feedback back (PP-ARQ is
+// asymmetric: rev is used by the peer's Receiver, the sender only listens).
+func NewSender(fwd, rev Link, src, dst uint16, cfg Config) *Sender {
+	return &Sender{cfg: cfg.fill(), fwd: fwd, rev: rev, src: src, dst: dst, sent: map[uint16][]byte{}}
+}
+
+// Transfer delivers one payload with full PP-ARQ recovery, returning the
+// payload as verified by the receiver and the byte accounting. It drives
+// both ends of the exchange against the configured links.
+func (s *Sender) Transfer(payload []byte) (delivered []byte, st Stats, err error) {
+	cfg := s.cfg
+	seq := s.seq
+	s.seq++
+	syms := bitutil.NibblesFromBytes(payload)
+	s.sent[seq] = syms
+	defer delete(s.sent, seq)
+
+	dataFrame := frame.New(s.dst, s.src, seq, payload)
+	airBytes := frame.AirBytes(len(payload))
+
+	// Phase 1: get the packet acquired at all (preamble or postamble).
+	var rec *frame.Reception
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		st.DataAirBytes += airBytes
+		rec = s.fwd.Transmit(dataFrame)
+		if rec != nil && rec.HeaderOK {
+			break
+		}
+		rec = nil
+		st.FullResends++
+	}
+	if rec == nil {
+		return nil, st, fmt.Errorf("%w: data frame never acquired", ErrGiveUp)
+	}
+
+	// Receiver-side assembler.
+	asm := recovery.New(len(syms))
+	if err := asm.Init(rec.MissingPrefix, rec.Decisions, cfg.Labeler); err != nil {
+		return nil, st, err
+	}
+	if rec.CRCOK {
+		asm.MarkAllVerified()
+	}
+
+	for round := 0; round < cfg.MaxRounds; round++ {
+		st.Rounds = round + 1
+		// Phase 2: receiver sends feedback (reliably, with retries). The
+		// sender works from the copy that actually crossed the reverse
+		// link, exercising the codec end to end.
+		req := asm.BuildRequest(seq, cfg.LambdaC)
+		fbBody := append([]byte{TypeFeedback}, req.Encode(cfg.LambdaC)...)
+		fbRec, err := s.sendControl(s.rev, fbBody, &st.FeedbackAirBytes, nil)
+		if err != nil {
+			return nil, st, err
+		}
+		if req.CRCVerified {
+			break
+		}
+		reqAtSender, err := feedback.DecodeRequest(controlBody(fbRec), cfg.LambdaC)
+		if err != nil {
+			return nil, st, fmt.Errorf("pparq: sender could not parse delivered feedback: %w", err)
+		}
+		// Phase 3: sender builds and sends the partial retransmission.
+		resp, misses := s.buildResponse(reqAtSender)
+		st.Misses += misses
+		respBody := append([]byte{TypeResponse}, resp.Encode(cfg.LambdaC)...)
+		respRec, err := s.sendControl(s.fwd, respBody, &st.RetxAirBytes, &st.RetxPayloadSizes)
+		if err != nil {
+			return nil, st, err
+		}
+		respAtReceiver, err := feedback.DecodeResponse(controlBody(respRec), cfg.LambdaC)
+		if err != nil {
+			return nil, st, fmt.Errorf("pparq: receiver could not parse delivered response: %w", err)
+		}
+		// Phase 4: receiver patches and verifies.
+		if _, err := asm.ApplyResponse(respAtReceiver, cfg.LambdaC); err != nil {
+			return nil, st, err
+		}
+		if asm.Complete() {
+			// Final ACK so the sender can release the packet.
+			ack := feedback.Request{Seq: seq, NumSymbols: len(syms), CRCVerified: true}
+			ackBody := append([]byte{TypeFeedback}, ack.Encode(cfg.LambdaC)...)
+			if _, err := s.sendControl(s.rev, ackBody, &st.FeedbackAirBytes, nil); err != nil {
+				return nil, st, err
+			}
+			break
+		}
+	}
+	if !asm.Complete() {
+		return nil, st, fmt.Errorf("%w: %d of %d symbols verified after %d rounds",
+			ErrGiveUp, asm.VerifiedCount(), asm.NumSymbols(), st.Rounds)
+	}
+	return asm.Payload(), st, nil
+}
+
+// buildResponse serves a feedback request from the sender's stored symbols:
+// requested chunks are filled with the true symbols; good segments are
+// verified against the receiver's checksums, and any that fail are promoted
+// to retransmitted chunks (the receiver was fooled by a miss).
+func (s *Sender) buildResponse(req feedback.Request) (feedback.Response, int) {
+	syms := s.sent[req.Seq]
+	resp := feedback.Response{Seq: req.Seq, NumSymbols: req.NumSymbols}
+	misses := 0
+	segs := feedback.Segments(req.NumSymbols, req.Chunks)
+	// Walk chunks and segments in symbol order, merging both sources of
+	// retransmission into resp.Chunks.
+	type span struct {
+		start, end int
+		retransmit bool
+	}
+	var spans []span
+	for _, c := range req.Chunks {
+		spans = append(spans, span{c.StartSym, c.EndSym, true})
+	}
+	for i, seg := range segs {
+		w := feedback.ChecksumWidth(seg.Len, s.cfg.LambdaC)
+		ok := feedback.SymbolChecksum(syms[seg.Start:seg.End()], w) == req.SegChecksums[i]
+		if !ok {
+			misses++
+		}
+		spans = append(spans, span{seg.Start, seg.End(), !ok})
+	}
+	// spans from chunks and segments interleave; sort by start.
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0 && spans[j].start < spans[j-1].start; j-- {
+			spans[j], spans[j-1] = spans[j-1], spans[j]
+		}
+	}
+	for _, sp := range spans {
+		if sp.retransmit {
+			resp.Chunks = append(resp.Chunks, feedback.RespChunk{
+				Start: sp.start,
+				Syms:  append([]byte(nil), syms[sp.start:sp.end]...),
+			})
+		} else {
+			w := feedback.ChecksumWidth(sp.end-sp.start, s.cfg.LambdaC)
+			resp.SegChecksums = append(resp.SegChecksums, feedback.SymbolChecksum(syms[sp.start:sp.end], w))
+		}
+	}
+	return resp, misses
+}
+
+// sendControl transmits a control frame until the peer receives it with a
+// verified packet CRC, returning the accepted reception. Every attempt's
+// air bytes are charged to counter; when sizes is non-nil the accepted
+// frame's payload size is recorded.
+func (s *Sender) sendControl(l Link, body []byte, counter *int, sizes *[]int) (*frame.Reception, error) {
+	f := frame.New(s.dst, s.src, s.seq, body)
+	s.seq++
+	air := frame.AirBytes(len(body))
+	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
+		*counter += air
+		rec := l.Transmit(f)
+		if rec != nil && rec.HeaderOK && rec.CRCOK {
+			if sizes != nil {
+				*sizes = append(*sizes, len(body))
+			}
+			return rec, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: control frame (%d bytes) never delivered", ErrGiveUp, len(body))
+}
+
+// controlBody strips the control type byte from a delivered control frame.
+func controlBody(rec *frame.Reception) []byte {
+	if len(rec.PayloadBytes) < 1 {
+		return nil
+	}
+	return rec.PayloadBytes[1:]
+}

@@ -1,0 +1,597 @@
+package pparq
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ppr/internal/core/softphy"
+	"ppr/internal/frame"
+	"ppr/internal/phy"
+	"ppr/internal/stats"
+)
+
+// chipLink carries frames through the real spread/synchronize/despread
+// pipeline, applying an arbitrary chip corruption between the endpoints.
+type chipLink struct {
+	rx       *frame.Receiver
+	corrupt  func(chips []byte) []byte
+	attempts int
+}
+
+func (l *chipLink) Transmit(f frame.Frame) *frame.Reception {
+	l.attempts++
+	chips := f.AirChips()
+	if l.corrupt != nil {
+		chips = l.corrupt(chips)
+	}
+	recs := l.rx.Receive(chips)
+	var best *frame.Reception
+	for i := range recs {
+		if recs[i].HeaderOK {
+			if best == nil || len(recs[i].Decisions) > len(best.Decisions) {
+				best = &recs[i]
+			}
+		}
+	}
+	return best
+}
+
+func cleanLink() *chipLink {
+	return &chipLink{rx: frame.NewReceiver(phy.HardDecoder{})}
+}
+
+// burstCorruptor randomises a chip range [start, end) of the payload area.
+func burstCorruptor(rng *stats.RNG, startByte, endByte int) func([]byte) []byte {
+	return func(chips []byte) []byte {
+		out := append([]byte(nil), chips...)
+		base := (frame.SyncBytes + frame.HeaderBytes) * frame.ChipsPerByte
+		lo, hi := base+startByte*frame.ChipsPerByte, base+endByte*frame.ChipsPerByte
+		if hi > len(out) {
+			hi = len(out)
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = byte(rng.Intn(2))
+		}
+		return out
+	}
+}
+
+// onceCorruptor applies corrupt on the first n transmissions only —
+// retransmissions then pass clean, modelling a transient collision.
+func onceCorruptor(n int, corrupt func([]byte) []byte) func([]byte) []byte {
+	count := 0
+	return func(chips []byte) []byte {
+		count++
+		if count <= n {
+			return corrupt(chips)
+		}
+		return chips
+	}
+}
+
+func payloadOf(rng *stats.RNG, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(rng.Intn(256))
+	}
+	return p
+}
+
+func TestTransferCleanChannel(t *testing.T) {
+	rng := stats.NewRNG(1)
+	fwd, rev := cleanLink(), cleanLink()
+	s := NewSender(fwd, rev, 1, 2, Config{})
+	payload := payloadOf(rng, 200)
+	got, st, err := s.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload mismatch")
+	}
+	if st.Rounds != 1 {
+		t.Errorf("clean transfer took %d rounds", st.Rounds)
+	}
+	if st.RetxAirBytes != 0 {
+		t.Errorf("clean transfer retransmitted %d bytes", st.RetxAirBytes)
+	}
+	if st.DataAirBytes != frame.AirBytes(200) {
+		t.Errorf("data air bytes %d", st.DataAirBytes)
+	}
+	if st.FeedbackAirBytes == 0 {
+		t.Error("no ACK sent")
+	}
+}
+
+func TestTransferRecoversBurstError(t *testing.T) {
+	rng := stats.NewRNG(2)
+	// First data transmission has payload bytes 50..90 destroyed; the
+	// retransmission response travels clean.
+	fwd := &chipLink{
+		rx:      frame.NewReceiver(phy.HardDecoder{}),
+		corrupt: onceCorruptor(1, burstCorruptor(rng, 50, 90)),
+	}
+	rev := cleanLink()
+	s := NewSender(fwd, rev, 1, 2, Config{})
+	payload := payloadOf(rng, 250)
+	got, st, err := s.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch after recovery")
+	}
+	if st.Rounds < 1 || st.RetxAirBytes == 0 {
+		t.Errorf("expected a retransmission round: %+v", st)
+	}
+	// The partial retransmission must be far smaller than a full resend.
+	if len(st.RetxPayloadSizes) == 0 {
+		t.Fatal("no retransmission size recorded")
+	}
+	if st.RetxPayloadSizes[0] >= 250 {
+		t.Errorf("partial retransmission %d bytes not smaller than full packet", st.RetxPayloadSizes[0])
+	}
+}
+
+func TestTransferSavingsVsFullRetransmit(t *testing.T) {
+	// The headline PP-ARQ claim: recovering a burst-corrupted packet costs
+	// much less than resending it whole.
+	rng := stats.NewRNG(3)
+	fwd := &chipLink{
+		rx:      frame.NewReceiver(phy.HardDecoder{}),
+		corrupt: onceCorruptor(1, burstCorruptor(rng, 100, 140)),
+	}
+	rev := cleanLink()
+	s := NewSender(fwd, rev, 1, 2, Config{})
+	payload := payloadOf(rng, 1000)
+	got, st, err := s.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+	fullResendCost := 2 * frame.AirBytes(1000)
+	if st.TotalAirBytes() >= fullResendCost {
+		t.Errorf("PP-ARQ cost %d ≥ full-resend cost %d", st.TotalAirBytes(), fullResendCost)
+	}
+}
+
+func TestTransferDestroyedPreambleUsesPostamble(t *testing.T) {
+	rng := stats.NewRNG(4)
+	ruinPreamble := func(chips []byte) []byte {
+		out := append([]byte(nil), chips...)
+		n := (frame.SyncBytes + frame.HeaderBytes) * frame.ChipsPerByte
+		for i := 0; i < n; i++ {
+			out[i] = byte(rng.Intn(2))
+		}
+		return out
+	}
+	fwd := &chipLink{
+		rx:      frame.NewReceiver(phy.HardDecoder{}),
+		corrupt: onceCorruptor(1, ruinPreamble),
+	}
+	rev := cleanLink()
+	s := NewSender(fwd, rev, 1, 2, Config{})
+	payload := payloadOf(rng, 300)
+	got, st, err := s.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+	// The packet must NOT have been fully resent: postamble sync plus CRC
+	// pass means zero extra rounds.
+	if st.FullResends != 0 {
+		t.Errorf("full resends %d; postamble decoding should have rescued the frame", st.FullResends)
+	}
+}
+
+func TestTransferStatusQuoReceiverNeedsFullResend(t *testing.T) {
+	// Same scenario but with postamble decoding disabled: the first
+	// transmission is lost entirely and a full resend must happen.
+	rng := stats.NewRNG(5)
+	ruinPreamble := func(chips []byte) []byte {
+		out := append([]byte(nil), chips...)
+		n := (frame.SyncBytes + frame.HeaderBytes) * frame.ChipsPerByte
+		for i := 0; i < n; i++ {
+			out[i] = byte(rng.Intn(2))
+		}
+		return out
+	}
+	rx := frame.NewReceiver(phy.HardDecoder{})
+	rx.UsePostamble = false
+	fwd := &chipLink{rx: rx, corrupt: onceCorruptor(1, ruinPreamble)}
+	rev := cleanLink()
+	s := NewSender(fwd, rev, 1, 2, Config{})
+	payload := payloadOf(rng, 300)
+	got, st, err := s.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+	if st.FullResends != 1 {
+		t.Errorf("full resends %d, want 1 without postamble decoding", st.FullResends)
+	}
+}
+
+func TestTransferCatchesSoftPHYMiss(t *testing.T) {
+	// Corrupt a payload region but leave the chips close enough to a WRONG
+	// codeword that the hint stays low: flip a symbol to another codeword
+	// exactly. The label says good; only the segment checksum exchange can
+	// catch it.
+	flipSymbol := func(chips []byte) []byte {
+		out := append([]byte(nil), chips...)
+		base := (frame.SyncBytes + frame.HeaderBytes) * frame.ChipsPerByte
+		// Overwrite symbol 10 of the payload with codeword for a different
+		// symbol: zero hint, wrong data.
+		cw := phy.SpreadSymbols([]byte{0x9})
+		cs := phy.ChipsOf(cw)
+		copy(out[base+10*32:base+11*32], cs)
+		return out
+	}
+	rng := stats.NewRNG(6)
+	payload := payloadOf(rng, 100)
+	// Ensure payload symbol 10 isn't already 0x9.
+	payload[5] = 0x11 // symbol 10 is low nibble of byte 5 = 0x1
+	fwd := &chipLink{
+		rx:      frame.NewReceiver(phy.HardDecoder{}),
+		corrupt: onceCorruptor(1, flipSymbol),
+	}
+	rev := cleanLink()
+	s := NewSender(fwd, rev, 1, 2, Config{})
+	got, st, err := s.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("miss was not corrected")
+	}
+	if st.Misses == 0 {
+		t.Error("protocol did not record the miss")
+	}
+}
+
+func TestTransferGivesUpOnDeadLink(t *testing.T) {
+	dead := &chipLink{
+		rx: frame.NewReceiver(phy.HardDecoder{}),
+		corrupt: func(chips []byte) []byte {
+			rng := stats.NewRNG(7)
+			out := make([]byte, len(chips))
+			for i := range out {
+				out[i] = byte(rng.Intn(2))
+			}
+			return out
+		},
+	}
+	rev := cleanLink()
+	s := NewSender(dead, rev, 1, 2, Config{MaxAttempts: 3})
+	_, st, err := s.Transfer(payloadOf(stats.NewRNG(8), 50))
+	if !errors.Is(err, ErrGiveUp) {
+		t.Fatalf("expected ErrGiveUp, got %v", err)
+	}
+	if st.FullResends != 3 {
+		t.Errorf("attempts %d, want 3", st.FullResends)
+	}
+}
+
+func TestTransferSequenceNumbersAdvance(t *testing.T) {
+	fwd, rev := cleanLink(), cleanLink()
+	s := NewSender(fwd, rev, 1, 2, Config{})
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.Transfer([]byte{byte(i), 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.seq == 0 {
+		t.Error("sequence numbers did not advance")
+	}
+}
+
+func TestTransferManyRandomBursts(t *testing.T) {
+	// Property-style end-to-end check: across many random burst patterns
+	// the delivered payload always equals the sent payload.
+	rng := stats.NewRNG(9)
+	for trial := 0; trial < 25; trial++ {
+		n := 100 + rng.Intn(400)
+		payload := payloadOf(rng, n)
+		nBursts := 1 + rng.Intn(3)
+		var corrupters []func([]byte) []byte
+		for b := 0; b < nBursts; b++ {
+			lo := rng.Intn(n - 10)
+			hi := lo + 1 + rng.Intn(n-lo)
+			corrupters = append(corrupters, burstCorruptor(rng, lo, hi))
+		}
+		all := func(chips []byte) []byte {
+			for _, c := range corrupters {
+				chips = c(chips)
+			}
+			return chips
+		}
+		fwd := &chipLink{
+			rx:      frame.NewReceiver(phy.HardDecoder{}),
+			corrupt: onceCorruptor(1, all),
+		}
+		rev := cleanLink()
+		s := NewSender(fwd, rev, 1, 2, Config{})
+		got, _, err := s.Transfer(payload)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("trial %d: delivered payload differs from sent", trial)
+		}
+	}
+}
+
+func TestStatsTotal(t *testing.T) {
+	st := Stats{DataAirBytes: 10, RetxAirBytes: 20, FeedbackAirBytes: 5}
+	if st.TotalAirBytes() != 35 {
+		t.Errorf("TotalAirBytes %d", st.TotalAirBytes())
+	}
+}
+
+// droppingLink drops every transmission entirely: the peer never syncs.
+type droppingLink struct{}
+
+func (droppingLink) Transmit(frame.Frame) *frame.Reception { return nil }
+
+func TestTransferDeadReverseLink(t *testing.T) {
+	// Data gets through but feedback never does: the protocol must give up
+	// cleanly, not hang.
+	fwd := cleanLink()
+	s := NewSender(fwd, droppingLink{}, 1, 2, Config{MaxAttempts: 3, MaxRounds: 2})
+	_, _, err := s.Transfer(payloadOf(stats.NewRNG(20), 100))
+	if !errors.Is(err, ErrGiveUp) {
+		t.Fatalf("expected ErrGiveUp, got %v", err)
+	}
+}
+
+// halfDeafLink delivers data frames but corrupts every control frame, so
+// responses never verify.
+type halfDeafLink struct {
+	rx  *frame.Receiver
+	rng *stats.RNG
+}
+
+func (l *halfDeafLink) Transmit(f frame.Frame) *frame.Reception {
+	chips := f.AirChips()
+	if len(f.Payload) > 0 && (f.Payload[0] == TypeResponse || f.Payload[0] == TypeFeedback) {
+		// Smash the payload CRC region.
+		for i := len(chips) / 2; i < len(chips)/2+2000 && i < len(chips); i++ {
+			chips[i] = byte(l.rng.Intn(2))
+		}
+	}
+	recs := l.rx.Receive(chips)
+	for i := range recs {
+		if recs[i].HeaderOK {
+			return &recs[i]
+		}
+	}
+	return nil
+}
+
+func TestTransferControlFramesNeverVerify(t *testing.T) {
+	rng := stats.NewRNG(21)
+	fwd := &chipLink{
+		rx:      frame.NewReceiver(phy.HardDecoder{}),
+		corrupt: onceCorruptor(1, burstCorruptor(rng, 10, 40)),
+	}
+	rev := &halfDeafLink{rx: frame.NewReceiver(phy.HardDecoder{}), rng: rng.Split()}
+	s := NewSender(fwd, rev, 1, 2, Config{MaxAttempts: 4, MaxRounds: 2})
+	_, st, err := s.Transfer(payloadOf(rng, 200))
+	if !errors.Is(err, ErrGiveUp) {
+		t.Fatalf("expected ErrGiveUp when feedback can never verify, got %v", err)
+	}
+	if st.FeedbackAirBytes == 0 {
+		t.Error("no feedback attempts accounted")
+	}
+}
+
+func TestTransferEmptyPayload(t *testing.T) {
+	// Degenerate but legal: a zero-byte payload still round-trips (the
+	// frame carries only headers and checks).
+	fwd, rev := cleanLink(), cleanLink()
+	s := NewSender(fwd, rev, 1, 2, Config{})
+	got, _, err := s.Transfer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("delivered %d bytes for empty payload", len(got))
+	}
+}
+
+func TestTransferAdaptiveLabeler(t *testing.T) {
+	// The protocol must run unchanged with the adaptive labeler plugged in
+	// (the PHY-independence hook).
+	rng := stats.NewRNG(22)
+	fwd := &chipLink{
+		rx:      frame.NewReceiver(phy.HardDecoder{}),
+		corrupt: onceCorruptor(1, burstCorruptor(rng, 30, 80)),
+	}
+	rev := cleanLink()
+	ad := softphy.NewAdaptive(10, 1, softphy.DefaultEta)
+	s := NewSender(fwd, rev, 1, 2, Config{Labeler: ad})
+	payload := payloadOf(rng, 300)
+	got, _, err := s.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload mismatch with adaptive labeler")
+	}
+}
+
+func TestTransferBackToBackStream(t *testing.T) {
+	// The paper's Fig. 16 setup shape: a stream of packets through one
+	// sender object; sequence bookkeeping must not leak between packets.
+	rng := stats.NewRNG(23)
+	fwd := &chipLink{rx: frame.NewReceiver(phy.HardDecoder{})}
+	rev := cleanLink()
+	s := NewSender(fwd, rev, 1, 2, Config{})
+	for i := 0; i < 10; i++ {
+		payload := payloadOf(rng, 50+i*30)
+		got, _, err := s.Transfer(payload)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("packet %d corrupted", i)
+		}
+	}
+	if len(s.sent) != 0 {
+		t.Errorf("%d stale entries in sender state", len(s.sent))
+	}
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	msgs := [][]byte{{1, 2, 3}, {}, {0xff}, make([]byte, 100)}
+	typ, got, err := decodeBatch(encodeBatch(TypeFeedback, msgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TypeFeedback || len(got) != len(msgs) {
+		t.Fatalf("typ %d, %d msgs", typ, len(got))
+	}
+	for i := range msgs {
+		if !bytes.Equal(got[i], msgs[i]) {
+			t.Errorf("msg %d mismatch", i)
+		}
+	}
+	// Empty batch.
+	_, got, err = decodeBatch(encodeBatch(TypeResponse, nil))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty batch: %v, %d msgs", err, len(got))
+	}
+}
+
+func TestBatchCodecRejectsGarbage(t *testing.T) {
+	if _, _, err := decodeBatch(nil); err == nil {
+		t.Error("accepted empty body")
+	}
+	if _, _, err := decodeBatch([]byte{0x02, 0x00}); err == nil {
+		t.Error("accepted truncated batch")
+	}
+}
+
+func TestTransferWindowCleanChannel(t *testing.T) {
+	rng := stats.NewRNG(30)
+	fwd, rev := cleanLink(), cleanLink()
+	s := NewSender(fwd, rev, 1, 2, Config{})
+	payloads := [][]byte{payloadOf(rng, 100), payloadOf(rng, 200), payloadOf(rng, 50)}
+	got, st, err := s.TransferWindow(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("payload %d mismatch", i)
+		}
+	}
+	// Clean window: exactly one (empty-batch) feedback frame.
+	if st.Rounds != 1 || st.RetxAirBytes != 0 {
+		t.Errorf("clean window stats: %+v", st)
+	}
+}
+
+func TestTransferWindowRecoversMultipleCorruptPackets(t *testing.T) {
+	rng := stats.NewRNG(31)
+	// Every data frame loses a burst on first transmission; control frames
+	// are clean.
+	corrupted := 0
+	fwd := &chipLink{rx: frame.NewReceiver(phy.HardDecoder{})}
+	fwd.corrupt = func(chips []byte) []byte {
+		// Only corrupt large (data) frames; control frames pass.
+		if len(chips) < frame.AirChips(300) {
+			return chips
+		}
+		corrupted++
+		return burstCorruptor(rng, 50, 120)(chips)
+	}
+	rev := cleanLink()
+	s := NewSender(fwd, rev, 1, 2, Config{})
+	payloads := [][]byte{payloadOf(rng, 400), payloadOf(rng, 400), payloadOf(rng, 400)}
+	got, st, err := s.TransferWindow(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("payload %d mismatch", i)
+		}
+	}
+	if corrupted != 3 {
+		t.Fatalf("%d data frames corrupted, want 3", corrupted)
+	}
+	if st.Rounds < 1 || st.RetxAirBytes == 0 {
+		t.Fatalf("no recovery happened: %+v", st)
+	}
+}
+
+func TestTransferWindowAmortizesControlOverhead(t *testing.T) {
+	// The Sec. 5.2 claim: concatenating feedback/retransmissions across a
+	// window costs fewer control air bytes than per-packet transfers under
+	// identical per-packet damage.
+	const n = 6
+	mkLinks := func(seed uint64) (*chipLink, *chipLink) {
+		rng := stats.NewRNG(seed)
+		fwd := &chipLink{rx: frame.NewReceiver(phy.HardDecoder{})}
+		large := 0
+		fwd.corrupt = func(chips []byte) []byte {
+			// Corrupt exactly the n data frames: they are the first n
+			// large frames on the forward link in both flows (the batched
+			// response is also large but comes after all n).
+			if len(chips) < frame.AirChips(300) || large >= n {
+				return chips
+			}
+			large++
+			return burstCorruptor(rng, 60, 100)(chips)
+		}
+		return fwd, cleanLink()
+	}
+	payloads := make([][]byte, n)
+	prng := stats.NewRNG(32)
+	for i := range payloads {
+		payloads[i] = payloadOf(prng, 400)
+	}
+
+	fwd, rev := mkLinks(33)
+	sw := NewSender(fwd, rev, 1, 2, Config{})
+	_, windowStats, err := sw.TransferWindow(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fwd2, rev2 := mkLinks(33)
+	sp := NewSender(fwd2, rev2, 1, 2, Config{})
+	var perPacket Stats
+	for _, p := range payloads {
+		_, st, err := sp.Transfer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perPacket.FeedbackAirBytes += st.FeedbackAirBytes
+		perPacket.RetxAirBytes += st.RetxAirBytes
+		perPacket.DataAirBytes += st.DataAirBytes
+	}
+	windowCtl := windowStats.FeedbackAirBytes + windowStats.RetxAirBytes
+	perPktCtl := perPacket.FeedbackAirBytes + perPacket.RetxAirBytes
+	if windowCtl >= perPktCtl {
+		t.Errorf("windowed control bytes %d not below per-packet %d", windowCtl, perPktCtl)
+	}
+	t.Logf("control air bytes: windowed %d vs per-packet %d (%.0f%% saved)",
+		windowCtl, perPktCtl, 100*(1-float64(windowCtl)/float64(perPktCtl)))
+}
+
+func TestTransferWindowEmpty(t *testing.T) {
+	s := NewSender(cleanLink(), cleanLink(), 1, 2, Config{})
+	got, _, err := s.TransferWindow(nil)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty window: %v, %d", err, len(got))
+	}
+}

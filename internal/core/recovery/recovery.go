@@ -1,0 +1,209 @@
+// Package recovery implements the receiver-side assembly of a partial
+// packet across PP-ARQ rounds: tracking which symbols are known, which are
+// suspect, and which have been verified (by a matching segment checksum or
+// by arriving in a checksummed retransmission), and patching retransmitted
+// runs into place until the whole packet is verified and deliverable.
+package recovery
+
+import (
+	"fmt"
+
+	"ppr/internal/bitutil"
+	"ppr/internal/core/chunkdp"
+	"ppr/internal/core/feedback"
+	"ppr/internal/core/runlen"
+	"ppr/internal/core/softphy"
+	"ppr/internal/phy"
+)
+
+// Assembler accumulates one packet's payload symbols across rounds.
+type Assembler struct {
+	numSymbols int
+	syms       []byte
+	// suspect marks symbols the link layer currently believes are wrong:
+	// labelled Bad on reception, or sitting in a good segment whose
+	// checksum later failed. Suspect symbols go into the next request.
+	suspect []bool
+	// verified marks symbols proven correct: patched from a CRC-verified
+	// retransmission, or covered by a matching segment checksum.
+	verified []bool
+}
+
+// New returns an assembler for a packet of numSymbols symbols.
+func New(numSymbols int) *Assembler {
+	return &Assembler{
+		numSymbols: numSymbols,
+		syms:       make([]byte, numSymbols),
+		suspect:    make([]bool, numSymbols),
+		verified:   make([]bool, numSymbols),
+	}
+}
+
+// NumSymbols returns the packet length in symbols.
+func (a *Assembler) NumSymbols() int { return a.numSymbols }
+
+// Init seeds the assembler from the first reception: decoded symbol
+// decisions labelled by the SoftPHY rule, with missingPrefix undecoded
+// symbols marked suspect.
+func (a *Assembler) Init(missingPrefix int, ds []phy.Decision, labeler softphy.Labeler) error {
+	if missingPrefix+len(ds) != a.numSymbols {
+		return fmt.Errorf("recovery: reception has %d symbols, packet has %d",
+			missingPrefix+len(ds), a.numSymbols)
+	}
+	labels := labeler.LabelAll(missingPrefix, ds)
+	for i := 0; i < missingPrefix; i++ {
+		a.suspect[i] = true
+	}
+	for i, d := range ds {
+		a.syms[missingPrefix+i] = d.Symbol
+		if labels[missingPrefix+i] == softphy.Bad {
+			a.suspect[missingPrefix+i] = true
+		}
+	}
+	return nil
+}
+
+// MarkAllVerified is the fast path when the packet CRC checked on first
+// reception: everything is correct.
+func (a *Assembler) MarkAllVerified() {
+	for i := range a.verified {
+		a.verified[i] = true
+		a.suspect[i] = false
+	}
+}
+
+// Labels returns the current per-symbol request labels: Bad for suspect
+// unverified symbols, Good otherwise. This is what the next round's
+// run-length representation and chunk DP consume.
+func (a *Assembler) Labels() []softphy.Label {
+	out := make([]softphy.Label, a.numSymbols)
+	for i := range out {
+		if a.suspect[i] && !a.verified[i] {
+			out[i] = softphy.Bad
+		}
+	}
+	return out
+}
+
+// Runs builds the run-length representation of the current labels, the
+// input to chunkdp.Optimal.
+func (a *Assembler) Runs() runlen.Runs {
+	return runlen.FromLabels(a.Labels())
+}
+
+// SymbolRange returns a copy of the current symbol values in [start, end).
+func (a *Assembler) SymbolRange(start, end int) []byte {
+	if start < 0 || end > a.numSymbols || start > end {
+		panic(fmt.Sprintf("recovery: SymbolRange [%d,%d) out of [0,%d)", start, end, a.numSymbols))
+	}
+	return append([]byte(nil), a.syms[start:end]...)
+}
+
+// SegmentChecksum computes the receiver's checksum for a good segment, as
+// carried in the feedback request.
+func (a *Assembler) SegmentChecksum(s feedback.Segment, lambdaC int) uint32 {
+	return feedback.SymbolChecksum(a.syms[s.Start:s.End()], feedback.ChecksumWidth(s.Len, lambdaC))
+}
+
+// Patch installs a retransmitted chunk. The symbols arrive inside a
+// CRC-verified control frame, so they are trusted: marked verified and no
+// longer suspect.
+func (a *Assembler) Patch(start int, syms []byte) error {
+	if start < 0 || start+len(syms) > a.numSymbols {
+		return fmt.Errorf("recovery: patch [%d,%d) out of [0,%d)", start, start+len(syms), a.numSymbols)
+	}
+	for i, s := range syms {
+		a.syms[start+i] = s & 0x0f
+		a.verified[start+i] = true
+		a.suspect[start+i] = false
+	}
+	return nil
+}
+
+// VerifySegment checks a sender-supplied checksum for a segment. On a match
+// the segment's symbols are verified; on a mismatch every unverified symbol
+// in it becomes suspect (this is how SoftPHY misses are eventually caught
+// and re-requested).
+func (a *Assembler) VerifySegment(s feedback.Segment, sum uint32, lambdaC int) bool {
+	if a.SegmentChecksum(s, lambdaC) == sum {
+		for i := s.Start; i < s.End(); i++ {
+			a.verified[i] = true
+			a.suspect[i] = false
+		}
+		return true
+	}
+	for i := s.Start; i < s.End(); i++ {
+		if !a.verified[i] {
+			a.suspect[i] = true
+		}
+	}
+	return false
+}
+
+// Complete reports whether every symbol is verified.
+func (a *Assembler) Complete() bool {
+	for _, v := range a.verified {
+		if !v {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifiedCount returns how many symbols are verified so far.
+func (a *Assembler) VerifiedCount() int {
+	n := 0
+	for _, v := range a.verified {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Payload packs the assembled symbols back into payload bytes. Callers
+// normally wait for Complete; packing earlier yields best-effort bytes.
+func (a *Assembler) Payload() []byte {
+	return bitutil.BytesFromNibbles(a.syms)
+}
+
+// BuildRequest assembles the complete feedback request for the current
+// state: optimal chunking of suspect runs plus per-segment checksums, or a
+// bare ACK when everything is verified.
+func (a *Assembler) BuildRequest(seq uint16, lambdaC int) feedback.Request {
+	if a.Complete() {
+		return feedback.Request{Seq: seq, NumSymbols: a.numSymbols, CRCVerified: true}
+	}
+	plan := chunkdp.Optimal(a.Runs(), chunkdp.Params{
+		SBits: a.numSymbols * 4, ChecksumBits: lambdaC, BitsPerSymbol: 4,
+	})
+	req := feedback.Request{Seq: seq, NumSymbols: a.numSymbols, Chunks: plan.Chunks}
+	for _, s := range feedback.Segments(a.numSymbols, plan.Chunks) {
+		req.SegChecksums = append(req.SegChecksums, a.SegmentChecksum(s, lambdaC))
+	}
+	return req
+}
+
+// ApplyResponse patches every retransmitted chunk and verifies every
+// non-retransmitted segment from a decoded response. It returns the number
+// of segments whose verification failed (symbols left for the next round).
+func (a *Assembler) ApplyResponse(resp feedback.Response, lambdaC int) (failedSegments int, err error) {
+	var asChunks []chunkdp.Chunk
+	for _, c := range resp.Chunks {
+		if err := a.Patch(c.Start, c.Syms); err != nil {
+			return 0, err
+		}
+		asChunks = append(asChunks, chunkdp.Chunk{StartSym: c.Start, EndSym: c.End()})
+	}
+	segs := feedback.Segments(a.numSymbols, asChunks)
+	if len(segs) != len(resp.SegChecksums) {
+		return 0, fmt.Errorf("recovery: response carries %d checksums for %d segments",
+			len(resp.SegChecksums), len(segs))
+	}
+	for i, s := range segs {
+		if !a.VerifySegment(s, resp.SegChecksums[i], lambdaC) {
+			failedSegments++
+		}
+	}
+	return failedSegments, nil
+}

@@ -1,0 +1,244 @@
+package recovery
+
+import (
+	"bytes"
+	"testing"
+
+	"ppr/internal/bitutil"
+	"ppr/internal/core/feedback"
+	"ppr/internal/core/softphy"
+	"ppr/internal/phy"
+	"ppr/internal/stats"
+)
+
+// mkDecisions builds clean decisions for the given symbols, then corrupts
+// the value and hint of the listed indexes.
+func mkDecisions(syms []byte, badIdx map[int]byte) []phy.Decision {
+	ds := make([]phy.Decision, len(syms))
+	for i, s := range syms {
+		ds[i] = phy.Decision{Symbol: s, Hint: 0}
+	}
+	for i, wrong := range badIdx {
+		ds[i] = phy.Decision{Symbol: wrong, Hint: 12}
+	}
+	return ds
+}
+
+func labeler() softphy.Labeler { return softphy.Threshold{Eta: softphy.DefaultEta} }
+
+func TestInitLengthMismatch(t *testing.T) {
+	a := New(10)
+	if err := a.Init(0, make([]phy.Decision, 9), labeler()); err == nil {
+		t.Error("accepted short reception")
+	}
+}
+
+func TestCleanPacketCompletesAfterMarkAll(t *testing.T) {
+	payload := []byte{0xde, 0xad, 0xbe, 0xef}
+	syms := bitutil.NibblesFromBytes(payload)
+	a := New(len(syms))
+	if err := a.Init(0, mkDecisions(syms, nil), labeler()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Complete() {
+		t.Error("complete before any verification")
+	}
+	a.MarkAllVerified()
+	if !a.Complete() {
+		t.Error("not complete after MarkAllVerified")
+	}
+	if !bytes.Equal(a.Payload(), payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestLabelsReflectSuspects(t *testing.T) {
+	syms := make([]byte, 20)
+	a := New(20)
+	bad := map[int]byte{5: 1, 6: 2, 15: 3}
+	if err := a.Init(2, mkDecisions(syms, bad)[2:], labeler()); err != nil {
+		t.Fatal(err)
+	}
+	labels := a.Labels()
+	for i, l := range labels {
+		wantBad := i < 2 || bad[i] != 0
+		if (l == softphy.Bad) != wantBad {
+			t.Errorf("symbol %d label %v", i, l)
+		}
+	}
+}
+
+func TestBuildRequestChunksCoverSuspects(t *testing.T) {
+	syms := make([]byte, 100)
+	bad := map[int]byte{}
+	for i := 40; i < 50; i++ {
+		bad[i] = 0xf
+	}
+	a := New(100)
+	if err := a.Init(0, mkDecisions(syms, bad), labeler()); err != nil {
+		t.Fatal(err)
+	}
+	req := a.BuildRequest(3, 32)
+	if req.CRCVerified {
+		t.Fatal("request claims verified")
+	}
+	covered := map[int]bool{}
+	for _, c := range req.Chunks {
+		for i := c.StartSym; i < c.EndSym; i++ {
+			covered[i] = true
+		}
+	}
+	for i := range bad {
+		if !covered[i] {
+			t.Errorf("suspect symbol %d not requested", i)
+		}
+	}
+	if len(req.SegChecksums) != len(feedback.Segments(100, req.Chunks)) {
+		t.Error("checksum count mismatch")
+	}
+}
+
+func TestPatchAndVerifyCompletes(t *testing.T) {
+	truth := make([]byte, 60)
+	rng := stats.NewRNG(1)
+	for i := range truth {
+		truth[i] = byte(rng.Intn(16))
+	}
+	// Receiver got symbols 20..30 wrong (labelled bad).
+	rx := append([]byte(nil), truth...)
+	bad := map[int]byte{}
+	for i := 20; i < 30; i++ {
+		bad[i] = (truth[i] + 1) % 16
+	}
+	a := New(60)
+	if err := a.Init(0, mkDecisions(rx, bad), labeler()); err != nil {
+		t.Fatal(err)
+	}
+	req := a.BuildRequest(1, 32)
+	// Simulate the sender's response: patch chunks with truth, checksum the
+	// segments.
+	resp := feedback.Response{Seq: 1, NumSymbols: 60}
+	for _, c := range req.Chunks {
+		resp.Chunks = append(resp.Chunks, feedback.RespChunk{Start: c.StartSym, Syms: truth[c.StartSym:c.EndSym]})
+	}
+	for _, s := range feedback.Segments(60, req.Chunks) {
+		w := feedback.ChecksumWidth(s.Len, 32)
+		resp.SegChecksums = append(resp.SegChecksums, feedback.SymbolChecksum(truth[s.Start:s.End()], w))
+	}
+	failed, err := a.ApplyResponse(resp, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Errorf("%d segments failed", failed)
+	}
+	if !a.Complete() {
+		t.Error("not complete after full response")
+	}
+	if !bytes.Equal(a.Payload(), bitutil.BytesFromNibbles(truth)) {
+		t.Error("assembled payload != truth")
+	}
+}
+
+func TestMissCaughtBySegmentChecksum(t *testing.T) {
+	truth := make([]byte, 40)
+	for i := range truth {
+		truth[i] = byte(i % 16)
+	}
+	// Symbol 10 is WRONG but carries a low hint — a SoftPHY miss.
+	rx := append([]byte(nil), truth...)
+	rx[10] = (truth[10] + 5) % 16
+	a := New(40)
+	if err := a.Init(0, mkDecisions(rx, nil), labeler()); err != nil {
+		t.Fatal(err)
+	}
+	req := a.BuildRequest(1, 32)
+	if len(req.Chunks) != 0 {
+		t.Fatalf("no symbols labelled bad, but chunks requested: %+v", req.Chunks)
+	}
+	// Sender checksums the single all-packet segment against the truth; it
+	// must NOT match the receiver's checksum, and the failed segment makes
+	// every symbol suspect for the next round.
+	segs := feedback.Segments(40, nil)
+	if len(segs) != 1 {
+		t.Fatal("expected one segment")
+	}
+	w := feedback.ChecksumWidth(segs[0].Len, 32)
+	senderSum := feedback.SymbolChecksum(truth, w)
+	if a.VerifySegment(segs[0], senderSum, 32) {
+		t.Fatal("mismatching segment verified")
+	}
+	labels := a.Labels()
+	badCount := 0
+	for _, l := range labels {
+		if l == softphy.Bad {
+			badCount++
+		}
+	}
+	if badCount != 40 {
+		t.Errorf("%d symbols suspect after failed segment, want all 40", badCount)
+	}
+}
+
+func TestVerifySegmentSuccessVerifies(t *testing.T) {
+	truth := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	a := New(8)
+	if err := a.Init(0, mkDecisions(truth, nil), labeler()); err != nil {
+		t.Fatal(err)
+	}
+	seg := feedback.Segment{Start: 0, Len: 8}
+	w := feedback.ChecksumWidth(8, 32)
+	if !a.VerifySegment(seg, feedback.SymbolChecksum(truth, w), 32) {
+		t.Fatal("matching segment rejected")
+	}
+	if !a.Complete() {
+		t.Error("not complete after verifying the only segment")
+	}
+}
+
+func TestPatchOutOfRange(t *testing.T) {
+	a := New(10)
+	if err := a.Patch(8, []byte{1, 2, 3}); err == nil {
+		t.Error("accepted out-of-range patch")
+	}
+	if err := a.Patch(-1, []byte{1}); err == nil {
+		t.Error("accepted negative patch")
+	}
+}
+
+func TestApplyResponseChecksumCountMismatch(t *testing.T) {
+	a := New(10)
+	resp := feedback.Response{Seq: 0, NumSymbols: 10, SegChecksums: []uint32{1, 2, 3}}
+	if _, err := a.ApplyResponse(resp, 32); err == nil {
+		t.Error("accepted mismatched checksum count")
+	}
+}
+
+func TestVerifiedCountProgression(t *testing.T) {
+	a := New(10)
+	if a.VerifiedCount() != 0 {
+		t.Error("fresh assembler has verified symbols")
+	}
+	if err := a.Patch(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if a.VerifiedCount() != 3 {
+		t.Errorf("VerifiedCount %d, want 3", a.VerifiedCount())
+	}
+}
+
+func TestSymbolRange(t *testing.T) {
+	a := New(4)
+	if err := a.Patch(0, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.SymbolRange(1, 3); got[0] != 2 || got[1] != 3 {
+		t.Errorf("SymbolRange got %v", got)
+	}
+	// Returned slice is a copy.
+	got := a.SymbolRange(0, 4)
+	got[0] = 9
+	if a.SymbolRange(0, 1)[0] == 9 {
+		t.Error("SymbolRange aliases internal state")
+	}
+}

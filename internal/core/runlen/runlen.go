@@ -1,0 +1,113 @@
+// Package runlen builds the run-length representation of a labelled packet
+// (Expr. 2 of the paper): the alternating counts of contiguous "good" and
+// "bad" symbols that the PP-ARQ dynamic program operates on.
+package runlen
+
+import (
+	"fmt"
+
+	"ppr/internal/core/softphy"
+)
+
+// Run is one maximal stretch of identically-labelled symbols.
+type Run struct {
+	// Label is the shared verdict of every symbol in the run.
+	Label softphy.Label
+	// Start is the index of the run's first symbol.
+	Start int
+	// Len is the number of symbols in the run (always ≥ 1).
+	Len int
+}
+
+// End returns one past the run's last symbol.
+func (r Run) End() int { return r.Start + r.Len }
+
+// Runs is the run-length representation of one packet.
+type Runs struct {
+	// All holds every run in symbol order, strictly alternating labels.
+	All []Run
+	// NumSymbols is the packet length the runs cover.
+	NumSymbols int
+}
+
+// FromLabels compresses a label sequence into runs.
+func FromLabels(labels []softphy.Label) Runs {
+	rs := Runs{NumSymbols: len(labels)}
+	for i := 0; i < len(labels); {
+		j := i + 1
+		for j < len(labels) && labels[j] == labels[i] {
+			j++
+		}
+		rs.All = append(rs.All, Run{Label: labels[i], Start: i, Len: j - i})
+		i = j
+	}
+	return rs
+}
+
+// Bad returns just the bad runs, in order — the λᵇ of Expr. 2 with their
+// positions.
+func (rs Runs) Bad() []Run {
+	var out []Run
+	for _, r := range rs.All {
+		if r.Label == softphy.Bad {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Good returns just the good runs, in order.
+func (rs Runs) Good() []Run {
+	var out []Run
+	for _, r := range rs.All {
+		if r.Label == softphy.Good {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// GapAfterBad returns, for bad run index i (0-based over Bad()), the length
+// of the good run separating it from bad run i+1 — the λᵍᵢ between
+// consecutive bad runs that the DP's merge decisions trade against feedback
+// overhead. It panics if i is not an interior bad run index.
+func (rs Runs) GapAfterBad(bad []Run, i int) int {
+	if i < 0 || i+1 >= len(bad) {
+		panic(fmt.Sprintf("runlen: GapAfterBad(%d) with %d bad runs", i, len(bad)))
+	}
+	return bad[i+1].Start - bad[i].End()
+}
+
+// Expand reconstructs the label sequence from runs; the inverse of
+// FromLabels, used in round-trip tests and by the feedback verifier.
+func (rs Runs) Expand() []softphy.Label {
+	out := make([]softphy.Label, rs.NumSymbols)
+	for _, r := range rs.All {
+		for i := r.Start; i < r.End(); i++ {
+			out[i] = r.Label
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants: runs tile [0, NumSymbols)
+// exactly, alternate labels, and have positive lengths.
+func (rs Runs) Validate() error {
+	pos := 0
+	for i, r := range rs.All {
+		if r.Len <= 0 {
+			return fmt.Errorf("runlen: run %d has non-positive length %d", i, r.Len)
+		}
+		if r.Start != pos {
+			return fmt.Errorf("runlen: run %d starts at %d, want %d", i, r.Start, pos)
+		}
+		if i > 0 && r.Label == rs.All[i-1].Label {
+			return fmt.Errorf("runlen: runs %d and %d share label %v", i-1, i, r.Label)
+		}
+		pos = r.End()
+	}
+	if pos != rs.NumSymbols {
+		return fmt.Errorf("runlen: runs cover %d symbols, want %d", pos, rs.NumSymbols)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package runlen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ppr/internal/core/softphy"
+	"ppr/internal/stats"
+)
+
+func labelsFromBits(bits []bool) []softphy.Label {
+	out := make([]softphy.Label, len(bits))
+	for i, b := range bits {
+		if b {
+			out[i] = softphy.Bad
+		}
+	}
+	return out
+}
+
+func TestFromLabelsBasic(t *testing.T) {
+	// G G B B B G
+	labels := labelsFromBits([]bool{false, false, true, true, true, false})
+	rs := FromLabels(labels)
+	if len(rs.All) != 3 {
+		t.Fatalf("got %d runs: %+v", len(rs.All), rs.All)
+	}
+	want := []Run{
+		{softphy.Good, 0, 2},
+		{softphy.Bad, 2, 3},
+		{softphy.Good, 5, 1},
+	}
+	for i, w := range want {
+		if rs.All[i] != w {
+			t.Errorf("run %d: got %+v want %+v", i, rs.All[i], w)
+		}
+	}
+}
+
+func TestFromLabelsEmpty(t *testing.T) {
+	rs := FromLabels(nil)
+	if len(rs.All) != 0 || rs.NumSymbols != 0 {
+		t.Errorf("empty labels gave %+v", rs)
+	}
+	if err := rs.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromLabelsAllSame(t *testing.T) {
+	labels := make([]softphy.Label, 100)
+	rs := FromLabels(labels)
+	if len(rs.All) != 1 || rs.All[0].Len != 100 || rs.All[0].Label != softphy.Good {
+		t.Errorf("all-good gave %+v", rs.All)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(bits []bool) bool {
+		labels := labelsFromBits(bits)
+		rs := FromLabels(labels)
+		if rs.Validate() != nil {
+			return false
+		}
+		back := rs.Expand()
+		if len(back) != len(labels) {
+			return false
+		}
+		for i := range labels {
+			if back[i] != labels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadGoodPartition(t *testing.T) {
+	rng := stats.NewRNG(1)
+	bits := make([]bool, 500)
+	for i := range bits {
+		bits[i] = rng.Bool(0.3)
+	}
+	rs := FromLabels(labelsFromBits(bits))
+	if len(rs.Bad())+len(rs.Good()) != len(rs.All) {
+		t.Error("Bad and Good do not partition All")
+	}
+	var badSyms int
+	for _, r := range rs.Bad() {
+		if r.Label != softphy.Bad {
+			t.Error("Bad() returned a good run")
+		}
+		badSyms += r.Len
+	}
+	wantBad := 0
+	for _, b := range bits {
+		if b {
+			wantBad++
+		}
+	}
+	if badSyms != wantBad {
+		t.Errorf("bad symbols %d, want %d", badSyms, wantBad)
+	}
+}
+
+func TestGapAfterBad(t *testing.T) {
+	// B G G B
+	labels := labelsFromBits([]bool{true, false, false, true})
+	rs := FromLabels(labels)
+	bad := rs.Bad()
+	if g := rs.GapAfterBad(bad, 0); g != 2 {
+		t.Errorf("gap %d, want 2", g)
+	}
+}
+
+func TestGapAfterBadZeroGapImpossible(t *testing.T) {
+	// Adjacent bad runs cannot exist (they'd be one run); gaps are ≥ 1.
+	rng := stats.NewRNG(2)
+	bits := make([]bool, 300)
+	for i := range bits {
+		bits[i] = rng.Bool(0.5)
+	}
+	rs := FromLabels(labelsFromBits(bits))
+	bad := rs.Bad()
+	for i := 0; i+1 < len(bad); i++ {
+		if rs.GapAfterBad(bad, i) < 1 {
+			t.Fatal("zero-length gap between distinct bad runs")
+		}
+	}
+}
+
+func TestGapAfterBadPanics(t *testing.T) {
+	rs := FromLabels(labelsFromBits([]bool{true}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rs.GapAfterBad(rs.Bad(), 0)
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	rs := FromLabels(labelsFromBits([]bool{true, false, true}))
+	rs.All[1].Start = 99
+	if rs.Validate() == nil {
+		t.Error("validate accepted corrupt start")
+	}
+	rs = FromLabels(labelsFromBits([]bool{true, false}))
+	rs.All[1].Label = softphy.Bad
+	if rs.Validate() == nil {
+		t.Error("validate accepted non-alternating labels")
+	}
+	rs = FromLabels(labelsFromBits([]bool{true}))
+	rs.NumSymbols = 5
+	if rs.Validate() == nil {
+		t.Error("validate accepted wrong coverage")
+	}
+}
+
+func TestRunEnd(t *testing.T) {
+	r := Run{softphy.Bad, 10, 5}
+	if r.End() != 15 {
+		t.Errorf("End %d", r.End())
+	}
+}

@@ -1,0 +1,175 @@
+package softphy
+
+import (
+	"testing"
+
+	"ppr/internal/phy"
+	"ppr/internal/stats"
+)
+
+func TestThresholdRule(t *testing.T) {
+	th := Threshold{Eta: 6}
+	cases := []struct {
+		hint float64
+		want Label
+	}{
+		{0, Good}, {6, Good}, {6.0001, Bad}, {32, Bad},
+	}
+	for _, c := range cases {
+		if got := th.Label(c.hint); got != c.want {
+			t.Errorf("Label(%v) = %v, want %v", c.hint, got, c.want)
+		}
+	}
+}
+
+func TestLabelAllMissingPrefixIsBad(t *testing.T) {
+	th := Threshold{Eta: 6}
+	ds := []phy.Decision{{Symbol: 1, Hint: 0}, {Symbol: 2, Hint: 9}}
+	labels := th.LabelAll(3, ds)
+	if len(labels) != 5 {
+		t.Fatalf("got %d labels", len(labels))
+	}
+	for i := 0; i < 3; i++ {
+		if labels[i] != Bad {
+			t.Errorf("missing symbol %d labelled %v", i, labels[i])
+		}
+	}
+	if labels[3] != Good || labels[4] != Bad {
+		t.Errorf("decoded labels wrong: %v", labels[3:])
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if Good.String() != "good" || Bad.String() != "bad" {
+		t.Error("label strings")
+	}
+}
+
+func TestAdaptiveStartsAtInitialEta(t *testing.T) {
+	a := NewAdaptive(10, 1, 6)
+	if a.Eta() != 6 {
+		t.Errorf("initial eta %v", a.Eta())
+	}
+	// A handful of observations must not move it yet.
+	for i := 0; i < 50; i++ {
+		a.Observe(0, true)
+	}
+	if a.Eta() != 6 {
+		t.Errorf("eta moved after too few observations: %v", a.Eta())
+	}
+}
+
+func TestAdaptiveLearnsSeparatedDistributions(t *testing.T) {
+	// Correct symbols have hints 0-2; incorrect have hints 10-20. Any
+	// learned threshold must fall in [2, 10).
+	a := NewAdaptive(10, 1, 0)
+	rng := stats.NewRNG(1)
+	for i := 0; i < 5000; i++ {
+		a.Observe(float64(rng.Intn(3)), true)
+		a.Observe(float64(10+rng.Intn(11)), false)
+	}
+	eta := a.Eta()
+	if eta < 2 || eta >= 10 {
+		t.Errorf("learned eta %v outside separating band [2,10)", eta)
+	}
+	if a.MissRate(eta) != 0 {
+		t.Errorf("miss rate %v at separating threshold", a.MissRate(eta))
+	}
+	if a.FalseAlarmRate(eta) != 0 {
+		t.Errorf("false alarm rate %v at separating threshold", a.FalseAlarmRate(eta))
+	}
+}
+
+func TestAdaptiveCostAsymmetry(t *testing.T) {
+	// Overlapping distributions: correct ~ hints 0..8, incorrect ~ 4..12.
+	// With misses costed heavily, the threshold should sit lower than with
+	// false alarms costed heavily.
+	observe := func(a *Adaptive) {
+		rng := stats.NewRNG(2)
+		for i := 0; i < 20000; i++ {
+			a.Observe(float64(rng.Intn(9)), true)
+			a.Observe(float64(4+rng.Intn(9)), false)
+		}
+	}
+	missHeavy := NewAdaptive(50, 1, 6)
+	faHeavy := NewAdaptive(1, 50, 6)
+	observe(missHeavy)
+	observe(faHeavy)
+	if !(missHeavy.Eta() < faHeavy.Eta()) {
+		t.Errorf("miss-heavy eta %v not below fa-heavy eta %v", missHeavy.Eta(), faHeavy.Eta())
+	}
+}
+
+func TestAdaptiveScaleInvariance(t *testing.T) {
+	// The same data on a 2× hint scale (the matched-filter decoder's scale)
+	// must yield a ~2× threshold: only ordering matters, per the
+	// monotonicity contract.
+	a1 := NewAdaptive(10, 1, 0)
+	a2 := NewAdaptive(10, 1, 0)
+	rng := stats.NewRNG(3)
+	for i := 0; i < 5000; i++ {
+		h := float64(rng.Intn(4))
+		a1.Observe(h, true)
+		a2.Observe(2*h, true)
+		h = float64(8 + rng.Intn(8))
+		a1.Observe(h, false)
+		a2.Observe(2*h, false)
+	}
+	e1, e2 := a1.Eta(), a2.Eta()
+	if e2 < 2*e1-1 || e2 > 2*e1+2 {
+		t.Errorf("scaled eta %v not ~2x base eta %v", e2, e1)
+	}
+}
+
+func TestMissAndFalseAlarmRatesMonotone(t *testing.T) {
+	a := NewAdaptive(10, 1, 6)
+	rng := stats.NewRNG(4)
+	for i := 0; i < 3000; i++ {
+		a.Observe(float64(rng.Intn(5)), true)
+		a.Observe(float64(rng.Intn(20)), false)
+	}
+	prevMiss, prevFA := -1.0, 2.0
+	for eta := 0.0; eta <= 20; eta++ {
+		miss, fa := a.MissRate(eta), a.FalseAlarmRate(eta)
+		if miss < prevMiss {
+			t.Fatalf("miss rate decreased as eta grew at %v", eta)
+		}
+		if fa > prevFA {
+			t.Fatalf("false alarm rate increased as eta grew at %v", eta)
+		}
+		prevMiss, prevFA = miss, fa
+	}
+}
+
+func TestRatesEmptyObserver(t *testing.T) {
+	a := NewAdaptive(1, 1, 6)
+	if a.MissRate(6) != 0 || a.FalseAlarmRate(6) != 0 {
+		t.Error("rates should be 0 with no observations")
+	}
+}
+
+func TestNewAdaptivePanicsOnBadCosts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAdaptive(0, 1, 6)
+}
+
+func TestAdaptiveLabelUsesCurrentEta(t *testing.T) {
+	a := NewAdaptive(10, 1, 5)
+	if a.Label(5) != Good || a.Label(5.5) != Bad {
+		t.Error("adaptive label at initial threshold")
+	}
+}
+
+func TestAdaptiveHintClamping(t *testing.T) {
+	a := NewAdaptive(10, 1, 6)
+	// Out-of-range hints must not panic and must count.
+	a.Observe(-3, true)
+	a.Observe(1e9, false)
+	if a.MissRate(1e9) != 1 {
+		t.Error("clamped incorrect observation lost")
+	}
+}

@@ -1,0 +1,95 @@
+// Package crcutil wraps the checksums the PPR system uses: the 32-bit CRC
+// that the link layer appends to whole packets and to fragmented-CRC chunks
+// (Sec. 7.2), the 16-bit CCITT CRC used by the 802.15.4 frame check sequence
+// for headers and trailers, and truncated checksums of configurable width
+// for PP-ARQ run verification (the λ_C-bit checksum of Eq. 4).
+package crcutil
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// Size32 is the byte size of the whole-packet / fragment CRC.
+const Size32 = 4
+
+// Size16 is the byte size of the header/trailer check (802.15.4 FCS width).
+const Size16 = 2
+
+var ieeeTable = crc32.MakeTable(crc32.IEEE)
+
+// Sum32 returns the IEEE CRC-32 of data.
+func Sum32(data []byte) uint32 {
+	return crc32.Checksum(data, ieeeTable)
+}
+
+// Append32 appends the big-endian CRC-32 of data to dst and returns dst.
+func Append32(dst, data []byte) []byte {
+	c := Sum32(data)
+	return append(dst, byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+}
+
+// Verify32 checks a buffer laid out as payload ‖ crc32(payload). It returns
+// the payload and whether the check passed.
+func Verify32(buf []byte) (payload []byte, ok bool) {
+	if len(buf) < Size32 {
+		return nil, false
+	}
+	payload = buf[:len(buf)-Size32]
+	want := uint32(buf[len(buf)-4])<<24 | uint32(buf[len(buf)-3])<<16 |
+		uint32(buf[len(buf)-2])<<8 | uint32(buf[len(buf)-1])
+	return payload, Sum32(payload) == want
+}
+
+// crc16Table is the CCITT (polynomial 0x1021, as used by the 802.15.4 FCS)
+// lookup table, built at init.
+var crc16Table [256]uint16
+
+func init() {
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+		crc16Table[i] = crc
+	}
+}
+
+// Sum16 returns the CRC-16/CCITT of data (init 0x0000, as in 802.15.4).
+func Sum16(data []byte) uint16 {
+	var crc uint16
+	for _, b := range data {
+		crc = crc<<8 ^ crc16Table[byte(crc>>8)^b]
+	}
+	return crc
+}
+
+// Append16 appends the big-endian CRC-16 of data to dst and returns dst.
+func Append16(dst, data []byte) []byte {
+	c := Sum16(data)
+	return append(dst, byte(c>>8), byte(c))
+}
+
+// Verify16 checks a buffer laid out as payload ‖ crc16(payload).
+func Verify16(buf []byte) (payload []byte, ok bool) {
+	if len(buf) < Size16 {
+		return nil, false
+	}
+	payload = buf[:len(buf)-Size16]
+	want := uint16(buf[len(buf)-2])<<8 | uint16(buf[len(buf)-1])
+	return payload, Sum16(payload) == want
+}
+
+// Truncated returns the low `bits` bits of the CRC-32 of data. PP-ARQ sends
+// a λ_C-bit checksum per good run (Eq. 4); λ_C need not be a full 32 bits
+// when the run is short, and the cost model charges min(λ_g, λ_C) bits.
+func Truncated(data []byte, bits int) uint32 {
+	if bits <= 0 || bits > 32 {
+		panic(fmt.Sprintf("crcutil: truncated checksum width %d out of (0,32]", bits))
+	}
+	return Sum32(data) & (^uint32(0) >> uint(32-bits))
+}

@@ -1,0 +1,139 @@
+package crcutil
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSum32KnownVector(t *testing.T) {
+	// The classic CRC-32 check value for "123456789".
+	if got := Sum32([]byte("123456789")); got != 0xCBF43926 {
+		t.Errorf("Sum32 = %#x, want 0xCBF43926", got)
+	}
+}
+
+func TestSum16KnownVector(t *testing.T) {
+	// CRC-16/XMODEM (CCITT poly, init 0) check value for "123456789".
+	if got := Sum16([]byte("123456789")); got != 0x31C3 {
+		t.Errorf("Sum16 = %#x, want 0x31C3", got)
+	}
+}
+
+func TestAppendVerify32RoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		buf := Append32(append([]byte(nil), data...), data)
+		payload, ok := Verify32(buf)
+		return ok && bytes.Equal(payload, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendVerify16RoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		buf := Append16(append([]byte(nil), data...), data)
+		payload, ok := Verify16(buf)
+		return ok && bytes.Equal(payload, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerify32DetectsSingleBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 64)
+	rng.Read(data)
+	buf := Append32(append([]byte(nil), data...), data)
+	for bit := 0; bit < len(buf)*8; bit++ {
+		buf[bit/8] ^= 1 << uint(bit%8)
+		if _, ok := Verify32(buf); ok {
+			t.Fatalf("flip of bit %d went undetected", bit)
+		}
+		buf[bit/8] ^= 1 << uint(bit%8)
+	}
+}
+
+func TestVerify16DetectsSingleBitFlips(t *testing.T) {
+	data := []byte("partial packet recovery")
+	buf := Append16(append([]byte(nil), data...), data)
+	for bit := 0; bit < len(buf)*8; bit++ {
+		buf[bit/8] ^= 1 << uint(bit%8)
+		if _, ok := Verify16(buf); ok {
+			t.Fatalf("flip of bit %d went undetected", bit)
+		}
+		buf[bit/8] ^= 1 << uint(bit%8)
+	}
+}
+
+func TestVerifyShortBuffer(t *testing.T) {
+	if _, ok := Verify32([]byte{1, 2, 3}); ok {
+		t.Error("Verify32 accepted 3-byte buffer")
+	}
+	if _, ok := Verify16([]byte{1}); ok {
+		t.Error("Verify16 accepted 1-byte buffer")
+	}
+}
+
+func TestVerifyEmptyPayload(t *testing.T) {
+	buf := Append32(nil, nil)
+	if payload, ok := Verify32(buf); !ok || len(payload) != 0 {
+		t.Error("empty payload round trip failed")
+	}
+}
+
+func TestTruncatedWidth(t *testing.T) {
+	data := []byte("run")
+	for bits := 1; bits <= 32; bits++ {
+		v := Truncated(data, bits)
+		if bits < 32 && v>>uint(bits) != 0 {
+			t.Errorf("Truncated(%d bits) = %#x exceeds width", bits, v)
+		}
+	}
+	if Truncated(data, 32) != Sum32(data) {
+		t.Error("32-bit truncation should equal full CRC")
+	}
+}
+
+func TestTruncatedPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []int{0, -1, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d: expected panic", w)
+				}
+			}()
+			Truncated([]byte{1}, w)
+		}()
+	}
+}
+
+func TestAppendPreservesPrefix(t *testing.T) {
+	dst := []byte{0xaa, 0xbb}
+	out := Append32(dst, []byte("x"))
+	if !bytes.Equal(out[:2], []byte{0xaa, 0xbb}) {
+		t.Error("Append32 clobbered prefix")
+	}
+	if len(out) != 2+1+4-1 && len(out) != 6 {
+		t.Errorf("unexpected length %d", len(out))
+	}
+}
+
+func TestDifferentDataDifferentCRC(t *testing.T) {
+	// Not a guarantee in general, but for these sizes collisions would
+	// indicate a broken table.
+	seen := map[uint32][]byte{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		d := make([]byte, 16)
+		rng.Read(d)
+		c := Sum32(d)
+		if prev, dup := seen[c]; dup && !bytes.Equal(prev, d) {
+			t.Fatalf("collision between % x and % x", prev, d)
+		}
+		seen[c] = d
+	}
+}

@@ -1,0 +1,247 @@
+// Package fec implements a convolutional code with a soft-output Viterbi
+// decoder — the second PHY design the paper's SoftPHY section contemplates:
+// "a particularly interesting instance of a confidence metric when
+// convolutional decoding is used ... is to use the output of the Viterbi
+// decoder" (Sec. 3.1, citing SOVA [11]).
+//
+// The code is the industry-standard rate-1/2, constraint-length-7
+// convolutional code (generators 171/133 octal, the K=7 code used by
+// 802.11a, DVB and deep-space links). The decoder runs the classic
+// add-compare-select recursion and, in the spirit of the soft-output
+// Viterbi algorithm, tracks for every decoded bit the minimum metric margin
+// of the ACS decisions that could have flipped it; that margin is the
+// per-bit reliability.
+//
+// fec exists to demonstrate the paper's architectural claim (Sec. 3.3):
+// higher layers consume hints through the same monotonic interface no
+// matter which PHY produced them. CodedDecoder adapts the Viterbi
+// reliabilities to the phy.Decision hint convention, and the PP-ARQ stack
+// runs over it unchanged (see the integration tests).
+package fec
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"ppr/internal/phy"
+)
+
+const (
+	// K is the constraint length.
+	K = 7
+	// numStates is 2^(K-1).
+	numStates = 1 << (K - 1)
+	// Rate is the inverse code rate: output bits per input bit.
+	Rate = 2
+	// g0 and g1 are the generator polynomials (171, 133 octal).
+	g0 = 0o171
+	g1 = 0o133
+)
+
+// parity returns the parity of v.
+func parity(v uint32) byte {
+	return byte(bits.OnesCount32(v) & 1)
+}
+
+// outputs[state][inBit] packs the two coded bits produced when inBit enters
+// the shift register at state.
+var outputs [numStates][2]byte
+
+func init() {
+	for s := 0; s < numStates; s++ {
+		for b := 0; b < 2; b++ {
+			reg := uint32(b)<<(K-1) | uint32(s)
+			o0 := parity(reg & g0)
+			o1 := parity(reg & g1)
+			outputs[s][b] = o0<<1 | o1
+		}
+	}
+}
+
+// Encode convolutionally encodes data bits (one bit per byte, values 0/1),
+// appending K-1 zero tail bits to terminate the trellis. The output has
+// 2·(len(bits)+K−1) coded bits.
+func Encode(dataBits []byte) []byte {
+	out := make([]byte, 0, Rate*(len(dataBits)+K-1))
+	state := 0
+	emit := func(b byte) {
+		o := outputs[state][b&1]
+		out = append(out, o>>1, o&1)
+		state = (state >> 1) | int(b&1)<<(K-2)
+	}
+	for _, b := range dataBits {
+		emit(b)
+	}
+	for i := 0; i < K-1; i++ {
+		emit(0)
+	}
+	return out
+}
+
+// EncodedLen returns the coded length in bits for n data bits.
+func EncodedLen(n int) int { return Rate * (n + K - 1) }
+
+// Result is a soft-output decode: the data bits and a per-bit reliability.
+type Result struct {
+	// Bits are the decoded data bits (0/1), tail removed.
+	Bits []byte
+	// Reliability[i] is the metric margin protecting bit i: the smallest
+	// path-metric difference among the trellis decisions that would have
+	// flipped it. Larger means more confident. For hard-decision branch
+	// metrics the unit is "channel bit flips".
+	Reliability []float64
+}
+
+// Decode runs hard-decision Viterbi over coded bits (0/1 per byte) with
+// SOVA-style reliability tracking. The coded stream must be a whole number
+// of Rate-bit branches; decoding assumes the encoder's zero tail.
+func Decode(coded []byte) (Result, error) {
+	if len(coded)%Rate != 0 {
+		return Result{}, fmt.Errorf("fec: coded length %d not a multiple of %d", len(coded), Rate)
+	}
+	nBranches := len(coded) / Rate
+	if nBranches < K-1 {
+		return Result{}, fmt.Errorf("fec: %d branches shorter than the %d-bit tail", nBranches, K-1)
+	}
+	const inf = math.MaxInt32 / 2
+
+	metric := make([]int32, numStates)
+	next := make([]int32, numStates)
+	for s := 1; s < numStates; s++ {
+		metric[s] = inf // trellis starts in state 0
+	}
+	// survivors[t][s] records the predecessor decision bit for state s at
+	// step t; deltas[t][s] the ACS margin at that decision.
+	survivors := make([][]byte, nBranches)
+	deltas := make([][]int32, nBranches)
+
+	for t := 0; t < nBranches; t++ {
+		rx := coded[t*Rate]<<1 | coded[t*Rate+1]
+		survivors[t] = make([]byte, numStates)
+		deltas[t] = make([]int32, numStates)
+		for s := 0; s < numStates; s++ {
+			next[s] = inf
+		}
+		for s := 0; s < numStates; s++ {
+			if metric[s] >= inf {
+				continue
+			}
+			for b := 0; b < 2; b++ {
+				ns := (s >> 1) | b<<(K-2)
+				bm := int32(bits.OnesCount8((outputs[s][byte(b)] ^ rx) & 0b11))
+				m := metric[s] + bm
+				if m < next[ns] {
+					// Record how decisively the new survivor beats the
+					// incumbent; if the incumbent later improves this is
+					// refreshed below.
+					deltas[t][ns] = next[ns] - m
+					next[ns] = m
+					// The decision bit that distinguishes the two
+					// predecessors of ns is the *oldest* register bit of
+					// the predecessor (s & 1); store the surviving
+					// predecessor's low bit.
+					survivors[t][ns] = byte(s & 1)
+				} else if d := m - next[ns]; d < deltas[t][ns] {
+					deltas[t][ns] = d
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	// Traceback from state 0 (zero tail terminates there).
+	state := 0
+	decided := make([]byte, nBranches)
+	margins := make([]int32, nBranches)
+	for t := nBranches - 1; t >= 0; t-- {
+		// The input bit at step t is the top bit of the state at t+1.
+		decided[t] = byte(state >> (K - 2) & 1)
+		margins[t] = deltas[t][state]
+		prevLow := survivors[t][state]
+		state = (state<<1 | int(prevLow)) & (numStates - 1)
+	}
+
+	nData := nBranches - (K - 1)
+	res := Result{
+		Bits:        decided[:nData],
+		Reliability: make([]float64, nData),
+	}
+	// SOVA-lite reliability: a decision at step t is protected by the ACS
+	// margins along the surviving path in a window after t (a competing
+	// path that would flip bit t must diverge at t and re-merge within
+	// roughly 5K branches). Take the minimum margin over that window.
+	const window = 5 * K
+	for i := 0; i < nData; i++ {
+		min := int32(math.MaxInt32)
+		end := i + window
+		if end > nBranches {
+			end = nBranches
+		}
+		for t := i; t < end; t++ {
+			if margins[t] < min {
+				min = margins[t]
+			}
+		}
+		res.Reliability[i] = float64(min)
+	}
+	return res, nil
+}
+
+// BitsFromBytes explodes bytes into bits, LSB first per byte (matching the
+// symbol ordering of the rest of the stack).
+func BitsFromBytes(data []byte) []byte {
+	out := make([]byte, 0, len(data)*8)
+	for _, b := range data {
+		for i := 0; i < 8; i++ {
+			out = append(out, b>>uint(i)&1)
+		}
+	}
+	return out
+}
+
+// BytesFromBits packs bits (LSB first) into bytes; the bit count must be a
+// multiple of 8.
+func BytesFromBits(bitsIn []byte) []byte {
+	if len(bitsIn)%8 != 0 {
+		panic(fmt.Sprintf("fec: %d bits not a whole byte count", len(bitsIn)))
+	}
+	out := make([]byte, len(bitsIn)/8)
+	for i, b := range bitsIn {
+		if b&1 != 0 {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}
+
+// CodedDecision despreads one 4-bit symbol worth of decoded bits into the
+// SoftPHY decision convention: symbol value from 4 consecutive bits, hint
+// from the *least* reliable of them, inverted so that lower = more
+// confident (the monotonicity contract). maxReliability anchors the scale.
+const maxReliability = 16.0
+
+// DecisionsFromResult converts a decode result into per-4-bit-symbol
+// phy.Decisions, the same stream shape the DSSS PHY produces, so every
+// higher layer (labelers, run-length, chunk DP, PP-ARQ) runs unchanged on
+// the coded PHY.
+func DecisionsFromResult(res Result) []phy.Decision {
+	n := len(res.Bits) / 4
+	out := make([]phy.Decision, n)
+	for i := 0; i < n; i++ {
+		var sym byte
+		minRel := math.MaxFloat64
+		for j := 0; j < 4; j++ {
+			sym |= res.Bits[i*4+j] & 1 << uint(j)
+			if r := res.Reliability[i*4+j]; r < minRel {
+				minRel = r
+			}
+		}
+		hint := maxReliability - minRel
+		if hint < 0 {
+			hint = 0
+		}
+		out[i] = phy.Decision{Symbol: sym, Hint: hint}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package frame
+
+import (
+	"testing"
+
+	"ppr/internal/phy"
+	"ppr/internal/stats"
+)
+
+// Robustness: the receiver must survive arbitrary chip streams — pure
+// noise, truncated frames, frames spliced mid-stream, and adversarial
+// near-sync patterns — without panicking, and every reception it does emit
+// must be structurally valid.
+
+func validateReception(t *testing.T, rec Reception, streamChips int) {
+	t.Helper()
+	if rec.HeaderOK {
+		if int(rec.Hdr.Length) > MaxPayload {
+			t.Fatalf("reception claims length %d > MaxPayload", rec.Hdr.Length)
+		}
+		wantSyms := int(rec.Hdr.Length) * SymbolsPerByte
+		if rec.MissingPrefix+len(rec.Decisions) > wantSyms {
+			t.Fatalf("reception has %d+%d symbols for a %d-symbol payload",
+				rec.MissingPrefix, len(rec.Decisions), wantSyms)
+		}
+		if len(rec.PayloadBytes) != int(rec.Hdr.Length) {
+			t.Fatalf("payload bytes %d != header length %d", len(rec.PayloadBytes), rec.Hdr.Length)
+		}
+	}
+	if rec.MissingPrefix < 0 {
+		t.Fatal("negative missing prefix")
+	}
+	for _, d := range rec.Decisions {
+		if d.Symbol > 15 {
+			t.Fatalf("symbol %d out of range", d.Symbol)
+		}
+		if d.Hint < 0 {
+			t.Fatalf("negative hint %v", d.Hint)
+		}
+	}
+}
+
+func TestReceiveSurvivesRandomStreams(t *testing.T) {
+	rng := stats.NewRNG(100)
+	rx := NewReceiver(phy.HardDecoder{})
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(60000)
+		chips := make([]byte, n)
+		for i := range chips {
+			chips[i] = byte(rng.Intn(2))
+		}
+		for _, rec := range rx.Receive(chips) {
+			validateReception(t, rec, n)
+		}
+	}
+}
+
+func TestReceiveSurvivesTruncatedFrames(t *testing.T) {
+	rng := stats.NewRNG(101)
+	rx := NewReceiver(phy.HardDecoder{})
+	full := New(1, 2, 3, make([]byte, 300)).AirChips()
+	for trial := 0; trial < 40; trial++ {
+		cut := rng.Intn(len(full))
+		var chips []byte
+		if rng.Bool(0.5) {
+			chips = full[:cut] // head only
+		} else {
+			chips = full[cut:] // tail only
+		}
+		for _, rec := range rx.Receive(chips) {
+			validateReception(t, rec, len(chips))
+		}
+	}
+}
+
+func TestReceiveSurvivesSplicedFrames(t *testing.T) {
+	// Two frames cut and spliced at arbitrary points, with noise gaps —
+	// the shape a receiver sees after a capture switch mid-air.
+	rng := stats.NewRNG(102)
+	rx := NewReceiver(phy.HardDecoder{})
+	a := New(1, 2, 3, make([]byte, 200)).AirChips()
+	bb := New(4, 5, 6, make([]byte, 150)).AirChips()
+	for trial := 0; trial < 30; trial++ {
+		var chips []byte
+		chips = append(chips, a[:rng.Intn(len(a))]...)
+		gap := make([]byte, rng.Intn(2000))
+		for i := range gap {
+			gap[i] = byte(rng.Intn(2))
+		}
+		chips = append(chips, gap...)
+		chips = append(chips, bb[rng.Intn(len(bb)):]...)
+		for _, rec := range rx.Receive(chips) {
+			validateReception(t, rec, len(chips))
+		}
+	}
+}
+
+func TestReceiveAdversarialLengthInTrailer(t *testing.T) {
+	// A forged trailer claiming a huge length must not crash the rollback
+	// path (ParseHeader rejects > MaxPayload, but lengths within bounds
+	// that point before the stream start exercise the horizon clipping).
+	payload := make([]byte, 10)
+	f := New(1, 2, 3, payload)
+	chips := f.AirChips()
+	// Keep only the tail: trailer + postamble, with the claimed payload
+	// far before the buffer.
+	tail := chips[len(chips)-(HeaderBytes+SyncBytes)*ChipsPerByte:]
+	rx := NewReceiver(phy.HardDecoder{})
+	for _, rec := range rx.Receive(tail) {
+		validateReception(t, rec, len(tail))
+		if rec.HeaderOK && rec.MissingPrefix == 0 && len(rec.Decisions) > 0 {
+			t.Fatal("rollback past stream start produced decisions")
+		}
+	}
+}
+
+func TestReceiveEmptyAndTinyStreams(t *testing.T) {
+	rx := NewReceiver(phy.HardDecoder{})
+	for _, n := range []int{0, 1, 31, 32, SyncChips - 1, SyncChips} {
+		if recs := rx.Receive(make([]byte, n)); len(recs) != 0 {
+			t.Errorf("stream of %d chips produced %d receptions", n, len(recs))
+		}
+	}
+}
+
+func TestReceiveManyConcatenatedFrames(t *testing.T) {
+	// A train of back-to-back frames with varying payloads: every one must
+	// be recovered exactly once.
+	rng := stats.NewRNG(103)
+	var chips []byte
+	const nFrames = 12
+	for i := 0; i < nFrames; i++ {
+		payload := make([]byte, 20+rng.Intn(200))
+		for k := range payload {
+			payload[k] = byte(rng.Intn(256))
+		}
+		chips = append(chips, New(1, uint16(i+2), uint16(i), payload).AirChips()...)
+	}
+	rx := NewReceiver(phy.HardDecoder{})
+	got := map[uint16]int{}
+	for _, rec := range rx.Receive(chips) {
+		if rec.HeaderOK && rec.CRCOK {
+			got[rec.Hdr.Seq]++
+		}
+	}
+	if len(got) != nFrames {
+		t.Fatalf("recovered %d of %d frames", len(got), nFrames)
+	}
+	for seq, n := range got {
+		if n != 1 {
+			t.Errorf("frame %d recovered %d times", seq, n)
+		}
+	}
+}

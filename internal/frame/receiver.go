@@ -1,0 +1,269 @@
+package frame
+
+import (
+	"sort"
+
+	"ppr/internal/bitutil"
+	"ppr/internal/phy"
+)
+
+// Reception is the receiver's view of one acquired packet: where it lies in
+// the chip stream, what the header said, the per-symbol payload decisions
+// with their SoftPHY hints, and the whole-packet CRC verdict. This is the
+// "partial packets + SoftPHY hints" interface of Fig. 1.
+type Reception struct {
+	// Kind records whether acquisition happened on the preamble or — after
+	// the preamble was lost to a collision — on the postamble.
+	Kind SyncKind
+	// SyncDist is the chip distance of the winning sync lock.
+	SyncDist int
+	// HeaderOK reports whether a header (preamble path) or trailer
+	// (postamble path) parsed with a valid CRC-16. Without it the packet
+	// bounds are unknown and no payload is delivered.
+	HeaderOK bool
+	// Hdr is the parsed header/trailer (valid only when HeaderOK).
+	Hdr Header
+	// PayloadStartChip is the chip offset where the payload begins; it
+	// identifies the packet for deduplication and ground-truth scoring and
+	// is meaningful even when the payload is partially out of the buffer.
+	PayloadStartChip int
+	// MissingPrefix counts payload symbols that could not be decoded
+	// because they precede the receiver's circular buffer (postamble
+	// rollback limit) or the start of the stream. They are reported so
+	// higher layers can treat them as lost ("bad") symbols.
+	MissingPrefix int
+	// Decisions holds one entry per decoded payload symbol, in order,
+	// starting after any missing prefix.
+	Decisions []phy.Decision
+	// PayloadBytes is the hard-decision payload reassembled from Decisions
+	// (missing prefix filled with zeros), convenient for CRC checks and
+	// ground-truth comparison.
+	PayloadBytes []byte
+	// CRCOK reports whether the whole-packet CRC-32 verified over the
+	// decoded header fields and payload.
+	CRCOK bool
+}
+
+// Receiver turns raw chip streams into Receptions. The zero value is not
+// usable; construct with NewReceiver.
+type Receiver struct {
+	// Dec despreads codewords and attaches SoftPHY hints.
+	Dec phy.Decoder
+	// SyncMaxDist is the chip-error tolerance for sync detection.
+	SyncMaxDist int
+	// UsePostamble enables the postamble decoding path of Sec. 4; when
+	// false the receiver behaves like the status quo and only acquires
+	// packets whose preamble survived.
+	UsePostamble bool
+	// BufferChips bounds how far back from a postamble the receiver can
+	// roll: the size of its circular sample buffer. Defaults to
+	// MaxAirChips, "one maximally-sized packet".
+	BufferChips int
+}
+
+// NewReceiver returns a Receiver with the paper's configuration: the given
+// decoder, default sync tolerance, postamble decoding enabled, and a
+// circular buffer of one maximum packet.
+func NewReceiver(dec phy.Decoder) *Receiver {
+	return &Receiver{
+		Dec:          dec,
+		SyncMaxDist:  DefaultSyncMaxDist,
+		UsePostamble: true,
+		BufferChips:  MaxAirChips,
+	}
+}
+
+// decodeRegion despreads nSymbols starting at chipOff, clipping to the
+// buffer. It returns the decisions, the number of symbols skipped before the
+// region start (clip at front), and whether the region was fully inside.
+func (r *Receiver) decodeRegion(buf *ChipBuffer, chipOff, nSymbols int) (ds []phy.Decision, skipped int, complete bool) {
+	complete = true
+	for i := 0; i < nSymbols; i++ {
+		off := chipOff + i*32
+		if off < 0 {
+			skipped++
+			complete = false
+			continue
+		}
+		if off+32 > buf.Len() {
+			complete = false
+			break
+		}
+		ds = append(ds, r.Dec.Decode(phy.Observation{Hard: buf.Word32(off)}))
+	}
+	return ds, skipped, complete
+}
+
+// decodeBytes despreads exactly nBytes at chipOff and packs them; ok is
+// false if the region is not fully inside the buffer.
+func (r *Receiver) decodeBytes(buf *ChipBuffer, chipOff, nBytes int) (b []byte, ok bool) {
+	ds, skipped, complete := r.decodeRegion(buf, chipOff, nBytes*SymbolsPerByte)
+	if skipped > 0 || !complete {
+		return nil, false
+	}
+	return bitutil.BytesFromNibbles(phy.SymbolsOf(ds)), true
+}
+
+// Receive scans one chip stream and returns every distinct packet reception,
+// ordered by payload position. Packets acquired via both their preamble and
+// postamble are deduplicated, preferring the reception that recovered more.
+func (r *Receiver) Receive(chips []byte) []Reception {
+	buf := NewChipBuffer(chips)
+	return r.ReceiveSynced(buf, FindSyncs(buf, r.SyncMaxDist))
+}
+
+// ReceiveSynced decodes receptions from pre-computed sync detections. The
+// sync scan depends only on the chips, so callers evaluating several
+// receiver variants over one stream (the simulator) scan once and decode
+// per variant.
+func (r *Receiver) ReceiveSynced(buf *ChipBuffer, syncs []Sync) []Reception {
+	var recs []Reception
+	for _, s := range syncs {
+		var rec Reception
+		var ok bool
+		switch s.Kind {
+		case SyncPreamble:
+			rec, ok = r.receiveFromPreamble(buf, s)
+		case SyncPostamble:
+			if !r.UsePostamble {
+				continue
+			}
+			rec, ok = r.receiveFromPostamble(buf, s)
+		}
+		if ok {
+			recs = append(recs, rec)
+		}
+	}
+	return dedupe(recs)
+}
+
+// receiveFromPreamble is the status-quo acquisition path: header follows the
+// sync pattern, payload follows the header.
+func (r *Receiver) receiveFromPreamble(buf *ChipBuffer, s Sync) (Reception, bool) {
+	hdrStart := s.ChipOffset + SyncChips
+	rec := Reception{Kind: SyncPreamble, SyncDist: s.Dist}
+	hdrBytes, ok := r.decodeBytes(buf, hdrStart, HeaderBytes)
+	if !ok {
+		return rec, false
+	}
+	hdr, ok := ParseHeader(hdrBytes)
+	rec.PayloadStartChip = hdrStart + HeaderBytes*ChipsPerByte
+	if !ok {
+		// Acquired a preamble but the header is corrupt: packet bounds are
+		// unknown. Report the failed acquisition; the postamble path may
+		// still rescue this packet.
+		return rec, true
+	}
+	rec.HeaderOK = true
+	rec.Hdr = hdr
+	r.fillPayload(buf, &rec, hdrBytes[:HeaderFieldBytes])
+	return rec, true
+}
+
+// receiveFromPostamble implements the rollback path of Sec. 4: parse the
+// trailer that ends at the postamble, learn the packet bounds from it, then
+// roll back through the sample buffer to the start of the payload.
+func (r *Receiver) receiveFromPostamble(buf *ChipBuffer, s Sync) (Reception, bool) {
+	trailerStart := s.ChipOffset - HeaderBytes*ChipsPerByte
+	rec := Reception{Kind: SyncPostamble, SyncDist: s.Dist}
+	trailerBytes, ok := r.decodeBytes(buf, trailerStart, HeaderBytes)
+	if !ok {
+		return rec, false
+	}
+	hdr, ok := ParseHeader(trailerBytes)
+	if !ok {
+		// Step 3 of the paper's procedure failed: the trailer's checksum
+		// did not verify, so the receiver cannot locate the packet.
+		return rec, true
+	}
+	rec.HeaderOK = true
+	rec.Hdr = hdr
+	crcStart := trailerStart - CRC32Bytes*ChipsPerByte
+	rec.PayloadStartChip = crcStart - int(hdr.Length)*ChipsPerByte
+	// The circular buffer holds one maximum packet ending at the postamble's
+	// end; symbols before that horizon are gone.
+	bufferChips := r.BufferChips
+	if bufferChips <= 0 {
+		bufferChips = MaxAirChips
+	}
+	horizon := s.ChipOffset + SyncChips - bufferChips
+	if horizon < 0 {
+		horizon = 0
+	}
+	r.fillPayloadFrom(buf, &rec, trailerBytes[:HeaderFieldBytes], horizon)
+	return rec, true
+}
+
+// fillPayload decodes payload, verifies the packet CRC-32, with no rollback
+// horizon (preamble path).
+func (r *Receiver) fillPayload(buf *ChipBuffer, rec *Reception, hdrFields []byte) {
+	r.fillPayloadFrom(buf, rec, hdrFields, 0)
+}
+
+func (r *Receiver) fillPayloadFrom(buf *ChipBuffer, rec *Reception, hdrFields []byte, horizon int) {
+	nSym := int(rec.Hdr.Length) * SymbolsPerByte
+	start := rec.PayloadStartChip
+	// Clip the front at the rollback horizon.
+	clippedSyms := 0
+	if start < horizon {
+		clippedSyms = (horizon - start + 31) / 32
+		if clippedSyms > nSym {
+			clippedSyms = nSym
+		}
+	}
+	ds, skipped, _ := r.decodeRegion(buf, start+clippedSyms*32, nSym-clippedSyms)
+	rec.MissingPrefix = clippedSyms + skipped
+	rec.Decisions = ds
+	// Reassemble payload bytes: zero-fill the missing prefix, then decoded
+	// symbols; if the tail is truncated, zero-fill that too.
+	syms := make([]byte, nSym)
+	for i, d := range ds {
+		syms[rec.MissingPrefix+i] = d.Symbol
+	}
+	rec.PayloadBytes = bitutil.BytesFromNibbles(syms)
+	// Verify the packet CRC over decoded header fields + payload.
+	crcStart := start + nSym*32
+	if crcBytes, ok := r.decodeBytes(buf, crcStart, CRC32Bytes); ok && rec.MissingPrefix == 0 && len(ds) == nSym {
+		rec.CRCOK = PacketCRC32OK(hdrFields, rec.PayloadBytes, crcBytes)
+	}
+}
+
+// dedupe collapses receptions that refer to the same packet (identified by
+// payload start offset), preferring header-verified receptions, then those
+// with more decoded symbols, then preamble over postamble (preamble
+// reception needs no rollback and is what the status quo would deliver).
+func dedupe(recs []Reception) []Reception {
+	best := map[int]Reception{}
+	var failedAcqs []Reception
+	for _, rec := range recs {
+		if !rec.HeaderOK {
+			// Failed acquisitions have no reliable identity; keep them all
+			// (experiments count them separately).
+			failedAcqs = append(failedAcqs, rec)
+			continue
+		}
+		cur, exists := best[rec.PayloadStartChip]
+		if !exists || betterReception(rec, cur) {
+			best[rec.PayloadStartChip] = rec
+		}
+	}
+	out := make([]Reception, 0, len(best)+len(failedAcqs))
+	for _, rec := range best {
+		out = append(out, rec)
+	}
+	out = append(out, failedAcqs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PayloadStartChip != out[j].PayloadStartChip {
+			return out[i].PayloadStartChip < out[j].PayloadStartChip
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+func betterReception(a, b Reception) bool {
+	if len(a.Decisions) != len(b.Decisions) {
+		return len(a.Decisions) > len(b.Decisions)
+	}
+	return a.Kind == SyncPreamble && b.Kind == SyncPostamble
+}

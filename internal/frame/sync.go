@@ -1,0 +1,140 @@
+package frame
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ppr/internal/chipseq"
+	"ppr/internal/phy"
+)
+
+// ChipBuffer is a packed view of a received chip stream that supports fast
+// extraction of arbitrary 32-chip windows, the primitive both synchronizers
+// are built on. Packing lets the sliding sync correlation run as a handful
+// of XOR+popcount operations per candidate offset instead of hundreds of
+// byte compares.
+type ChipBuffer struct {
+	words []uint64
+	n     int
+}
+
+// NewChipBuffer packs a chip stream (one byte per chip; any nonzero byte is
+// chip value 1).
+func NewChipBuffer(chips []byte) *ChipBuffer {
+	b := &ChipBuffer{n: len(chips), words: make([]uint64, (len(chips)+63)/64)}
+	for i, c := range chips {
+		if c != 0 {
+			b.words[i/64] |= 1 << uint(63-i%64)
+		}
+	}
+	return b
+}
+
+// Len returns the stream length in chips.
+func (b *ChipBuffer) Len() int { return b.n }
+
+// Word32 extracts the 32 chips starting at chip offset off, chip off at bit
+// 31. It panics when the window runs past the buffer.
+func (b *ChipBuffer) Word32(off int) uint32 {
+	if off < 0 || off+32 > b.n {
+		panic(fmt.Sprintf("frame: Word32(%d) out of range for %d chips", off, b.n))
+	}
+	w := off / 64
+	sh := uint(off % 64)
+	v := b.words[w] << sh
+	if sh > 0 && w+1 < len(b.words) {
+		v |= b.words[w+1] >> (64 - sh)
+	}
+	return uint32(v >> 32)
+}
+
+// SyncKind distinguishes which end of a packet a synchronizer locked onto.
+type SyncKind uint8
+
+const (
+	// SyncPreamble marks a preamble+SFD detection (status-quo acquisition).
+	SyncPreamble SyncKind = iota
+	// SyncPostamble marks a postamble detection, which triggers the
+	// roll-back decode path of Sec. 4.
+	SyncPostamble
+)
+
+// String implements fmt.Stringer.
+func (k SyncKind) String() string {
+	if k == SyncPreamble {
+		return "preamble"
+	}
+	return "postamble"
+}
+
+// Sync is one detected sync pattern.
+type Sync struct {
+	// Kind says whether the pattern was a preamble or postamble.
+	Kind SyncKind
+	// ChipOffset is the chip index where the sync pattern starts.
+	ChipOffset int
+	// Dist is the total chip Hamming distance between the received window
+	// and the ideal pattern; lower is a stronger lock.
+	Dist int
+}
+
+// DefaultSyncMaxDist is the default chip-error tolerance for declaring a
+// sync lock. A clean pattern scores ~0 of 320 chips and uncorrelated noise
+// ~160, but the binding constraint is self-similarity: a run of zero data
+// bytes reproduces the sync pad exactly and differs from the full pattern
+// only on the two delimiter codewords (d(c0,c7)+d(c0,c10) = 30 chips for
+// the preamble). A threshold of 20 rejects such runs while tolerating chip
+// error rates up to ~5% on a genuine pattern.
+const DefaultSyncMaxDist = 20
+
+// patternWords returns the sync pattern's codewords as packed 32-chip words.
+func patternWords(pattern []byte) []uint32 {
+	return phy.SpreadSymbols(symbolsOfBytes(pattern))
+}
+
+var (
+	preambleWords  = patternWords(preamblePattern())
+	postambleWords = patternWords(postamblePattern())
+)
+
+// FindSyncs scans the buffer for preamble and postamble patterns, returning
+// detections ordered by chip offset. Candidate detections closer than one
+// codeword apart are collapsed to the strongest, which handles the cluster
+// of near-hits around the true alignment.
+func FindSyncs(buf *ChipBuffer, maxDist int) []Sync {
+	if maxDist <= 0 {
+		maxDist = DefaultSyncMaxDist
+	}
+	limit := buf.Len() - SyncChips
+	var out []Sync
+	for off := 0; off <= limit; off++ {
+		dPre, dPost := 0, 0
+		for k := 0; k < len(preambleWords); k++ {
+			w := buf.Word32(off + k*chipseq.ChipsPerSymbol)
+			dPre += bits.OnesCount32(w ^ preambleWords[k])
+			dPost += bits.OnesCount32(w ^ postambleWords[k])
+			// The pads are identical, so the running distances only diverge
+			// on the delimiter codewords; bail out early once both exceed
+			// the threshold to keep the scan cheap on noise.
+			if dPre > maxDist && dPost > maxDist {
+				break
+			}
+		}
+		kind, d := SyncPreamble, dPre
+		if dPost < dPre {
+			kind, d = SyncPostamble, dPost
+		}
+		if d > maxDist {
+			continue
+		}
+		// Collapse candidates within one codeword of the previous detection.
+		if n := len(out); n > 0 && off-out[n-1].ChipOffset < chipseq.ChipsPerSymbol {
+			if d < out[n-1].Dist {
+				out[n-1] = Sync{Kind: kind, ChipOffset: off, Dist: d}
+			}
+			continue
+		}
+		out = append(out, Sync{Kind: kind, ChipOffset: off, Dist: d})
+	}
+	return out
+}

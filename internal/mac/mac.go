@@ -1,0 +1,103 @@
+// Package mac implements the link/MAC-layer transmit path of the testbed's
+// senders: Poisson packet arrivals at a configured offered load, and the
+// CSMA carrier-sense discipline the paper toggles between experiments
+// ("the CC2420 senders perform a carrier sense before transmitting each
+// packet", Sec. 7.2.2, versus the carrier-sense-disabled runs of Figs.
+// 9–12).
+package mac
+
+import (
+	"fmt"
+
+	"ppr/internal/stats"
+)
+
+// ChipRateHz is the 802.15.4 2.4 GHz chip rate: 2 Mchip/s.
+const ChipRateHz = 2_000_000
+
+// BitRateBps is the peak payload bit rate: 250 kbit/s (Sec. 6).
+const BitRateBps = 250_000
+
+// ChipsPerSecond converts a duration in seconds to chips.
+func ChipsPerSecond(sec float64) int64 { return int64(sec * ChipRateHz) }
+
+// TrafficSource generates Poisson packet arrivals for one sender.
+type TrafficSource struct {
+	// OfferedBps is the offered load in application bits/second (the
+	// paper's per-node loads: 3.5, 6.9, 13.8 Kbit/s).
+	OfferedBps float64
+	// PacketBytes is the application payload per packet.
+	PacketBytes int
+	rng         *stats.RNG
+	nextChip    int64
+}
+
+// NewTrafficSource seeds a source; arrivals begin spread uniformly inside
+// the first inter-arrival period so senders do not start in phase.
+func NewTrafficSource(offeredBps float64, packetBytes int, rng *stats.RNG) *TrafficSource {
+	if offeredBps <= 0 || packetBytes <= 0 {
+		panic(fmt.Sprintf("mac: bad traffic parameters %v bps, %d bytes", offeredBps, packetBytes))
+	}
+	ts := &TrafficSource{OfferedBps: offeredBps, PacketBytes: packetBytes, rng: rng}
+	mean := ts.meanInterarrivalChips()
+	ts.nextChip = int64(rng.Float64() * mean)
+	return ts
+}
+
+func (ts *TrafficSource) meanInterarrivalChips() float64 {
+	pktBits := float64(ts.PacketBytes * 8)
+	perSec := ts.OfferedBps / pktBits // packets per second
+	return ChipRateHz / perSec
+}
+
+// Next returns the next arrival time in chips and schedules the following
+// one.
+func (ts *TrafficSource) Next() int64 {
+	t := ts.nextChip
+	ts.nextChip += int64(ts.rng.ExpFloat64() * ts.meanInterarrivalChips())
+	return t
+}
+
+// CSMA is the carrier-sense discipline: wait for idle, then back off a
+// random interval; re-sense after the backoff. With Enabled=false Decide
+// transmits immediately at the arrival time (the disabled runs).
+type CSMA struct {
+	// Enabled toggles carrier sensing.
+	Enabled bool
+	// ThresholdMW is the received-energy level above which the channel is
+	// busy at the sensing node.
+	ThresholdMW float64
+	// MaxBackoffChips bounds the uniform random backoff after finding the
+	// channel busy (802.15.4's unit backoff period is 320 µs = 640 chips;
+	// the default allows up to 8 periods).
+	MaxBackoffChips int64
+	// MaxDefers bounds how long a packet chases an idle channel before
+	// being sent anyway (a saturated channel must not deadlock the queue).
+	MaxDefers int
+}
+
+// DefaultCSMA returns the enabled discipline with 802.15.4-flavoured
+// constants and the given busy threshold.
+func DefaultCSMA(thresholdMW float64) CSMA {
+	return CSMA{Enabled: true, ThresholdMW: thresholdMW, MaxBackoffChips: 5120, MaxDefers: 16}
+}
+
+// BusyFunc reports the total received interference power (mW) at the
+// sensing node at chip time t.
+type BusyFunc func(t int64) float64
+
+// Decide returns the transmit time for a packet that became ready at
+// arrival, deferring while the channel is sensed busy.
+func (c CSMA) Decide(arrival int64, busy BusyFunc, rng *stats.RNG) int64 {
+	if !c.Enabled {
+		return arrival
+	}
+	t := arrival
+	for i := 0; i < c.MaxDefers; i++ {
+		if busy(t) < c.ThresholdMW {
+			return t
+		}
+		t += 1 + int64(rng.Float64()*float64(c.MaxBackoffChips))
+	}
+	return t
+}

@@ -1,0 +1,118 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"ppr/internal/stats"
+)
+
+func TestTrafficSourceMeanRate(t *testing.T) {
+	// 3.5 Kbit/s at 1500-byte packets ≈ 0.2917 packets/s.
+	rng := stats.NewRNG(1)
+	ts := NewTrafficSource(3500, 1500, rng)
+	const n = 20000
+	var last int64
+	for i := 0; i < n; i++ {
+		last = ts.Next()
+	}
+	seconds := float64(last) / ChipRateHz
+	rate := float64(n) / seconds
+	want := 3500.0 / (1500 * 8)
+	if math.Abs(rate-want)/want > 0.05 {
+		t.Errorf("packet rate %v, want ~%v", rate, want)
+	}
+}
+
+func TestTrafficSourceArrivalsIncrease(t *testing.T) {
+	ts := NewTrafficSource(13800, 1500, stats.NewRNG(2))
+	prev := int64(-1)
+	for i := 0; i < 1000; i++ {
+		next := ts.Next()
+		if next < prev {
+			t.Fatal("arrival times went backwards")
+		}
+		prev = next
+	}
+}
+
+func TestTrafficSourceExponentialGaps(t *testing.T) {
+	// Coefficient of variation of exponential inter-arrivals is 1.
+	ts := NewTrafficSource(6900, 1500, stats.NewRNG(3))
+	var gaps []float64
+	prev := ts.Next()
+	for i := 0; i < 20000; i++ {
+		next := ts.Next()
+		gaps = append(gaps, float64(next-prev))
+		prev = next
+	}
+	mean := stats.Mean(gaps)
+	var sq float64
+	for _, g := range gaps {
+		sq += (g - mean) * (g - mean)
+	}
+	cv := math.Sqrt(sq/float64(len(gaps))) / mean
+	if math.Abs(cv-1) > 0.05 {
+		t.Errorf("inter-arrival CV %v, want ~1 (Poisson)", cv)
+	}
+}
+
+func TestTrafficSourcePanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTrafficSource(0, 1500, stats.NewRNG(0))
+}
+
+func TestCSMADisabledTransmitsImmediately(t *testing.T) {
+	c := CSMA{Enabled: false}
+	busy := func(int64) float64 { return 1e9 }
+	if got := c.Decide(12345, busy, stats.NewRNG(1)); got != 12345 {
+		t.Errorf("disabled CSMA deferred to %d", got)
+	}
+}
+
+func TestCSMAIdleChannelImmediate(t *testing.T) {
+	c := DefaultCSMA(1e-9)
+	busy := func(int64) float64 { return 0 }
+	if got := c.Decide(999, busy, stats.NewRNG(1)); got != 999 {
+		t.Errorf("idle channel deferred to %d", got)
+	}
+}
+
+func TestCSMADefersWhileBusy(t *testing.T) {
+	c := DefaultCSMA(1e-9)
+	// Channel busy until chip 20000 — well within the deferral budget of
+	// MaxDefers backoffs, so the decision must land after the busy period.
+	busy := func(t int64) float64 {
+		if t < 20000 {
+			return 1
+		}
+		return 0
+	}
+	got := c.Decide(0, busy, stats.NewRNG(2))
+	if got < 20000 {
+		t.Errorf("transmitted at %d while channel busy", got)
+	}
+}
+
+func TestCSMABoundedDeferral(t *testing.T) {
+	c := DefaultCSMA(1e-9)
+	alwaysBusy := func(int64) float64 { return 1 }
+	got := c.Decide(0, alwaysBusy, stats.NewRNG(3))
+	maxDefer := int64(c.MaxDefers) * (c.MaxBackoffChips + 1)
+	if got > maxDefer {
+		t.Errorf("deferred to %d, beyond bound %d", got, maxDefer)
+	}
+}
+
+func TestChipsPerSecond(t *testing.T) {
+	if ChipsPerSecond(1) != 2_000_000 {
+		t.Error("chip rate")
+	}
+	if ChipsPerSecond(0.5) != 1_000_000 {
+		t.Error("fractional seconds")
+	}
+}

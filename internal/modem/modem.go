@@ -1,0 +1,213 @@
+// Package modem implements the sample-level MSK (minimum-shift keying)
+// transceiver the paper's GNU Radio receivers use: the CC2420's O-QPSK with
+// half-sine pulse shaping is exactly MSK (Sec. 6), a continuous-phase
+// modulation where each chip advances the carrier phase by ±π/2.
+//
+// The receiver side supplies the pieces postamble decoding needs (Sec. 4):
+//
+//   - differential demodulation, which needs no carrier recovery — the
+//     paper notes "in our MSK implementation, there is no need to perform
+//     carrier recovery";
+//   - non-data-aided symbol timing recovery that can synchronize at any
+//     point in a transmission, so stored samples can be symbol-aligned
+//     retroactively ("allowing us to symbol-synchronize the stored samples
+//     without having already heard the postamble");
+//   - a circular sample buffer sized to one maximum packet, the structure a
+//     receiver rolls back through when it detects a postamble.
+package modem
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ppr/internal/stats"
+)
+
+// DefaultSPS is the default number of complex baseband samples per chip.
+const DefaultSPS = 4
+
+// Modulator produces phase-continuous MSK baseband samples from chips.
+type Modulator struct {
+	// SPS is samples per chip.
+	SPS int
+	// Amplitude scales the unit-circle baseband (received signal strength).
+	Amplitude float64
+	// PhaseOffset is the starting carrier phase in radians, modelling the
+	// unknown phase of an unsynchronised transmitter.
+	PhaseOffset float64
+}
+
+// NewModulator returns a unit-amplitude modulator at DefaultSPS.
+func NewModulator() Modulator {
+	return Modulator{SPS: DefaultSPS, Amplitude: 1}
+}
+
+// Modulate converts chips (0/1 per byte) to baseband samples. A chip value
+// of 1 advances phase by +π/2 over the chip interval; 0 retards it by π/2.
+// Phase is continuous across chips — the defining MSK property.
+func (m Modulator) Modulate(chips []byte) []complex128 {
+	if m.SPS <= 0 {
+		panic(fmt.Sprintf("modem: SPS %d", m.SPS))
+	}
+	out := make([]complex128, 0, len(chips)*m.SPS)
+	phase := m.PhaseOffset
+	step := math.Pi / 2 / float64(m.SPS)
+	for _, c := range chips {
+		dir := -1.0
+		if c != 0 {
+			dir = 1.0
+		}
+		for s := 0; s < m.SPS; s++ {
+			phase += dir * step
+			out = append(out, cmplx.Rect(m.Amplitude, phase))
+		}
+	}
+	return out
+}
+
+// AddAWGN adds complex white Gaussian noise of the given standard deviation
+// per real dimension to a copy of the samples.
+func AddAWGN(rng *stats.RNG, samples []complex128, sigma float64) []complex128 {
+	out := make([]complex128, len(samples))
+	for i, s := range samples {
+		out[i] = s + complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	return out
+}
+
+// Mix sums multiple baseband signals, each starting at its own sample
+// offset, into a window of n samples — the composite waveform during a
+// collision.
+func Mix(n int, signals []struct {
+	Start   int
+	Samples []complex128
+}) []complex128 {
+	out := make([]complex128, n)
+	for _, sig := range signals {
+		for i, s := range sig.Samples {
+			idx := sig.Start + i
+			if idx >= 0 && idx < n {
+				out[idx] += s
+			}
+		}
+	}
+	return out
+}
+
+// Demodulator recovers chips from MSK baseband samples.
+type Demodulator struct {
+	// SPS is samples per chip and must match the modulator's.
+	SPS int
+}
+
+// NewDemodulator returns a demodulator at DefaultSPS.
+func NewDemodulator() Demodulator { return Demodulator{SPS: DefaultSPS} }
+
+// diff computes the one-chip differential product s[i]·conj(s[i-SPS]); its
+// imaginary part's sign is the chip decision (+π/2 rotation → positive).
+// Differential detection cancels any constant carrier phase offset, which
+// is why no carrier recovery is needed.
+func (d Demodulator) diff(samples []complex128, i int) complex128 {
+	return samples[i] * cmplx.Conj(samples[i-d.SPS])
+}
+
+// RecoverTiming estimates the chip-sampling offset in [0, SPS) by choosing
+// the phase that maximises the mean |Im| of the differential signal over
+// the window — a non-data-aided estimator usable at any point in the
+// stream.
+func (d Demodulator) RecoverTiming(samples []complex128) int {
+	if len(samples) < 3*d.SPS {
+		return 0
+	}
+	bestOff, bestMetric := 0, -1.0
+	for off := 0; off < d.SPS; off++ {
+		var metric float64
+		n := 0
+		for i := 2*d.SPS - 1 + off; i < len(samples); i += d.SPS {
+			metric += math.Abs(imag(d.diff(samples, i)))
+			n++
+		}
+		if n > 0 {
+			metric /= float64(n)
+		}
+		if metric > bestMetric {
+			bestMetric, bestOff = metric, off
+		}
+	}
+	return bestOff
+}
+
+// Demodulate slices chips at the given sampling offset: one decision per
+// SPS samples. The decision point for chip k is the last sample of its
+// interval, so the one-chip differential spans exactly chip k's phase
+// rotation; the first chip of the stream is consumed as differential
+// history. It returns hard chips and the soft per-chip metric (Im of the
+// differential product, positive for chip 1).
+func (d Demodulator) Demodulate(samples []complex128, offset int) (chips []byte, soft []float64) {
+	for i := 2*d.SPS - 1 + offset; i < len(samples); i += d.SPS {
+		v := imag(d.diff(samples, i))
+		soft = append(soft, v)
+		if v > 0 {
+			chips = append(chips, 1)
+		} else {
+			chips = append(chips, 0)
+		}
+	}
+	return chips, soft
+}
+
+// Ring is the receiver's circular sample buffer (Sec. 4): it retains the
+// most recent Cap samples so that a postamble detection can roll back
+// through up to one maximum-sized packet of history.
+type Ring struct {
+	buf   []complex128
+	head  int // next write position
+	count int // total samples ever pushed
+}
+
+// NewRing allocates a ring holding capacity samples.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("modem: ring capacity %d", capacity))
+	}
+	return &Ring{buf: make([]complex128, capacity)}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Pushed returns the total number of samples ever written.
+func (r *Ring) Pushed() int { return r.count }
+
+// Push appends samples, overwriting the oldest when full.
+func (r *Ring) Push(samples ...complex128) {
+	for _, s := range samples {
+		r.buf[r.head] = s
+		r.head = (r.head + 1) % len(r.buf)
+		r.count++
+	}
+}
+
+// Snapshot returns the last n samples in arrival order. It panics if n
+// exceeds what the ring still holds — the rollback horizon; postamble
+// decoding must check HoldsLast first.
+func (r *Ring) Snapshot(n int) []complex128 {
+	if !r.HoldsLast(n) {
+		panic(fmt.Sprintf("modem: snapshot of %d samples exceeds held history", n))
+	}
+	out := make([]complex128, n)
+	start := (r.head - n + len(r.buf)*2) % len(r.buf)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// HoldsLast reports whether the ring still holds the most recent n samples.
+func (r *Ring) HoldsLast(n int) bool {
+	if n < 0 || n > len(r.buf) {
+		return false
+	}
+	return n <= r.count
+}

@@ -1,0 +1,340 @@
+package modem
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"ppr/internal/frame"
+	"ppr/internal/phy"
+	"ppr/internal/stats"
+)
+
+func randChips(rng *stats.RNG, n int) []byte {
+	c := make([]byte, n)
+	for i := range c {
+		c[i] = byte(rng.Intn(2))
+	}
+	return c
+}
+
+func TestModulatePhaseContinuity(t *testing.T) {
+	m := NewModulator()
+	chips := []byte{1, 0, 1, 1, 0}
+	s := m.Modulate(chips)
+	if len(s) != len(chips)*m.SPS {
+		t.Fatalf("sample count %d", len(s))
+	}
+	// Adjacent samples differ in phase by exactly ±π/2/SPS.
+	step := math.Pi / 2 / float64(m.SPS)
+	for i := 1; i < len(s); i++ {
+		dp := cmplx.Phase(s[i] * cmplx.Conj(s[i-1]))
+		if math.Abs(math.Abs(dp)-step) > 1e-9 {
+			t.Fatalf("phase step %v at %d, want ±%v", dp, i, step)
+		}
+	}
+	// Constant envelope.
+	for i, v := range s {
+		if math.Abs(cmplx.Abs(v)-1) > 1e-9 {
+			t.Fatalf("envelope %v at %d", cmplx.Abs(v), i)
+		}
+	}
+}
+
+func TestModDemodRoundTripNoiseless(t *testing.T) {
+	rng := stats.NewRNG(1)
+	m, d := NewModulator(), NewDemodulator()
+	chips := randChips(rng, 500)
+	s := m.Modulate(chips)
+	got, soft := d.Demodulate(s, 0)
+	// The differential demod consumes one chip of history: first decision
+	// corresponds to chips[1].
+	if len(got) != len(chips)-1 {
+		t.Fatalf("got %d chips from %d", len(got), len(chips))
+	}
+	for i, c := range got {
+		if c != chips[i+1] {
+			t.Fatalf("chip %d: got %d want %d", i, c, chips[i+1])
+		}
+		if (soft[i] > 0) != (chips[i+1] == 1) {
+			t.Fatalf("soft metric sign wrong at %d", i)
+		}
+	}
+}
+
+func TestDemodInvariantToCarrierPhase(t *testing.T) {
+	// Differential detection must not care about the transmitter's
+	// absolute phase — the property that removes carrier recovery.
+	rng := stats.NewRNG(2)
+	chips := randChips(rng, 200)
+	d := NewDemodulator()
+	for _, ph := range []float64{0, 0.7, math.Pi / 3, math.Pi, 5.1} {
+		m := NewModulator()
+		m.PhaseOffset = ph
+		got, _ := d.Demodulate(m.Modulate(chips), 0)
+		for i, c := range got {
+			if c != chips[i+1] {
+				t.Fatalf("phase %v: chip %d wrong", ph, i)
+			}
+		}
+	}
+}
+
+func TestRoundTripUnderNoise(t *testing.T) {
+	rng := stats.NewRNG(3)
+	m, d := NewModulator(), NewDemodulator()
+	chips := randChips(rng, 2000)
+	s := AddAWGN(rng, m.Modulate(chips), 0.15) // ~16 dB SNR
+	got, _ := d.Demodulate(s, 0)
+	errs := 0
+	for i, c := range got {
+		if c != chips[i+1] {
+			errs++
+		}
+	}
+	if frac := float64(errs) / float64(len(got)); frac > 0.01 {
+		t.Errorf("chip error rate %v at high SNR", frac)
+	}
+}
+
+func TestNoiseDegradesGracefully(t *testing.T) {
+	rng := stats.NewRNG(4)
+	m, d := NewModulator(), NewDemodulator()
+	chips := randChips(rng, 3000)
+	clean := m.Modulate(chips)
+	prevErrs := -1
+	for _, sigma := range []float64{0.1, 0.5, 1.2} {
+		s := AddAWGN(rng, clean, sigma)
+		got, _ := d.Demodulate(s, 0)
+		errs := 0
+		for i, c := range got {
+			if c != chips[i+1] {
+				errs++
+			}
+		}
+		if errs < prevErrs {
+			t.Errorf("errors decreased (%d -> %d) as noise grew to %v", prevErrs, errs, sigma)
+		}
+		prevErrs = errs
+	}
+}
+
+func TestTimingRecoveryFindsOffset(t *testing.T) {
+	rng := stats.NewRNG(5)
+	m, d := NewModulator(), NewDemodulator()
+	chips := randChips(rng, 400)
+	s := m.Modulate(chips)
+	for trueOff := 0; trueOff < m.SPS; trueOff++ {
+		// Drop trueOff leading samples: the receiver starts mid-chip.
+		shifted := s[trueOff:]
+		got := d.RecoverTiming(AddAWGN(rng, shifted, 0.1))
+		// Correct demod offset re-aligns decision points to chip-interval
+		// ends: (SPS - trueOff) mod SPS.
+		want := (m.SPS - trueOff) % m.SPS
+		if got != want {
+			t.Errorf("true offset %d: recovered %d, want %d", trueOff, got, want)
+		}
+	}
+}
+
+func TestTimingRecoveryThenDemod(t *testing.T) {
+	// End to end: unknown offset, recover timing, demodulate, compare
+	// against truth with appropriate chip shift.
+	rng := stats.NewRNG(6)
+	m, d := NewModulator(), NewDemodulator()
+	chips := randChips(rng, 600)
+	s := m.Modulate(chips)[3:] // arbitrary misalignment
+	s = AddAWGN(rng, s, 0.1)
+	off := d.RecoverTiming(s)
+	got, _ := d.Demodulate(s, off)
+	// Alignment consumes a chip or two at the head; find the best matching
+	// shift and require near-zero errors after it.
+	bestErrs := len(got)
+	for shift := 0; shift <= 3; shift++ {
+		errs := 0
+		n := 0
+		for i := 0; i < len(got) && shift+i < len(chips); i++ {
+			if got[i] != chips[shift+i] {
+				errs++
+			}
+			n++
+		}
+		if errs < bestErrs {
+			bestErrs = errs
+		}
+	}
+	if frac := float64(bestErrs) / float64(len(got)); frac > 0.02 {
+		t.Errorf("post-timing-recovery error rate %v", frac)
+	}
+}
+
+func TestMixOverlapsSignals(t *testing.T) {
+	m := NewModulator()
+	a := m.Modulate([]byte{1, 1, 1, 1})
+	b := m.Modulate([]byte{0, 0, 0, 0})
+	mixed := Mix(3*len(a), []struct {
+		Start   int
+		Samples []complex128
+	}{
+		{0, a},
+		{len(a), b},
+	})
+	// Regions: [0,len(a)) = a alone; [len(a),2len(a)) = b alone; rest zero.
+	for i := 0; i < len(a); i++ {
+		if mixed[i] != a[i] {
+			t.Fatalf("sample %d not from a", i)
+		}
+		if mixed[len(a)+i] != b[i] {
+			t.Fatalf("sample %d not from b", i)
+		}
+		if mixed[2*len(a)+i] != 0 {
+			t.Fatalf("tail sample %d nonzero", i)
+		}
+	}
+}
+
+func TestStrongSignalCapturesMix(t *testing.T) {
+	// 10× amplitude difference: demod follows the strong signal through the
+	// overlap.
+	rng := stats.NewRNG(7)
+	strong, weak := NewModulator(), NewModulator()
+	strong.Amplitude = 1.0
+	weak.Amplitude = 0.1
+	chipsS := randChips(rng, 300)
+	chipsW := randChips(rng, 300)
+	sS, sW := strong.Modulate(chipsS), weak.Modulate(chipsW)
+	mixed := Mix(len(sS), []struct {
+		Start   int
+		Samples []complex128
+	}{{0, sS}, {0, sW}})
+	got, _ := NewDemodulator().Demodulate(mixed, 0)
+	errs := 0
+	for i, c := range got {
+		if c != chipsS[i+1] {
+			errs++
+		}
+	}
+	if frac := float64(errs) / float64(len(got)); frac > 0.05 {
+		t.Errorf("capture failed: %v chip errors against strong signal", frac)
+	}
+}
+
+func TestRingSnapshotOrder(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 20; i++ {
+		r.Push(complex(float64(i), 0))
+	}
+	snap := r.Snapshot(8)
+	for i, v := range snap {
+		if real(v) != float64(12+i) {
+			t.Fatalf("snapshot[%d] = %v, want %d", i, v, 12+i)
+		}
+	}
+}
+
+func TestRingHoldsLast(t *testing.T) {
+	r := NewRing(10)
+	if r.HoldsLast(1) {
+		t.Error("empty ring claims history")
+	}
+	r.Push(make([]complex128, 5)...)
+	if !r.HoldsLast(5) || r.HoldsLast(6) {
+		t.Error("partial ring history wrong")
+	}
+	r.Push(make([]complex128, 100)...)
+	if !r.HoldsLast(10) || r.HoldsLast(11) {
+		t.Error("full ring history wrong")
+	}
+}
+
+func TestRingSnapshotPanicsBeyondHistory(t *testing.T) {
+	r := NewRing(4)
+	r.Push(1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Snapshot(3)
+}
+
+func TestRingPushedCount(t *testing.T) {
+	r := NewRing(3)
+	r.Push(1, 2, 3, 4)
+	if r.Pushed() != 4 || r.Cap() != 3 {
+		t.Errorf("Pushed %d Cap %d", r.Pushed(), r.Cap())
+	}
+}
+
+// TestRingRollbackRecoversPostamblePacket exercises the complete Sec. 4
+// receiver mechanism at sample level: the receiver continuously pushes
+// baseband samples into its circular buffer; when the frame synchronizer
+// spots a postamble in the demodulated chips, it rolls back through the
+// ring's history and decodes the packet whose preamble a jammer destroyed.
+func TestRingRollbackRecoversPostamblePacket(t *testing.T) {
+	rng := stats.NewRNG(40)
+	payload := make([]byte, 60)
+	for i := range payload {
+		payload[i] = byte(rng.Intn(256))
+	}
+	f := frame.New(3, 4, 5, payload)
+	chips := f.AirChips()
+
+	m := NewModulator()
+	samples := m.Modulate(chips)
+	// A jammer obliterates the preamble and header: replace those samples
+	// with noise-like random-phase samples.
+	jammed := (frame.SyncBytes + frame.HeaderBytes) * frame.ChipsPerByte * m.SPS
+	for i := 0; i < jammed; i++ {
+		samples[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	samples = AddAWGN(rng, samples, 0.1)
+
+	// The receiver's circular buffer holds one maximally-sized packet of
+	// samples (Sec. 4); stream everything through it.
+	ring := NewRing(frame.MaxAirChips * m.SPS)
+	for off := 0; off < len(samples); off += 1024 {
+		end := off + 1024
+		if end > len(samples) {
+			end = len(samples)
+		}
+		ring.Push(samples[off:end]...)
+	}
+
+	// Roll back: snapshot as much history as the ring still holds, then
+	// demodulate and frame-synchronize the stored waveform.
+	n := len(samples)
+	if !ring.HoldsLast(n) {
+		t.Fatal("ring lost history it should hold")
+	}
+	snap := ring.Snapshot(n)
+	d := NewDemodulator()
+	hard, _ := d.Demodulate(snap, d.RecoverTiming(snap))
+
+	rx := frame.NewReceiver(phy.HardDecoder{})
+	var got *frame.Reception
+	for _, rec := range rx.Receive(hard) {
+		if rec.HeaderOK {
+			cp := rec
+			got = &cp
+		}
+	}
+	if got == nil {
+		t.Fatal("rollback decode found no packet")
+	}
+	if got.Kind != frame.SyncPostamble {
+		t.Errorf("acquired via %v, want postamble", got.Kind)
+	}
+	if got.Hdr.Length != uint16(len(payload)) || got.Hdr.Src != 4 {
+		t.Errorf("trailer header %+v", got.Hdr)
+	}
+	correct := 0
+	for i, b := range got.PayloadBytes {
+		if b == payload[i] {
+			correct++
+		}
+	}
+	if correct < len(payload)*9/10 {
+		t.Errorf("rollback recovered only %d of %d payload bytes", correct, len(payload))
+	}
+}

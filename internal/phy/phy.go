@@ -1,0 +1,181 @@
+// Package phy implements the 802.15.4 DSSS physical layer of the PPR
+// receiver: spreading of data symbols onto 32-chip codewords, despreading of
+// received chips back to symbols, and — the heart of SoftPHY (Sec. 3) — the
+// three hint sources the paper proposes:
+//
+//   - Hamming distance from hard-decision decoding (Sec. 3.2, the
+//     implemented and evaluated variant),
+//   - the correlation metric of Eq. 1 from soft-decision decoding,
+//   - the matched-filter output in the absence of channel coding.
+//
+// Every decoder honours the monotonicity contract of Sec. 3.3: for two hint
+// values h1 < h2, the PHY is more confident in the symbol carrying h1. The
+// absolute scale of a hint is decoder-specific and deliberately NOT part of
+// the contract; higher layers must calibrate thresholds per PHY
+// (internal/core/softphy does exactly that).
+package phy
+
+import (
+	"fmt"
+
+	"ppr/internal/bitutil"
+	"ppr/internal/chipseq"
+)
+
+// Observation is what the demodulator hands the decoder for one codeword
+// interval: the 32 hard-decided chips, and optionally the 32 soft chip
+// samples (present only when the channel was simulated at sample level).
+type Observation struct {
+	// Hard holds the hard-decided chips, chip i at bit (31-i).
+	Hard uint32
+	// Soft holds per-chip soft values (nominally ±1 plus noise); nil when
+	// the channel model produced hard decisions only.
+	Soft []float64
+}
+
+// Decision is one decoded symbol with its SoftPHY hint attached. The hint
+// travels with the symbol all the way up to PP-ARQ (Fig. 1).
+type Decision struct {
+	// Symbol is the decoded 4-bit data symbol.
+	Symbol byte
+	// Hint is the decoder's confidence annotation; lower means more
+	// confident, per the monotonicity contract.
+	Hint float64
+}
+
+// Decoder despreads one codeword observation into a Decision.
+type Decoder interface {
+	// Decode maps a codeword observation to a symbol decision with hint.
+	Decode(obs Observation) Decision
+	// Name identifies the decoder in experiment output.
+	Name() string
+}
+
+// HardDecoder implements hard-decision decoding: the demodulator decides
+// each chip independently, and the decoder maps the received 32-chip word to
+// the nearest codeword. The hint is the Hamming distance of that mapping
+// (Sec. 3.2). This is the variant the paper implements and evaluates.
+type HardDecoder struct{}
+
+// Decode despreads by minimum Hamming distance.
+func (HardDecoder) Decode(obs Observation) Decision {
+	sym, dist := chipseq.NearestHard(obs.Hard)
+	return Decision{Symbol: sym, Hint: float64(dist)}
+}
+
+// Name implements Decoder.
+func (HardDecoder) Name() string { return "hdd" }
+
+// SoftDecoder implements soft-decision decoding over per-chip samples using
+// the correlation metric of Eq. 1. The hint is (B − C_best)/2, which for
+// clean ±1 samples coincides numerically with the Hamming distance, easing
+// comparison, while remaining continuous under noise.
+type SoftDecoder struct{}
+
+// Decode despreads by maximum correlation. It falls back to hard-decision
+// decoding when no soft samples are available.
+func (SoftDecoder) Decode(obs Observation) Decision {
+	if obs.Soft == nil {
+		return HardDecoder{}.Decode(obs)
+	}
+	sym, best, _ := chipseq.NearestSoft(obs.Soft)
+	return Decision{Symbol: sym, Hint: (chipseq.ChipsPerSymbol - best) / 2}
+}
+
+// Name implements Decoder.
+func (SoftDecoder) Name() string { return "sdd" }
+
+// MatchedFilterDecoder models the third hint option of Sec. 3.1: the raw
+// output of a filter matched to the decided-upon codeword. The hint is the
+// negated, offset filter output B − C_best (un-normalised, so its scale
+// differs from the other decoders — intentionally, to exercise the
+// threshold-adaptation machinery of Sec. 3.3).
+type MatchedFilterDecoder struct{}
+
+// Decode despreads by maximum correlation and reports the inverted raw
+// filter peak as the hint.
+func (MatchedFilterDecoder) Decode(obs Observation) Decision {
+	if obs.Soft == nil {
+		d := HardDecoder{}.Decode(obs)
+		// Map distance to the matched-filter scale: C = B − 2d.
+		return Decision{Symbol: d.Symbol, Hint: 2 * d.Hint}
+	}
+	sym, best, _ := chipseq.NearestSoft(obs.Soft)
+	return Decision{Symbol: sym, Hint: chipseq.ChipsPerSymbol - best}
+}
+
+// Name implements Decoder.
+func (MatchedFilterDecoder) Name() string { return "mf" }
+
+// SpreadSymbols maps 4-bit data symbols to their 32-chip codewords.
+func SpreadSymbols(syms []byte) []uint32 {
+	out := make([]uint32, len(syms))
+	for i, s := range syms {
+		out[i] = chipseq.Codeword(s)
+	}
+	return out
+}
+
+// SpreadBytes maps payload bytes to codewords, two per byte, low nibble
+// first (the 802.15.4 transmission order).
+func SpreadBytes(data []byte) []uint32 {
+	return SpreadSymbols(bitutil.NibblesFromBytes(data))
+}
+
+// ChipsOf flattens codewords into a chip slice (one byte per chip, 0 or 1),
+// which is the representation the radio simulator works over.
+func ChipsOf(cws []uint32) []byte {
+	out := make([]byte, 0, len(cws)*chipseq.ChipsPerSymbol)
+	for _, cw := range cws {
+		for i := 0; i < chipseq.ChipsPerSymbol; i++ {
+			out = append(out, byte(chipseq.ChipAt(cw, i)))
+		}
+	}
+	return out
+}
+
+// PackChips converts a chip slice (0/1 bytes) starting at off back into a
+// codeword-aligned uint32. It panics if fewer than 32 chips remain: framers
+// must bound their own scans.
+func PackChips(chips []byte, off int) uint32 {
+	if off < 0 || off+chipseq.ChipsPerSymbol > len(chips) {
+		panic(fmt.Sprintf("phy: PackChips offset %d out of range for %d chips", off, len(chips)))
+	}
+	var cw uint32
+	for i := 0; i < chipseq.ChipsPerSymbol; i++ {
+		if chips[off+i] != 0 {
+			cw |= 1 << uint(31-i)
+		}
+	}
+	return cw
+}
+
+// DecodeStream despreads a symbol-aligned chip stream (hard chips, one byte
+// per chip) with the given decoder, returning one Decision per whole
+// codeword. Trailing chips short of a full codeword are ignored.
+func DecodeStream(dec Decoder, chips []byte) []Decision {
+	n := len(chips) / chipseq.ChipsPerSymbol
+	out := make([]Decision, n)
+	for i := 0; i < n; i++ {
+		out[i] = dec.Decode(Observation{Hard: PackChips(chips, i*chipseq.ChipsPerSymbol)})
+	}
+	return out
+}
+
+// SymbolsOf extracts just the decoded symbols from decisions.
+func SymbolsOf(ds []Decision) []byte {
+	out := make([]byte, len(ds))
+	for i, d := range ds {
+		out[i] = d.Symbol
+	}
+	return out
+}
+
+// HintsOf extracts just the hints from decisions.
+func HintsOf(ds []Decision) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Hint
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package phy
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ppr/internal/bitutil"
+	"ppr/internal/chipseq"
+	"ppr/internal/stats"
+)
+
+func TestSpreadDecodeRoundTripClean(t *testing.T) {
+	f := func(data []byte) bool {
+		cws := SpreadBytes(data)
+		chips := ChipsOf(cws)
+		ds := DecodeStream(HardDecoder{}, chips)
+		got := bitutil.BytesFromNibbles(SymbolsOf(ds))
+		if !bytes.Equal(got, data) {
+			return false
+		}
+		for _, d := range ds {
+			if d.Hint != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpreadBytesTwoCodewordsPerByte(t *testing.T) {
+	if n := len(SpreadBytes(make([]byte, 10))); n != 20 {
+		t.Errorf("got %d codewords, want 20", n)
+	}
+}
+
+func TestChipsOfLength(t *testing.T) {
+	cws := SpreadBytes([]byte{0xff})
+	chips := ChipsOf(cws)
+	if len(chips) != 64 {
+		t.Errorf("got %d chips, want 64", len(chips))
+	}
+}
+
+func TestPackChipsInverse(t *testing.T) {
+	for s := byte(0); s < chipseq.NumSymbols; s++ {
+		chips := ChipsOf([]uint32{chipseq.Codeword(s)})
+		if got := PackChips(chips, 0); got != chipseq.Codeword(s) {
+			t.Errorf("symbol %d: pack/unpack mismatch", s)
+		}
+	}
+}
+
+func TestPackChipsPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PackChips(make([]byte, 31), 0)
+}
+
+func TestHardDecoderHintIsDistance(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for trial := 0; trial < 200; trial++ {
+		s := byte(rng.Intn(16))
+		cw := chipseq.Codeword(s)
+		nflips := rng.Intn(4)
+		seen := map[int]bool{}
+		for len(seen) < nflips {
+			seen[rng.Intn(32)] = true
+		}
+		for i := range seen {
+			cw ^= 1 << uint(31-i)
+		}
+		d := HardDecoder{}.Decode(Observation{Hard: cw})
+		if d.Symbol != s {
+			t.Fatalf("decoded %d want %d", d.Symbol, s)
+		}
+		if int(d.Hint) != nflips {
+			t.Fatalf("hint %v want %d", d.Hint, nflips)
+		}
+	}
+}
+
+func TestSoftDecoderMatchesHammingOnSignSamples(t *testing.T) {
+	// For ±1 samples the SDD hint (B − C)/2 equals the HDD Hamming hint.
+	rng := stats.NewRNG(2)
+	for trial := 0; trial < 200; trial++ {
+		s := byte(rng.Intn(16))
+		soft := make([]float64, 32)
+		var hard uint32
+		copy(soft, chipseq.Signed(s)[:])
+		for k := 0; k < rng.Intn(4); k++ {
+			soft[rng.Intn(32)] *= -1
+		}
+		for i, v := range soft {
+			if v > 0 {
+				hard |= 1 << uint(31-i)
+			}
+		}
+		hd := HardDecoder{}.Decode(Observation{Hard: hard})
+		sd := SoftDecoder{}.Decode(Observation{Hard: hard, Soft: soft})
+		if hd.Symbol != sd.Symbol {
+			t.Fatalf("trial %d: decisions disagree (%d vs %d)", trial, hd.Symbol, sd.Symbol)
+		}
+		if hd.Hint != sd.Hint {
+			t.Fatalf("trial %d: hints disagree (%v vs %v)", trial, hd.Hint, sd.Hint)
+		}
+	}
+}
+
+func TestSoftDecoderFallsBackWithoutSamples(t *testing.T) {
+	cw := chipseq.Codeword(5)
+	d := SoftDecoder{}.Decode(Observation{Hard: cw})
+	if d.Symbol != 5 || d.Hint != 0 {
+		t.Errorf("fallback decode got %+v", d)
+	}
+}
+
+func TestMatchedFilterScale(t *testing.T) {
+	// MF hint = 2× the HDD hint on equivalent observations — a different
+	// scale, same ordering (the monotonicity contract is about order only).
+	cw := chipseq.Codeword(3) ^ 0x80000001 // 2 chip errors
+	hd := HardDecoder{}.Decode(Observation{Hard: cw})
+	mf := MatchedFilterDecoder{}.Decode(Observation{Hard: cw})
+	if mf.Symbol != hd.Symbol {
+		t.Fatalf("symbols disagree")
+	}
+	if mf.Hint != 2*hd.Hint {
+		t.Errorf("mf hint %v, want %v", mf.Hint, 2*hd.Hint)
+	}
+}
+
+func TestMonotonicityContractUnderNoise(t *testing.T) {
+	// Statistically: symbols decoded from noisier chips must carry larger
+	// (less confident) hints on average, for every decoder.
+	rng := stats.NewRNG(3)
+	decoders := []Decoder{HardDecoder{}, SoftDecoder{}, MatchedFilterDecoder{}}
+	for _, dec := range decoders {
+		meanHint := func(pChip float64) float64 {
+			var sum float64
+			const n = 400
+			for i := 0; i < n; i++ {
+				s := byte(rng.Intn(16))
+				soft := make([]float64, 32)
+				var hard uint32
+				for j, v := range chipseq.Signed(s) {
+					val := v
+					if rng.Bool(pChip) {
+						val = -val
+					}
+					soft[j] = val
+					if val > 0 {
+						hard |= 1 << uint(31-j)
+					}
+				}
+				sum += dec.Decode(Observation{Hard: hard, Soft: soft}).Hint
+			}
+			return sum / n
+		}
+		clean, noisy := meanHint(0.01), meanHint(0.30)
+		if clean >= noisy {
+			t.Errorf("%s: mean hint clean %v >= noisy %v; monotonicity violated",
+				dec.Name(), clean, noisy)
+		}
+	}
+}
+
+func TestDecodeStreamIgnoresTrailingChips(t *testing.T) {
+	chips := ChipsOf(SpreadBytes([]byte{0xab}))
+	chips = append(chips, 1, 0, 1) // ragged tail
+	ds := DecodeStream(HardDecoder{}, chips)
+	if len(ds) != 2 {
+		t.Errorf("got %d decisions, want 2", len(ds))
+	}
+}
+
+func TestHintsSymbolsExtractors(t *testing.T) {
+	ds := []Decision{{1, 0.5}, {2, 3}}
+	if got := SymbolsOf(ds); got[0] != 1 || got[1] != 2 {
+		t.Error("SymbolsOf")
+	}
+	if got := HintsOf(ds); got[0] != 0.5 || got[1] != 3 {
+		t.Error("HintsOf")
+	}
+}
+
+func TestDecoderNames(t *testing.T) {
+	if (HardDecoder{}).Name() != "hdd" || (SoftDecoder{}).Name() != "sdd" || (MatchedFilterDecoder{}).Name() != "mf" {
+		t.Error("unexpected decoder names")
+	}
+}
+
+func TestRandomChipsDecodeToLargeHints(t *testing.T) {
+	// Uniform random chips (what a collision with a much stronger packet
+	// looks like, relative to the weaker packet's codewords) must mostly
+	// produce hints well above the correct-decode regime — this is the
+	// separation Fig. 3 depends on.
+	rng := stats.NewRNG(4)
+	const n = 2000
+	large := 0
+	for i := 0; i < n; i++ {
+		d := HardDecoder{}.Decode(Observation{Hard: uint32(rng.Uint64())})
+		if d.Hint >= 6 {
+			large++
+		}
+	}
+	if frac := float64(large) / n; frac < 0.80 {
+		t.Errorf("only %.2f of random codewords had hint >= 6", frac)
+	}
+}

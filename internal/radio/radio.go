@@ -1,0 +1,303 @@
+// Package radio simulates the wireless channel of the PPR testbed at chip
+// granularity. It replaces the 2.4 GHz indoor RF environment of the paper's
+// 27-node office deployment with a standard log-distance propagation model
+// plus per-link lognormal shadowing, an additive noise floor, and explicit
+// interference accounting between overlapping transmissions.
+//
+// The receiver abstraction is the one PPR needs: during any instant of a
+// reception the receiver slices chips from the strongest signal present, and
+// each chip is flipped with probability Q(sqrt(2·SINR)) — the coherent MSK
+// chip error rate at the instantaneous signal-to-interference-and-noise
+// ratio. Collisions therefore destroy exactly the overlapped chip ranges
+// (the weaker packet's chips become uncorrelated noise relative to the
+// stronger), producing the bursty symbol errors whose structure SoftPHY
+// hints expose (Sec. 7.3) — the phenomenology the whole paper rests on.
+package radio
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ppr/internal/stats"
+)
+
+// Position is a node location on the floor plan, in feet (Fig. 7's layout
+// spans roughly 100×50 feet).
+type Position struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two positions.
+func (p Position) Dist(q Position) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Params describes the propagation environment. Defaults (DefaultParams)
+// are tuned so that same-room links are near-perfect and across-floor links
+// are marginal, matching the testbed's observation that each sink heard 4–8
+// senders with the best links near-perfect (Sec. 7.2.2).
+type Params struct {
+	// TxPowerDBm is the transmit power (CC2420: 0 dBm).
+	TxPowerDBm float64
+	// RefLossDB is the path loss at the reference distance of 1 foot.
+	RefLossDB float64
+	// PathLossExp is the log-distance path loss exponent (indoor office:
+	// ~3).
+	PathLossExp float64
+	// ShadowSigmaDB is the standard deviation of static per-link lognormal
+	// shadowing.
+	ShadowSigmaDB float64
+	// NoiseFloorDBm is the thermal + receiver noise floor.
+	NoiseFloorDBm float64
+	// CSThresholdDBm is the energy level above which a carrier-sensing
+	// transmitter considers the channel busy.
+	CSThresholdDBm float64
+}
+
+// DefaultParams returns the environment used by all experiments.
+func DefaultParams() Params {
+	return Params{
+		TxPowerDBm:     0,
+		RefLossDB:      40,
+		PathLossExp:    2.6,
+		ShadowSigmaDB:  4.0,
+		NoiseFloorDBm:  -95,
+		CSThresholdDBm: -85,
+	}
+}
+
+// DBmToMW converts decibel-milliwatts to milliwatts.
+func DBmToMW(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// MWToDBm converts milliwatts to decibel-milliwatts.
+func MWToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+// RxPowerDBm returns the received power over a link of the given distance
+// with the given (static) shadowing deviate.
+func (p Params) RxPowerDBm(distFeet, shadowDB float64) float64 {
+	if distFeet < 1 {
+		distFeet = 1
+	}
+	return p.TxPowerDBm - p.RefLossDB - 10*p.PathLossExp*math.Log10(distFeet) + shadowDB
+}
+
+// ChipErrProb returns the probability that a single chip is sliced wrongly
+// at the given SINR (linear scale), the coherent MSK error rate
+// Q(sqrt(2·SINR)), clamped to 0.5 (a chip can never be worse than random).
+func ChipErrProb(sinr float64) float64 {
+	if sinr <= 0 {
+		return 0.5
+	}
+	p := stats.Q(math.Sqrt(2 * sinr))
+	if p > 0.5 {
+		p = 0.5
+	}
+	return p
+}
+
+// Overlap is one transmission as seen by a particular receiver during a
+// synthesis window: where its chips start on the receiver's timeline, the
+// chips themselves, and its received power.
+type Overlap struct {
+	// Start is the chip index (relative to the synthesis window origin) at
+	// which Chips[0] arrives. It may be negative if the transmission began
+	// before the window.
+	Start int
+	// Chips is the transmission's on-air chip stream.
+	Chips []byte
+	// PowerMW is the received power of this transmission at the receiver.
+	PowerMW float64
+}
+
+// End returns the window-relative chip index one past the transmission.
+func (o Overlap) End() int { return o.Start + len(o.Chips) }
+
+// Synthesize produces the hard-decision chip stream a receiver observes
+// over a window of n chips, given every transmission audible during the
+// window and the noise floor. Where no transmission is active the receiver
+// slices pure noise (uniform random chips); where one or more are active,
+// each chip comes from the strongest, flipped with probability
+// ChipErrProb(P_strongest / (noise + ΣP_others)).
+//
+// The window is processed in segments between transmission boundaries so
+// the active set, dominant signal and chip error probability are computed
+// once per segment rather than once per chip.
+func Synthesize(rng *stats.RNG, n int, overlaps []Overlap, noiseMW float64) []byte {
+	if n < 0 {
+		panic(fmt.Sprintf("radio: negative window %d", n))
+	}
+	out := make([]byte, n)
+	// Collect segment boundaries.
+	bounds := []int{0, n}
+	for _, o := range overlaps {
+		if s := o.Start; s > 0 && s < n {
+			bounds = append(bounds, s)
+		}
+		if e := o.End(); e > 0 && e < n {
+			bounds = append(bounds, e)
+		}
+	}
+	sort.Ints(bounds)
+	for bi := 0; bi+1 < len(bounds); bi++ {
+		lo, hi := bounds[bi], bounds[bi+1]
+		if lo >= hi {
+			continue
+		}
+		// Active set over [lo, hi) is constant.
+		var dom *Overlap
+		var total float64
+		for i := range overlaps {
+			o := &overlaps[i]
+			if o.Start <= lo && o.End() >= hi {
+				total += o.PowerMW
+				if dom == nil || o.PowerMW > dom.PowerMW {
+					dom = o
+				}
+			}
+		}
+		if dom == nil {
+			for t := lo; t < hi; t++ {
+				out[t] = byte(rng.Uint64() & 1)
+			}
+			continue
+		}
+		sinr := dom.PowerMW / (noiseMW + (total - dom.PowerMW))
+		pErr := ChipErrProb(sinr)
+		for t := lo; t < hi; t++ {
+			c := dom.Chips[t-dom.Start]
+			if rng.Bool(pErr) {
+				c ^= 1
+			}
+			out[t] = c
+		}
+	}
+	return out
+}
+
+// DefaultCoherenceChips is the fading coherence interval used by the
+// simulator: ~2 ms at 2 Mchip/s, a pedestrian-Doppler indoor coherence
+// time. A 1500-byte packet (≈49 ms) spans several independent fade blocks,
+// reproducing the paper's observation that SINR "varies in time even
+// within a single packet transmission" (Sec. 1).
+const DefaultCoherenceChips = 4096
+
+// RicianK is the fading model's K factor (LOS-to-scatter power ratio).
+// K≈2 is a typical indoor office value: deep fades happen but links spend
+// real time in the partially-degraded band where codeword errors scatter —
+// exactly the regime where whole fragments die but individual codewords
+// survive between errors.
+const RicianK = 2.0
+
+// ricianPowerFade draws a unit-mean Rician power fade factor.
+func ricianPowerFade(rng *stats.RNG, k float64) float64 {
+	// LOS amplitude a with a² = K/(K+1); scattered component is complex
+	// Gaussian with per-dimension variance 1/(2(K+1)), giving E[power]=1.
+	a := math.Sqrt(k / (k + 1))
+	s := math.Sqrt(1 / (2 * (k + 1)))
+	x := a + rng.NormFloat64()*s
+	y := rng.NormFloat64() * s
+	return x*x + y*y
+}
+
+// SynthesizeFading is Synthesize with block Rician fading layered on each
+// transmission: every coherence interval of every overlap draws an
+// independent unit-mean Rician power fade around its mean received power.
+// Fading is what pushes marginal links into partial-packet territory even
+// without collisions — some stretches of a packet fade out or degrade
+// while the rest arrives clean.
+func SynthesizeFading(rng *stats.RNG, n int, overlaps []Overlap, noiseMW float64, coherenceChips int) []byte {
+	if coherenceChips <= 0 {
+		return Synthesize(rng, n, overlaps, noiseMW)
+	}
+	faded := make([]Overlap, 0, len(overlaps)*4)
+	for _, o := range overlaps {
+		// Split the overlap into coherence blocks, each with its own fade.
+		// Block boundaries are aligned to the transmission, not the window,
+		// so a given packet fades identically regardless of windowing.
+		for blk := 0; blk < len(o.Chips); blk += coherenceChips {
+			end := blk + coherenceChips
+			if end > len(o.Chips) {
+				end = len(o.Chips)
+			}
+			faded = append(faded, Overlap{
+				Start:   o.Start + blk,
+				Chips:   o.Chips[blk:end],
+				PowerMW: o.PowerMW * ricianPowerFade(rng, RicianK),
+			})
+		}
+	}
+	return Synthesize(rng, n, faded, noiseMW)
+}
+
+// SynthesizeSoft produces per-chip soft samples over the window: the
+// dominant transmission's antipodal chip value plus Gaussian noise with
+// σ = 1/sqrt(2·SINR) (so the matched-filter SNR matches the hard-decision
+// error rate), or pure unit Gaussian noise where nothing is active. Used by
+// the sample-level experiments; the capacity experiments use Synthesize.
+func SynthesizeSoft(rng *stats.RNG, n int, overlaps []Overlap, noiseMW float64) []float64 {
+	out := make([]float64, n)
+	bounds := []int{0, n}
+	for _, o := range overlaps {
+		if s := o.Start; s > 0 && s < n {
+			bounds = append(bounds, s)
+		}
+		if e := o.End(); e > 0 && e < n {
+			bounds = append(bounds, e)
+		}
+	}
+	sort.Ints(bounds)
+	for bi := 0; bi+1 < len(bounds); bi++ {
+		lo, hi := bounds[bi], bounds[bi+1]
+		if lo >= hi {
+			continue
+		}
+		var dom *Overlap
+		var total float64
+		for i := range overlaps {
+			o := &overlaps[i]
+			if o.Start <= lo && o.End() >= hi {
+				total += o.PowerMW
+				if dom == nil || o.PowerMW > dom.PowerMW {
+					dom = o
+				}
+			}
+		}
+		if dom == nil {
+			for t := lo; t < hi; t++ {
+				out[t] = rng.NormFloat64()
+			}
+			continue
+		}
+		sinr := dom.PowerMW / (noiseMW + (total - dom.PowerMW))
+		sigma := math.Inf(1)
+		if sinr > 0 {
+			sigma = 1 / math.Sqrt(2*sinr)
+		}
+		for t := lo; t < hi; t++ {
+			v := -1.0
+			if dom.Chips[t-dom.Start] != 0 {
+				v = 1.0
+			}
+			out[t] = v + rng.NormFloat64()*sigma
+		}
+	}
+	return out
+}
+
+// HardFromSoft slices soft samples back to hard chips by sign, the
+// demodulator's hard decision.
+func HardFromSoft(soft []float64) []byte {
+	out := make([]byte, len(soft))
+	for i, v := range soft {
+		if v > 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,370 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"ppr/internal/stats"
+)
+
+func TestDBmMWRoundTrip(t *testing.T) {
+	for _, dbm := range []float64{-100, -30, 0, 10} {
+		if got := MWToDBm(DBmToMW(dbm)); math.Abs(got-dbm) > 1e-9 {
+			t.Errorf("round trip %v -> %v", dbm, got)
+		}
+	}
+	if !math.IsInf(MWToDBm(0), -1) {
+		t.Error("MWToDBm(0) should be -Inf")
+	}
+}
+
+func TestRxPowerMonotoneInDistance(t *testing.T) {
+	p := DefaultParams()
+	prev := math.Inf(1)
+	for d := 1.0; d < 200; d += 1 {
+		rx := p.RxPowerDBm(d, 0)
+		if rx > prev {
+			t.Fatalf("rx power increased with distance at %v ft", d)
+		}
+		prev = rx
+	}
+}
+
+func TestRxPowerClampsBelowOneFoot(t *testing.T) {
+	p := DefaultParams()
+	if p.RxPowerDBm(0.1, 0) != p.RxPowerDBm(1, 0) {
+		t.Error("distances below 1 ft should clamp")
+	}
+}
+
+func TestRxPowerShadowing(t *testing.T) {
+	p := DefaultParams()
+	if p.RxPowerDBm(10, 6)-p.RxPowerDBm(10, 0) != 6 {
+		t.Error("shadowing should add in dB")
+	}
+}
+
+func TestChipErrProbLimits(t *testing.T) {
+	if got := ChipErrProb(0); got != 0.5 {
+		t.Errorf("ChipErrProb(0) = %v", got)
+	}
+	if got := ChipErrProb(-1); got != 0.5 {
+		t.Errorf("negative SINR should give 0.5, got %v", got)
+	}
+	if got := ChipErrProb(100); got > 1e-9 {
+		t.Errorf("high SINR should give ~0 error, got %v", got)
+	}
+}
+
+func TestChipErrProbMonotone(t *testing.T) {
+	prev := 0.6
+	for s := 0.01; s < 50; s *= 1.3 {
+		p := ChipErrProb(s)
+		if p > prev {
+			t.Fatalf("chip error rate increased with SINR at %v", s)
+		}
+		if p < 0 || p > 0.5 {
+			t.Fatalf("chip error rate %v out of [0,0.5]", p)
+		}
+		prev = p
+	}
+}
+
+func TestChipErrProbKnownPoint(t *testing.T) {
+	// At SINR = 1 (0 dB): Q(sqrt(2)) ≈ 0.0786.
+	if got := ChipErrProb(1); math.Abs(got-0.0786) > 0.001 {
+		t.Errorf("ChipErrProb(1) = %v, want ~0.0786", got)
+	}
+}
+
+func chipsOfPattern(n int, v byte) []byte {
+	c := make([]byte, n)
+	for i := range c {
+		c[i] = v
+	}
+	return c
+}
+
+func TestSynthesizeNoiseOnly(t *testing.T) {
+	rng := stats.NewRNG(1)
+	out := Synthesize(rng, 10000, nil, DBmToMW(-95))
+	ones := 0
+	for _, c := range out {
+		ones += int(c)
+	}
+	frac := float64(ones) / 10000
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("noise chips not balanced: %v", frac)
+	}
+}
+
+func TestSynthesizeCleanSignal(t *testing.T) {
+	rng := stats.NewRNG(2)
+	chips := chipsOfPattern(5000, 1)
+	// 30 dB SNR: essentially error-free.
+	out := Synthesize(rng, 5000, []Overlap{{Start: 0, Chips: chips, PowerMW: DBmToMW(-60)}}, DBmToMW(-90))
+	errs := 0
+	for _, c := range out {
+		if c != 1 {
+			errs++
+		}
+	}
+	if errs != 0 {
+		t.Errorf("%d chip errors at 30 dB SNR", errs)
+	}
+}
+
+func TestSynthesizeErrorRateMatchesModel(t *testing.T) {
+	rng := stats.NewRNG(3)
+	const n = 200000
+	chips := chipsOfPattern(n, 0)
+	noise := DBmToMW(-90)
+	sig := DBmToMW(-87) // 3 dB SNR
+	out := Synthesize(rng, n, []Overlap{{Start: 0, Chips: chips, PowerMW: sig}}, noise)
+	errs := 0
+	for _, c := range out {
+		errs += int(c)
+	}
+	want := ChipErrProb(sig / noise)
+	got := float64(errs) / n
+	if math.Abs(got-want) > 0.005 {
+		t.Errorf("empirical chip error rate %v, model %v", got, want)
+	}
+}
+
+func TestSynthesizeCaptureEffect(t *testing.T) {
+	// A strong packet overlapping a weak one: the strong one's chips come
+	// through nearly clean; the weak one's region is effectively noise
+	// relative to its own pattern.
+	rng := stats.NewRNG(4)
+	const n = 20000
+	strong := Overlap{Start: 0, Chips: chipsOfPattern(n, 1), PowerMW: DBmToMW(-50)}
+	weak := Overlap{Start: 0, Chips: chipsOfPattern(n, 0), PowerMW: DBmToMW(-70)}
+	out := Synthesize(rng, n, []Overlap{strong, weak}, DBmToMW(-95))
+	match := 0
+	for _, c := range out {
+		if c == 1 {
+			match++
+		}
+	}
+	// Strong has 20 dB SINR over the weak: ≥ 99.9% of chips should be its.
+	if frac := float64(match) / n; frac < 0.999 {
+		t.Errorf("capture: strong signal only got %v of chips", frac)
+	}
+}
+
+func TestSynthesizeComparableCollisionCorruptsBoth(t *testing.T) {
+	rng := stats.NewRNG(5)
+	const n = 20000
+	a := Overlap{Start: 0, Chips: chipsOfPattern(n, 1), PowerMW: DBmToMW(-60)}
+	b := Overlap{Start: 0, Chips: chipsOfPattern(n, 0), PowerMW: DBmToMW(-60.1)}
+	out := Synthesize(rng, n, []Overlap{a, b}, DBmToMW(-95))
+	aMatch := 0
+	for _, c := range out {
+		aMatch += int(c)
+	}
+	frac := float64(aMatch) / n
+	// At ~0 dB SINR the dominant still wins most chips but with substantial
+	// errors (Q(sqrt(2)) ≈ 8%); neither side is clean.
+	if frac > 0.97 || frac < 0.80 {
+		t.Errorf("0 dB collision gave dominant fraction %v", frac)
+	}
+}
+
+func TestSynthesizePartialOverlapSegments(t *testing.T) {
+	// Transmission B overlaps only the tail of A; A's head must be clean,
+	// A's tail corrupted.
+	rng := stats.NewRNG(6)
+	const n = 10000
+	a := Overlap{Start: 0, Chips: chipsOfPattern(6000, 1), PowerMW: DBmToMW(-60)}
+	b := Overlap{Start: 4000, Chips: chipsOfPattern(6000, 0), PowerMW: DBmToMW(-57)} // 3 dB stronger
+	out := Synthesize(rng, n, []Overlap{a, b}, DBmToMW(-95))
+	headErrs := 0
+	for t0 := 0; t0 < 4000; t0++ {
+		if out[t0] != 1 {
+			headErrs++
+		}
+	}
+	if headErrs != 0 {
+		t.Errorf("pre-collision head had %d errors", headErrs)
+	}
+	// During the overlap, B dominates: most chips are 0.
+	bWins := 0
+	for t0 := 4000; t0 < 6000; t0++ {
+		if out[t0] == 0 {
+			bWins++
+		}
+	}
+	if frac := float64(bWins) / 2000; frac < 0.75 {
+		t.Errorf("stronger collider only won %v of overlap chips", frac)
+	}
+	// After A ends, B alone continues, nearly clean.
+	tailErrs := 0
+	for t0 := 6000; t0 < 10000; t0++ {
+		tailErrs += int(out[t0])
+	}
+	if frac := float64(tailErrs) / 4000; frac > 0.01 {
+		t.Errorf("post-collision tail error rate %v", frac)
+	}
+}
+
+func TestSynthesizeNegativeStartClips(t *testing.T) {
+	rng := stats.NewRNG(7)
+	o := Overlap{Start: -500, Chips: chipsOfPattern(1000, 1), PowerMW: DBmToMW(-50)}
+	out := Synthesize(rng, 1000, []Overlap{o}, DBmToMW(-95))
+	// Chips 0..499 covered by the transmission's tail; 500.. is noise.
+	for i := 0; i < 500; i++ {
+		if out[i] != 1 {
+			t.Fatalf("chip %d should be signal", i)
+		}
+	}
+}
+
+func TestSynthesizeSoftStatistics(t *testing.T) {
+	rng := stats.NewRNG(8)
+	const n = 50000
+	sig := DBmToMW(-80)
+	noise := DBmToMW(-86) // 6 dB SNR: sigma = 1/sqrt(2*3.98) ≈ 0.354
+	soft := SynthesizeSoft(rng, n, []Overlap{{Start: 0, Chips: chipsOfPattern(n, 1), PowerMW: sig}}, noise)
+	var mean, sq float64
+	for _, v := range soft {
+		mean += v
+	}
+	mean /= n
+	for _, v := range soft {
+		sq += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(sq / n)
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("soft mean %v, want ~1", mean)
+	}
+	wantSD := 1 / math.Sqrt(2*sig/noise)
+	if math.Abs(sd-wantSD) > 0.01 {
+		t.Errorf("soft sd %v, want ~%v", sd, wantSD)
+	}
+}
+
+func TestHardFromSoftAgreesWithSign(t *testing.T) {
+	soft := []float64{-0.5, 0.2, -3, 4, 0}
+	hard := HardFromSoft(soft)
+	want := []byte{0, 1, 0, 1, 0}
+	for i := range want {
+		if hard[i] != want[i] {
+			t.Errorf("chip %d: %d want %d", i, hard[i], want[i])
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	mk := func() []byte {
+		rng := stats.NewRNG(99)
+		return Synthesize(rng, 1000, []Overlap{{Start: 100, Chips: chipsOfPattern(500, 1), PowerMW: DBmToMW(-70)}}, DBmToMW(-90))
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("synthesis not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestPositionDist(t *testing.T) {
+	if d := (Position{0, 0}).Dist(Position{3, 4}); d != 5 {
+		t.Errorf("dist %v, want 5", d)
+	}
+}
+
+func TestSynthesizeFadingDeterministic(t *testing.T) {
+	mk := func() []byte {
+		rng := stats.NewRNG(31)
+		o := Overlap{Start: 0, Chips: chipsOfPattern(30000, 1), PowerMW: DBmToMW(-85)}
+		return SynthesizeFading(rng, 30000, []Overlap{o}, DBmToMW(-95), DefaultCoherenceChips)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("fading synthesis not deterministic")
+		}
+	}
+}
+
+func TestSynthesizeFadingZeroCoherenceFallsBack(t *testing.T) {
+	rngA, rngB := stats.NewRNG(7), stats.NewRNG(7)
+	o := Overlap{Start: 0, Chips: chipsOfPattern(5000, 1), PowerMW: DBmToMW(-60)}
+	a := SynthesizeFading(rngA, 5000, []Overlap{o}, DBmToMW(-95), 0)
+	b := Synthesize(rngB, 5000, []Overlap{o}, DBmToMW(-95))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("coherence 0 should match unfaded synthesis exactly")
+		}
+	}
+}
+
+func TestSynthesizeFadingBlockStructure(t *testing.T) {
+	// On a marginal link, chip errors must cluster by coherence block:
+	// some blocks nearly clean, some heavily degraded — not a uniform
+	// smear.
+	rng := stats.NewRNG(8)
+	const nBlocks = 200
+	const n = nBlocks * 4096
+	o := Overlap{Start: 0, Chips: chipsOfPattern(n, 1), PowerMW: DBmToMW(-91)} // 4 dB mean SNR
+	out := SynthesizeFading(rng, n, []Overlap{o}, DBmToMW(-95), 4096)
+	clean, degraded := 0, 0
+	for blk := 0; blk < nBlocks; blk++ {
+		errs := 0
+		for i := blk * 4096; i < (blk+1)*4096; i++ {
+			if out[i] != 1 {
+				errs++
+			}
+		}
+		frac := float64(errs) / 4096
+		if frac < 0.005 {
+			clean++
+		}
+		if frac > 0.10 {
+			degraded++
+		}
+	}
+	if clean == 0 {
+		t.Error("no clean fade blocks at 4 dB mean SNR")
+	}
+	if degraded == 0 {
+		t.Error("no heavily degraded blocks at 4 dB mean SNR with Rician K=2")
+	}
+	t.Logf("fade blocks: %d clean, %d degraded of %d", clean, degraded, nBlocks)
+}
+
+func TestRicianFadeUnitMean(t *testing.T) {
+	rng := stats.NewRNG(9)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		f := ricianPowerFade(rng, RicianK)
+		if f < 0 {
+			t.Fatal("negative fade power")
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.01 {
+		t.Errorf("Rician fade mean %v, want ~1", mean)
+	}
+}
+
+func TestRicianKControlsSpread(t *testing.T) {
+	// Larger K concentrates the fade around 1 (less variance).
+	variance := func(k float64) float64 {
+		rng := stats.NewRNG(10)
+		const n = 100000
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			f := ricianPowerFade(rng, k)
+			sum += f
+			sq += f * f
+		}
+		mean := sum / n
+		return sq/n - mean*mean
+	}
+	if v1, v10 := variance(1), variance(10); v10 >= v1 {
+		t.Errorf("variance did not shrink with K: K=1 %v, K=10 %v", v1, v10)
+	}
+}

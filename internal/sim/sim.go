@@ -1,0 +1,326 @@
+// Package sim is the event-driven simulation engine that stands in for the
+// paper's physical testbed runs: it drives the 23 senders' traffic sources
+// and carrier-sense decisions to produce a schedule of transmissions, then
+// synthesizes each receiver's chip stream — collisions, capture and noise
+// included — and runs the full receiver pipeline over it, matching every
+// reception back to ground truth.
+//
+// The output is a trace of per-(transmission, receiver) outcomes carrying
+// decoded symbols, SoftPHY hints and true symbols, which the experiment
+// code post-processes under each scheme (packet CRC, fragmented CRC, PPR) —
+// the same trace-driven methodology the paper uses ("each node sends a
+// stream of bits, which are formed into traces and post-processed",
+// Sec. 7.2).
+package sim
+
+import (
+	"sort"
+
+	"ppr/internal/frame"
+	"ppr/internal/mac"
+	"ppr/internal/phy"
+	"ppr/internal/radio"
+	"ppr/internal/stats"
+	"ppr/internal/testbed"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Testbed is the deployment to run on.
+	Testbed *testbed.Testbed
+	// OfferedBps is the per-node offered load in bits/second.
+	OfferedBps float64
+	// PacketBytes is the link-layer payload size per packet.
+	PacketBytes int
+	// DurationSec is the simulated airtime.
+	DurationSec float64
+	// CarrierSense toggles the senders' CSMA discipline.
+	CarrierSense bool
+	// Seed fixes traffic, backoff and channel noise.
+	Seed uint64
+}
+
+// Transmission is one packet on the air.
+type Transmission struct {
+	// ID indexes the transmission in schedule order.
+	ID int
+	// Src is the sender index.
+	Src int
+	// StartChip is the transmission's first chip time.
+	StartChip int64
+	// Frame is the link-layer frame sent.
+	Frame frame.Frame
+	// TruthSyms is the payload's true symbol sequence.
+	TruthSyms []byte
+}
+
+// AirChips returns the transmission's on-air length in chips.
+func (tx *Transmission) AirChips() int { return frame.AirChips(len(tx.Frame.Payload)) }
+
+// EndChip returns one past the transmission's last chip time.
+func (tx *Transmission) EndChip() int64 { return tx.StartChip + int64(tx.AirChips()) }
+
+// PayloadStartChip returns the absolute chip time of the first payload
+// symbol, the key receptions are matched on.
+func (tx *Transmission) PayloadStartChip() int64 {
+	return tx.StartChip + int64((frame.SyncBytes+frame.HeaderBytes)*frame.ChipsPerByte)
+}
+
+// Schedule runs the traffic sources and MAC to produce the transmission
+// timeline. Payloads are deterministic pseudo-random test patterns (the
+// paper's "known test pattern") so receivers can score correctness.
+func Schedule(cfg Config) []*Transmission {
+	rng := stats.NewRNG(cfg.Seed)
+	trafficRng := rng.Split()
+	csmaRng := rng.Split()
+	payloadRng := rng.Split()
+
+	tb := cfg.Testbed
+	endChip := mac.ChipsPerSecond(cfg.DurationSec)
+
+	type arrival struct {
+		chip int64
+		src  int
+	}
+	var arrivals []arrival
+	for i := 0; i < testbed.NumSenders; i++ {
+		ts := mac.NewTrafficSource(cfg.OfferedBps, cfg.PacketBytes, trafficRng.Split())
+		for {
+			t := ts.Next()
+			if t >= endChip {
+				break
+			}
+			arrivals = append(arrivals, arrival{chip: t, src: i})
+		}
+	}
+	sort.Slice(arrivals, func(a, b int) bool { return arrivals[a].chip < arrivals[b].chip })
+
+	csma := mac.DefaultCSMA(radio.DBmToMW(tb.Params.CSThresholdDBm))
+	csma.Enabled = cfg.CarrierSense
+	noiseMW := radio.DBmToMW(tb.Params.NoiseFloorDBm)
+
+	var txs []*Transmission
+	seqs := make([]uint16, testbed.NumSenders)
+	for _, a := range arrivals {
+		// Carrier sense against transmissions already committed: total
+		// received power at this sender.
+		busy := func(t int64) float64 {
+			total := noiseMW
+			for k := len(txs) - 1; k >= 0; k-- {
+				tx := txs[k]
+				if tx.EndChip() <= t {
+					// txs is appended in arrival order, so starts are only
+					// approximately sorted (CSMA deferrals shift them).
+					// Stop scanning once starts are so old that no frame —
+					// even maximally deferred — could still be active.
+					if t-tx.StartChip > 4*int64(frame.MaxAirChips) {
+						break
+					}
+					continue
+				}
+				if tx.StartChip <= t {
+					total += radio.DBmToMW(tb.SenderGainDBm[tx.Src][a.src])
+				}
+			}
+			return total
+		}
+		start := csma.Decide(a.chip, busy, csmaRng)
+
+		payload := make([]byte, cfg.PacketBytes)
+		for bi := range payload {
+			payload[bi] = byte(payloadRng.Intn(256))
+		}
+		// Destination: the receiver with the strongest link from this
+		// sender (the routing layer would pick it).
+		bestJ := 0
+		for j := 1; j < testbed.NumReceivers; j++ {
+			if tb.GainDBm[a.src][j] > tb.GainDBm[a.src][bestJ] {
+				bestJ = j
+			}
+		}
+		f := frame.New(uint16(testbed.NumSenders+bestJ), uint16(a.src), seqs[a.src], payload)
+		seqs[a.src]++
+		tx := &Transmission{
+			ID:        len(txs),
+			Src:       a.src,
+			StartChip: start,
+			Frame:     f,
+			TruthSyms: phy.SymbolsOf(phy.DecodeStream(phy.HardDecoder{}, phy.ChipsOf(phy.SpreadBytes(payload)))),
+		}
+		txs = append(txs, tx)
+	}
+	// CSMA deferrals can reorder starts slightly; restore time order.
+	sort.Slice(txs, func(a, b int) bool { return txs[a].StartChip < txs[b].StartChip })
+	for i, tx := range txs {
+		tx.ID = i
+	}
+	return txs
+}
+
+// Outcome is the receiver pipeline's result for one (transmission,
+// receiver, variant) triple.
+type Outcome struct {
+	// TxID identifies the transmission.
+	TxID int
+	// Src is the sender index; Receiver the receiver index.
+	Src, Receiver int
+	// Variant indexes the receiver variant (see Deliver).
+	Variant int
+	// Acquired reports whether any sync (preamble or postamble) locked and
+	// produced a header-verified reception for this transmission.
+	Acquired bool
+	// Kind is the winning sync kind when acquired.
+	Kind frame.SyncKind
+	// CRCOK reports the whole-packet CRC.
+	CRCOK bool
+	// MissingPrefix counts undecoded leading symbols (postamble rollback).
+	MissingPrefix int
+	// Decisions holds the decoded payload symbols + hints (after the
+	// missing prefix).
+	Decisions []phy.Decision
+	// TruthSyms is the transmitted payload's true symbols.
+	TruthSyms []byte
+}
+
+// CorrectMask returns per-symbol correctness over the whole payload
+// (missing prefix symbols are incorrect by definition).
+func (o *Outcome) CorrectMask() []bool {
+	mask := make([]bool, len(o.TruthSyms))
+	for i, d := range o.Decisions {
+		idx := o.MissingPrefix + i
+		if idx < len(mask) {
+			mask[idx] = d.Symbol == o.TruthSyms[idx]
+		}
+	}
+	return mask
+}
+
+// Variant is one receiver configuration to evaluate over the same chips.
+type Variant struct {
+	// Name labels the variant in experiment output.
+	Name string
+	// UsePostamble enables postamble decoding.
+	UsePostamble bool
+	// Decoder despreads and produces hints; defaults to HardDecoder.
+	Decoder phy.Decoder
+}
+
+// interferenceFloorDB: transmissions weaker than this below the noise floor
+// are dropped from synthesis (negligible interference), bounding window
+// sizes.
+const interferenceFloorDB = 10
+
+// ScoringMarginDB: a (sender, receiver) pair counts as a link — and its
+// transmissions produce Outcomes — only when the received power clears the
+// noise floor by this margin. Weaker transmissions still contribute
+// interference, but they are not links anyone would route over, and the
+// paper's per-link statistics cover only the senders each sink "could
+// hear" (Sec. 7.2.2).
+const ScoringMarginDB = 3
+
+// guardChips separates windows: a gap this long with no audible signal
+// closes the current window.
+const guardChips = 2048
+
+// Deliver synthesizes every receiver's chip stream window by window and
+// runs each variant's receiver over it, returning outcomes for every
+// (audible transmission, receiver, variant). A transmission audible at a
+// receiver with no matching reception yields an Outcome with
+// Acquired=false — those count against delivery rates exactly like the
+// paper's lost packets.
+func Deliver(cfg Config, txs []*Transmission, variants []Variant) []Outcome {
+	tb := cfg.Testbed
+	noiseMW := radio.DBmToMW(tb.Params.NoiseFloorDBm)
+	floorMW := radio.DBmToMW(tb.Params.NoiseFloorDBm - interferenceFloorDB)
+	rng := stats.NewRNG(cfg.Seed ^ 0xdeadbeef)
+
+	var outcomes []Outcome
+	for j := 0; j < testbed.NumReceivers; j++ {
+		chanRng := rng.Split()
+		// Audible set at this receiver, with per-tx received power.
+		type audibleTx struct {
+			tx      *Transmission
+			powerMW float64
+		}
+		var aud []audibleTx
+		for _, tx := range txs {
+			if p := tb.RxPowerMW(tx.Src, j); p >= floorMW {
+				aud = append(aud, audibleTx{tx, p})
+			}
+		}
+		// Cluster into windows separated by silent gaps.
+		for wStart := 0; wStart < len(aud); {
+			wEnd := wStart + 1
+			maxEnd := aud[wStart].tx.EndChip()
+			for wEnd < len(aud) && aud[wEnd].tx.StartChip < maxEnd+guardChips {
+				if e := aud[wEnd].tx.EndChip(); e > maxEnd {
+					maxEnd = e
+				}
+				wEnd++
+			}
+			// Window bounds with margin.
+			origin := aud[wStart].tx.StartChip - 64
+			length := int(maxEnd-origin) + 64
+			overlaps := make([]radio.Overlap, 0, wEnd-wStart)
+			for k := wStart; k < wEnd; k++ {
+				overlaps = append(overlaps, radio.Overlap{
+					Start:   int(aud[k].tx.StartChip - origin),
+					Chips:   aud[k].tx.Frame.AirChips(),
+					PowerMW: aud[k].powerMW,
+				})
+			}
+			chips := radio.SynthesizeFading(chanRng, length, overlaps, noiseMW, radio.DefaultCoherenceChips)
+			// The sync scan is variant-independent: do it once per window.
+			buf := frame.NewChipBuffer(chips)
+			syncs := frame.FindSyncs(buf, frame.DefaultSyncMaxDist)
+
+			for vi, v := range variants {
+				dec := v.Decoder
+				if dec == nil {
+					dec = phy.HardDecoder{}
+				}
+				rx := frame.NewReceiver(dec)
+				rx.UsePostamble = v.UsePostamble
+				recs := rx.ReceiveSynced(buf, syncs)
+				// Match receptions to transmissions by payload start chip.
+				recByStart := map[int64]*frame.Reception{}
+				for ri := range recs {
+					if !recs[ri].HeaderOK {
+						continue
+					}
+					abs := origin + int64(recs[ri].PayloadStartChip)
+					if cur, dup := recByStart[abs]; !dup || len(recs[ri].Decisions) > len(cur.Decisions) {
+						recByStart[abs] = &recs[ri]
+					}
+				}
+				for k := wStart; k < wEnd; k++ {
+					tx := aud[k].tx
+					if tb.GainDBm[tx.Src][j] < tb.Params.NoiseFloorDBm+ScoringMarginDB {
+						continue // interference-only pair, not a link
+					}
+					o := Outcome{
+						TxID: tx.ID, Src: tx.Src, Receiver: j, Variant: vi,
+						TruthSyms: tx.TruthSyms,
+					}
+					if rec := recByStart[tx.PayloadStartChip()]; rec != nil &&
+						rec.Hdr.Src == tx.Frame.Hdr.Src && rec.Hdr.Seq == tx.Frame.Hdr.Seq {
+						o.Acquired = true
+						o.Kind = rec.Kind
+						o.CRCOK = rec.CRCOK
+						o.MissingPrefix = rec.MissingPrefix
+						o.Decisions = rec.Decisions
+					}
+					outcomes = append(outcomes, o)
+				}
+			}
+			wStart = wEnd
+		}
+	}
+	return outcomes
+}
+
+// Run is the convenience wrapper: schedule then deliver.
+func Run(cfg Config, variants []Variant) ([]*Transmission, []Outcome) {
+	txs := Schedule(cfg)
+	return txs, Deliver(cfg, txs, variants)
+}

@@ -1,0 +1,236 @@
+// Package stats provides the numeric plumbing shared by every PPR
+// experiment: a small deterministic random number generator (so figures are
+// reproducible run-to-run), empirical CDF/CCDF construction matching the
+// paper's plots, quantiles, and the Gaussian tail function used to map SINR
+// to chip error probability.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RNG is a deterministic xoshiro256**-based generator. Every simulator
+// component derives its stream from an explicit seed so that experiments are
+// exactly reproducible; math/rand's global state is never used.
+type RNG struct {
+	s [4]uint64
+	// cached spare Gaussian deviate for NormFloat64 (Marsaglia polar).
+	haveSpare bool
+	spare     float64
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64, which safely
+// expands even low-entropy seeds (0, 1, 2, ...) into full-width state.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives an independent child generator; stream i of a parent seeded
+// with s is decoupled from both the parent and siblings.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniform random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: Intn(%d)", n))
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// NormFloat64 returns a standard normal deviate (Marsaglia polar method).
+func (r *RNG) NormFloat64() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		m := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * m
+		r.haveSpare = true
+		return u * m
+	}
+}
+
+// ExpFloat64 returns an exponential deviate with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Q is the Gaussian tail function Q(x) = P(N(0,1) > x), used to convert
+// per-chip SNR into chip error probability for coherent MSK detection:
+// p_chip = Q(sqrt(2·SINR)).
+func Q(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// CDFPoint is one (x, P[X ≤ x]) step of an empirical distribution.
+type CDFPoint struct {
+	X float64
+	P float64
+}
+
+// CDF returns the empirical cumulative distribution of samples as step
+// points at each distinct value, matching the per-link CDFs plotted in
+// Figs. 8–11. The input is not modified.
+func CDF(samples []float64) []CDFPoint {
+	if len(samples) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	var out []CDFPoint
+	for i := 0; i < len(s); i++ {
+		// advance to the last duplicate so each distinct x appears once
+		if i+1 < len(s) && s[i+1] == s[i] {
+			continue
+		}
+		out = append(out, CDFPoint{X: s[i], P: float64(i+1) / n})
+	}
+	return out
+}
+
+// CCDF returns the complementary CDF P[X > x] at each distinct sample value,
+// matching the log-scale complementary plots of Figs. 14 and 15.
+func CCDF(samples []float64) []CDFPoint {
+	cdf := CDF(samples)
+	out := make([]CDFPoint, len(cdf))
+	for i, p := range cdf {
+		out[i] = CDFPoint{X: p.X, P: 1 - p.P}
+	}
+	return out
+}
+
+// CDFAt evaluates an empirical CDF (as returned by CDF) at x.
+func CDFAt(cdf []CDFPoint, x float64) float64 {
+	// last point with X <= x
+	i := sort.Search(len(cdf), func(i int) bool { return cdf[i].X > x })
+	if i == 0 {
+		return 0
+	}
+	return cdf[i-1].P
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of samples using the
+// nearest-rank method. It panics on an empty slice.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		panic("stats: Quantile of empty sample set")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Median returns the 0.5 quantile.
+func Median(samples []float64) float64 { return Quantile(samples, 0.5) }
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// Sum returns the total of samples.
+func Sum(samples []float64) float64 {
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum
+}
+
+// Histogram counts samples into uniform-width bins over [lo, hi); values
+// outside the range are clamped into the first/last bin.
+func Histogram(samples []float64, lo, hi float64, nbins int) []int {
+	if nbins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	bins := make([]int, nbins)
+	w := (hi - lo) / float64(nbins)
+	for _, v := range samples {
+		i := int((v - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		bins[i]++
+	}
+	return bins
+}

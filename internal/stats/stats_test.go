@@ -1,0 +1,267 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(1234), NewRNG(1234)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsIndependent(t *testing.T) {
+	a, b := NewRNG(0), NewRNG(1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent seeds produced %d identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := NewRNG(99)
+	const n = 200000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		sum += v
+		buckets[int(v*10)]++
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean %v far from 0.5", mean)
+	}
+	for i, c := range buckets {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Errorf("bucket %d has fraction %v", i, frac)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance %v", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean %v", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(21)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("only %d of 7 values seen", len(seen))
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(42)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("parent/child produced %d identical outputs", same)
+	}
+}
+
+func TestQFunction(t *testing.T) {
+	cases := []struct{ x, want, tol float64 }{
+		{0, 0.5, 1e-12},
+		{1, 0.158655, 1e-5},
+		{2, 0.022750, 1e-5},
+		{3, 0.0013499, 1e-6},
+		{-1, 0.841345, 1e-5},
+	}
+	for _, c := range cases {
+		if got := Q(c.x); math.Abs(got-c.want) > c.tol {
+			t.Errorf("Q(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestQMonotoneDecreasing(t *testing.T) {
+	prev := 1.0
+	for x := -5.0; x <= 5.0; x += 0.1 {
+		v := Q(x)
+		if v > prev {
+			t.Fatalf("Q not decreasing at %v", x)
+		}
+		prev = v
+	}
+}
+
+func TestCDFBasic(t *testing.T) {
+	cdf := CDF([]float64{3, 1, 2, 2})
+	want := []CDFPoint{{1, 0.25}, {2, 0.75}, {3, 1.0}}
+	if len(cdf) != len(want) {
+		t.Fatalf("got %v", cdf)
+	}
+	for i := range want {
+		if cdf[i] != want[i] {
+			t.Errorf("point %d: got %v want %v", i, cdf[i], want[i])
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	if CDF(nil) != nil {
+		t.Error("CDF(nil) should be nil")
+	}
+}
+
+func TestCDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{5, 1, 3}
+	CDF(in)
+	if in[0] != 5 || in[1] != 1 || in[2] != 3 {
+		t.Error("CDF mutated its input")
+	}
+}
+
+func TestCCDFComplement(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 5}
+	cdf, ccdf := CDF(samples), CCDF(samples)
+	for i := range cdf {
+		if math.Abs(cdf[i].P+ccdf[i].P-1) > 1e-12 {
+			t.Errorf("CDF+CCDF != 1 at %v", cdf[i].X)
+		}
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	cdf := CDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := CDFAt(cdf, c.x); got != c.want {
+			t.Errorf("CDFAt(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if m := Median(s); m != 50 {
+		t.Errorf("median %v, want 50", m)
+	}
+	if q := Quantile(s, 0.9); q != 90 {
+		t.Errorf("p90 %v, want 90", q)
+	}
+	if q := Quantile(s, 0); q != 10 {
+		t.Errorf("p0 %v, want 10", q)
+	}
+	if q := Quantile(s, 1); q != 100 {
+		t.Errorf("p100 %v, want 100", q)
+	}
+}
+
+func TestQuantilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestMeanSum(t *testing.T) {
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Error("mean")
+	}
+	if Mean(nil) != 0 {
+		t.Error("mean nil")
+	}
+	if Sum([]float64{1.5, 2.5}) != 4 {
+		t.Error("sum")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0.1, 0.1, 0.9, -5, 99}, 0, 1, 2)
+	// -5 clamps into bin 0, 99 clamps into bin 1.
+	if h[0] != 3 || h[1] != 2 {
+		t.Errorf("got %v", h)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(77)
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			count++
+		}
+	}
+	frac := float64(count) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency %v", frac)
+	}
+}

@@ -1,0 +1,197 @@
+// Package testbed models the paper's experimental deployment (Fig. 7): 27
+// IEEE 802.15.4 nodes spread over nine rooms of an indoor office roughly
+// 100×50 feet — 23 moteiv tmote-sky senders and four GNU Radio receivers
+// (R1–R4) deployed among them. Placement is deterministic (seeded) so every
+// experiment runs against the same floor plan, and the propagation
+// parameters of internal/radio turn pairwise distances into a static link
+// gain matrix.
+package testbed
+
+import (
+	"fmt"
+	"strings"
+
+	"ppr/internal/radio"
+	"ppr/internal/stats"
+)
+
+// Floor plan extent in feet, matching Fig. 7's scale bar.
+const (
+	WidthFeet  = 100.0
+	HeightFeet = 50.0
+	// RoomsX × RoomsY = nine rooms.
+	RoomsX = 3
+	RoomsY = 3
+)
+
+// NumSenders and NumReceivers match the paper's deployment.
+const (
+	NumSenders   = 23
+	NumReceivers = 4
+)
+
+// Testbed is one instantiated deployment: node positions and the link
+// budget between every sender and receiver.
+type Testbed struct {
+	// Params is the propagation environment.
+	Params radio.Params
+	// Senders holds the 23 sender positions; sender i has node ID i.
+	Senders []radio.Position
+	// Receivers holds the four receiver positions (R1–R4); receiver j has
+	// node ID NumSenders+j.
+	Receivers []radio.Position
+	// GainDBm[i][j] is the received power at receiver j of sender i's
+	// transmissions (transmit power and static shadowing folded in).
+	GainDBm [][]float64
+	// SenderGainDBm[i][k] is the received power at sender k of sender i's
+	// transmissions, used for carrier sense.
+	SenderGainDBm [][]float64
+}
+
+// New builds the deployment. The seed fixes both placement jitter and the
+// per-link shadowing deviates; the paper's single physical testbed
+// corresponds to a single seed, and different seeds act as different
+// buildings for robustness runs.
+func New(params radio.Params, seed uint64) *Testbed {
+	rng := stats.NewRNG(seed)
+	tb := &Testbed{Params: params}
+
+	roomW := WidthFeet / RoomsX
+	roomH := HeightFeet / RoomsY
+
+	// Receivers sit near the centres of four spread-out rooms, as R1–R4 are
+	// distributed among the senders in Fig. 7.
+	recvRooms := [][2]int{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
+	for _, rr := range recvRooms {
+		cx := (float64(rr[0]) + 0.5) * roomW
+		cy := (float64(rr[1]) + 0.5) * roomH
+		tb.Receivers = append(tb.Receivers, radio.Position{
+			X: cx + (rng.Float64()-0.5)*roomW*0.3,
+			Y: cy + (rng.Float64()-0.5)*roomH*0.3,
+		})
+	}
+
+	// Senders round-robin across all nine rooms with jittered positions, so
+	// each receiver can hear the handful of senders in and near its room —
+	// the "between 4 and 8 senders" audibility of Sec. 7.2.2.
+	for i := 0; i < NumSenders; i++ {
+		room := i % (RoomsX * RoomsY)
+		rx, ry := room%RoomsX, room/RoomsX
+		tb.Senders = append(tb.Senders, radio.Position{
+			X: (float64(rx) + 0.15 + 0.7*rng.Float64()) * roomW,
+			Y: (float64(ry) + 0.15 + 0.7*rng.Float64()) * roomH,
+		})
+	}
+
+	// Static link budgets with per-link lognormal shadowing.
+	tb.GainDBm = make([][]float64, NumSenders)
+	for i := range tb.GainDBm {
+		tb.GainDBm[i] = make([]float64, NumReceivers)
+		for j := range tb.GainDBm[i] {
+			shadow := rng.NormFloat64() * params.ShadowSigmaDB
+			d := tb.Senders[i].Dist(tb.Receivers[j])
+			tb.GainDBm[i][j] = params.RxPowerDBm(d, shadow)
+		}
+	}
+	tb.SenderGainDBm = make([][]float64, NumSenders)
+	for i := range tb.SenderGainDBm {
+		tb.SenderGainDBm[i] = make([]float64, NumSenders)
+		for k := range tb.SenderGainDBm[i] {
+			if i == k {
+				tb.SenderGainDBm[i][k] = params.TxPowerDBm // own transmission saturates
+				continue
+			}
+			shadow := rng.NormFloat64() * params.ShadowSigmaDB
+			d := tb.Senders[i].Dist(tb.Senders[k])
+			tb.SenderGainDBm[i][k] = params.RxPowerDBm(d, shadow)
+		}
+	}
+	return tb
+}
+
+// RxPowerMW returns sender i's received power at receiver j in milliwatts.
+func (tb *Testbed) RxPowerMW(i, j int) float64 {
+	return radio.DBmToMW(tb.GainDBm[i][j])
+}
+
+// Audible reports whether sender i is audible at receiver j above the given
+// SNR margin over the noise floor — the paper's "able to hear and decode
+// some subset of the senders".
+func (tb *Testbed) Audible(i, j int, marginDB float64) bool {
+	return tb.GainDBm[i][j] >= tb.Params.NoiseFloorDBm+marginDB
+}
+
+// AudibleCount returns how many senders clear the margin at receiver j.
+func (tb *Testbed) AudibleCount(j int, marginDB float64) int {
+	n := 0
+	for i := 0; i < NumSenders; i++ {
+		if tb.Audible(i, j, marginDB) {
+			n++
+		}
+	}
+	return n
+}
+
+// ASCIIMap renders the floor plan as text — the substitute for Fig. 7.
+// Senders print as '*', receivers as R1..R4, room walls as lines.
+func (tb *Testbed) ASCIIMap() string {
+	const cols, rows = 80, 24
+	grid := make([][]byte, rows)
+	for y := range grid {
+		grid[y] = make([]byte, cols)
+		for x := range grid[y] {
+			grid[y][x] = ' '
+		}
+	}
+	// Room walls.
+	for ry := 0; ry <= RoomsY; ry++ {
+		y := ry * (rows - 1) / RoomsY
+		for x := 0; x < cols; x++ {
+			grid[y][x] = '-'
+		}
+	}
+	for rx := 0; rx <= RoomsX; rx++ {
+		x := rx * (cols - 1) / RoomsX
+		for y := 0; y < rows; y++ {
+			if grid[y][x] == '-' {
+				grid[y][x] = '+'
+			} else {
+				grid[y][x] = '|'
+			}
+		}
+	}
+	plot := func(p radio.Position, c byte) (int, int) {
+		x := int(p.X / WidthFeet * float64(cols-1))
+		y := int(p.Y / HeightFeet * float64(rows-1))
+		if x < 0 {
+			x = 0
+		}
+		if x >= cols {
+			x = cols - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= rows {
+			y = rows - 1
+		}
+		grid[y][x] = c
+		return x, y
+	}
+	for _, p := range tb.Senders {
+		plot(p, '*')
+	}
+	for j, p := range tb.Receivers {
+		x, y := plot(p, 'R')
+		if x+1 < cols {
+			grid[y][x+1] = byte('1' + j)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Testbed layout (%gx%g ft, 9 rooms): * = sender, Rn = receiver\n", WidthFeet, HeightFeet)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

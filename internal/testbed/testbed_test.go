@@ -1,0 +1,138 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+
+	"ppr/internal/radio"
+)
+
+func defaultTB() *Testbed { return New(radio.DefaultParams(), 1) }
+
+func TestDeploymentCounts(t *testing.T) {
+	tb := defaultTB()
+	if len(tb.Senders) != NumSenders {
+		t.Errorf("%d senders", len(tb.Senders))
+	}
+	if len(tb.Receivers) != NumReceivers {
+		t.Errorf("%d receivers", len(tb.Receivers))
+	}
+	if len(tb.GainDBm) != NumSenders || len(tb.GainDBm[0]) != NumReceivers {
+		t.Error("gain matrix shape")
+	}
+}
+
+func TestNodesInsideFloorPlan(t *testing.T) {
+	tb := defaultTB()
+	check := func(p radio.Position, what string) {
+		if p.X < 0 || p.X > WidthFeet || p.Y < 0 || p.Y > HeightFeet {
+			t.Errorf("%s at (%v,%v) outside %gx%g plan", what, p.X, p.Y, WidthFeet, HeightFeet)
+		}
+	}
+	for _, p := range tb.Senders {
+		check(p, "sender")
+	}
+	for _, p := range tb.Receivers {
+		check(p, "receiver")
+	}
+}
+
+func TestDeterministicPlacement(t *testing.T) {
+	a, b := New(radio.DefaultParams(), 42), New(radio.DefaultParams(), 42)
+	for i := range a.Senders {
+		if a.Senders[i] != b.Senders[i] {
+			t.Fatal("same seed, different placement")
+		}
+	}
+	for i := range a.GainDBm {
+		for j := range a.GainDBm[i] {
+			if a.GainDBm[i][j] != b.GainDBm[i][j] {
+				t.Fatal("same seed, different gains")
+			}
+		}
+	}
+	c := New(radio.DefaultParams(), 43)
+	if a.Senders[0] == c.Senders[0] {
+		t.Error("different seeds gave identical placement")
+	}
+}
+
+func TestAudibilityMatchesPaper(t *testing.T) {
+	// Sec. 7.2.2: "each sink had between 4 and 8 sender nodes that it could
+	// hear" — i.e., decode reliably. Under Rician fading a link needs
+	// roughly 15 dB of mean SNR headroom to deliver near-perfectly, so
+	// that margin is the "can hear" criterion; weaker senders are audible
+	// only as interference or marginal links. Allow slack around the
+	// paper's 4–8 band; this guards against a grossly mis-tuned budget.
+	tb := defaultTB()
+	for j := 0; j < NumReceivers; j++ {
+		n := tb.AudibleCount(j, 15)
+		if n < 3 || n > 14 {
+			t.Errorf("receiver %d reliably hears %d senders at 15 dB margin; paper band is 4-8", j, n)
+		}
+		t.Logf("receiver %d reliably hears %d senders (15 dB margin)", j, n)
+	}
+}
+
+func TestLinkQualitySpread(t *testing.T) {
+	// The best audible links should be near-perfect (high SNR) and there
+	// should be marginal links too — the spread Figs. 8–12 rely on.
+	tb := defaultTB()
+	strong, marginal := 0, 0
+	for i := 0; i < NumSenders; i++ {
+		for j := 0; j < NumReceivers; j++ {
+			snr := tb.GainDBm[i][j] - tb.Params.NoiseFloorDBm
+			if snr > 15 {
+				strong++
+			} else if snr > 0 && snr <= 8 {
+				marginal++
+			}
+		}
+	}
+	if strong == 0 {
+		t.Error("no strong links in deployment")
+	}
+	if marginal == 0 {
+		t.Error("no marginal links in deployment")
+	}
+	t.Logf("strong links: %d, marginal links: %d", strong, marginal)
+}
+
+func TestRxPowerMWConsistent(t *testing.T) {
+	tb := defaultTB()
+	if tb.RxPowerMW(0, 0) != radio.DBmToMW(tb.GainDBm[0][0]) {
+		t.Error("RxPowerMW disagrees with GainDBm")
+	}
+}
+
+func TestSenderGainSymmetryShape(t *testing.T) {
+	tb := defaultTB()
+	if len(tb.SenderGainDBm) != NumSenders || len(tb.SenderGainDBm[0]) != NumSenders {
+		t.Fatal("sender gain matrix shape")
+	}
+	// Own signal saturates at TX power (used by carrier sense).
+	for i := 0; i < NumSenders; i++ {
+		if tb.SenderGainDBm[i][i] != tb.Params.TxPowerDBm {
+			t.Errorf("self gain %v", tb.SenderGainDBm[i][i])
+		}
+	}
+}
+
+func TestASCIIMap(t *testing.T) {
+	m := defaultTB().ASCIIMap()
+	if strings.Count(m, "*") != NumSenders {
+		// Senders can overwrite each other's cells; allow a small deficit
+		// but not an empty map.
+		if strings.Count(m, "*") < NumSenders-6 {
+			t.Errorf("map shows %d senders", strings.Count(m, "*"))
+		}
+	}
+	for _, r := range []string{"R1", "R2", "R3", "R4"} {
+		if !strings.Contains(m, r) {
+			t.Errorf("map missing %s", r)
+		}
+	}
+	if !strings.Contains(m, "+") {
+		t.Error("map missing room walls")
+	}
+}

@@ -1,0 +1,290 @@
+// Package ppr is a from-scratch Go implementation of PPR — Partial Packet
+// Recovery for wireless networks (Jamieson & Balakrishnan, SIGCOMM 2007) —
+// together with the complete 802.15.4 DSSS stack and testbed simulator it
+// is evaluated on.
+//
+// The three contributions of the paper map onto this package as follows:
+//
+//   - SoftPHY (Sec. 3): the PHY annotates every decoded symbol with a
+//     confidence hint. See Decision, the Decoder implementations
+//     (HardDecoder reports Hamming distance; SoftDecoder the Eq. 1
+//     correlation; MatchedFilterDecoder the raw filter output), and the
+//     link-layer threshold rules Threshold and Adaptive.
+//
+//   - Postamble decoding (Sec. 4): frames carry a trailer and postamble
+//     replica of the header, and Receiver locks onto either end of a
+//     packet, rolling back through its buffer when only the postamble
+//     survived a collision. See Frame, Receiver and Reception.
+//
+//   - PP-ARQ (Sec. 5): the receiver labels symbol runs good/bad, chunks
+//     the bad runs with the Eq. 4/5 dynamic program, and requests partial
+//     retransmission with checksummed feedback. See OptimalChunks,
+//     Request/Response, Assembler and ARQSender.
+//
+// The substrates (chip-level channel with interference and Rician fading,
+// CSMA MAC, 27-node testbed, sample-level MSK modem) live under the same
+// roof so the paper's full evaluation — every table and figure — can be
+// regenerated; see cmd/pprsim and the Fig*/Table*/Summary functions.
+//
+// # Quick start
+//
+//	f := ppr.NewFrame(dst, src, seq, payload)
+//	chips := f.AirChips()                    // what goes on the air
+//	rx := ppr.NewReceiver(ppr.HardDecoder{}) // SoftPHY receiver
+//	for _, rec := range rx.Receive(chips) {  // partial packets + hints
+//		labels := ppr.DefaultThreshold().LabelAll(rec.MissingPrefix, rec.Decisions)
+//		_ = labels // good/bad per symbol; feed to PP-ARQ
+//	}
+//
+// See examples/ for complete programs.
+package ppr
+
+import (
+	"ppr/internal/core/chunkdp"
+	"ppr/internal/core/feedback"
+	"ppr/internal/core/pparq"
+	"ppr/internal/core/recovery"
+	"ppr/internal/core/runlen"
+	"ppr/internal/core/softphy"
+	"ppr/internal/experiments"
+	"ppr/internal/frame"
+	"ppr/internal/modem"
+	"ppr/internal/phy"
+	"ppr/internal/radio"
+	"ppr/internal/sim"
+	"ppr/internal/testbed"
+)
+
+// ---- Framing & postamble decoding (Sec. 4) ----
+
+type (
+	// Frame is one link-layer packet: header, payload, and (on the air)
+	// the preamble/postamble structure of Fig. 2.
+	Frame = frame.Frame
+	// Header carries length, destination, source and sequence number; the
+	// trailer replicates it so postamble-synchronized receivers can
+	// recover packet bounds.
+	Header = frame.Header
+	// Receiver synchronizes on preambles and postambles and despreads
+	// payloads into hint-annotated symbol decisions.
+	Receiver = frame.Receiver
+	// Reception is the receiver's view of one acquired packet: decisions,
+	// hints, rollback truncation and CRC verdict.
+	Reception = frame.Reception
+	// SyncKind says which end of the packet acquisition locked onto.
+	SyncKind = frame.SyncKind
+)
+
+// Sync kinds.
+const (
+	SyncPreamble  = frame.SyncPreamble
+	SyncPostamble = frame.SyncPostamble
+)
+
+// MaxPayload is the largest payload a frame carries (1500 bytes, the
+// packet size the paper's capacity experiments emulate).
+const MaxPayload = frame.MaxPayload
+
+// NewFrame builds a link-layer frame; it panics if payload exceeds
+// MaxPayload.
+func NewFrame(dst, src, seq uint16, payload []byte) Frame {
+	return frame.New(dst, src, seq, payload)
+}
+
+// NewReceiver returns a PPR receiver with postamble decoding enabled and a
+// one-packet rollback buffer, using the given SoftPHY decoder.
+func NewReceiver(dec Decoder) *Receiver { return frame.NewReceiver(dec) }
+
+// AirBytes returns a frame's on-air size in bytes for a given payload
+// length, sync patterns and trailer included.
+func AirBytes(payloadLen int) int { return frame.AirBytes(payloadLen) }
+
+// ---- SoftPHY (Sec. 3) ----
+
+type (
+	// Decision is one decoded symbol with its SoftPHY confidence hint
+	// (lower = more confident, per the monotonicity contract of Sec. 3.3).
+	Decision = phy.Decision
+	// Decoder despreads codeword observations into Decisions.
+	Decoder = phy.Decoder
+	// HardDecoder hints with the Hamming distance of hard-decision
+	// decoding — the variant the paper implements and evaluates.
+	HardDecoder = phy.HardDecoder
+	// SoftDecoder hints with the soft-decision correlation metric (Eq. 1).
+	SoftDecoder = phy.SoftDecoder
+	// MatchedFilterDecoder hints with the raw matched-filter output.
+	MatchedFilterDecoder = phy.MatchedFilterDecoder
+	// Label is the link layer's good/bad verdict on a symbol.
+	Label = softphy.Label
+	// Threshold is the static η rule: hint ≤ η ⇒ good.
+	Threshold = softphy.Threshold
+	// Adaptive learns η online from verified outcomes, assuming only hint
+	// monotonicity (Sec. 3.3).
+	Adaptive = softphy.Adaptive
+	// Labeler is anything that labels a decision stream (Threshold or
+	// *Adaptive).
+	Labeler = softphy.Labeler
+)
+
+// Labels.
+const (
+	Good = softphy.Good
+	Bad  = softphy.Bad
+)
+
+// DefaultEta is the paper's η = 6 Hamming-distance threshold.
+const DefaultEta = softphy.DefaultEta
+
+// DefaultThreshold returns the paper's operating threshold rule.
+func DefaultThreshold() Threshold { return softphy.Threshold{Eta: softphy.DefaultEta} }
+
+// NewAdaptiveThreshold returns an online-adapting labeler with the given
+// miss/false-alarm costs, starting from initialEta.
+func NewAdaptiveThreshold(missCost, faCost, initialEta float64) *Adaptive {
+	return softphy.NewAdaptive(missCost, faCost, initialEta)
+}
+
+// ---- PP-ARQ (Sec. 5) ----
+
+type (
+	// Runs is the run-length representation (Expr. 2) of a labelled packet.
+	Runs = runlen.Runs
+	// Chunk is one contiguous retransmission request produced by the
+	// dynamic program.
+	Chunk = chunkdp.Chunk
+	// ChunkPlan is the optimal chunking and its cost-model value.
+	ChunkPlan = chunkdp.Plan
+	// Request is the receiver's feedback packet: chunks to resend plus
+	// per-good-segment checksums.
+	Request = feedback.Request
+	// Response is the sender's partial retransmission.
+	Response = feedback.Response
+	// Assembler reassembles a packet across PP-ARQ rounds on the receiver.
+	Assembler = recovery.Assembler
+	// ARQSender drives the full streaming-ACK PP-ARQ protocol over a pair
+	// of links.
+	ARQSender = pparq.Sender
+	// ARQConfig tunes PP-ARQ.
+	ARQConfig = pparq.Config
+	// ARQStats accounts every byte a transfer put on the air.
+	ARQStats = pparq.Stats
+	// Link is one direction of a wireless hop as PP-ARQ sees it.
+	Link = pparq.Link
+)
+
+// RunsFromLabels compresses per-symbol labels into the run-length
+// representation.
+func RunsFromLabels(labels []Label) Runs { return runlen.FromLabels(labels) }
+
+// OptimalChunks runs the Eq. 4/5 dynamic program over a labelled packet of
+// numSymbols 4-bit symbols, returning the minimum-overhead retransmission
+// request set.
+func OptimalChunks(rs Runs, numSymbols int) ChunkPlan {
+	return chunkdp.Optimal(rs, chunkdp.DefaultParams(numSymbols))
+}
+
+// NewAssembler returns a receiver-side assembler for a packet of
+// numSymbols symbols.
+func NewAssembler(numSymbols int) *Assembler { return recovery.New(numSymbols) }
+
+// NewARQSender builds a PP-ARQ sender for the src→dst hop: fwd carries
+// data and retransmissions to the receiver, rev carries feedback back.
+// Use Transfer for single packets, or TransferWindow for the streaming
+// mode of Sec. 5.2 that concatenates the window's feedback and
+// retransmissions into one control frame per round.
+func NewARQSender(fwd, rev Link, src, dst uint16, cfg ARQConfig) *ARQSender {
+	return pparq.NewSender(fwd, rev, src, dst, cfg)
+}
+
+// ---- Radio, testbed and simulation substrates ----
+
+type (
+	// ChannelParams is the propagation environment (path loss, shadowing,
+	// noise floor, carrier-sense threshold).
+	ChannelParams = radio.Params
+	// Position is a node location in feet.
+	Position = radio.Position
+	// Testbed is the 27-node, 9-room deployment of Fig. 7.
+	Testbed = testbed.Testbed
+	// SimConfig describes one simulated run (load, packet size, duration,
+	// carrier sense).
+	SimConfig = sim.Config
+	// Transmission is one scheduled packet on the air.
+	Transmission = sim.Transmission
+	// Outcome is the receiver pipeline's result for one transmission at
+	// one receiver under one variant.
+	Outcome = sim.Outcome
+	// SimVariant selects a receiver configuration to evaluate.
+	SimVariant = sim.Variant
+	// Modulator and Demodulator are the sample-level MSK transceiver.
+	Modulator = modem.Modulator
+	// Demodulator recovers chips (and timing) from MSK baseband samples.
+	Demodulator = modem.Demodulator
+)
+
+// DefaultChannelParams returns the simulated indoor environment used by
+// all experiments.
+func DefaultChannelParams() ChannelParams { return radio.DefaultParams() }
+
+// NewTestbed builds the deterministic 23-sender / 4-receiver deployment.
+func NewTestbed(params ChannelParams, seed uint64) *Testbed {
+	return testbed.New(params, seed)
+}
+
+// RunSim schedules traffic and delivers it through every receiver,
+// returning the transmissions and per-variant outcomes.
+func RunSim(cfg SimConfig, variants []SimVariant) ([]*Transmission, []Outcome) {
+	return sim.Run(cfg, variants)
+}
+
+// ---- Experiment entry points (Sec. 7) ----
+
+type (
+	// ExperimentOptions seeds and scales the reproduction runs.
+	ExperimentOptions = experiments.Options
+	// DeliveryFigure is the output shape of Figs. 8–10.
+	DeliveryFigure = experiments.DeliveryFigure
+	// DeliveryCurve is one per-link CDF within a delivery figure.
+	DeliveryCurve = experiments.DeliveryCurve
+	// HintCurve is one conditional hint CDF of Fig. 3.
+	HintCurve = experiments.HintCurve
+	// CollisionPoint is one codeword of a Fig. 13 timeline.
+	CollisionPoint = experiments.CollisionPoint
+	// CollisionResult is the Fig. 13 output.
+	CollisionResult = experiments.CollisionResult
+	// Fig16Result is the PP-ARQ retransmission-size distribution.
+	Fig16Result = experiments.Fig16Result
+	// SummaryRow is one measured-vs-paper headline comparison.
+	SummaryRow = experiments.SummaryRow
+	// Scheme identifies a recovery scheme in post-processing.
+	Scheme = experiments.Scheme
+	// DiversityResult compares single-receiver delivery against
+	// multi-receiver min-hint combining (the Sec. 8.4 extension).
+	DiversityResult = experiments.DiversityResult
+)
+
+// Post-processing schemes.
+const (
+	SchemePacketCRC = experiments.SchemePacketCRC
+	SchemeFragCRC   = experiments.SchemeFragCRC
+	SchemePPR       = experiments.SchemePPR
+)
+
+// Experiment entry points; each regenerates one table or figure of the
+// paper's evaluation section. See EXPERIMENTS.md for paper-vs-measured.
+var (
+	Fig3    = experiments.Fig3
+	Fig8    = experiments.Fig8
+	Fig9    = experiments.Fig9
+	Fig10   = experiments.Fig10
+	Fig11   = experiments.Fig11
+	Fig12   = experiments.Fig12
+	Fig13   = experiments.Fig13
+	Fig14   = experiments.Fig14
+	Fig15   = experiments.Fig15
+	Fig16   = experiments.Fig16
+	Table2  = experiments.Table2
+	Summary = experiments.Summary
+	// Diversity evaluates the multi-receiver combining extension.
+	Diversity = experiments.Diversity
+)

@@ -1,0 +1,165 @@
+package ppr
+
+import (
+	"bytes"
+	"testing"
+
+	"ppr/internal/frame"
+	"ppr/internal/stats"
+)
+
+// These tests exercise the public facade end to end, the way a downstream
+// user of the library would.
+
+func TestPublicRoundTrip(t *testing.T) {
+	payload := []byte("public api round trip")
+	f := NewFrame(7, 3, 1, payload)
+	rx := NewReceiver(HardDecoder{})
+	recs := rx.Receive(f.AirChips())
+	if len(recs) != 1 || !recs[0].CRCOK {
+		t.Fatalf("receptions: %+v", recs)
+	}
+	if !bytes.Equal(recs[0].PayloadBytes, payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestPublicLabelAndChunk(t *testing.T) {
+	payload := make([]byte, 120)
+	f := NewFrame(1, 2, 3, payload)
+	chips := f.AirChips()
+	// Destroy bytes 40..60 of the payload.
+	rng := stats.NewRNG(1)
+	base := (frame.SyncBytes + frame.HeaderBytes) * frame.ChipsPerByte
+	for i := base + 40*frame.ChipsPerByte; i < base+60*frame.ChipsPerByte; i++ {
+		chips[i] = byte(rng.Intn(2))
+	}
+	rx := NewReceiver(HardDecoder{})
+	var rec *Reception
+	for _, r := range rx.Receive(chips) {
+		if r.HeaderOK {
+			cp := r
+			rec = &cp
+		}
+	}
+	if rec == nil {
+		t.Fatal("no header-verified reception")
+	}
+	labels := DefaultThreshold().LabelAll(rec.MissingPrefix, rec.Decisions)
+	plan := OptimalChunks(RunsFromLabels(labels), len(labels))
+	if len(plan.Chunks) == 0 {
+		t.Fatal("no chunks for a corrupted packet")
+	}
+	// The chunk must cover the damaged symbol range [80, 120).
+	c := plan.Chunks[0]
+	if c.StartSym > 80 || c.EndSym < 120 {
+		t.Errorf("chunk [%d,%d) does not cover damage [80,120)", c.StartSym, c.EndSym)
+	}
+}
+
+// flakyLink corrupts the first transmission's tail, then goes clean.
+type flakyLink struct {
+	rx    *Receiver
+	count int
+}
+
+func (l *flakyLink) Transmit(f Frame) *Reception {
+	chips := f.AirChips()
+	l.count++
+	if l.count == 1 {
+		rng := stats.NewRNG(9)
+		for i := len(chips) / 3; i < len(chips)/2; i++ {
+			chips[i] = byte(rng.Intn(2))
+		}
+	}
+	recs := l.rx.Receive(chips)
+	for i := range recs {
+		if recs[i].HeaderOK {
+			return &recs[i]
+		}
+	}
+	return nil
+}
+
+func TestPublicARQTransfer(t *testing.T) {
+	fwd := &flakyLink{rx: NewReceiver(HardDecoder{})}
+	rev := &flakyLink{rx: NewReceiver(HardDecoder{}), count: 1} // reverse clean
+	s := NewARQSender(fwd, rev, 1, 2, ARQConfig{})
+	payload := make([]byte, 400)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	got, st, err := s.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("ARQ transfer corrupted payload")
+	}
+	if st.TotalAirBytes() == 0 {
+		t.Error("no air bytes accounted")
+	}
+}
+
+func TestPublicAdaptiveThreshold(t *testing.T) {
+	ad := NewAdaptiveThreshold(10, 1, 3)
+	for i := 0; i < 1000; i++ {
+		ad.Observe(0, true)
+		ad.Observe(15, false)
+	}
+	if eta := ad.Eta(); eta < 0 || eta >= 15 {
+		t.Errorf("learned eta %v", eta)
+	}
+}
+
+func TestPublicTestbedAndSim(t *testing.T) {
+	tb := NewTestbed(DefaultChannelParams(), 5)
+	if len(tb.Senders) != 23 || len(tb.Receivers) != 4 {
+		t.Fatal("wrong deployment size")
+	}
+	cfg := SimConfig{
+		Testbed: tb, OfferedBps: 6900, PacketBytes: 150,
+		DurationSec: 1.5, CarrierSense: false, Seed: 5,
+	}
+	txs, outs := RunSim(cfg, []SimVariant{{Name: "pa", UsePostamble: true}})
+	if len(txs) == 0 || len(outs) == 0 {
+		t.Fatalf("sim produced %d txs, %d outcomes", len(txs), len(outs))
+	}
+}
+
+func TestPublicExperimentEntryPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	o := ExperimentOptions{Seed: 2, Quick: true}
+	if rows := Table2(o); len(rows) != 5 {
+		t.Error("Table2 shape")
+	}
+	if res := Fig13(o); len(res.Packet1) == 0 {
+		t.Error("Fig13 shape")
+	}
+	if res := Fig16(o); res.Transfers == 0 {
+		t.Error("Fig16 shape")
+	}
+}
+
+func TestPublicConstantsCoherent(t *testing.T) {
+	if MaxPayload != 1500 {
+		t.Errorf("MaxPayload %d", MaxPayload)
+	}
+	if DefaultEta != 6 {
+		t.Errorf("DefaultEta %v", DefaultEta)
+	}
+	if AirBytes(0) != 34 {
+		t.Errorf("AirBytes(0) = %d", AirBytes(0))
+	}
+	if Good == Bad {
+		t.Error("labels collide")
+	}
+	if SyncPreamble == SyncPostamble {
+		t.Error("sync kinds collide")
+	}
+	if SchemePacketCRC == SchemePPR {
+		t.Error("schemes collide")
+	}
+}
