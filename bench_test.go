@@ -8,6 +8,7 @@
 package ppr
 
 import (
+	"runtime"
 	"testing"
 
 	"ppr/internal/chipseq"
@@ -19,7 +20,10 @@ import (
 	"ppr/internal/frame"
 	"ppr/internal/modem"
 	"ppr/internal/phy"
+	"ppr/internal/radio"
+	"ppr/internal/sim"
 	"ppr/internal/stats"
+	"ppr/internal/testbed"
 )
 
 func benchOpts(i int) experiments.Options {
@@ -118,6 +122,92 @@ func BenchmarkSummary(b *testing.B) {
 		if len(rows) == 0 {
 			b.Fatal("no summary rows")
 		}
+	}
+}
+
+// ---- Engine benchmarks: the parallel window pool and the trace cache ----
+
+// engineCfg is one moderately loaded operating point, scheduled once so the
+// benches time delivery only.
+func engineCfg(workers int) sim.Config {
+	return sim.Config{
+		Testbed:      testbed.New(radio.DefaultParams(), 1),
+		OfferedBps:   experiments.LoadHigh,
+		PacketBytes:  250,
+		DurationSec:  2,
+		CarrierSense: false,
+		Seed:         1,
+		Workers:      workers,
+	}
+}
+
+// BenchmarkEngineDeliver measures the delivery engine sequential vs
+// parallel over the identical schedule; the determinism test
+// (sim.TestDeliverWorkerCountInvariant) proves both produce the same trace,
+// so the ratio of these two numbers is pure engine speedup.
+func BenchmarkEngineDeliver(b *testing.B) {
+	txs := sim.Schedule(engineCfg(1))
+	variants := experiments.StandardVariants()
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", runtime.NumCPU()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := engineCfg(bc.workers)
+			for i := 0; i < b.N; i++ {
+				outs := sim.Deliver(cfg, txs, variants)
+				if len(outs) == 0 {
+					b.Fatal("no outcomes")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraceCache measures figure regeneration cold (every iteration
+// re-simulates) vs warm (iterations post-process the shared trace), the
+// speedup the paper's trace-driven methodology buys.
+func BenchmarkTraceCache(b *testing.B) {
+	o := experiments.Options{Seed: 1, Quick: true}
+	b.Run("cold", func(b *testing.B) {
+		c := experiments.NewTraceCache()
+		for i := 0; i < b.N; i++ {
+			c.Reset()
+			tr := c.Get(o, experiments.LoadHigh, false)
+			if len(tr.Outs) == 0 {
+				b.Fatal("empty trace")
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c := experiments.NewTraceCache()
+		c.Get(o, experiments.LoadHigh, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr := c.Get(o, experiments.LoadHigh, false)
+			if len(tr.Outs) == 0 {
+				b.Fatal("empty trace")
+			}
+		}
+	})
+}
+
+// BenchmarkEngineScenarios times a full simulation under each traffic
+// scenario, so workload cost is tracked alongside the paper's Poisson runs.
+func BenchmarkEngineScenarios(b *testing.B) {
+	for _, name := range []string{"poisson", "bursty", "periodic-jammer", "reactive-jammer"} {
+		b.Run(name, func(b *testing.B) {
+			o := experiments.Options{Seed: 1, Quick: true, Scenario: name}
+			for i := 0; i < b.N; i++ {
+				tr := experiments.NewTraceCache().Get(o, experiments.LoadModerate, true)
+				if len(tr.Txs) == 0 {
+					b.Fatal("no transmissions")
+				}
+			}
+		})
 	}
 }
 

@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	pprsim -exp fig8            # one experiment
-//	pprsim -exp all             # everything
-//	pprsim -exp summary -quick  # fast, noisier statistics
+//	pprsim -exp fig8                      # one experiment
+//	pprsim -exp all                       # everything (one sim per operating point)
+//	pprsim -exp summary -quick            # fast, noisier statistics
+//	pprsim -exp fig10 -scenario bursty    # on/off traffic instead of Poisson
+//	pprsim -exp fig10 -workers 2          # bound engine parallelism
 //
 // Experiments: layout, table2, fig3, fig8, fig9, fig10, fig11, fig12,
-// fig13, fig14, fig15, fig16, diversity, summary, all.
+// fig13, fig14, fig15, fig16, diversity, summary, all. Scenarios: see
+// -scenario's usage string; results are identical for every -workers value.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 
 	"ppr/internal/experiments"
 	"ppr/internal/radio"
+	"ppr/internal/scenario"
 	"ppr/internal/stats"
 	"ppr/internal/testbed"
 )
@@ -29,9 +33,16 @@ func main() {
 	exp := flag.String("exp", "summary", "experiment to run (layout, table2, fig3, fig8..fig16, summary, all)")
 	seed := flag.Uint64("seed", 1, "deployment and channel seed")
 	quick := flag.Bool("quick", false, "smaller packets and durations (noisier, much faster)")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores)")
+	scen := flag.String("scenario", "poisson",
+		"traffic scenario: "+strings.Join(scenario.Names(), ", "))
 	flag.Parse()
 
-	o := experiments.Options{Seed: *seed, Quick: *quick}
+	if _, err := scenario.ByName(*scen); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	o := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers, Scenario: *scen}
 	runners := map[string]func(experiments.Options){
 		"layout":    layout,
 		"table2":    table2,

@@ -1,0 +1,3 @@
+module ppr
+
+go 1.24

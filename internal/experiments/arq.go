@@ -143,9 +143,8 @@ func Summary(o Options) []SummaryRow {
 	var rows []SummaryRow
 
 	ratioAt := func(load float64, a, b Scheme) float64 {
-		tb := o.Bed()
-		cfg := o.simConfig(tb, load, false)
-		_, outs := simRunCached(cfg)
+		tr := o.Trace(load, false)
+		cfg, outs := tr.Cfg, tr.Outs
 		const variant = 1
 		am := median(ThroughputsKbps(PerLinkDelivery(outs, variant, a, p, cfg.PacketBytes), cfg.DurationSec))
 		bm := median(ThroughputsKbps(PerLinkDelivery(outs, variant, b, p, cfg.PacketBytes), cfg.DurationSec))

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"ppr/internal/sim"
 	"ppr/internal/stats"
 )
 
@@ -30,12 +29,11 @@ type DeliveryFigure struct {
 	Curves []DeliveryCurve
 }
 
-// deliveryFigure runs one operating point and post-processes all six
-// scheme/variant combinations.
+// deliveryFigure post-processes one operating point's shared trace under
+// all six scheme/variant combinations.
 func deliveryFigure(o Options, name string, offeredBps float64, carrierSense bool) DeliveryFigure {
-	tb := o.Bed()
-	cfg := o.simConfig(tb, offeredBps, carrierSense)
-	_, outs := sim.Run(cfg, StandardVariants())
+	tr := o.Trace(offeredBps, carrierSense)
+	cfg, outs := tr.Cfg, tr.Outs
 	p := DefaultSchemeParams()
 
 	fig := DeliveryFigure{Name: name, OfferedBps: offeredBps, CarrierSense: carrierSense}
@@ -88,9 +86,8 @@ type ThroughputFigure struct {
 // 6.9 Kbit/s/node offered load, carrier sense disabled, near channel
 // saturation.
 func Fig11(o Options) ThroughputFigure {
-	tb := o.Bed()
-	cfg := o.simConfig(tb, LoadMedium, false)
-	_, outs := sim.Run(cfg, StandardVariants())
+	tr := o.Trace(LoadMedium, false)
+	cfg, outs := tr.Cfg, tr.Outs
 	p := DefaultSchemeParams()
 
 	fig := ThroughputFigure{OfferedBps: LoadMedium}
@@ -137,13 +134,12 @@ type ScatterSeries struct {
 // packet CRC (circles) against fragmented CRC on the x axis, at all three
 // offered loads, carrier sense disabled, postamble decoding enabled.
 func Fig12(o Options) []ScatterSeries {
-	tb := o.Bed()
 	p := DefaultSchemeParams()
 	const variant = 1 // postamble decoding on
 	var series []ScatterSeries
 	for _, load := range Loads {
-		cfg := o.simConfig(tb, load, false)
-		_, outs := sim.Run(cfg, StandardVariants())
+		tr := o.Trace(load, false)
+		cfg, outs := tr.Cfg, tr.Outs
 		frag := PerLinkDelivery(outs, variant, SchemeFragCRC, p, cfg.PacketBytes)
 		for _, scheme := range []Scheme{SchemePacketCRC, SchemePPR} {
 			other := PerLinkDelivery(outs, variant, scheme, p, cfg.PacketBytes)
@@ -180,9 +176,8 @@ type Table2Row struct {
 // chunks. The paper runs it under load; we use the high-load, no-carrier-
 // sense point where the trade-off is sharpest.
 func Table2(o Options) []Table2Row {
-	tb := o.Bed()
-	cfg := o.simConfig(tb, LoadHigh, false)
-	_, outs := sim.Run(cfg, StandardVariants())
+	tr := o.Trace(LoadHigh, false)
+	cfg, outs := tr.Cfg, tr.Outs
 	const variant = 1
 
 	chunkCounts := []int{1, 10, 30, 100, 300}

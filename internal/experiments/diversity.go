@@ -30,9 +30,7 @@ type DiversityResult struct {
 // property-checked in the tests — and gains most under heavy collisions,
 // where different receivers lose different parts of a packet.
 func Diversity(o Options) DiversityResult {
-	tb := o.Bed()
-	cfg := o.simConfig(tb, LoadHigh, false)
-	_, outs := simRunCached(cfg)
+	outs := o.Trace(LoadHigh, false).Outs
 	const variant = 1
 	eta := DefaultSchemeParams().Eta
 

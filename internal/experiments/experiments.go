@@ -13,9 +13,11 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"ppr/internal/baseline"
 	"ppr/internal/radio"
+	"ppr/internal/scenario"
 	"ppr/internal/sim"
 	"ppr/internal/testbed"
 )
@@ -41,6 +43,12 @@ type Options struct {
 	// seconds (used by tests and -quick benches); the shapes survive, the
 	// statistics are just noisier.
 	Quick bool
+	// Workers bounds the simulation engine's parallelism; 0 means all
+	// cores. Results do not depend on it.
+	Workers int
+	// Scenario names the traffic scenario to run (see internal/scenario);
+	// "" means the paper's all-Poisson workload.
+	Scenario string
 }
 
 // PacketBytes returns the emulated packet size: the paper's 1500 bytes, or
@@ -65,8 +73,14 @@ func (o Options) Bed() *testbed.Testbed {
 	return testbed.New(radio.DefaultParams(), o.Seed)
 }
 
-// simConfig assembles the sim configuration for one operating point.
+// simConfig assembles the sim configuration for one operating point. It
+// panics on an unknown scenario name; CLI entry points validate the name
+// against scenario.Names() first.
 func (o Options) simConfig(tb *testbed.Testbed, offeredBps float64, carrierSense bool) sim.Config {
+	sc, err := scenario.ByName(o.Scenario)
+	if err != nil {
+		panic(err)
+	}
 	return sim.Config{
 		Testbed:      tb,
 		OfferedBps:   offeredBps,
@@ -74,6 +88,8 @@ func (o Options) simConfig(tb *testbed.Testbed, offeredBps float64, carrierSense
 		DurationSec:  o.DurationSec(),
 		CarrierSense: carrierSense,
 		Seed:         o.Seed ^ uint64(offeredBps) ^ boolBit(carrierSense)<<40,
+		Scenario:     sc,
+		Workers:      o.Workers,
 	}
 }
 
@@ -249,27 +265,113 @@ func ThroughputsKbps(acc map[LinkKey]LinkAccum, durationSec float64) []float64 {
 	return out
 }
 
-// simRunCached memoizes simulation runs within the process: Summary and
-// several figures share operating points, and the underlying traces are
-// deterministic in the config, so re-running them is pure waste.
-func simRunCached(cfg sim.Config) ([]*sim.Transmission, []sim.Outcome) {
-	// Testbeds are value-deterministic in their seed; key on an anchor
-	// position rather than the pointer so identically-built deployments hit.
-	key := fmt.Sprintf("%v|%v|%d|%v|%v|%d",
-		cfg.Testbed.Senders[0], cfg.OfferedBps, cfg.PacketBytes, cfg.DurationSec, cfg.CarrierSense, cfg.Seed)
-	if got, hit := simCache[key]; hit {
-		return got.txs, got.outs
-	}
-	txs, outs := sim.Run(cfg, StandardVariants())
-	simCache[key] = cachedRun{txs: txs, outs: outs}
-	return txs, outs
+// Trace is one memoized simulation run: the schedule and the full outcome
+// trace for the StandardVariants at one operating point. Experiments
+// post-process it; they never mutate it.
+type Trace struct {
+	// Cfg is the configuration the trace was produced under.
+	Cfg sim.Config
+	// Txs is the transmission schedule.
+	Txs []*sim.Transmission
+	// Outs is the per-(transmission, receiver, variant) outcome trace.
+	Outs []sim.Outcome
 }
 
-var simCache = map[string]cachedRun{}
+// traceKey identifies an operating point: everything that changes the trace.
+// Workers is deliberately absent — the engine guarantees worker count does
+// not change results.
+type traceKey struct {
+	seed         uint64
+	quick        bool
+	scenario     string
+	load         float64
+	carrierSense bool
+}
 
-type cachedRun struct {
-	txs  []*sim.Transmission
-	outs []sim.Outcome
+// TraceCache memoizes simulation traces by operating point. This is the
+// paper's own methodology made architectural: the testbed traces were
+// collected once and every recovery scheme was post-processed over the same
+// traces (Sec. 7.2), so the figures sharing an operating point — Fig. 9/10
+// with the hint CDFs and Table 2, Fig. 11/12 with Summary — must share one
+// simulation run instead of re-running it per figure. Safe for concurrent
+// use; a cache miss runs the simulator outside the lock, so distinct
+// operating points fill in parallel.
+type TraceCache struct {
+	mu      sync.Mutex
+	entries map[traceKey]*traceEntry
+	hits    int
+	misses  int
+}
+
+// traceEntry pairs the fill latch with its trace so an in-flight Get keeps
+// a handle to the entry it joined even if Reset swaps the map underneath.
+type traceEntry struct {
+	once sync.Once
+	tr   *Trace
+}
+
+// NewTraceCache returns an empty cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{entries: map[traceKey]*traceEntry{}}
+}
+
+// SharedTraces is the process-wide cache every experiment entry point draws
+// from, so a suite regenerating all figures simulates each operating point
+// exactly once.
+var SharedTraces = NewTraceCache()
+
+// Get returns the trace for (o, load, carrierSense), simulating it on first
+// use. Concurrent callers asking for the same point block until the single
+// simulation finishes; callers asking for different points proceed.
+func (c *TraceCache) Get(o Options, load float64, carrierSense bool) *Trace {
+	key := traceKey{
+		seed:         o.Seed,
+		quick:        o.Quick,
+		scenario:     o.Scenario,
+		load:         load,
+		carrierSense: carrierSense,
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &traceEntry{}
+		c.entries[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		cfg := o.simConfig(o.Bed(), load, carrierSense)
+		txs, outs := sim.Run(cfg, StandardVariants())
+		e.tr = &Trace{Cfg: cfg, Txs: txs, Outs: outs}
+	})
+	return e.tr
+}
+
+// Stats returns the cache's hit and miss counts so speedup claims can be
+// measured rather than asserted.
+func (c *TraceCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Reset drops every cached trace and zeroes the counters (cold-cache
+// benchmarks). Gets already in flight keep the entry they joined, so they
+// still return a complete trace.
+func (c *TraceCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[traceKey]*traceEntry{}
+	c.hits, c.misses = 0, 0
+}
+
+// Trace returns the shared-cache trace for one operating point under these
+// options — the entry point every figure uses.
+func (o Options) Trace(load float64, carrierSense bool) *Trace {
+	return SharedTraces.Get(o, load, carrierSense)
 }
 
 // StandardVariants returns the two receiver variants every capacity

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sync"
 	"testing"
 
 	"ppr/internal/phy"
@@ -452,17 +453,73 @@ func TestOptionsScaling(t *testing.T) {
 	}
 }
 
-func TestSimRunCachedHits(t *testing.T) {
+func TestTraceCacheHits(t *testing.T) {
+	c := NewTraceCache()
 	o := quickOpts()
-	tb := o.Bed()
-	cfg := o.simConfig(tb, LoadModerate, true)
-	tx1, _ := simRunCached(cfg)
-	tx2, _ := simRunCached(cfg)
-	if len(tx1) != len(tx2) {
-		t.Fatal("cache returned different traces")
+	tr1 := c.Get(o, LoadModerate, true)
+	tr2 := c.Get(o, LoadModerate, true)
+	if tr1 != tr2 {
+		t.Error("cache miss for identical operating point")
 	}
-	// Same backing arrays means the cache hit.
-	if len(tx1) > 0 && tx1[0] != tx2[0] {
-		t.Error("cache miss for identical config")
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	// A different operating point is a distinct trace.
+	tr3 := c.Get(o, LoadModerate, false)
+	if tr3 == tr1 {
+		t.Error("distinct operating points shared a trace")
+	}
+	// A different scenario is a distinct trace too.
+	o2 := o
+	o2.Scenario = "periodic-jammer"
+	if c.Get(o2, LoadModerate, true) == tr1 {
+		t.Error("distinct scenarios shared a trace")
+	}
+	c.Reset()
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("post-reset stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestTraceCacheConcurrentSingleRun(t *testing.T) {
+	c := NewTraceCache()
+	o := quickOpts()
+	const callers = 8
+	traces := make([]*Trace, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			traces[i] = c.Get(o, LoadModerate, true)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if traces[i] != traces[0] {
+			t.Fatal("concurrent callers got different traces")
+		}
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Errorf("misses=%d, want exactly 1 simulation", misses)
+	}
+}
+
+func TestFiguresShareTraces(t *testing.T) {
+	// Fig10, Fig14, Table2 and Diversity all post-process the high-load,
+	// no-carrier-sense trace; regenerating all four must simulate it once.
+	SharedTraces.Reset()
+	o := Options{Seed: 77, Quick: true}
+	Fig10(o)
+	h0, m0 := SharedTraces.Stats()
+	Fig14(o)
+	Table2(o)
+	Diversity(o)
+	h1, m1 := SharedTraces.Stats()
+	if m1 != m0 {
+		t.Errorf("extra simulations: misses %d -> %d", m0, m1)
+	}
+	if h1 != h0+3 {
+		t.Errorf("hits %d -> %d, want +3", h0, h1)
 	}
 }

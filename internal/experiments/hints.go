@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"ppr/internal/sim"
 	"ppr/internal/stats"
 )
 
@@ -23,9 +22,7 @@ type HintCurve struct {
 // codeword at one operating point, postamble decoding enabled (the paper's
 // receivers always run it).
 func hintTrace(o Options, offeredBps float64) (correct, incorrect []float64) {
-	tb := o.Bed()
-	cfg := o.simConfig(tb, offeredBps, false)
-	_, outs := sim.Run(cfg, StandardVariants())
+	outs := o.Trace(offeredBps, false).Outs
 	for i := range outs {
 		out := &outs[i]
 		if !out.Acquired || out.Variant != 1 {
@@ -78,9 +75,7 @@ type MissLengthCurve struct {
 // misses (incorrect codewords mislabelled good) for η ∈ {1, 2, 3, 4},
 // collected at high load where collisions dominate.
 func Fig14(o Options) []MissLengthCurve {
-	tb := o.Bed()
-	cfg := o.simConfig(tb, LoadHigh, false)
-	_, outs := sim.Run(cfg, StandardVariants())
+	outs := o.Trace(LoadHigh, false).Outs
 
 	var curves []MissLengthCurve
 	for _, eta := range []float64{1, 2, 3, 4} {

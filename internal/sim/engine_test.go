@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"ppr/internal/phy"
+	"ppr/internal/scenario"
+	"ppr/internal/testbed"
+)
+
+// TestDeliverWorkerCountInvariant is the engine's determinism regression
+// test: the trace must be bit-identical whether windows run on one
+// goroutine or many, because each window's randomness is keyed on
+// (seed, receiver, window origin), not on execution order.
+func TestDeliverWorkerCountInvariant(t *testing.T) {
+	cfg := smallCfg(13800, false, 31)
+	txs := Schedule(cfg)
+	vs := variants()
+
+	ref := cfg
+	ref.Workers = 1
+	want := Deliver(ref, txs, vs)
+	if len(want) == 0 {
+		t.Fatal("no outcomes")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par := cfg
+		par.Workers = workers
+		got := Deliver(par, txs, vs)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("outcomes differ between 1 and %d workers", workers)
+		}
+	}
+}
+
+func TestDeliverRepeatedRunsIdentical(t *testing.T) {
+	cfg := smallCfg(6900, true, 37)
+	txs := Schedule(cfg)
+	a := Deliver(cfg, txs, variants())
+	b := Deliver(cfg, txs, variants())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different traces")
+	}
+}
+
+func TestCorrectMaskEdgeCases(t *testing.T) {
+	truth := []byte{1, 2, 3, 4}
+
+	t.Run("missing prefix longer than payload", func(t *testing.T) {
+		o := &Outcome{
+			TruthSyms:     truth,
+			MissingPrefix: 10,
+			Decisions:     []phy.Decision{{Symbol: 1}, {Symbol: 2}},
+		}
+		mask := o.CorrectMask()
+		if len(mask) != len(truth) {
+			t.Fatalf("mask length %d, want %d", len(mask), len(truth))
+		}
+		for i, ok := range mask {
+			if ok {
+				t.Errorf("symbol %d marked correct with out-of-range prefix", i)
+			}
+		}
+	})
+
+	t.Run("truncated decisions", func(t *testing.T) {
+		// Postamble rollback: only the last two symbols decoded.
+		o := &Outcome{
+			TruthSyms:     truth,
+			MissingPrefix: 2,
+			Decisions:     []phy.Decision{{Symbol: 3}, {Symbol: 9}},
+		}
+		want := []bool{false, false, true, false}
+		if got := o.CorrectMask(); !reflect.DeepEqual(got, want) {
+			t.Errorf("mask %v, want %v", got, want)
+		}
+	})
+
+	t.Run("decisions overrun payload", func(t *testing.T) {
+		// More decisions than truth symbols (e.g. corrupt length field):
+		// the overrun must be ignored, not panic.
+		o := &Outcome{
+			TruthSyms:     truth,
+			MissingPrefix: 3,
+			Decisions:     []phy.Decision{{Symbol: 4}, {Symbol: 5}, {Symbol: 6}},
+		}
+		want := []bool{false, false, false, true}
+		if got := o.CorrectMask(); !reflect.DeepEqual(got, want) {
+			t.Errorf("mask %v, want %v", got, want)
+		}
+	})
+
+	t.Run("no decisions", func(t *testing.T) {
+		o := &Outcome{TruthSyms: truth}
+		for i, ok := range o.CorrectMask() {
+			if ok {
+				t.Errorf("symbol %d marked correct with no decisions", i)
+			}
+		}
+	})
+
+	t.Run("empty truth", func(t *testing.T) {
+		o := &Outcome{Decisions: []phy.Decision{{Symbol: 1}}}
+		if mask := o.CorrectMask(); len(mask) != 0 {
+			t.Errorf("mask %v for empty truth", mask)
+		}
+	})
+}
+
+func TestScheduleScenarioBursty(t *testing.T) {
+	cfg := smallCfg(6900, false, 41)
+	cfg.Scenario = scenario.BurstyTraffic()
+	txs := Schedule(cfg)
+	if len(txs) == 0 {
+		t.Fatal("bursty scenario scheduled nothing")
+	}
+	// Long-run load matches Poisson within Poisson slack (same bound as
+	// TestScheduleProducesTraffic).
+	if len(txs) < 100 || len(txs) > 600 {
+		t.Errorf("bursty scheduled %d transmissions, expected ~300", len(txs))
+	}
+	// Burstiness: the variance of per-interval counts must exceed the
+	// Poisson workload's (index of dispersion > 1 relative to Poisson).
+	dispersion := func(txs []*Transmission) float64 {
+		const bins = 30
+		endChip := int64(3 * 2_000_000)
+		counts := make([]float64, bins)
+		for _, tx := range txs {
+			b := int(tx.StartChip * bins / endChip)
+			if b >= 0 && b < bins {
+				counts[b]++
+			}
+		}
+		var mean float64
+		for _, c := range counts {
+			mean += c
+		}
+		mean /= bins
+		var v float64
+		for _, c := range counts {
+			v += (c - mean) * (c - mean)
+		}
+		return v / bins / mean
+	}
+	poisson := Schedule(smallCfg(6900, false, 41))
+	db, dp := dispersion(txs), dispersion(poisson)
+	if db <= dp {
+		t.Errorf("bursty dispersion %.2f not above poisson %.2f", db, dp)
+	}
+	t.Logf("index of dispersion: bursty %.2f, poisson %.2f (%d vs %d txs)",
+		db, dp, len(txs), len(poisson))
+}
+
+func TestScheduleScenarioPeriodicJammer(t *testing.T) {
+	cfg := smallCfg(3500, true, 43)
+	cfg.Scenario = scenario.PeriodicJammer()
+	txs := Schedule(cfg)
+	jams := 0
+	for _, tx := range txs {
+		if tx.Src == 0 {
+			jams++
+			if len(tx.Frame.Payload) != scenario.DefaultJammer().BurstBytes {
+				t.Fatalf("jam burst payload %d bytes, want %d",
+					len(tx.Frame.Payload), scenario.DefaultJammer().BurstBytes)
+			}
+		}
+	}
+	// 3 s at one burst per 50k chips (25 ms) ≈ 120 bursts.
+	if jams < 80 || jams > 160 {
+		t.Errorf("%d jam bursts, expected ~120", jams)
+	}
+	// The jammer degrades the rest of the network: delivery under jamming
+	// must be below the clean run's on at least one audible link.
+	clean := smallCfg(3500, true, 43)
+	rate := func(c Config) float64 {
+		_, outs := Run(c, variants())
+		acq, tot := 0, 0
+		for _, o := range outs {
+			if o.Variant != 1 || o.Src == 0 {
+				continue
+			}
+			tot++
+			if o.Acquired && o.CRCOK {
+				acq++
+			}
+		}
+		if tot == 0 {
+			return 0
+		}
+		return float64(acq) / float64(tot)
+	}
+	rj, rc := rate(cfg), rate(clean)
+	if rj >= rc {
+		t.Errorf("jammed delivery %.3f not below clean %.3f", rj, rc)
+	}
+	t.Logf("whole-packet delivery: clean %.3f, jammed %.3f over %d jam bursts", rc, rj, jams)
+}
+
+func TestScheduleScenarioReactiveJammer(t *testing.T) {
+	// High load so the channel is often busy: the reactive jammer must fire,
+	// but only a fraction of its sensing polls find energy.
+	cfg := smallCfg(13800, false, 47)
+	cfg.Scenario = scenario.ReactiveJammer()
+	txs := Schedule(cfg)
+	jams := 0
+	for _, tx := range txs {
+		if tx.Src == 0 {
+			jams++
+		}
+	}
+	polls := int(3 * 2_000_000 / scenario.DefaultReactiveJammer().PeriodChips)
+	if jams == 0 {
+		t.Fatal("reactive jammer never fired on a busy channel")
+	}
+	if jams >= polls {
+		t.Errorf("reactive jammer fired on all %d polls; sensing is not gating", polls)
+	}
+
+	// On a silent network (other senders produce no traffic) the reactive
+	// jammer must stay quiet. Offered load can't be zero, so use a scenario
+	// where only the jammer exists and the others idle via a tiny load.
+	quiet := smallCfg(13800, false, 47)
+	quiet.OfferedBps = 0.0001 // effectively silent
+	quiet.Scenario = scenario.ReactiveJammer()
+	qtxs := Schedule(quiet)
+	qjams := 0
+	for _, tx := range qtxs {
+		if tx.Src == 0 {
+			qjams++
+		}
+	}
+	if qjams > jams/4 {
+		t.Errorf("reactive jammer fired %d times on a near-silent channel (busy channel: %d)", qjams, jams)
+	}
+	t.Logf("reactive jammer: %d/%d polls fired busy, %d fired near-silent", jams, polls, qjams)
+}
+
+// TestReactiveJammerDoesNotSenseItself wires a reactive jammer whose poll
+// period is shorter than its own burst air time — the self-sensing trap: if
+// the jammer heard its own transmission, one trigger would make it fire
+// forever.
+func TestReactiveJammerDoesNotSenseItself(t *testing.T) {
+	fast := scenario.Jammer{PeriodChips: 3000, BurstBytes: 100, Reactive: true}
+	cfg := smallCfg(13800, false, 59)
+	cfg.OfferedBps = 0.0001 // near-silent victims
+	cfg.Scenario = scenario.WithJammer(scenario.Poisson(), fast)
+	txs := Schedule(cfg)
+	jams := 0
+	for _, tx := range txs {
+		if tx.Src == 0 {
+			jams++
+		}
+	}
+	// On a near-silent channel the jammer must stay (nearly) quiet even
+	// though its own bursts outlast its poll period.
+	polls := int(3 * 2_000_000 / fast.PeriodChips)
+	if jams > polls/10 {
+		t.Errorf("fast reactive jammer fired %d of %d polls on a silent channel (self-sustaining)", jams, polls)
+	}
+}
+
+func TestScheduleZeroValueBurstyTerminates(t *testing.T) {
+	// The zero-value Bursty model must fall back to sane defaults instead
+	// of emitting a degenerate arrival stream that never reaches the end of
+	// the run.
+	cfg := smallCfg(6900, false, 61)
+	cfg.Scenario = zeroBursty{}
+	txs := Schedule(cfg)
+	if len(txs) == 0 {
+		t.Fatal("zero-value bursty scheduled nothing")
+	}
+}
+
+type zeroBursty struct{}
+
+func (zeroBursty) Name() string { return "zero-bursty" }
+func (zeroBursty) Node(i, n int) scenario.Node {
+	return scenario.Node{Model: scenario.Bursty{}}
+}
+
+func TestScenarioTracesDiffer(t *testing.T) {
+	base := smallCfg(6900, false, 53)
+	jam := base
+	jam.Scenario = scenario.PeriodicJammer()
+	a := Schedule(base)
+	b := Schedule(jam)
+	if len(a) == len(b) {
+		// Lengths could coincide; compare sources to be sure.
+		same := true
+		for i := range a {
+			if a[i].Src != b[i].Src || a[i].StartChip != b[i].StartChip {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("jammer scenario produced the identical schedule")
+		}
+	}
+}
+
+func TestConfigWorkersResolution(t *testing.T) {
+	if (Config{}).workers() < 1 {
+		t.Error("default workers < 1")
+	}
+	if (Config{Workers: 3}).workers() != 3 {
+		t.Error("explicit workers not honoured")
+	}
+	if name := (Config{}).scenarioOrDefault().Name(); name != "poisson" {
+		t.Errorf("default scenario %q", name)
+	}
+	_ = testbed.NumSenders
+}

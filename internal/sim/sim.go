@@ -11,15 +11,30 @@
 // the same trace-driven methodology the paper uses ("each node sends a
 // stream of bits, which are formed into traces and post-processed",
 // Sec. 7.2).
+//
+// Delivery is embarrassingly parallel across (receiver, window) work units:
+// the chip streams different receivers observe are independent, and within
+// one receiver the synthesis windows are separated by silent gaps, so
+// Deliver fans the units out over a bounded worker pool. Each window draws
+// its randomness from an RNG derived deterministically from (seed, receiver,
+// window origin) — see stats.RNG.Derive — so results are bit-identical
+// regardless of worker count or scheduling order.
+//
+// Traffic generation is pluggable: Config.Scenario assigns each sender a
+// scenario.TrafficModel (Poisson by default, matching the paper; bursty
+// on/off sources and periodic/reactive jammers ship in internal/scenario).
 package sim
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"ppr/internal/frame"
 	"ppr/internal/mac"
 	"ppr/internal/phy"
 	"ppr/internal/radio"
+	"ppr/internal/scenario"
 	"ppr/internal/stats"
 	"ppr/internal/testbed"
 )
@@ -38,6 +53,28 @@ type Config struct {
 	CarrierSense bool
 	// Seed fixes traffic, backoff and channel noise.
 	Seed uint64
+	// Scenario assigns each sender a traffic model; nil means the paper's
+	// all-Poisson workload (scenario.Poisson()).
+	Scenario scenario.Scenario
+	// Workers bounds Deliver's parallelism; 0 means runtime.NumCPU(), 1
+	// forces the sequential path. Results do not depend on Workers.
+	Workers int
+}
+
+// workers resolves the configured worker count.
+func (cfg Config) workers() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// scenarioOrDefault resolves the configured scenario.
+func (cfg Config) scenarioOrDefault() scenario.Scenario {
+	if cfg.Scenario != nil {
+		return cfg.Scenario
+	}
+	return scenario.Poisson()
 }
 
 // Transmission is one packet on the air.
@@ -66,9 +103,10 @@ func (tx *Transmission) PayloadStartChip() int64 {
 	return tx.StartChip + int64((frame.SyncBytes+frame.HeaderBytes)*frame.ChipsPerByte)
 }
 
-// Schedule runs the traffic sources and MAC to produce the transmission
-// timeline. Payloads are deterministic pseudo-random test patterns (the
-// paper's "known test pattern") so receivers can score correctness.
+// Schedule runs the scenario's traffic sources and the MAC to produce the
+// transmission timeline. Payloads are deterministic pseudo-random test
+// patterns (the paper's "known test pattern") so receivers can score
+// correctness.
 func Schedule(cfg Config) []*Transmission {
 	rng := stats.NewRNG(cfg.Seed)
 	trafficRng := rng.Split()
@@ -77,6 +115,20 @@ func Schedule(cfg Config) []*Transmission {
 
 	tb := cfg.Testbed
 	endChip := mac.ChipsPerSecond(cfg.DurationSec)
+	sc := cfg.scenarioOrDefault()
+
+	nodes := make([]scenario.Node, testbed.NumSenders)
+	for i := range nodes {
+		nodes[i] = sc.Node(i, testbed.NumSenders)
+	}
+
+	pktBytes := make([]int, testbed.NumSenders)
+	for i, node := range nodes {
+		pktBytes[i] = cfg.PacketBytes
+		if node.PacketBytes > 0 {
+			pktBytes[i] = node.PacketBytes
+		}
+	}
 
 	type arrival struct {
 		chip int64
@@ -84,9 +136,13 @@ func Schedule(cfg Config) []*Transmission {
 	}
 	var arrivals []arrival
 	for i := 0; i < testbed.NumSenders; i++ {
-		ts := mac.NewTrafficSource(cfg.OfferedBps, cfg.PacketBytes, trafficRng.Split())
+		src := nodes[i].Model.Arrivals(scenario.Params{
+			OfferedBps:    cfg.OfferedBps,
+			PacketBytes:   pktBytes[i],
+			DurationChips: endChip,
+		}, trafficRng.Split())
 		for {
-			t := ts.Next()
+			t := src.Next()
 			if t >= endChip {
 				break
 			}
@@ -98,13 +154,16 @@ func Schedule(cfg Config) []*Transmission {
 	csma := mac.DefaultCSMA(radio.DBmToMW(tb.Params.CSThresholdDBm))
 	csma.Enabled = cfg.CarrierSense
 	noiseMW := radio.DBmToMW(tb.Params.NoiseFloorDBm)
+	csThresholdMW := radio.DBmToMW(tb.Params.CSThresholdDBm)
 
 	var txs []*Transmission
 	seqs := make([]uint16, testbed.NumSenders)
 	for _, a := range arrivals {
-		// Carrier sense against transmissions already committed: total
-		// received power at this sender.
-		busy := func(t int64) float64 {
+		node := nodes[a.src]
+		// Received power at this sender from transmissions already
+		// committed, optionally excluding its own (a node cannot sense the
+		// channel through its own ongoing transmission).
+		busyExcl := func(t int64, excludeSrc int) float64 {
 			total := noiseMW
 			for k := len(txs) - 1; k >= 0; k-- {
 				tx := txs[k]
@@ -118,15 +177,34 @@ func Schedule(cfg Config) []*Transmission {
 					}
 					continue
 				}
-				if tx.StartChip <= t {
+				if tx.StartChip <= t && tx.Src != excludeSrc {
 					total += radio.DBmToMW(tb.SenderGainDBm[tx.Src][a.src])
 				}
 			}
 			return total
 		}
-		start := csma.Decide(a.chip, busy, csmaRng)
+		// Carrier sense for CSMA keeps the seed behaviour: all committed
+		// transmissions count (a deferring sender is not yet on the air).
+		busy := func(t int64) float64 { return busyExcl(t, -1) }
+		var start int64
+		switch {
+		case node.Reactive:
+			// Sense-then-jam: fire only when the channel is audibly busy at
+			// the sensing instant; otherwise this arrival is just a poll.
+			// The jammer's own bursts are excluded from the sense, or a
+			// poll period shorter than the burst air time would make it
+			// self-sustaining on a silent channel.
+			if busyExcl(a.chip, a.src) < csThresholdMW {
+				continue
+			}
+			start = a.chip
+		case node.IgnoreCarrierSense:
+			start = a.chip
+		default:
+			start = csma.Decide(a.chip, busy, csmaRng)
+		}
 
-		payload := make([]byte, cfg.PacketBytes)
+		payload := make([]byte, pktBytes[a.src])
 		for bi := range payload {
 			payload[bi] = byte(payloadRng.Intn(256))
 		}
@@ -222,33 +300,39 @@ const ScoringMarginDB = 3
 // closes the current window.
 const guardChips = 2048
 
-// Deliver synthesizes every receiver's chip stream window by window and
-// runs each variant's receiver over it, returning outcomes for every
-// (audible transmission, receiver, variant). A transmission audible at a
-// receiver with no matching reception yields an Outcome with
-// Acquired=false — those count against delivery rates exactly like the
-// paper's lost packets.
-func Deliver(cfg Config, txs []*Transmission, variants []Variant) []Outcome {
-	tb := cfg.Testbed
-	noiseMW := radio.DBmToMW(tb.Params.NoiseFloorDBm)
-	floorMW := radio.DBmToMW(tb.Params.NoiseFloorDBm - interferenceFloorDB)
-	rng := stats.NewRNG(cfg.Seed ^ 0xdeadbeef)
+// audibleTx is one transmission as heard at a particular receiver.
+type audibleTx struct {
+	tx      *Transmission
+	powerMW float64
+}
 
-	var outcomes []Outcome
+// window is one independent delivery work unit: a burst of transmissions
+// audible at one receiver, isolated from the rest of the run by silent
+// guard gaps on both sides.
+type window struct {
+	receiver int
+	// origin and length bound the synthesis window in absolute chips.
+	origin int64
+	length int
+	// members are the audible transmissions inside the window.
+	members []audibleTx
+}
+
+// buildWindows clusters each receiver's audible transmissions into windows
+// separated by silent gaps. This is the cheap, sequential part of delivery;
+// the expensive synthesis + decode over each window fans out to workers.
+func buildWindows(cfg Config, txs []*Transmission) []window {
+	tb := cfg.Testbed
+	floorMW := radio.DBmToMW(tb.Params.NoiseFloorDBm - interferenceFloorDB)
+	var windows []window
 	for j := 0; j < testbed.NumReceivers; j++ {
-		chanRng := rng.Split()
 		// Audible set at this receiver, with per-tx received power.
-		type audibleTx struct {
-			tx      *Transmission
-			powerMW float64
-		}
 		var aud []audibleTx
 		for _, tx := range txs {
 			if p := tb.RxPowerMW(tx.Src, j); p >= floorMW {
 				aud = append(aud, audibleTx{tx, p})
 			}
 		}
-		// Cluster into windows separated by silent gaps.
 		for wStart := 0; wStart < len(aud); {
 			wEnd := wStart + 1
 			maxEnd := aud[wStart].tx.EndChip()
@@ -260,62 +344,146 @@ func Deliver(cfg Config, txs []*Transmission, variants []Variant) []Outcome {
 			}
 			// Window bounds with margin.
 			origin := aud[wStart].tx.StartChip - 64
-			length := int(maxEnd-origin) + 64
-			overlaps := make([]radio.Overlap, 0, wEnd-wStart)
-			for k := wStart; k < wEnd; k++ {
-				overlaps = append(overlaps, radio.Overlap{
-					Start:   int(aud[k].tx.StartChip - origin),
-					Chips:   aud[k].tx.Frame.AirChips(),
-					PowerMW: aud[k].powerMW,
-				})
-			}
-			chips := radio.SynthesizeFading(chanRng, length, overlaps, noiseMW, radio.DefaultCoherenceChips)
-			// The sync scan is variant-independent: do it once per window.
-			buf := frame.NewChipBuffer(chips)
-			syncs := frame.FindSyncs(buf, frame.DefaultSyncMaxDist)
-
-			for vi, v := range variants {
-				dec := v.Decoder
-				if dec == nil {
-					dec = phy.HardDecoder{}
-				}
-				rx := frame.NewReceiver(dec)
-				rx.UsePostamble = v.UsePostamble
-				recs := rx.ReceiveSynced(buf, syncs)
-				// Match receptions to transmissions by payload start chip.
-				recByStart := map[int64]*frame.Reception{}
-				for ri := range recs {
-					if !recs[ri].HeaderOK {
-						continue
-					}
-					abs := origin + int64(recs[ri].PayloadStartChip)
-					if cur, dup := recByStart[abs]; !dup || len(recs[ri].Decisions) > len(cur.Decisions) {
-						recByStart[abs] = &recs[ri]
-					}
-				}
-				for k := wStart; k < wEnd; k++ {
-					tx := aud[k].tx
-					if tb.GainDBm[tx.Src][j] < tb.Params.NoiseFloorDBm+ScoringMarginDB {
-						continue // interference-only pair, not a link
-					}
-					o := Outcome{
-						TxID: tx.ID, Src: tx.Src, Receiver: j, Variant: vi,
-						TruthSyms: tx.TruthSyms,
-					}
-					if rec := recByStart[tx.PayloadStartChip()]; rec != nil &&
-						rec.Hdr.Src == tx.Frame.Hdr.Src && rec.Hdr.Seq == tx.Frame.Hdr.Seq {
-						o.Acquired = true
-						o.Kind = rec.Kind
-						o.CRCOK = rec.CRCOK
-						o.MissingPrefix = rec.MissingPrefix
-						o.Decisions = rec.Decisions
-					}
-					outcomes = append(outcomes, o)
-				}
-			}
+			windows = append(windows, window{
+				receiver: j,
+				origin:   origin,
+				length:   int(maxEnd-origin) + 64,
+				members:  aud[wStart:wEnd],
+			})
 			wStart = wEnd
 		}
 	}
+	return windows
+}
+
+// deliverWindow synthesizes one window's chip stream and runs every variant's
+// receiver over it. rng must be dedicated to this window.
+func deliverWindow(cfg Config, w window, variants []Variant, rng *stats.RNG) []Outcome {
+	tb := cfg.Testbed
+	noiseMW := radio.DBmToMW(tb.Params.NoiseFloorDBm)
+
+	overlaps := make([]radio.Overlap, 0, len(w.members))
+	for _, m := range w.members {
+		overlaps = append(overlaps, radio.Overlap{
+			Start:   int(m.tx.StartChip - w.origin),
+			Chips:   m.tx.Frame.AirChips(),
+			PowerMW: m.powerMW,
+		})
+	}
+	chips := radio.SynthesizeFading(rng, w.length, overlaps, noiseMW, radio.DefaultCoherenceChips)
+	// The sync scan is variant-independent: do it once per window.
+	buf := frame.NewChipBuffer(chips)
+	syncs := frame.FindSyncs(buf, frame.DefaultSyncMaxDist)
+
+	var outcomes []Outcome
+	for vi, v := range variants {
+		dec := v.Decoder
+		if dec == nil {
+			dec = phy.HardDecoder{}
+		}
+		rx := frame.NewReceiver(dec)
+		rx.UsePostamble = v.UsePostamble
+		recs := rx.ReceiveSynced(buf, syncs)
+		// Match receptions to transmissions by payload start chip.
+		recByStart := map[int64]*frame.Reception{}
+		for ri := range recs {
+			if !recs[ri].HeaderOK {
+				continue
+			}
+			abs := w.origin + int64(recs[ri].PayloadStartChip)
+			if cur, dup := recByStart[abs]; !dup || len(recs[ri].Decisions) > len(cur.Decisions) {
+				recByStart[abs] = &recs[ri]
+			}
+		}
+		for _, m := range w.members {
+			tx := m.tx
+			if tb.GainDBm[tx.Src][w.receiver] < tb.Params.NoiseFloorDBm+ScoringMarginDB {
+				continue // interference-only pair, not a link
+			}
+			o := Outcome{
+				TxID: tx.ID, Src: tx.Src, Receiver: w.receiver, Variant: vi,
+				TruthSyms: tx.TruthSyms,
+			}
+			if rec := recByStart[tx.PayloadStartChip()]; rec != nil &&
+				rec.Hdr.Src == tx.Frame.Hdr.Src && rec.Hdr.Seq == tx.Frame.Hdr.Seq {
+				o.Acquired = true
+				o.Kind = rec.Kind
+				o.CRCOK = rec.CRCOK
+				o.MissingPrefix = rec.MissingPrefix
+				o.Decisions = rec.Decisions
+			}
+			outcomes = append(outcomes, o)
+		}
+	}
+	return outcomes
+}
+
+// Deliver synthesizes every receiver's chip stream window by window and
+// runs each variant's receiver over it, returning outcomes for every
+// (audible transmission, receiver, variant). A transmission audible at a
+// receiver with no matching reception yields an Outcome with
+// Acquired=false — those count against delivery rates exactly like the
+// paper's lost packets.
+//
+// Windows execute on cfg.Workers goroutines; each window's randomness is
+// derived from (cfg.Seed, receiver, window origin), so the returned trace is
+// identical for every worker count. Outcomes are ordered by (receiver,
+// transmission, variant).
+func Deliver(cfg Config, txs []*Transmission, variants []Variant) []Outcome {
+	windows := buildWindows(cfg, txs)
+	base := stats.NewRNG(cfg.Seed ^ 0xdeadbeef)
+	windowRNG := func(w window) *stats.RNG {
+		return base.Derive(uint64(w.receiver), uint64(w.origin))
+	}
+
+	var outcomes []Outcome
+	workers := cfg.workers()
+	if workers > len(windows) {
+		workers = len(windows)
+	}
+	if workers <= 1 {
+		for _, w := range windows {
+			outcomes = append(outcomes, deliverWindow(cfg, w, variants, windowRNG(w))...)
+		}
+	} else {
+		jobs := make(chan window)
+		results := make(chan []Outcome, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for w := range jobs {
+					results <- deliverWindow(cfg, w, variants, windowRNG(w))
+				}
+			}()
+		}
+		go func() {
+			for _, w := range windows {
+				jobs <- w
+			}
+			close(jobs)
+			wg.Wait()
+			close(results)
+		}()
+		// Collector: stream window batches into one trace as they complete.
+		for batch := range results {
+			outcomes = append(outcomes, batch...)
+		}
+	}
+	// Completion order is nondeterministic under parallelism; (receiver,
+	// transmission, variant) is unique per outcome, so sorting restores a
+	// canonical order.
+	sort.Slice(outcomes, func(a, b int) bool {
+		oa, ob := &outcomes[a], &outcomes[b]
+		if oa.Receiver != ob.Receiver {
+			return oa.Receiver < ob.Receiver
+		}
+		if oa.TxID != ob.TxID {
+			return oa.TxID < ob.TxID
+		}
+		return oa.Variant < ob.Variant
+	})
 	return outcomes
 }
 

@@ -1,0 +1,79 @@
+package stats
+
+import "testing"
+
+func stream(r *RNG, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	return out
+}
+
+func equal(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDeriveReproducible(t *testing.T) {
+	parent := NewRNG(42)
+	a := stream(parent.Derive(3, 1000), 64)
+	b := stream(parent.Derive(3, 1000), 64)
+	if !equal(a, b) {
+		t.Fatal("same key derived different streams")
+	}
+}
+
+func TestDeriveDoesNotAdvanceParent(t *testing.T) {
+	a := NewRNG(7)
+	b := NewRNG(7)
+	a.Derive(1)
+	a.Derive(2, 3)
+	if !equal(stream(a, 32), stream(b, 32)) {
+		t.Fatal("Derive advanced the parent's stream")
+	}
+}
+
+func TestDeriveKeysDecoupled(t *testing.T) {
+	parent := NewRNG(1)
+	seen := map[uint64]bool{}
+	for _, key := range [][]uint64{{0}, {1}, {0, 0}, {0, 1}, {1, 0}, {1 << 40}, {0, 1 << 40}} {
+		first := parent.Derive(key...).Uint64()
+		if seen[first] {
+			t.Fatalf("key %v collided on first draw", key)
+		}
+		seen[first] = true
+	}
+	// Streams from adjacent keys must not be shifted copies of each other.
+	s0 := stream(parent.Derive(0), 64)
+	s1 := stream(parent.Derive(1), 64)
+	for shift := 0; shift < 8; shift++ {
+		if equal(s0[shift:], s1[:len(s1)-shift]) {
+			t.Fatalf("streams for keys 0 and 1 are shift-%d copies", shift)
+		}
+	}
+}
+
+func TestDeriveDependsOnParentState(t *testing.T) {
+	if NewRNG(1).Derive(9).Uint64() == NewRNG(2).Derive(9).Uint64() {
+		t.Fatal("different parents derived the same child")
+	}
+}
+
+func TestDeriveChildIsUsable(t *testing.T) {
+	// The child must produce sane uniform output (smoke: mean of Float64
+	// near 0.5).
+	r := NewRNG(11).Derive(5, 6)
+	var sum float64
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Errorf("derived stream mean %.3f, want ~0.5", mean)
+	}
+}

@@ -28,18 +28,39 @@ func NewRNG(seed uint64) *RNG {
 	x := seed
 	for i := range r.s {
 		x += 0x9e3779b97f4a7c15
-		z := x
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
+		r.s[i] = mix64(x)
 	}
 	return r
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche mix.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Split derives an independent child generator; stream i of a parent seeded
 // with s is decoupled from both the parent and siblings.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// Derive returns a child generator keyed on the parent's current state and
+// the given values, without advancing the parent. Two Derive calls with the
+// same key yield identical streams, and calls with different keys yield
+// decoupled streams — so work units identified by stable coordinates (e.g. a
+// simulation's (receiver, window origin)) get reproducible randomness no
+// matter how many goroutines process them or in what order. Derive reads the
+// parent's state, so it must not race with methods that advance it (Uint64
+// and everything built on it); concurrent Derive calls on a quiescent parent
+// are safe.
+func (r *RNG) Derive(vals ...uint64) *RNG {
+	x := r.s[0] ^ rotl(r.s[1], 13) ^ rotl(r.s[2], 29) ^ rotl(r.s[3], 47)
+	for _, v := range vals {
+		x = mix64(x ^ (v + 0x9e3779b97f4a7c15))
+	}
+	return NewRNG(x)
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

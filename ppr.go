@@ -26,6 +26,28 @@
 // roof so the paper's full evaluation — every table and figure — can be
 // regenerated; see cmd/pprsim and the Fig*/Table*/Summary functions.
 //
+// # Simulation engine and scenarios
+//
+// The simulator follows the paper's trace-driven methodology (Sec. 7.2):
+// RunSim schedules traffic, synthesizes every receiver's chip stream and
+// returns a symbol-level outcome trace that the experiment code
+// post-processes under each recovery scheme. Delivery fans out over
+// independent (receiver, window) work units on SimConfig.Workers
+// goroutines; every window derives its randomness from (seed, receiver,
+// window origin), so traces are bit-identical for any worker count. The
+// experiment entry points share one TraceCache (ExperimentOptions.Trace),
+// simulating each (seed, scenario, load, carrier-sense) operating point
+// exactly once per process however many figures post-process it.
+//
+// Workloads are pluggable through SimConfig.Scenario: the default Scenario
+// is the paper's all-Poisson traffic, and internal/scenario also ships
+// bursty on/off sources (BurstyTrafficScenario) and periodic or reactive
+// jammer nodes (PeriodicJammerScenario, ReactiveJammerScenario) motivated
+// by the anti-jamming literature; ScenarioByName resolves the CLI names.
+// New models implement TrafficModel. See DESIGN.md for the engine's
+// architecture and examples/jammer for a complete adversarial-workload
+// program.
+//
 // # Quick start
 //
 //	f := ppr.NewFrame(dst, src, seq, payload)
@@ -51,6 +73,7 @@ import (
 	"ppr/internal/modem"
 	"ppr/internal/phy"
 	"ppr/internal/radio"
+	"ppr/internal/scenario"
 	"ppr/internal/sim"
 	"ppr/internal/testbed"
 )
@@ -232,10 +255,58 @@ func NewTestbed(params ChannelParams, seed uint64) *Testbed {
 }
 
 // RunSim schedules traffic and delivers it through every receiver,
-// returning the transmissions and per-variant outcomes.
+// returning the transmissions and per-variant outcomes. Delivery runs on
+// cfg.Workers goroutines (0 = all cores) with results independent of the
+// worker count.
 func RunSim(cfg SimConfig, variants []SimVariant) ([]*Transmission, []Outcome) {
 	return sim.Run(cfg, variants)
 }
+
+// ---- Traffic scenarios ----
+
+type (
+	// Scenario assigns each simulated sender a traffic model and jammer
+	// flags; plug one into SimConfig.Scenario or ExperimentOptions.Scenario.
+	Scenario = scenario.Scenario
+	// TrafficModel generates one sender's packet arrival process; implement
+	// it to add a new workload.
+	TrafficModel = scenario.TrafficModel
+	// ScenarioNode is one sender's behaviour under a scenario.
+	ScenarioNode = scenario.Node
+	// JammerModel is the adversarial periodic / sense-then-jam node.
+	JammerModel = scenario.Jammer
+	// BurstyModel is the Markov-modulated on/off traffic source.
+	BurstyModel = scenario.Bursty
+	// TraceCache memoizes simulation traces by operating point.
+	TraceCache = experiments.TraceCache
+)
+
+// PoissonScenario returns the paper's workload: every sender a Poisson
+// source at the configured offered load.
+func PoissonScenario() Scenario { return scenario.Poisson() }
+
+// BurstyTrafficScenario returns the all-bursty on/off workload with the
+// same long-run offered load as Poisson.
+func BurstyTrafficScenario() Scenario { return scenario.BurstyTraffic() }
+
+// PeriodicJammerScenario returns Poisson traffic with sender 0 replaced by
+// a periodic jammer.
+func PeriodicJammerScenario() Scenario { return scenario.PeriodicJammer() }
+
+// ReactiveJammerScenario returns Poisson traffic with sender 0 replaced by
+// a sense-then-jam jammer.
+func ReactiveJammerScenario() Scenario { return scenario.ReactiveJammer() }
+
+// WithJammerScenario overlays jammer j on sender 0 of base.
+func WithJammerScenario(base Scenario, j JammerModel) Scenario {
+	return scenario.WithJammer(base, j)
+}
+
+// ScenarioByName resolves a scenario by CLI name; ScenarioNames lists them.
+func ScenarioByName(name string) (Scenario, error) { return scenario.ByName(name) }
+
+// ScenarioNames lists the registered scenario names.
+func ScenarioNames() []string { return scenario.Names() }
 
 // ---- Experiment entry points (Sec. 7) ----
 

@@ -143,6 +143,55 @@ func TestPublicExperimentEntryPoints(t *testing.T) {
 	}
 }
 
+func TestPublicScenariosAndEngine(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) < 4 {
+		t.Fatalf("scenario registry too small: %v", names)
+	}
+	for _, n := range names {
+		sc, err := ScenarioByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Name() != n {
+			t.Errorf("scenario %q resolves to %q", n, sc.Name())
+		}
+	}
+	if _, err := ScenarioByName("bogus"); err == nil {
+		t.Error("unknown scenario name did not error")
+	}
+
+	// A jammer run through the public facade: sender 0 transmits bursts,
+	// and results are identical across worker counts.
+	tb := NewTestbed(DefaultChannelParams(), 5)
+	cfg := SimConfig{
+		Testbed: tb, OfferedBps: 6900, PacketBytes: 150,
+		DurationSec: 1.5, CarrierSense: true, Seed: 5,
+		Scenario: PeriodicJammerScenario(), Workers: 1,
+	}
+	txs, outs1 := RunSim(cfg, []SimVariant{{Name: "pa", UsePostamble: true}})
+	jams := 0
+	for _, tx := range txs {
+		if tx.Src == 0 {
+			jams++
+		}
+	}
+	if jams == 0 {
+		t.Error("jammer scenario produced no jam bursts")
+	}
+	cfg.Workers = 4
+	_, outs4 := RunSim(cfg, []SimVariant{{Name: "pa", UsePostamble: true}})
+	if len(outs1) != len(outs4) {
+		t.Fatalf("worker count changed outcome count: %d vs %d", len(outs1), len(outs4))
+	}
+	for i := range outs1 {
+		if outs1[i].TxID != outs4[i].TxID || outs1[i].Acquired != outs4[i].Acquired ||
+			outs1[i].CRCOK != outs4[i].CRCOK {
+			t.Fatal("worker count changed outcomes")
+		}
+	}
+}
+
 func TestPublicConstantsCoherent(t *testing.T) {
 	if MaxPayload != 1500 {
 		t.Errorf("MaxPayload %d", MaxPayload)
