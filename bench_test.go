@@ -21,6 +21,7 @@ import (
 	"ppr/internal/modem"
 	"ppr/internal/phy"
 	"ppr/internal/radio"
+	"ppr/internal/schemes"
 	"ppr/internal/sim"
 	"ppr/internal/stats"
 	"ppr/internal/testbed"
@@ -53,7 +54,7 @@ func BenchmarkTable2(b *testing.B) {
 func BenchmarkFig8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		fig := experiments.Fig8(benchOpts(i))
-		if len(fig.Curves) != 6 {
+		if len(fig.Curves) != 2*len(schemes.All()) {
 			b.Fatal("wrong curve count")
 		}
 	}
@@ -193,6 +194,54 @@ func BenchmarkTraceCache(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSchemePostProcess times one registered scheme's post-processing
+// pass over a shared high-load trace, masks precomputed — the marginal cost
+// of one figure curve, per scheme (the FEC family's trellis work shows up
+// here; its clean-block fast path keeps it proportional to damage).
+func BenchmarkSchemePostProcess(b *testing.B) {
+	o := experiments.Options{Seed: 1, Quick: true}
+	tr := o.Trace(experiments.LoadHigh, false)
+	pp := tr.Post(0)
+	p := experiments.DefaultSchemeParams()
+	for _, s := range schemes.All() {
+		b.Run(schemes.Slug(s.Name()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				acc := pp.PerLinkDelivery(1, s, p)
+				if len(acc) == 0 {
+					b.Fatal("no links")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPostProcessWorkers measures figure post-processing sequential vs
+// parallel over the same trace; TestPerLinkDeliveryWorkerInvariant proves
+// both produce identical accumulators, so the ratio is pure speedup.
+func BenchmarkPostProcessWorkers(b *testing.B) {
+	o := experiments.Options{Seed: 1, Quick: true}
+	tr := o.Trace(experiments.LoadHigh, false)
+	p := experiments.DefaultSchemeParams()
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", runtime.NumCPU()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			pp := tr.Post(bc.workers)
+			for i := 0; i < b.N; i++ {
+				for _, s := range schemes.All() {
+					if acc := pp.PerLinkDelivery(1, s, p); len(acc) == 0 {
+						b.Fatal("no links")
+					}
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkEngineScenarios times a full simulation under each traffic

@@ -9,10 +9,13 @@
 //	pprsim -exp summary -quick            # fast, noisier statistics
 //	pprsim -exp fig10 -scenario bursty    # on/off traffic instead of Poisson
 //	pprsim -exp fig10 -workers 2          # bound engine parallelism
+//	pprsim -exp fig8 -schemes ppr,fec     # pick the delivery-figure curves
+//	pprsim -list-schemes                  # registered recovery schemes
 //
 // Experiments: layout, table2, fig3, fig8, fig9, fig10, fig11, fig12,
-// fig13, fig14, fig15, fig16, diversity, summary, all. Scenarios: see
-// -scenario's usage string; results are identical for every -workers value.
+// fig13, fig14, fig15, fig16, diversity, summary, all. Scenarios and
+// recovery schemes are registry-backed: -list-scenarios and -list-schemes
+// print the names. Results are identical for every -workers value.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"ppr/internal/experiments"
 	"ppr/internal/radio"
 	"ppr/internal/scenario"
+	"ppr/internal/schemes"
 	"ppr/internal/stats"
 	"ppr/internal/testbed"
 )
@@ -36,13 +40,42 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores)")
 	scen := flag.String("scenario", "poisson",
 		"traffic scenario: "+strings.Join(scenario.Names(), ", "))
+	schemesFlag := flag.String("schemes", "",
+		"comma-separated recovery schemes for the delivery figures (default all registered: "+
+			strings.Join(schemes.Names(), ", ")+")")
+	listScenarios := flag.Bool("list-scenarios", false, "print registered scenario names and exit")
+	listSchemes := flag.Bool("list-schemes", false, "print registered recovery scheme names and exit")
 	flag.Parse()
 
+	if *listScenarios {
+		for _, n := range scenario.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *listSchemes {
+		for _, n := range schemes.Names() {
+			s, _ := schemes.ByName(n)
+			fmt.Printf("%-20s %s\n", n, s.Name())
+		}
+		return
+	}
 	if _, err := scenario.ByName(*scen); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	o := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers, Scenario: *scen}
+	var schemeNames []string
+	if *schemesFlag != "" {
+		for _, name := range strings.Split(*schemesFlag, ",") {
+			name = strings.TrimSpace(name)
+			if _, err := schemes.ByName(name); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			schemeNames = append(schemeNames, name)
+		}
+	}
+	o := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers, Scenario: *scen, Schemes: schemeNames}
 	runners := map[string]func(experiments.Options){
 		"layout":    layout,
 		"table2":    table2,
@@ -176,7 +209,7 @@ func fig12(o experiments.Options) {
 			med = stats.Median(ratios)
 		}
 		fmt.Printf("%-12s at %s: %3d links, %3d at/above diagonal, median y/x ratio %.2f\n",
-			s.Scheme, experiments.LoadName(s.OfferedBps), total, above, med)
+			s.Scheme.Name(), experiments.LoadName(s.OfferedBps), total, above, med)
 	}
 	fmt.Println("(paper: PPR above fragmented CRC by a roughly constant factor; packet CRC far below)")
 }

@@ -16,6 +16,7 @@ import (
 
 	"ppr/internal/experiments"
 	"ppr/internal/radio"
+	"ppr/internal/schemes"
 	"ppr/internal/sim"
 	"ppr/internal/testbed"
 )
@@ -64,13 +65,14 @@ func main() {
 		}
 	case "links":
 		p := experiments.DefaultSchemeParams()
+		pp := experiments.NewPost(outs, cfg.PacketBytes, 0)
 		fmt.Fprintln(w, "src,receiver,scheme,postamble,packets,delivered_bytes,sent_bytes,rate")
-		for _, scheme := range []experiments.Scheme{experiments.SchemePacketCRC, experiments.SchemeFragCRC, experiments.SchemePPR} {
+		for _, scheme := range schemes.All() {
 			for variant := 0; variant < 2; variant++ {
-				acc := experiments.PerLinkDelivery(outs, variant, scheme, p, cfg.PacketBytes)
+				acc := pp.PerLinkDelivery(variant, scheme, p)
 				for k, a := range acc {
 					fmt.Fprintf(w, "%d,%d,%s,%d,%d,%d,%d,%g\n",
-						k.Src, k.Rcv, scheme, variant, a.Packets, a.DeliveredBytes, a.SentBytes, a.Rate())
+						k.Src, k.Rcv, schemes.Slug(scheme.Name()), variant, a.Packets, a.DeliveredBytes, a.SentBytes, a.Rate())
 				}
 			}
 		}

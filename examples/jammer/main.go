@@ -71,8 +71,11 @@ func main() {
 				victims = append(victims, o)
 			}
 		}
-		rate := func(scheme ppr.Scheme) float64 {
-			acc := experiments.PerLinkDelivery(victims, 0, scheme, p, cfg.PacketBytes)
+		// One post-processor per scenario shares the correctness masks
+		// between the two schemes scored.
+		pp := experiments.NewPost(victims, cfg.PacketBytes, *workers)
+		rate := func(scheme ppr.RecoveryScheme) float64 {
+			acc := pp.PerLinkDelivery(0, scheme, p)
 			rates := experiments.Rates(acc)
 			if len(rates) == 0 {
 				return 0

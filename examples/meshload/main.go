@@ -41,17 +41,20 @@ func main() {
 	txs, outs := ppr.RunSim(cfg, variants)
 	fmt.Printf("%d transmissions, %d link outcomes\n\n", len(txs), len(outs)/2)
 
-	p := experiments.DefaultSchemeParams()
+	// One post-processor shares the correctness masks across every
+	// registered scheme — packet CRC through the FEC hybrids.
+	p := ppr.DefaultSchemeParams()
+	pp := experiments.NewPost(outs, cfg.PacketBytes, 0)
 	fmt.Printf("%-16s %-14s %-10s %-10s %-10s\n", "scheme", "variant", "median", "p25", "p75")
-	for _, scheme := range []ppr.Scheme{ppr.SchemePacketCRC, ppr.SchemeFragCRC, ppr.SchemePPR} {
+	for _, scheme := range ppr.RecoverySchemes() {
 		for vi, v := range variants {
-			acc := experiments.PerLinkDelivery(outs, vi, scheme, p, cfg.PacketBytes)
+			acc := pp.PerLinkDelivery(vi, scheme, p)
 			rates := experiments.Rates(acc)
 			if len(rates) == 0 {
 				continue
 			}
 			fmt.Printf("%-16s %-14s %-10.3f %-10.3f %-10.3f\n",
-				scheme, v.Name,
+				scheme.Name(), v.Name,
 				stats.Median(rates), stats.Quantile(rates, 0.25), stats.Quantile(rates, 0.75))
 		}
 	}
@@ -59,7 +62,7 @@ func main() {
 	// Per-link detail for the PPR/postamble combination: the spread the
 	// paper's CDFs plot.
 	fmt.Println("\nper-link PPR (postamble) delivery rates:")
-	acc := experiments.PerLinkDelivery(outs, 1, ppr.SchemePPR, p, cfg.PacketBytes)
+	acc := pp.PerLinkDelivery(1, ppr.SchemePPR, p)
 	for k, a := range acc {
 		if a.Packets < 3 {
 			continue

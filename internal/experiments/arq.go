@@ -4,6 +4,7 @@ import (
 	"ppr/internal/core/pparq"
 	"ppr/internal/frame"
 	"ppr/internal/phy"
+	"ppr/internal/schemes"
 	"ppr/internal/stats"
 )
 
@@ -142,12 +143,12 @@ func Summary(o Options) []SummaryRow {
 	p := DefaultSchemeParams()
 	var rows []SummaryRow
 
-	ratioAt := func(load float64, a, b Scheme) float64 {
+	ratioAt := func(load float64, a, b schemes.RecoveryScheme) float64 {
 		tr := o.Trace(load, false)
-		cfg, outs := tr.Cfg, tr.Outs
+		pp := tr.Post(o.Workers)
 		const variant = 1
-		am := median(ThroughputsKbps(PerLinkDelivery(outs, variant, a, p, cfg.PacketBytes), cfg.DurationSec))
-		bm := median(ThroughputsKbps(PerLinkDelivery(outs, variant, b, p, cfg.PacketBytes), cfg.DurationSec))
+		am := median(ThroughputsKbps(pp.PerLinkDelivery(variant, a, p), tr.Cfg.DurationSec))
+		bm := median(ThroughputsKbps(pp.PerLinkDelivery(variant, b, p), tr.Cfg.DurationSec))
 		if bm == 0 {
 			return 0
 		}
@@ -157,17 +158,17 @@ func Summary(o Options) []SummaryRow {
 	rows = append(rows,
 		SummaryRow{
 			Name:       "PPR vs packet CRC median throughput, moderate load",
-			Value:      ratioAt(LoadModerate, SchemePPR, SchemePacketCRC),
+			Value:      ratioAt(LoadModerate, schemes.PPR{}, schemes.PacketCRC{}),
 			PaperValue: "≈2x (Sec. 7.2)",
 		},
 		SummaryRow{
 			Name:       "PPR vs packet CRC median throughput, high load",
-			Value:      ratioAt(LoadHigh, SchemePPR, SchemePacketCRC),
+			Value:      ratioAt(LoadHigh, schemes.PPR{}, schemes.PacketCRC{}),
 			PaperValue: "≈7x (Sec. 1, 7.2)",
 		},
 		SummaryRow{
 			Name:       "PPR vs fragmented CRC median throughput, high load",
-			Value:      ratioAt(LoadHigh, SchemePPR, SchemeFragCRC),
+			Value:      ratioAt(LoadHigh, schemes.PPR{}, schemes.FragCRC{}),
 			PaperValue: "≈2x high load, 1.6x moderate (Table 1)",
 		},
 	)

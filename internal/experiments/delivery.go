@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"ppr/internal/schemes"
 	"ppr/internal/stats"
 )
 
@@ -17,31 +18,33 @@ type DeliveryCurve struct {
 	Median float64
 }
 
-// DeliveryFigure is the output of Figs. 8, 9 and 10: six curves (three
-// schemes × postamble on/off).
+// DeliveryFigure is the output of Figs. 8, 9 and 10: one curve per
+// (registered scheme, postamble on/off) pair, the paper's three schemes
+// first.
 type DeliveryFigure struct {
 	// Name identifies the figure ("fig8" etc.).
 	Name string
 	// OfferedBps and CarrierSense record the operating point.
 	OfferedBps   float64
 	CarrierSense bool
-	// Curves holds the six per-link delivery-rate CDFs.
+	// Curves holds the per-link delivery-rate CDFs.
 	Curves []DeliveryCurve
 }
 
 // deliveryFigure post-processes one operating point's shared trace under
-// all six scheme/variant combinations.
+// every selected scheme/variant combination, sharing one set of
+// correctness masks across all of them.
 func deliveryFigure(o Options, name string, offeredBps float64, carrierSense bool) DeliveryFigure {
 	tr := o.Trace(offeredBps, carrierSense)
-	cfg, outs := tr.Cfg, tr.Outs
+	pp := tr.Post(o.Workers)
 	p := DefaultSchemeParams()
 
 	fig := DeliveryFigure{Name: name, OfferedBps: offeredBps, CarrierSense: carrierSense}
-	for _, scheme := range []Scheme{SchemePacketCRC, SchemeFragCRC, SchemePPR} {
+	for _, scheme := range o.schemeList() {
 		for variant := 0; variant < 2; variant++ {
-			acc := PerLinkDelivery(outs, variant, scheme, p, cfg.PacketBytes)
+			acc := pp.PerLinkDelivery(variant, scheme, p)
 			rates := Rates(acc)
-			label := fmt.Sprintf("%s, %s", scheme, StandardVariants()[variant].Name)
+			label := fmt.Sprintf("%s, %s", scheme.Name(), StandardVariants()[variant].Name)
 			var median float64
 			if len(rates) > 0 {
 				median = stats.Median(rates)
@@ -87,15 +90,16 @@ type ThroughputFigure struct {
 // saturation.
 func Fig11(o Options) ThroughputFigure {
 	tr := o.Trace(LoadMedium, false)
-	cfg, outs := tr.Cfg, tr.Outs
+	cfg := tr.Cfg
+	pp := tr.Post(o.Workers)
 	p := DefaultSchemeParams()
 
 	fig := ThroughputFigure{OfferedBps: LoadMedium}
-	for _, scheme := range []Scheme{SchemePacketCRC, SchemeFragCRC, SchemePPR} {
+	for _, scheme := range o.schemeList() {
 		for variant := 0; variant < 2; variant++ {
-			acc := PerLinkDelivery(outs, variant, scheme, p, cfg.PacketBytes)
+			acc := pp.PerLinkDelivery(variant, scheme, p)
 			tputs := ThroughputsKbps(acc, cfg.DurationSec)
-			label := fmt.Sprintf("%s, %s", scheme, StandardVariants()[variant].Name)
+			label := fmt.Sprintf("%s, %s", scheme.Name(), StandardVariants()[variant].Name)
 			var median float64
 			if len(tputs) > 0 {
 				median = stats.Median(tputs)
@@ -123,7 +127,7 @@ type ScatterPoint struct {
 // ScatterSeries is one (scheme, load) series of Fig. 12.
 type ScatterSeries struct {
 	// Scheme is the y-axis scheme (PPR or packet CRC).
-	Scheme Scheme
+	Scheme schemes.RecoveryScheme
 	// OfferedBps is the operating load.
 	OfferedBps float64
 	// Points holds one point per link.
@@ -139,10 +143,11 @@ func Fig12(o Options) []ScatterSeries {
 	var series []ScatterSeries
 	for _, load := range Loads {
 		tr := o.Trace(load, false)
-		cfg, outs := tr.Cfg, tr.Outs
-		frag := PerLinkDelivery(outs, variant, SchemeFragCRC, p, cfg.PacketBytes)
-		for _, scheme := range []Scheme{SchemePacketCRC, SchemePPR} {
-			other := PerLinkDelivery(outs, variant, scheme, p, cfg.PacketBytes)
+		cfg := tr.Cfg
+		pp := tr.Post(o.Workers)
+		frag := pp.PerLinkDelivery(variant, schemes.FragCRC{}, p)
+		for _, scheme := range []schemes.RecoveryScheme{schemes.PacketCRC{}, schemes.PPR{}} {
+			other := pp.PerLinkDelivery(variant, scheme, p)
 			s := ScatterSeries{Scheme: scheme, OfferedBps: load}
 			for k, fa := range frag {
 				oa, exists := other[k]
@@ -177,7 +182,8 @@ type Table2Row struct {
 // sense point where the trade-off is sharpest.
 func Table2(o Options) []Table2Row {
 	tr := o.Trace(LoadHigh, false)
-	cfg, outs := tr.Cfg, tr.Outs
+	cfg := tr.Cfg
+	pp := tr.Post(o.Workers)
 	const variant = 1
 
 	chunkCounts := []int{1, 10, 30, 100, 300}
@@ -188,7 +194,7 @@ func Table2(o Options) []Table2Row {
 			fragBytes = 1
 		}
 		p := SchemeParams{FragBytes: fragBytes, Eta: 6}
-		acc := PerLinkDelivery(outs, variant, SchemeFragCRC, p, cfg.PacketBytes)
+		acc := pp.PerLinkDelivery(variant, schemes.FragCRC{}, p)
 		total := 0
 		for _, a := range acc {
 			total += a.DeliveredBytes

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"ppr/internal/core/combine"
+	"ppr/internal/schemes"
 )
 
 // DiversityResult compares single-receiver PPR delivery against
@@ -32,7 +33,7 @@ type DiversityResult struct {
 func Diversity(o Options) DiversityResult {
 	outs := o.Trace(LoadHigh, false).Outs
 	const variant = 1
-	eta := DefaultSchemeParams().Eta
+	eta := schemes.DefaultParams().Eta
 
 	// Group receptions by transmission.
 	type pkt struct {

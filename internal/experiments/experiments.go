@@ -13,11 +13,12 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
-	"ppr/internal/baseline"
 	"ppr/internal/radio"
 	"ppr/internal/scenario"
+	"ppr/internal/schemes"
 	"ppr/internal/sim"
 	"ppr/internal/testbed"
 )
@@ -49,6 +50,26 @@ type Options struct {
 	// Scenario names the traffic scenario to run (see internal/scenario);
 	// "" means the paper's all-Poisson workload.
 	Scenario string
+	// Schemes names the recovery schemes the delivery figures post-process
+	// (see schemes.Names()); empty means every registered scheme.
+	Schemes []string
+}
+
+// schemeList resolves the configured scheme selection. It panics on an
+// unknown name; CLI entry points validate against schemes.Names() first.
+func (o Options) schemeList() []schemes.RecoveryScheme {
+	if len(o.Schemes) == 0 {
+		return schemes.All()
+	}
+	out := make([]schemes.RecoveryScheme, 0, len(o.Schemes))
+	for _, name := range o.Schemes {
+		s, err := schemes.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // PacketBytes returns the emulated packet size: the paper's 1500 bytes, or
@@ -100,106 +121,11 @@ func boolBit(b bool) uint64 {
 	return 0
 }
 
-// Scheme identifies a partial-recovery scheme under post-processing.
-type Scheme int
-
-const (
-	// SchemePacketCRC is the status quo: whole packet or nothing.
-	SchemePacketCRC Scheme = iota
-	// SchemeFragCRC is the fragmented-CRC baseline of Sec. 3.4.
-	SchemeFragCRC
-	// SchemePPR delivers exactly the symbols whose SoftPHY hint clears η.
-	SchemePPR
-)
-
-// String implements fmt.Stringer.
-func (s Scheme) String() string {
-	switch s {
-	case SchemePacketCRC:
-		return "Packet CRC"
-	case SchemeFragCRC:
-		return "Fragmented CRC"
-	default:
-		return "PPR"
-	}
-}
-
-// SchemeParams fixes the per-scheme knobs.
-type SchemeParams struct {
-	// FragBytes is the fragmented-CRC fragment size (the paper settles on
-	// 50 bytes, Sec. 7.2.1).
-	FragBytes int
-	// Eta is PPR's Hamming-distance threshold (the paper uses 6).
-	Eta float64
-}
+// SchemeParams fixes the per-scheme knobs (see schemes.Params).
+type SchemeParams = schemes.Params
 
 // DefaultSchemeParams returns the paper's operating point.
-func DefaultSchemeParams() SchemeParams { return SchemeParams{FragBytes: 50, Eta: 6} }
-
-// AppBytesPerPacket returns how many application bytes one link-layer
-// packet carries under the scheme: fragmented CRC spends part of the
-// payload on per-fragment checksums.
-func AppBytesPerPacket(s Scheme, p SchemeParams, payloadBytes int) int {
-	if s == SchemeFragCRC {
-		return baseline.AppCapacity(payloadBytes, p.FragBytes)
-	}
-	return payloadBytes
-}
-
-// DeliveredAppBytes post-processes one outcome under the scheme, returning
-// the application bytes the scheme would hand to higher layers. Only
-// correct bytes count: a delivered-but-wrong byte is not delivery.
-func DeliveredAppBytes(o *sim.Outcome, s Scheme, p SchemeParams, payloadBytes int) int {
-	if !o.Acquired {
-		return 0
-	}
-	mask := o.CorrectMask()
-	switch s {
-	case SchemePacketCRC:
-		for _, ok := range mask {
-			if !ok {
-				return 0
-			}
-		}
-		return payloadBytes
-
-	case SchemeFragCRC:
-		appBytes := baseline.AppCapacity(payloadBytes, p.FragBytes)
-		delivered := 0
-		pos := 0 // payload byte cursor
-		for off := 0; off < appBytes; off += p.FragBytes {
-			end := off + p.FragBytes
-			if end > appBytes {
-				end = appBytes
-			}
-			fragPayloadBytes := end - off + baseline.FragOverhead
-			ok := true
-			for b := pos; b < pos+fragPayloadBytes && ok; b++ {
-				if 2*b+1 >= len(mask) || !mask[2*b] || !mask[2*b+1] {
-					ok = false
-				}
-			}
-			if ok {
-				delivered += end - off
-			}
-			pos += fragPayloadBytes
-		}
-		return delivered
-
-	default: // SchemePPR
-		goodCorrect := 0
-		for i, d := range o.Decisions {
-			idx := o.MissingPrefix + i
-			if idx >= len(mask) {
-				break
-			}
-			if d.Hint <= p.Eta && mask[idx] {
-				goodCorrect++
-			}
-		}
-		return goodCorrect * 4 / 8
-	}
-}
+func DefaultSchemeParams() SchemeParams { return schemes.DefaultParams() }
 
 // LinkKey identifies a (sender, receiver) pair.
 type LinkKey struct {
@@ -227,23 +153,128 @@ func (a LinkAccum) Rate() float64 {
 
 // PerLinkDelivery post-processes a trace under one scheme for one variant
 // index, returning per-link accumulators. Only links audible in the
-// deployment appear (the trace only contains audible outcomes).
-func PerLinkDelivery(outs []sim.Outcome, variant int, s Scheme, p SchemeParams, payloadBytes int) map[LinkKey]LinkAccum {
-	appPerPkt := AppBytesPerPacket(s, p, payloadBytes)
-	acc := map[LinkKey]LinkAccum{}
-	for i := range outs {
-		o := &outs[i]
-		if o.Variant != variant {
+// deployment appear (the trace only contains audible outcomes). It is the
+// one-off convenience wrapper over NewPost; figure code goes through
+// Trace.Post so correctness masks are computed once and shared across every
+// scheme and variant.
+func PerLinkDelivery(outs []sim.Outcome, variant int, s schemes.RecoveryScheme, p SchemeParams, payloadBytes int) map[LinkKey]LinkAccum {
+	return NewPost(outs, payloadBytes, 0).PerLinkDelivery(variant, s, p)
+}
+
+// fanOut splits [0, n) into contiguous shards over at most workers
+// goroutines (0 means all cores) and waits for fn on each; shard indexes
+// are dense in [0, nShards). It is the same bounded fan-out Deliver uses
+// for (receiver, window) units, applied to post-processing.
+func fanOut(n, workers int, fn func(shard, lo, hi int)) (nShards int) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+			return 1
+		}
+		return 0
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo, hi := i*n/workers, (i+1)*n/workers
+		if lo == hi {
 			continue
 		}
-		k := LinkKey{Src: o.Src, Rcv: o.Receiver}
-		a := acc[k]
-		a.Packets++
-		a.SentBytes += appPerPkt
-		a.DeliveredBytes += DeliveredAppBytes(o, s, p, payloadBytes)
-		acc[k] = a
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			fn(shard, lo, hi)
+		}(i, lo, hi)
 	}
-	return acc
+	wg.Wait()
+	return workers
+}
+
+// Masks computes every acquired outcome's CorrectMask over a bounded worker
+// pool, index-aligned with outs (unacquired outcomes get nil — no scheme
+// scores them). This is the shared-mask optimization: the seed recomputed
+// the mask inside DeliveredAppBytes, once per outcome per curve, so a
+// six-curve figure paid for ground-truth comparison six times.
+func Masks(outs []sim.Outcome, workers int) [][]bool {
+	masks := make([][]bool, len(outs))
+	fanOut(len(outs), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if outs[i].Acquired {
+				masks[i] = outs[i].CorrectMask()
+			}
+		}
+	})
+	return masks
+}
+
+// Post is a post-processor bound to one outcome trace: it owns the shared
+// per-outcome correctness masks and the worker budget scheme scoring fans
+// out over. Safe for concurrent use once constructed (all fields are
+// read-only).
+type Post struct {
+	outs         []sim.Outcome
+	masks        [][]bool
+	payloadBytes int
+	workers      int
+}
+
+// NewPost builds a post-processor over outs, computing the correctness
+// masks once. workers bounds the fan-out (0 = all cores); results do not
+// depend on it.
+func NewPost(outs []sim.Outcome, payloadBytes, workers int) *Post {
+	return &Post{
+		outs:         outs,
+		masks:        Masks(outs, workers),
+		payloadBytes: payloadBytes,
+		workers:      workers,
+	}
+}
+
+// PerLinkDelivery scores every outcome of one variant under the scheme,
+// fanning the trace out over the bounded worker pool and merging the
+// shard-local accumulators. Accumulation is integer sums, so the result is
+// identical for every worker count.
+func (pp *Post) PerLinkDelivery(variant int, s schemes.RecoveryScheme, p SchemeParams) map[LinkKey]LinkAccum {
+	appPerPkt := s.AppBytesPerPacket(p, pp.payloadBytes)
+	maxShards := pp.workers
+	if maxShards <= 0 {
+		maxShards = runtime.NumCPU()
+	}
+	partial := make([]map[LinkKey]LinkAccum, maxShards)
+	nShards := fanOut(len(pp.outs), pp.workers, func(shard, lo, hi int) {
+		acc := map[LinkKey]LinkAccum{}
+		for i := lo; i < hi; i++ {
+			o := &pp.outs[i]
+			if o.Variant != variant {
+				continue
+			}
+			k := LinkKey{Src: o.Src, Rcv: o.Receiver}
+			a := acc[k]
+			a.Packets++
+			a.SentBytes += appPerPkt
+			if o.Acquired {
+				a.DeliveredBytes += s.DeliveredAppBytes(pp.masks[i], o, p, pp.payloadBytes)
+			}
+			acc[k] = a
+		}
+		partial[shard] = acc
+	})
+	merged := map[LinkKey]LinkAccum{}
+	for shard := 0; shard < nShards; shard++ {
+		for k, a := range partial[shard] {
+			m := merged[k]
+			m.Packets += a.Packets
+			m.SentBytes += a.SentBytes
+			m.DeliveredBytes += a.DeliveredBytes
+			merged[k] = m
+		}
+	}
+	return merged
 }
 
 // Rates flattens per-link accumulators to a rate sample per link.
@@ -275,6 +306,25 @@ type Trace struct {
 	Txs []*sim.Transmission
 	// Outs is the per-(transmission, receiver, variant) outcome trace.
 	Outs []sim.Outcome
+
+	// maskOnce guards masks: the per-outcome correctness masks are built on
+	// first use and shared by every figure post-processing the trace.
+	maskOnce sync.Once
+	masks    [][]bool
+}
+
+// Post returns a post-processor over the trace's outcomes. The correctness
+// masks are computed once per trace — however many schemes, variants and
+// figures score it — and workers bounds each call's delivery fan-out (0 =
+// all cores; results do not depend on it).
+func (tr *Trace) Post(workers int) *Post {
+	tr.maskOnce.Do(func() { tr.masks = Masks(tr.Outs, workers) })
+	return &Post{
+		outs:         tr.Outs,
+		masks:        tr.masks,
+		payloadBytes: tr.Cfg.PacketBytes,
+		workers:      workers,
+	}
 }
 
 // traceKey identifies an operating point: everything that changes the trace.

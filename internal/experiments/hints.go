@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"ppr/internal/schemes"
 	"ppr/internal/stats"
 )
 
@@ -126,7 +127,8 @@ type FalseAlarmCurve struct {
 	OfferedBps float64
 	// CCDF is the complementary distribution of correct codewords' hints.
 	CCDF []stats.CDFPoint
-	// FalseAlarmAtEta6 is the curve evaluated at the paper's η = 6.
+	// FalseAlarmAtEta6 is the curve evaluated at the paper's operating
+	// η = 6 (schemes.DefaultParams().Eta).
 	FalseAlarmAtEta6 float64
 }
 
@@ -134,6 +136,7 @@ type FalseAlarmCurve struct {
 // for every correctly-decoded codeword, per load — the false alarm rate as
 // a function of threshold.
 func Fig15(o Options) []FalseAlarmCurve {
+	eta := schemes.DefaultParams().Eta
 	var curves []FalseAlarmCurve
 	for _, load := range Loads {
 		correct, _ := hintTrace(o, load)
@@ -142,7 +145,7 @@ func Fig15(o Options) []FalseAlarmCurve {
 		if len(correct) > 0 {
 			above := 0
 			for _, h := range correct {
-				if h > 6 {
+				if h > eta {
 					above++
 				}
 			}

@@ -1,0 +1,91 @@
+package schemes
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The registry maps CLI slugs to scheme values and preserves registration
+// order for presentation (figures list curves in the order schemes were
+// registered: the paper's three first, then the coding extensions).
+var (
+	registry = map[string]RecoveryScheme{}
+	ordered  []RecoveryScheme
+)
+
+func init() {
+	Register(PacketCRC{})
+	Register(FragCRC{})
+	Register(PPR{})
+	Register(BlockFEC{})
+	Register(BlockFEC{Interleaved: true})
+	Register(HybridPPRFEC{})
+}
+
+// Slug derives a scheme's registry key from its display name: lower case
+// with every run of non-alphanumeric characters collapsed to one dash
+// ("Packet CRC" → "packet-crc", "FEC+interleaving" → "fec-interleaving").
+func Slug(name string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			if dash && b.Len() > 0 {
+				b.WriteByte('-')
+			}
+			dash = false
+			b.WriteRune(r)
+		default:
+			dash = true
+		}
+	}
+	return b.String()
+}
+
+// Register adds a scheme to the registry under Slug(s.Name()). It panics on
+// an empty or duplicate name; like scenario registration it is meant for
+// init-time use and is not safe for concurrent callers.
+func Register(s RecoveryScheme) {
+	key := Slug(s.Name())
+	if key == "" {
+		panic("schemes: scheme with empty name")
+	}
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("schemes: duplicate scheme %q", key))
+	}
+	registry[key] = s
+	ordered = append(ordered, s)
+}
+
+// ByName resolves a scheme by its registry slug or display name.
+func ByName(name string) (RecoveryScheme, error) {
+	if s, ok := registry[Slug(name)]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("schemes: unknown scheme %q (available: %v)", name, Names())
+}
+
+// Names lists the registered scheme slugs, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered scheme in registration (presentation) order.
+func All() []RecoveryScheme {
+	out := make([]RecoveryScheme, len(ordered))
+	copy(out, ordered)
+	return out
+}
+
+// Standard returns the paper's three schemes in its presentation order —
+// the set every capacity figure compared before the registry existed.
+func Standard() []RecoveryScheme {
+	return []RecoveryScheme{PacketCRC{}, FragCRC{}, PPR{}}
+}

@@ -48,6 +48,14 @@
 // architecture and examples/jammer for a complete adversarial-workload
 // program.
 //
+// Recovery schemes are pluggable the same way: RecoveryScheme scores an
+// outcome trace under one recovery discipline, and the registry
+// (RegisterRecoveryScheme, RecoverySchemeByName) feeds every delivery
+// figure. Besides the paper's three (SchemePacketCRC, SchemeFragCRC,
+// SchemePPR) the registry ships convolutional block FEC with and without
+// interleaving (SchemeFEC, SchemeFECIL) and a hint-directed hybrid
+// (SchemePPRFEC).
+//
 // # Quick start
 //
 //	f := ppr.NewFrame(dst, src, seq, payload)
@@ -74,6 +82,7 @@ import (
 	"ppr/internal/phy"
 	"ppr/internal/radio"
 	"ppr/internal/scenario"
+	"ppr/internal/schemes"
 	"ppr/internal/sim"
 	"ppr/internal/testbed"
 )
@@ -327,19 +336,53 @@ type (
 	Fig16Result = experiments.Fig16Result
 	// SummaryRow is one measured-vs-paper headline comparison.
 	SummaryRow = experiments.SummaryRow
-	// Scheme identifies a recovery scheme in post-processing.
-	Scheme = experiments.Scheme
 	// DiversityResult compares single-receiver delivery against
 	// multi-receiver min-hint combining (the Sec. 8.4 extension).
 	DiversityResult = experiments.DiversityResult
 )
 
-// Post-processing schemes.
-const (
-	SchemePacketCRC = experiments.SchemePacketCRC
-	SchemeFragCRC   = experiments.SchemeFragCRC
-	SchemePPR       = experiments.SchemePPR
+// ---- Recovery schemes (post-processing layer) ----
+
+type (
+	// RecoveryScheme scores one receive outcome under a recovery scheme;
+	// implement it and RegisterRecoveryScheme to add a scheme every
+	// delivery figure and the pprsim -schemes flag can select.
+	RecoveryScheme = schemes.RecoveryScheme
+	// SchemeParams fixes the per-scheme knobs (fragment size, η, FEC block
+	// geometry).
+	SchemeParams = schemes.Params
 )
+
+// Registered recovery schemes. The first three are the paper's comparison
+// set; the FEC family post-processes the same traces as if the payload had
+// been convolutionally coded (Sec. 8.3), and SchemePPRFEC repairs only the
+// blocks SoftPHY hints flag (the ZipTx/Maranello hybrid direction).
+var (
+	SchemePacketCRC RecoveryScheme = schemes.PacketCRC{}
+	SchemeFragCRC   RecoveryScheme = schemes.FragCRC{}
+	SchemePPR       RecoveryScheme = schemes.PPR{}
+	SchemeFEC       RecoveryScheme = schemes.BlockFEC{}
+	SchemeFECIL     RecoveryScheme = schemes.BlockFEC{Interleaved: true}
+	SchemePPRFEC    RecoveryScheme = schemes.HybridPPRFEC{}
+)
+
+// DefaultSchemeParams returns the paper's operating point (50-byte
+// fragments, η = 6, default FEC geometry).
+func DefaultSchemeParams() SchemeParams { return schemes.DefaultParams() }
+
+// RegisterRecoveryScheme adds a scheme to the registry; it then appears in
+// every delivery figure and in RecoverySchemeNames. Call from init.
+func RegisterRecoveryScheme(s RecoveryScheme) { schemes.Register(s) }
+
+// RecoverySchemeByName resolves a scheme by its registry slug (e.g.
+// "packet-crc") or display name; RecoverySchemeNames lists the slugs.
+func RecoverySchemeByName(name string) (RecoveryScheme, error) { return schemes.ByName(name) }
+
+// RecoverySchemeNames lists the registered scheme slugs, sorted.
+func RecoverySchemeNames() []string { return schemes.Names() }
+
+// RecoverySchemes returns every registered scheme in presentation order.
+func RecoverySchemes() []RecoveryScheme { return schemes.All() }
 
 // Experiment entry points; each regenerates one table or figure of the
 // paper's evaluation section. See EXPERIMENTS.md for paper-vs-measured.
