@@ -117,6 +117,19 @@ func BenchmarkFig16(b *testing.B) {
 	}
 }
 
+// BenchmarkNetsimFig17Quick exercises the closed-loop network simulator
+// end to end: every (sender pair, link layer) cell runs a full discrete-
+// event simulation with PP-ARQ, frag-CRC and packet-CRC state machines
+// contending for the shared channel.
+func BenchmarkNetsimFig17Quick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig17(benchOpts(i))
+		if len(res.Curves) == 0 || res.Curves[0].Transfers == 0 {
+			b.Fatal("no closed-loop transfers")
+		}
+	}
+}
+
 func BenchmarkSummary(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Summary(benchOpts(i))

@@ -45,16 +45,7 @@ func (c *burstChannel) Transmit(f frame.Frame) *frame.Reception {
 		}
 		c.lastBurst = (end - start) / frame.ChipsPerByte
 	}
-	recs := c.rx.Receive(chips)
-	var best *frame.Reception
-	for i := range recs {
-		if recs[i].HeaderOK {
-			if best == nil || len(recs[i].Decisions) > len(best.Decisions) {
-				best = &recs[i]
-			}
-		}
-	}
-	return best
+	return frame.BestReception(c.rx.Receive(chips))
 }
 
 // naiveTransfer runs status-quo whole-packet ARQ over the same kind of

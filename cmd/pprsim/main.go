@@ -5,20 +5,24 @@
 // Usage:
 //
 //	pprsim -exp fig8                      # one experiment
+//	pprsim -exp fig8,fig16,fig17          # several, in order
 //	pprsim -exp all                       # everything (one sim per operating point)
 //	pprsim -exp summary -quick            # fast, noisier statistics
+//	pprsim -exp fig17 -json               # machine-readable results on stdout
 //	pprsim -exp fig10 -scenario bursty    # on/off traffic instead of Poisson
 //	pprsim -exp fig10 -workers 2          # bound engine parallelism
 //	pprsim -exp fig8 -schemes ppr,fec     # pick the delivery-figure curves
 //	pprsim -list-schemes                  # registered recovery schemes
 //
 // Experiments: layout, table2, fig3, fig8, fig9, fig10, fig11, fig12,
-// fig13, fig14, fig15, fig16, diversity, summary, all. Scenarios and
-// recovery schemes are registry-backed: -list-scenarios and -list-schemes
-// print the names. Results are identical for every -workers value.
+// fig13, fig14, fig15, fig16, fig17 (closed-loop network simulation),
+// diversity, summary, all. Scenarios and recovery schemes are
+// registry-backed: -list-scenarios and -list-schemes print the names.
+// Results are identical for every -workers value.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,11 +37,25 @@ import (
 	"ppr/internal/testbed"
 )
 
+// runner produces one experiment's structured result and renders it for
+// humans. run returns a JSON-marshalable value; print receives that same
+// value, so -json and the text output always agree.
+type runner struct {
+	run   func(experiments.Options) any
+	print func(any)
+}
+
+// expOrder is the presentation order of the full suite.
+var expOrder = []string{"layout", "fig3", "table2", "fig8", "fig9", "fig10", "fig11",
+	"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "diversity", "summary"}
+
 func main() {
-	exp := flag.String("exp", "summary", "experiment to run (layout, table2, fig3, fig8..fig16, summary, all)")
+	exp := flag.String("exp", "summary",
+		"comma-separated experiments (layout, table2, fig3, fig8..fig17, diversity, summary, all)")
 	seed := flag.Uint64("seed", 1, "deployment and channel seed")
 	quick := flag.Bool("quick", false, "smaller packets and durations (noisier, much faster)")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores)")
+	jsonOut := flag.Bool("json", false, "emit results as JSON on stdout instead of text")
 	scen := flag.String("scenario", "poisson",
 		"traffic scenario: "+strings.Join(scenario.Names(), ", "))
 	schemesFlag := flag.String("schemes", "",
@@ -76,60 +94,162 @@ func main() {
 		}
 	}
 	o := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers, Scenario: *scen, Schemes: schemeNames}
-	runners := map[string]func(experiments.Options){
-		"layout":    layout,
-		"table2":    table2,
-		"fig3":      fig3,
-		"fig8":      func(o experiments.Options) { delivery(experiments.Fig8(o)) },
-		"fig9":      func(o experiments.Options) { delivery(experiments.Fig9(o)) },
-		"fig10":     func(o experiments.Options) { delivery(experiments.Fig10(o)) },
-		"fig11":     fig11,
-		"fig12":     fig12,
-		"fig13":     fig13,
-		"fig14":     fig14,
-		"fig15":     fig15,
-		"fig16":     fig16,
-		"summary":   summary,
-		"diversity": diversity,
+
+	// Resolve the experiment list: comma-separated names, with "all"
+	// expanding to the full suite.
+	var names []string
+	for _, name := range strings.Split(*exp, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if name == "all" {
+			names = append(names, expOrder...)
+			continue
+		}
+		if _, ok := runners[name]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			avail := make([]string, 0, len(runners))
+			for n := range runners {
+				avail = append(avail, n)
+			}
+			sort.Strings(avail)
+			fmt.Fprintf(os.Stderr, "available: %s, all\n", strings.Join(avail, ", "))
+			os.Exit(2)
+		}
+		names = append(names, name)
 	}
-	if *exp == "all" {
-		order := []string{"layout", "fig3", "table2", "fig8", "fig9", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "fig15", "fig16", "diversity", "summary"}
-		for _, name := range order {
-			fmt.Printf("\n================ %s ================\n", name)
-			runners[name](o)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments requested")
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		out := map[string]any{}
+		for _, name := range names {
+			out[name] = runners[name].run(o)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		names := make([]string, 0, len(runners))
-		for n := range runners {
-			names = append(names, n)
+	for _, name := range names {
+		if len(names) > 1 {
+			fmt.Printf("\n================ %s ================\n", name)
 		}
-		sort.Strings(names)
-		fmt.Fprintf(os.Stderr, "available: %s, all\n", strings.Join(names, ", "))
-		os.Exit(2)
-	}
-	run(o)
-}
-
-func layout(o experiments.Options) {
-	tb := testbed.New(radio.DefaultParams(), o.Seed)
-	fmt.Println("Figure 7: testbed layout")
-	fmt.Print(tb.ASCIIMap())
-	for j := 0; j < testbed.NumReceivers; j++ {
-		fmt.Printf("R%d reliably hears %d of %d senders (15 dB margin)\n",
-			j+1, tb.AudibleCount(j, 15), testbed.NumSenders)
+		r := runners[name]
+		r.print(r.run(o))
 	}
 }
 
-func table2(o experiments.Options) {
+// layoutResult is the structured form of the Fig. 7 stand-in.
+type layoutResult struct {
+	// Map is the ASCII floor plan.
+	Map string
+	// AudibleSenders[j] counts senders receiver j reliably hears.
+	AudibleSenders []int
+}
+
+// fig12Series is the JSON-friendly form of a scatter series (the scheme
+// rendered by name).
+type fig12Series struct {
+	Scheme     string
+	OfferedBps float64
+	Points     []experiments.ScatterPoint
+}
+
+var runners = map[string]runner{
+	"layout": {
+		run: func(o experiments.Options) any {
+			tb := testbed.New(radio.DefaultParams(), o.Seed)
+			res := layoutResult{Map: tb.ASCIIMap()}
+			for j := 0; j < testbed.NumReceivers; j++ {
+				res.AudibleSenders = append(res.AudibleSenders, tb.AudibleCount(j, 15))
+			}
+			return res
+		},
+		print: func(v any) {
+			res := v.(layoutResult)
+			fmt.Println("Figure 7: testbed layout")
+			fmt.Print(res.Map)
+			for j, n := range res.AudibleSenders {
+				fmt.Printf("R%d reliably hears %d of %d senders (15 dB margin)\n", j+1, n, testbed.NumSenders)
+			}
+		},
+	},
+	"table2": {
+		run:   func(o experiments.Options) any { return experiments.Table2(o) },
+		print: func(v any) { table2(v.([]experiments.Table2Row)) },
+	},
+	"fig3": {
+		run:   func(o experiments.Options) any { return experiments.Fig3(o) },
+		print: func(v any) { fig3(v.([]experiments.HintCurve)) },
+	},
+	"fig8": {
+		run:   func(o experiments.Options) any { return experiments.Fig8(o) },
+		print: func(v any) { delivery(v.(experiments.DeliveryFigure)) },
+	},
+	"fig9": {
+		run:   func(o experiments.Options) any { return experiments.Fig9(o) },
+		print: func(v any) { delivery(v.(experiments.DeliveryFigure)) },
+	},
+	"fig10": {
+		run:   func(o experiments.Options) any { return experiments.Fig10(o) },
+		print: func(v any) { delivery(v.(experiments.DeliveryFigure)) },
+	},
+	"fig11": {
+		run:   func(o experiments.Options) any { return experiments.Fig11(o) },
+		print: func(v any) { fig11(v.(experiments.ThroughputFigure)) },
+	},
+	"fig12": {
+		run: func(o experiments.Options) any {
+			var out []fig12Series
+			for _, s := range experiments.Fig12(o) {
+				out = append(out, fig12Series{Scheme: s.Scheme.Name(), OfferedBps: s.OfferedBps, Points: s.Points})
+			}
+			return out
+		},
+		print: func(v any) { fig12(v.([]fig12Series)) },
+	},
+	"fig13": {
+		run:   func(o experiments.Options) any { return experiments.Fig13(o) },
+		print: func(v any) { fig13(v.(experiments.CollisionResult)) },
+	},
+	"fig14": {
+		run:   func(o experiments.Options) any { return experiments.Fig14(o) },
+		print: func(v any) { fig14(v.([]experiments.MissLengthCurve)) },
+	},
+	"fig15": {
+		run:   func(o experiments.Options) any { return experiments.Fig15(o) },
+		print: func(v any) { fig15(v.([]experiments.FalseAlarmCurve)) },
+	},
+	"fig16": {
+		run:   func(o experiments.Options) any { return experiments.Fig16(o) },
+		print: func(v any) { fig16(v.(experiments.Fig16Result)) },
+	},
+	"fig17": {
+		run:   func(o experiments.Options) any { return experiments.Fig17(o) },
+		print: func(v any) { fig17(v.(experiments.Fig17Result)) },
+	},
+	"diversity": {
+		run:   func(o experiments.Options) any { return experiments.Diversity(o) },
+		print: func(v any) { diversity(v.(experiments.DiversityResult)) },
+	},
+	"summary": {
+		run:   func(o experiments.Options) any { return experiments.Summary(o) },
+		print: func(v any) { summary(v.([]experiments.SummaryRow)) },
+	},
+}
+
+func table2(rows []experiments.Table2Row) {
 	fmt.Println("Table 2: fragmented-CRC aggregate throughput vs chunk count")
 	fmt.Println("(paper: 1->26, 10->85, 30->96 (peak), 100->80, 300->15 Kbit/s)")
 	fmt.Printf("%-18s %-20s %s\n", "Number of chunks", "Fragment size (B)", "Aggregate throughput (Kbit/s)")
-	for _, r := range experiments.Table2(o) {
+	for _, r := range rows {
 		fmt.Printf("%-18d %-20d %.1f\n", r.Chunks, r.FragBytes, r.AggregateKbps)
 	}
 }
@@ -142,7 +262,7 @@ func cdfLine(cdf []stats.CDFPoint, xs []float64) string {
 	return b.String()
 }
 
-func fig3(o experiments.Options) {
+func fig3(curves []experiments.HintCurve) {
 	fmt.Println("Figure 3: CDF of Hamming distance, correct vs incorrect codewords")
 	xs := []float64{0, 1, 2, 3, 6, 9, 12}
 	fmt.Printf("%-44s", "series \\ P[distance <= x] at x =")
@@ -150,7 +270,7 @@ func fig3(o experiments.Options) {
 		fmt.Printf(" %6.0f", x)
 	}
 	fmt.Println()
-	for _, c := range experiments.Fig3(o) {
+	for _, c := range curves {
 		kind := "incorrect"
 		if c.Correct {
 			kind = "correct"
@@ -179,8 +299,7 @@ func delivery(fig experiments.DeliveryFigure) {
 	}
 }
 
-func fig11(o experiments.Options) {
-	fig := experiments.Fig11(o)
+func fig11(fig experiments.ThroughputFigure) {
 	fmt.Println("Figure 11: end-to-end per-link throughput (Kbit/s)")
 	fmt.Printf("offered load %s, carrier sense disabled\n", experiments.LoadName(fig.OfferedBps))
 	fmt.Printf("%-44s %s\n", "scheme", "median Kbit/s")
@@ -189,9 +308,9 @@ func fig11(o experiments.Options) {
 	}
 }
 
-func fig12(o experiments.Options) {
+func fig12(series []fig12Series) {
 	fmt.Println("Figure 12: per-link throughput scatter vs fragmented CRC (x axis)")
-	for _, s := range experiments.Fig12(o) {
+	for _, s := range series {
 		above, total := 0, 0
 		var ratios []float64
 		for _, pt := range s.Points {
@@ -209,13 +328,12 @@ func fig12(o experiments.Options) {
 			med = stats.Median(ratios)
 		}
 		fmt.Printf("%-12s at %s: %3d links, %3d at/above diagonal, median y/x ratio %.2f\n",
-			s.Scheme.Name(), experiments.LoadName(s.OfferedBps), total, above, med)
+			s.Scheme, experiments.LoadName(s.OfferedBps), total, above, med)
 	}
 	fmt.Println("(paper: PPR above fragmented CRC by a roughly constant factor; packet CRC far below)")
 }
 
-func fig13(o experiments.Options) {
-	res := experiments.Fig13(o)
+func fig13(res experiments.CollisionResult) {
 	fmt.Println("Figure 13: anatomy of a collision (Hamming distance vs codeword time)")
 	fmt.Printf("packet 1 acquired via: %v\n", res.P1AcquiredVia)
 	fmt.Printf("packet 2 acquired via: %v\n", res.P2AcquiredVia)
@@ -252,7 +370,7 @@ func fig13(o experiments.Options) {
 	sketch("packet 2 (strong, collider)", res.Packet2)
 }
 
-func fig14(o experiments.Options) {
+func fig14(curves []experiments.MissLengthCurve) {
 	fmt.Println("Figure 14: CCDF of contiguous miss lengths")
 	xs := []float64{1, 2, 3, 5, 10, 20}
 	fmt.Printf("%-24s %9s |", "threshold", "miss rate")
@@ -260,7 +378,7 @@ func fig14(o experiments.Options) {
 		fmt.Printf(" P>%-4.0f", x)
 	}
 	fmt.Println()
-	for _, c := range experiments.Fig14(o) {
+	for _, c := range curves {
 		fmt.Printf("eta = %-18.0f %9.4f |", c.Eta, c.MissRate)
 		for _, x := range xs {
 			p := 0.0
@@ -282,17 +400,16 @@ func ccdfAsCDF(ccdf []stats.CDFPoint) []stats.CDFPoint {
 	return out
 }
 
-func fig15(o experiments.Options) {
+func fig15(pts []experiments.FalseAlarmCurve) {
 	fmt.Println("Figure 15: false alarm rate (CCDF of correct-codeword Hamming distance)")
 	fmt.Printf("%-28s %s\n", "load", "false alarm rate at eta=6")
-	for _, c := range experiments.Fig15(o) {
+	for _, c := range pts {
 		fmt.Printf("%-28s %.4f\n", experiments.LoadName(c.OfferedBps), c.FalseAlarmAtEta6)
 	}
 	fmt.Println("(paper: on the order of 5 in 1000 at eta = 6)")
 }
 
-func fig16(o experiments.Options) {
-	res := experiments.Fig16(o)
+func fig16(res experiments.Fig16Result) {
 	fmt.Println("Figure 16: PP-ARQ partial retransmission sizes (250-byte packets)")
 	fmt.Printf("transfers: %d (failures: %d), retransmissions: %d\n",
 		res.Transfers, res.Failures, len(res.RetxSizes))
@@ -309,17 +426,51 @@ func fig16(o experiments.Options) {
 	fmt.Println("(paper: median retransmission approximately half the full packet size)")
 }
 
-func diversity(o experiments.Options) {
-	res := experiments.Diversity(o)
+func fig17(res experiments.Fig17Result) {
+	cs := "disabled"
+	if res.CarrierSense {
+		cs = "enabled"
+	}
+	fmt.Println("Figure 17: closed-loop aggregate throughput, concurrent sender pairs")
+	fmt.Printf("%d pairs, %d-byte packets, carrier sense %s, %.1f s per run, scenario %s\n",
+		len(res.Pairs), res.PacketBytes, cs, res.DurationSec, res.Scenario)
+	xs := []float64{100, 150, 200, 250, 300, 400}
+	fmt.Printf("%-16s %6s %6s |", "link layer", "median", "mean")
+	for _, x := range xs {
+		fmt.Printf(" P<=%3.0f", x)
+	}
+	fmt.Printf("  (Kbit/s)\n")
+	for _, c := range res.Curves {
+		fmt.Printf("%-16s %6.1f %6.1f |%s   transfers %d (failed %d)\n",
+			c.Layer, c.MedianKbps, c.MeanKbps, cdfLine(c.CDF, xs), c.Transfers, c.Failures)
+	}
+	for _, c := range res.Curves {
+		total := c.Air.TotalAirBytes()
+		if total == 0 {
+			continue
+		}
+		fmt.Printf("%-16s airtime: data %2.0f%%, retransmission %2.0f%%, feedback %2.0f%%\n",
+			c.Layer, 100*float64(c.Air.DataAirBytes)/float64(total),
+			100*float64(c.Air.RetxAirBytes)/float64(total),
+			100*float64(c.Air.FeedbackAirBytes)/float64(total))
+	}
+	fmt.Printf("median ratios: PP-ARQ/frag %.2fx, PP-ARQ/packet %.2fx, frag/packet %.2fx\n",
+		res.MedianRatio("pp-arq", "frag-crc-arq"),
+		res.MedianRatio("pp-arq", "packet-crc-arq"),
+		res.MedianRatio("frag-crc-arq", "packet-crc-arq"))
+	fmt.Println("(paper: PP-ARQ roughly doubles aggregate throughput over status-quo ARQ, Sec. 7.5)")
+}
+
+func diversity(res experiments.DiversityResult) {
 	fmt.Println("Extension (Sec. 8.4): multi-receiver diversity combining at high load")
 	fmt.Printf("packets heard: %d (%d by multiple receivers)\n", res.Packets, res.MultiView)
 	fmt.Printf("mean PPR delivery: best single receiver %.3f -> min-hint combined %.3f (+%.0f%%)\n",
 		res.SingleRate, res.CombinedRate, 100*(res.CombinedRate/res.SingleRate-1))
 }
 
-func summary(o experiments.Options) {
+func summary(rows []experiments.SummaryRow) {
 	fmt.Println("Table 1: summary of experimental conclusions (measured vs paper)")
-	for _, r := range experiments.Summary(o) {
+	for _, r := range rows {
 		fmt.Printf("%-58s measured %6.2f   paper %s\n", r.Name, r.Value, r.PaperValue)
 	}
 }

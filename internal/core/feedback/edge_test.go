@@ -1,0 +1,94 @@
+package feedback
+
+import (
+	"testing"
+
+	"ppr/internal/core/chunkdp"
+	"ppr/internal/frame"
+)
+
+// TestAllBadPacketRoundTrip covers the degenerate feedback for a packet
+// whose every symbol is bad: one chunk spanning the packet, no segments,
+// therefore no checksums on the wire.
+func TestAllBadPacketRoundTrip(t *testing.T) {
+	const n = 500
+	req := Request{Seq: 9, NumSymbols: n,
+		Chunks: []chunkdp.Chunk{{StartSym: 0, EndSym: n}}}
+	if segs := Segments(n, req.Chunks); len(segs) != 0 {
+		t.Fatalf("all-bad packet has %d segments, want 0", len(segs))
+	}
+	enc := req.Encode(DefaultChecksumBits)
+	dec, err := DecodeRequest(enc, DefaultChecksumBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Chunks) != 1 || dec.Chunks[0].StartSym != 0 || dec.Chunks[0].EndSym != n {
+		t.Errorf("decoded chunks %+v", dec.Chunks)
+	}
+	if len(dec.SegChecksums) != 0 {
+		t.Errorf("decoded %d checksums for zero segments", len(dec.SegChecksums))
+	}
+	// The all-bad request is tiny regardless of packet size: this is what
+	// pparq.ClampRequest relies on.
+	if len(enc) > 8 {
+		t.Errorf("all-bad request encodes to %d bytes; expected a handful", len(enc))
+	}
+}
+
+// TestZeroChunksRoundTrip covers the opposite degenerate case: nothing to
+// retransmit but the packet CRC did not verify (the receiver believes every
+// symbol is good and asks only for the one whole-packet segment checksum).
+func TestZeroChunksRoundTrip(t *testing.T) {
+	const n = 300
+	req := Request{Seq: 4, NumSymbols: n, SegChecksums: []uint32{0xabcdef01}}
+	enc := req.Encode(DefaultChecksumBits)
+	dec, err := DecodeRequest(enc, DefaultChecksumBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Chunks) != 0 {
+		t.Errorf("decoded %d chunks, want 0", len(dec.Chunks))
+	}
+	if len(dec.SegChecksums) != 1 || dec.SegChecksums[0] != 0xabcdef01 {
+		t.Errorf("decoded checksums %v", dec.SegChecksums)
+	}
+
+	// Response counterpart: no retransmitted chunks, one checksummed segment.
+	resp := Response{Seq: 4, NumSymbols: n, SegChecksums: []uint32{0x55aa55aa}}
+	rdec, err := DecodeResponse(resp.Encode(DefaultChecksumBits), DefaultChecksumBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rdec.Chunks) != 0 || len(rdec.SegChecksums) != 1 || rdec.SegChecksums[0] != 0x55aa55aa {
+		t.Errorf("decoded response %+v", rdec)
+	}
+}
+
+// TestOversizedFeedbackExceedsControlFrame documents that the codec itself
+// does not bound encoded size: a pathological chunk list outgrows the
+// largest payload a control frame can carry. (The protocol layer clamps
+// such requests — pparq.ClampRequest — before framing; this test pins the
+// reason that clamp exists.)
+func TestOversizedFeedbackExceedsControlFrame(t *testing.T) {
+	numSymbols := frame.MaxPayload * 2
+	req := Request{Seq: 1, NumSymbols: numSymbols}
+	for s := 0; s+1 < numSymbols; s += 2 {
+		req.Chunks = append(req.Chunks, chunkdp.Chunk{StartSym: s, EndSym: s + 1})
+	}
+	for range Segments(numSymbols, req.Chunks) {
+		req.SegChecksums = append(req.SegChecksums, 1)
+	}
+	bits := RequestBits(req, DefaultChecksumBits)
+	if bits/8 <= frame.MaxPayload {
+		t.Fatalf("pathological request fits (%d bits); the clamp in pparq would be dead code", bits)
+	}
+	// The oversized encoding must still round-trip: size is the frame
+	// layer's constraint, not a codec invariant.
+	dec, err := DecodeRequest(req.Encode(DefaultChecksumBits), DefaultChecksumBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Chunks) != len(req.Chunks) {
+		t.Errorf("decoded %d chunks, want %d", len(dec.Chunks), len(req.Chunks))
+	}
+}

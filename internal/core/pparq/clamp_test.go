@@ -1,0 +1,122 @@
+package pparq
+
+import (
+	"bytes"
+	"testing"
+
+	"ppr/internal/core/chunkdp"
+	"ppr/internal/core/feedback"
+	"ppr/internal/frame"
+	"ppr/internal/phy"
+	"ppr/internal/stats"
+)
+
+// pathologicalRequest builds a feedback request with numSymbols/2 alternating
+// single-symbol chunks — the worst case for the gamma-coded chunk list,
+// whose encoding outgrows a control frame for large packets.
+func pathologicalRequest(numSymbols int) feedback.Request {
+	req := feedback.Request{Seq: 7, NumSymbols: numSymbols}
+	for s := 0; s+1 < numSymbols; s += 2 {
+		req.Chunks = append(req.Chunks, chunkdp.Chunk{StartSym: s, EndSym: s + 1})
+	}
+	for range feedback.Segments(numSymbols, req.Chunks) {
+		req.SegChecksums = append(req.SegChecksums, 0xdead)
+	}
+	return req
+}
+
+func TestClampRequestOversized(t *testing.T) {
+	numSymbols := frame.MaxPayload * 2 // a max-size packet's symbol count
+	req := pathologicalRequest(numSymbols)
+	if bits := feedback.RequestBits(req, feedback.DefaultChecksumBits); bits/8 <= MaxControlBody {
+		t.Fatalf("pathological request fits in %d bits; test needs an oversized one", bits)
+	}
+	clamped := ClampRequest(req, feedback.DefaultChecksumBits)
+	if got := len(clamped.Encode(feedback.DefaultChecksumBits)); got > MaxControlBody {
+		t.Fatalf("clamped request still %d bytes", got)
+	}
+	// The degenerate request asks for everything, so no progress is lost —
+	// only precision.
+	if len(clamped.Chunks) != 1 || clamped.Chunks[0].StartSym != 0 || clamped.Chunks[0].EndSym != numSymbols {
+		t.Errorf("clamped request should cover the whole packet, got %+v", clamped.Chunks)
+	}
+}
+
+func TestClampRequestPassThrough(t *testing.T) {
+	req := feedback.Request{Seq: 1, NumSymbols: 500,
+		Chunks:       []chunkdp.Chunk{{StartSym: 10, EndSym: 60}},
+		SegChecksums: []uint32{1, 2}}
+	clamped := ClampRequest(req, feedback.DefaultChecksumBits)
+	if len(clamped.Chunks) != 1 || clamped.Chunks[0] != req.Chunks[0] {
+		t.Errorf("small request was rewritten: %+v", clamped)
+	}
+	ack := feedback.Request{Seq: 2, NumSymbols: 500, CRCVerified: true}
+	if got := ClampRequest(ack, feedback.DefaultChecksumBits); !got.CRCVerified {
+		t.Error("ACK request must pass through untouched")
+	}
+}
+
+// TestTransferMaxPayloadFullLoss drives a maximum-size payload whose first
+// copy loses its entire payload region. The receiver's request degenerates
+// to "resend everything", and the full retransmission cannot fit in one
+// control frame — capResponse must split it across rounds instead of
+// panicking in frame.New, and the transfer must still complete.
+func TestTransferMaxPayloadFullLoss(t *testing.T) {
+	rng := stats.NewRNG(11)
+	fwd := &chipLink{
+		rx:      frame.NewReceiver(phy.HardDecoder{}),
+		corrupt: onceCorruptor(1, burstCorruptor(rng, 0, frame.MaxPayload)),
+	}
+	rev := cleanLink()
+	s := NewSender(fwd, rev, 1, 2, Config{})
+	payload := payloadOf(rng, frame.MaxPayload)
+	got, st, err := s.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch after full-loss recovery")
+	}
+	if st.Rounds < 2 {
+		t.Errorf("full 1500-byte retransmission fit one frame (rounds=%d); the cap should force a second round", st.Rounds)
+	}
+	if st.VerifiedSymbols != frame.MaxPayload*2 {
+		t.Errorf("VerifiedSymbols = %d, want %d", st.VerifiedSymbols, frame.MaxPayload*2)
+	}
+}
+
+// TestCapResponseShedsToFit pins capResponse's contract directly: an
+// oversized response shrinks until it encodes within MaxControlBody, and
+// the shed symbols reappear as checksummed complement segments.
+func TestCapResponseShedsToFit(t *testing.T) {
+	numSymbols := frame.MaxPayload * 2
+	syms := make([]byte, numSymbols)
+	for i := range syms {
+		syms[i] = byte(i) & 0x0f
+	}
+	s := &Sender{cfg: Config{}.fill()}
+	resp := feedback.Response{Seq: 3, NumSymbols: numSymbols,
+		Chunks: []feedback.RespChunk{{Start: 0, Syms: append([]byte(nil), syms...)}}}
+	s.fillSegChecksums(&resp, syms)
+	s.capResponse(&resp, syms)
+	enc := resp.Encode(s.cfg.LambdaC)
+	if len(enc) > MaxControlBody {
+		t.Fatalf("capped response still %d bytes", len(enc))
+	}
+	kept := 0
+	for _, c := range resp.Chunks {
+		kept += len(c.Syms)
+	}
+	if kept == 0 || kept >= numSymbols {
+		t.Errorf("capped response keeps %d of %d symbols; want a proper nonzero subset", kept, numSymbols)
+	}
+	// The capped response must still decode, with its complement checksums
+	// intact.
+	dec, err := feedback.DecodeResponse(enc, s.cfg.LambdaC)
+	if err != nil {
+		t.Fatalf("capped response does not round-trip: %v", err)
+	}
+	if len(dec.SegChecksums) == 0 {
+		t.Error("shed symbols produced no complement checksums")
+	}
+}

@@ -22,8 +22,10 @@ package pparq
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"ppr/internal/bitutil"
+	"ppr/internal/core/chunkdp"
 	"ppr/internal/core/feedback"
 	"ppr/internal/core/recovery"
 	"ppr/internal/core/softphy"
@@ -98,6 +100,12 @@ type Stats struct {
 	// Misses counts good segments whose checksums failed sender-side
 	// verification (SoftPHY misses caught by the protocol).
 	Misses int
+	// VerifiedSymbols is how many payload symbols ended checksum-verified —
+	// all of them on success, and on give-up the partial content PPR's
+	// philosophy still lets the receiver hand to higher layers (the
+	// closed-loop simulator credits it, exactly as fragmented CRC banks its
+	// verified fragments).
+	VerifiedSymbols int
 }
 
 // TotalAirBytes sums every byte transmitted in both directions.
@@ -159,6 +167,7 @@ func (s *Sender) Transfer(payload []byte) (delivered []byte, st Stats, err error
 
 	// Receiver-side assembler.
 	asm := recovery.New(len(syms))
+	defer func() { st.VerifiedSymbols = asm.VerifiedCount() }()
 	if err := asm.Init(rec.MissingPrefix, rec.Decisions, cfg.Labeler); err != nil {
 		return nil, st, err
 	}
@@ -171,7 +180,7 @@ func (s *Sender) Transfer(payload []byte) (delivered []byte, st Stats, err error
 		// Phase 2: receiver sends feedback (reliably, with retries). The
 		// sender works from the copy that actually crossed the reverse
 		// link, exercising the codec end to end.
-		req := asm.BuildRequest(seq, cfg.LambdaC)
+		req := ClampRequest(asm.BuildRequest(seq, cfg.LambdaC), cfg.LambdaC)
 		fbBody := append([]byte{TypeFeedback}, req.Encode(cfg.LambdaC)...)
 		fbRec, err := s.sendControl(s.rev, fbBody, &st.FeedbackAirBytes, nil)
 		if err != nil {
@@ -217,72 +226,125 @@ func (s *Sender) Transfer(payload []byte) (delivered []byte, st Stats, err error
 	return asm.Payload(), st, nil
 }
 
+// MaxControlBody is the largest control-frame payload the protocol will
+// build: the link layer's maximum payload minus the control type byte.
+// Feedback requests and retransmission responses that would exceed it are
+// clamped — see ClampRequest and capResponse — and the residue is recovered
+// on a later round. Without the clamp, a 1500-byte packet whose symbols are
+// all bad asks for a retransmission bigger than a frame can carry.
+const MaxControlBody = frame.MaxPayload - 1
+
+// ClampRequest bounds a feedback request to MaxControlBody. A request small
+// enough to fit is returned unchanged; an oversized one (pathological
+// receptions can produce thousands of alternating chunks whose gamma codes
+// outgrow the frame) degenerates to the one request that is always tiny:
+// retransmit the whole packet.
+func ClampRequest(req feedback.Request, lambdaC int) feedback.Request {
+	if req.CRCVerified || (feedback.RequestBits(req, lambdaC)+7)/8 <= MaxControlBody {
+		return req
+	}
+	return feedback.Request{
+		Seq:        req.Seq,
+		NumSymbols: req.NumSymbols,
+		Chunks:     []chunkdp.Chunk{{StartSym: 0, EndSym: req.NumSymbols}},
+	}
+}
+
 // buildResponse serves a feedback request from the sender's stored symbols:
 // requested chunks are filled with the true symbols; good segments are
 // verified against the receiver's checksums, and any that fail are promoted
-// to retransmitted chunks (the receiver was fooled by a miss).
+// to retransmitted chunks (the receiver was fooled by a miss). The response
+// is capped at MaxControlBody: retransmission that does not fit is demoted
+// to checksummed segments, which fail verification at the receiver and are
+// re-requested next round.
 func (s *Sender) buildResponse(req feedback.Request) (feedback.Response, int) {
 	syms := s.sent[req.Seq]
-	resp := feedback.Response{Seq: req.Seq, NumSymbols: req.NumSymbols}
 	misses := 0
-	segs := feedback.Segments(req.NumSymbols, req.Chunks)
-	// Walk chunks and segments in symbol order, merging both sources of
-	// retransmission into resp.Chunks.
-	type span struct {
-		start, end int
-		retransmit bool
-	}
-	var spans []span
+	type span struct{ start, end int }
+	var retx []span
 	for _, c := range req.Chunks {
-		spans = append(spans, span{c.StartSym, c.EndSym, true})
+		retx = append(retx, span{c.StartSym, c.EndSym})
 	}
-	for i, seg := range segs {
+	for i, seg := range feedback.Segments(req.NumSymbols, req.Chunks) {
 		w := feedback.ChecksumWidth(seg.Len, s.cfg.LambdaC)
-		ok := feedback.SymbolChecksum(syms[seg.Start:seg.End()], w) == req.SegChecksums[i]
-		if !ok {
+		if feedback.SymbolChecksum(syms[seg.Start:seg.End()], w) != req.SegChecksums[i] {
 			misses++
-		}
-		spans = append(spans, span{seg.Start, seg.End(), !ok})
-	}
-	// spans from chunks and segments interleave; sort by start.
-	for i := 1; i < len(spans); i++ {
-		for j := i; j > 0 && spans[j].start < spans[j-1].start; j-- {
-			spans[j], spans[j-1] = spans[j-1], spans[j]
+			retx = append(retx, span{seg.Start, seg.End()})
 		}
 	}
-	for _, sp := range spans {
-		if sp.retransmit {
-			resp.Chunks = append(resp.Chunks, feedback.RespChunk{
-				Start: sp.start,
-				Syms:  append([]byte(nil), syms[sp.start:sp.end]...),
-			})
-		} else {
-			w := feedback.ChecksumWidth(sp.end-sp.start, s.cfg.LambdaC)
-			resp.SegChecksums = append(resp.SegChecksums, feedback.SymbolChecksum(syms[sp.start:sp.end], w))
-		}
+	sort.Slice(retx, func(a, b int) bool { return retx[a].start < retx[b].start })
+
+	resp := feedback.Response{Seq: req.Seq, NumSymbols: req.NumSymbols}
+	for _, sp := range retx {
+		resp.Chunks = append(resp.Chunks, feedback.RespChunk{
+			Start: sp.start,
+			Syms:  append([]byte(nil), syms[sp.start:sp.end]...),
+		})
 	}
+	s.fillSegChecksums(&resp, syms)
+	s.capResponse(&resp, syms)
 	return resp, misses
 }
 
-// sendControl transmits a control frame until the peer receives it with a
-// verified packet CRC, returning the accepted reception. Every attempt's
-// air bytes are charged to counter; when sizes is non-nil the accepted
-// frame's payload size is recorded.
-func (s *Sender) sendControl(l Link, body []byte, counter *int, sizes *[]int) (*frame.Reception, error) {
-	f := frame.New(s.dst, s.src, s.seq, body)
-	s.seq++
-	air := frame.AirBytes(len(body))
-	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
+// fillSegChecksums recomputes a response's segment checksums as the
+// complement of its current chunk list.
+func (s *Sender) fillSegChecksums(resp *feedback.Response, syms []byte) {
+	asChunks := make([]chunkdp.Chunk, len(resp.Chunks))
+	for i, c := range resp.Chunks {
+		asChunks[i] = chunkdp.Chunk{StartSym: c.Start, EndSym: c.End()}
+	}
+	resp.SegChecksums = resp.SegChecksums[:0]
+	for _, seg := range feedback.Segments(resp.NumSymbols, asChunks) {
+		w := feedback.ChecksumWidth(seg.Len, s.cfg.LambdaC)
+		resp.SegChecksums = append(resp.SegChecksums, feedback.SymbolChecksum(syms[seg.Start:seg.End()], w))
+	}
+}
+
+// capResponse shrinks a response until its encoding fits MaxControlBody by
+// truncating (then dropping) the trailing retransmission chunk; the shed
+// symbols join the checksummed complement, fail verification at the
+// receiver, and come back in the next round's request. Each iteration
+// strictly reduces the retransmitted symbol count, so the loop terminates —
+// in the limit at a chunkless response, which always fits.
+func (s *Sender) capResponse(resp *feedback.Response, syms []byte) {
+	for len(resp.Encode(s.cfg.LambdaC)) > MaxControlBody {
+		last := len(resp.Chunks) - 1
+		if c := resp.Chunks[last]; len(c.Syms) > 16 {
+			resp.Chunks[last].Syms = c.Syms[:len(c.Syms)/2]
+		} else {
+			resp.Chunks = resp.Chunks[:last]
+		}
+		s.fillSegChecksums(resp, syms)
+	}
+}
+
+// DeliverControl transmits a prebuilt control frame until the peer
+// receives it with a verified packet CRC, charging every attempt's air
+// bytes to counter. This is the one reliable-control-delivery loop in the
+// codebase: the PP-ARQ sender and the closed-loop ARQ baselines
+// (internal/netsim) share its retry bound, accounting and acceptance
+// predicate.
+func DeliverControl(l Link, f frame.Frame, maxAttempts int, counter *int) (*frame.Reception, error) {
+	air := frame.AirBytes(len(f.Payload))
+	for attempt := 0; attempt < maxAttempts; attempt++ {
 		*counter += air
-		rec := l.Transmit(f)
-		if rec != nil && rec.HeaderOK && rec.CRCOK {
-			if sizes != nil {
-				*sizes = append(*sizes, len(body))
-			}
+		if rec := l.Transmit(f); rec != nil && rec.HeaderOK && rec.CRCOK {
 			return rec, nil
 		}
 	}
-	return nil, fmt.Errorf("%w: control frame (%d bytes) never delivered", ErrGiveUp, len(body))
+	return nil, fmt.Errorf("%w: control frame (%d bytes) never delivered", ErrGiveUp, len(f.Payload))
+}
+
+// sendControl frames a control body and delivers it reliably, recording the
+// accepted frame's payload size when sizes is non-nil.
+func (s *Sender) sendControl(l Link, body []byte, counter *int, sizes *[]int) (*frame.Reception, error) {
+	f := frame.New(s.dst, s.src, s.seq, body)
+	s.seq++
+	rec, err := DeliverControl(l, f, s.cfg.MaxAttempts, counter)
+	if err == nil && sizes != nil {
+		*sizes = append(*sizes, len(body))
+	}
+	return rec, err
 }
 
 // controlBody strips the control type byte from a delivered control frame.

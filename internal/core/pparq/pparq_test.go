@@ -25,16 +25,7 @@ func (l *chipLink) Transmit(f frame.Frame) *frame.Reception {
 	if l.corrupt != nil {
 		chips = l.corrupt(chips)
 	}
-	recs := l.rx.Receive(chips)
-	var best *frame.Reception
-	for i := range recs {
-		if recs[i].HeaderOK {
-			if best == nil || len(recs[i].Decisions) > len(best.Decisions) {
-				best = &recs[i]
-			}
-		}
-	}
-	return best
+	return frame.BestReception(l.rx.Receive(chips))
 }
 
 func cleanLink() *chipLink {

@@ -1,0 +1,57 @@
+package runlen
+
+import (
+	"testing"
+
+	"ppr/internal/core/softphy"
+)
+
+// FuzzRunsRoundTrip drives FromLabels/Expand with arbitrary label sequences
+// (one bit per byte of fuzz input) and checks the structural invariants: the
+// runs validate, round-trip to the original labels, and the Bad/Good
+// partitions tile exactly the symbols of their labels.
+func FuzzRunsRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 1, 1})
+	f.Add([]byte{0, 1, 0, 1, 0})
+	f.Add([]byte{1, 0, 0, 1, 1, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		labels := make([]softphy.Label, len(data))
+		for i, b := range data {
+			if b&1 == 1 {
+				labels[i] = softphy.Bad
+			}
+		}
+		rs := FromLabels(labels)
+		if err := rs.Validate(); err != nil {
+			t.Fatalf("invalid runs from labels: %v", err)
+		}
+		round := rs.Expand()
+		if len(round) != len(labels) {
+			t.Fatalf("round-trip length %d, want %d", len(round), len(labels))
+		}
+		for i := range labels {
+			if round[i] != labels[i] {
+				t.Fatalf("label %d changed across round-trip", i)
+			}
+		}
+		badSyms, goodSyms := 0, 0
+		for _, r := range rs.Bad() {
+			badSyms += r.Len
+		}
+		for _, r := range rs.Good() {
+			goodSyms += r.Len
+		}
+		wantBad := 0
+		for _, l := range labels {
+			if l == softphy.Bad {
+				wantBad++
+			}
+		}
+		if badSyms != wantBad || goodSyms != len(labels)-wantBad {
+			t.Fatalf("partition covers %d bad + %d good of %d symbols (%d bad expected)",
+				badSyms, goodSyms, len(labels), wantBad)
+		}
+	})
+}

@@ -37,16 +37,7 @@ func (l *burstyLink) Transmit(f frame.Frame) *frame.Reception {
 			}
 		}
 	}
-	recs := l.rx.Receive(chips)
-	var best *frame.Reception
-	for i := range recs {
-		if recs[i].HeaderOK {
-			if best == nil || len(recs[i].Decisions) > len(best.Decisions) {
-				best = &recs[i]
-			}
-		}
-	}
-	return best
+	return frame.BestReception(l.rx.Receive(chips))
 }
 
 // Fig16Result is the Fig. 16 reproduction: the distribution of partial

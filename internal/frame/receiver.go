@@ -267,3 +267,22 @@ func betterReception(a, b Reception) bool {
 	}
 	return a.Kind == SyncPreamble && b.Kind == SyncPostamble
 }
+
+// BestReception returns the header-verified reception that decoded the most
+// payload symbols, or nil if none verified. Single-link channels (the PP-ARQ
+// experiments, netsim's point-to-point hops) use it to pick the one
+// reception a Transmit call should report; callers on shared channels filter
+// by header identity first so an interferer's packet is never mistaken for
+// the transmitted one.
+func BestReception(recs []Reception) *Reception {
+	var best *Reception
+	for i := range recs {
+		if !recs[i].HeaderOK {
+			continue
+		}
+		if best == nil || len(recs[i].Decisions) > len(best.Decisions) {
+			best = &recs[i]
+		}
+	}
+	return best
+}

@@ -21,6 +21,12 @@ const BitRateBps = 250_000
 // ChipsPerSecond converts a duration in seconds to chips.
 func ChipsPerSecond(sec float64) int64 { return int64(sec * ChipRateHz) }
 
+// TurnaroundChips is the rx/tx turnaround of an 802.15.4 radio —
+// aTurnaroundTime, 12 symbol periods (192 µs) — in chips at 2 Mchip/s. The
+// closed-loop simulator charges it between every reception and the frame a
+// node sends in response (feedback, ACKs, the next retransmission).
+const TurnaroundChips = 384
+
 // TrafficSource generates Poisson packet arrivals for one sender.
 type TrafficSource struct {
 	// OfferedBps is the offered load in application bits/second (the

@@ -1,0 +1,429 @@
+// Link-layer state machines for the closed-loop simulator. A LinkLayer
+// drives one flow's reliable transfer over a pair of engine links; every
+// frame it sends — data, feedback, acknowledgement, retransmission — costs
+// real airtime on the shared channel. Three layers ship, mirroring the
+// paper's Fig. 17 comparison:
+//
+//   - "pp-arq": the paper's protocol, internal/core/pparq unchanged — the
+//     same state machine the single-link Fig. 16 experiment exercises, now
+//     contending for the medium.
+//   - "frag-crc-arq": the status-quo baseline the paper grants (Sec. 3.4):
+//     the payload is fragment‖CRC32 repeated and the receiver banks every
+//     fragment whose checksum verifies, but the link layer's retransmission
+//     unit is still the whole packet — partial *retransmission* is exactly
+//     the capability PP-ARQ adds (selective per-fragment repeat came later,
+//     with ZipTx and Maranello). The receiver's bitmap feedback tells the
+//     sender when everything has landed.
+//   - "packet-crc-arq": the 802.11-style status quo: whole-packet CRC,
+//     whole-packet retransmission until it verifies, positive ACKs only.
+//
+// New layers register like recovery schemes and scenarios do: implement
+// LinkLayer, wrap a Maker, and RegisterLinkLayer from init.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"ppr/internal/baseline"
+	"ppr/internal/core/pparq"
+	"ppr/internal/crcutil"
+	"ppr/internal/frame"
+	"ppr/internal/schemes"
+)
+
+// LinkStats aggregates a link layer's per-transfer byte accounting
+// (pparq.Stats without the per-response size samples).
+type LinkStats struct {
+	// DataAirBytes counts full data-frame transmissions.
+	DataAirBytes int
+	// RetxAirBytes counts retransmission frames (partial or full-copy,
+	// depending on the layer).
+	RetxAirBytes int
+	// FeedbackAirBytes counts reverse-link feedback and ACK frames.
+	FeedbackAirBytes int
+	// Rounds totals feedback/retransmission rounds.
+	Rounds int
+	// FullResends counts whole-frame resends after acquisition failures.
+	FullResends int
+	// Misses counts SoftPHY misses the protocol caught (PP-ARQ only).
+	Misses int
+}
+
+// TotalAirBytes sums every byte put on the air in both directions.
+func (a LinkStats) TotalAirBytes() int {
+	return a.DataAirBytes + a.RetxAirBytes + a.FeedbackAirBytes
+}
+
+// Merge accumulates another accumulator into a — the one place the field
+// list lives for aggregation (the Fig. 17 experiment folds per-flow stats
+// through it).
+func (a *LinkStats) Merge(b LinkStats) {
+	a.DataAirBytes += b.DataAirBytes
+	a.RetxAirBytes += b.RetxAirBytes
+	a.FeedbackAirBytes += b.FeedbackAirBytes
+	a.Rounds += b.Rounds
+	a.FullResends += b.FullResends
+	a.Misses += b.Misses
+}
+
+func (a *LinkStats) add(st pparq.Stats) {
+	a.Merge(LinkStats{
+		DataAirBytes:     st.DataAirBytes,
+		RetxAirBytes:     st.RetxAirBytes,
+		FeedbackAirBytes: st.FeedbackAirBytes,
+		Rounds:           st.Rounds,
+		FullResends:      st.FullResends,
+		Misses:           st.Misses,
+	})
+}
+
+// LinkConfig carries the per-flow knobs a Maker receives.
+type LinkConfig struct {
+	// PacketBytes is the link-layer payload size per data packet.
+	PacketBytes int
+	// FragBytes is the fragmented-CRC fragment size; 0 means the paper's 50.
+	FragBytes int
+	// MaxRounds and MaxAttempts bound persistence; 0 means the PP-ARQ
+	// defaults.
+	MaxRounds, MaxAttempts int
+}
+
+func (c LinkConfig) fill() LinkConfig {
+	if c.FragBytes == 0 {
+		c.FragBytes = schemes.DefaultParams().FragBytes
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 8
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 16
+	}
+	return c
+}
+
+// LinkLayer is one flow's reliable-transfer state machine. Implementations
+// own a pair of pparq.Links (forward for data and retransmissions, reverse
+// for feedback) and must put every protocol byte through them — that is
+// what makes the simulation closed-loop.
+type LinkLayer interface {
+	// Name is the layer's display name; Slug(Name()) is its registry key.
+	Name() string
+	// AppBytesPerPacket returns the application bytes one data packet of
+	// linkPayloadBytes carries (fragmented CRC spends payload on per-
+	// fragment checksums).
+	AppBytesPerPacket(linkPayloadBytes int) int
+	// Transfer delivers one application payload, returning the application
+	// bytes the receiver verified (possibly partial on give-up) and the air
+	// accounting. A transfer must transmit at least one frame, so simulated
+	// time always advances.
+	Transfer(app []byte) (deliveredAppBytes int, st pparq.Stats, err error)
+}
+
+// Maker builds a link layer over one flow's links. src and dst are the
+// link-layer addresses frames carry.
+type Maker func(fwd, rev pparq.Link, src, dst uint16, cfg LinkConfig) LinkLayer
+
+type layerEntry struct {
+	name  string
+	maker Maker
+}
+
+var (
+	layerRegistry = map[string]Maker{}
+	layerOrdered  []layerEntry
+)
+
+func init() {
+	RegisterLinkLayer("PP-ARQ", newPPARQ)
+	RegisterLinkLayer("Frag-CRC ARQ", newFragARQ)
+	RegisterLinkLayer("Packet CRC ARQ", newPacketARQ)
+}
+
+// RegisterLinkLayer adds a layer under schemes.Slug(name). Like the scheme
+// and scenario registries it is for init-time use, not concurrent callers.
+func RegisterLinkLayer(name string, mk Maker) {
+	key := schemes.Slug(name)
+	if key == "" {
+		panic("netsim: link layer with empty name")
+	}
+	if _, dup := layerRegistry[key]; dup {
+		panic(fmt.Sprintf("netsim: duplicate link layer %q", key))
+	}
+	layerRegistry[key] = mk
+	layerOrdered = append(layerOrdered, layerEntry{name: name, maker: mk})
+}
+
+// linkLayerMaker resolves a registry name; "" means PP-ARQ.
+func linkLayerMaker(name string) (Maker, error) {
+	if name == "" {
+		name = "pp-arq"
+	}
+	if mk, ok := layerRegistry[schemes.Slug(name)]; ok {
+		return mk, nil
+	}
+	return nil, fmt.Errorf("netsim: unknown link layer %q (available: %v)", name, LinkLayerNames())
+}
+
+// LinkLayerNames lists the registered layer slugs, sorted.
+func LinkLayerNames() []string {
+	out := make([]string, 0, len(layerRegistry))
+	for n := range layerRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LinkLayers lists the registered layer slugs in registration
+// (presentation) order: the paper's comparison runs PP-ARQ first, then the
+// baselines in decreasing sophistication.
+func LinkLayers() []string {
+	out := make([]string, 0, len(layerOrdered))
+	for _, e := range layerOrdered {
+		out = append(out, schemes.Slug(e.name))
+	}
+	return out
+}
+
+// ---- PP-ARQ (the paper's protocol) ----
+
+type ppARQ struct {
+	s *pparq.Sender
+}
+
+func newPPARQ(fwd, rev pparq.Link, src, dst uint16, cfg LinkConfig) LinkLayer {
+	cfg = cfg.fill()
+	return &ppARQ{s: pparq.NewSender(fwd, rev, src, dst, pparq.Config{
+		MaxRounds:   cfg.MaxRounds,
+		MaxAttempts: cfg.MaxAttempts,
+	})}
+}
+
+func (l *ppARQ) Name() string { return "PP-ARQ" }
+
+func (l *ppARQ) AppBytesPerPacket(linkPayloadBytes int) int { return linkPayloadBytes }
+
+func (l *ppARQ) Transfer(app []byte) (int, pparq.Stats, error) {
+	delivered, st, err := l.s.Transfer(app)
+	if err != nil {
+		// Give-up: the receiver still hands its checksum-verified symbols to
+		// higher layers — partial packet delivery is the point of PPR, and
+		// it mirrors the verified fragments the frag-CRC layer banks.
+		return st.VerifiedSymbols * 4 / 8, st, err
+	}
+	return len(delivered), st, nil
+}
+
+// ---- Packet CRC ARQ (the status quo) ----
+
+// packetARQ retransmits the whole frame until its packet CRC verifies at
+// the receiver, which then returns a short positive ACK; a lost ACK costs
+// another full data round (the receiver would deduplicate on seq).
+type packetARQ struct {
+	fwd, rev pparq.Link
+	src, dst uint16
+	seq      uint16
+	cfg      LinkConfig
+}
+
+func newPacketARQ(fwd, rev pparq.Link, src, dst uint16, cfg LinkConfig) LinkLayer {
+	return &packetARQ{fwd: fwd, rev: rev, src: src, dst: dst, cfg: cfg.fill()}
+}
+
+func (l *packetARQ) Name() string { return "Packet CRC ARQ" }
+
+func (l *packetARQ) AppBytesPerPacket(linkPayloadBytes int) int { return linkPayloadBytes }
+
+// ackBody is the tiny positive-acknowledgement control payload.
+func ackBody(seq uint16) []byte {
+	return []byte{pparq.TypeFeedback, byte(seq >> 8), byte(seq)}
+}
+
+func (l *packetARQ) Transfer(app []byte) (int, pparq.Stats, error) {
+	var st pparq.Stats
+	f := frame.New(l.dst, l.src, l.seq, app)
+	l.seq++
+	air := frame.AirBytes(len(app))
+	delivered := false
+	for attempt := 0; attempt < l.cfg.MaxAttempts; attempt++ {
+		if attempt == 0 {
+			st.DataAirBytes += air
+		} else {
+			st.RetxAirBytes += air
+			st.FullResends++
+		}
+		st.Rounds++
+		rec := l.fwd.Transmit(f)
+		if rec == nil || !rec.HeaderOK || !rec.CRCOK {
+			continue
+		}
+		delivered = true // the receiver has the packet from here on
+		ack := frame.New(l.src, l.dst, f.Hdr.Seq, ackBody(f.Hdr.Seq))
+		st.FeedbackAirBytes += frame.AirBytes(len(ack.Payload))
+		if ackRec := l.rev.Transmit(ack); ackRec != nil && ackRec.HeaderOK && ackRec.CRCOK {
+			return len(app), st, nil
+		}
+		// ACK lost: the sender times out and resends the data frame.
+	}
+	if delivered {
+		// The receiver verified the packet even though the sender never saw
+		// an ACK; application bytes were delivered.
+		return len(app), st, nil
+	}
+	return 0, st, fmt.Errorf("%w: packet CRC never verified in %d attempts", pparq.ErrGiveUp, l.cfg.MaxAttempts)
+}
+
+// ---- Fragmented CRC ARQ (Sec. 3.4 baseline, closed loop) ----
+
+// fragARQ lays the payload out as fragment‖CRC32 repeated (Sec. 3.4) over
+// a packet-granular ARQ: every retransmission is the full frame, and the
+// receiver accumulates verified fragments across copies until none are
+// missing. Fragmentation salvages *delivery* — each copy contributes
+// whatever fragments survived it — but not *retransmission*, which is the
+// capability that separates PP-ARQ from every status-quo scheme.
+type fragARQ struct {
+	fwd, rev pparq.Link
+	src, dst uint16
+	seq      uint16
+	cfg      LinkConfig
+}
+
+func newFragARQ(fwd, rev pparq.Link, src, dst uint16, cfg LinkConfig) LinkLayer {
+	return &fragARQ{fwd: fwd, rev: rev, src: src, dst: dst, cfg: cfg.fill()}
+}
+
+func (l *fragARQ) Name() string { return "Frag-CRC ARQ" }
+
+func (l *fragARQ) AppBytesPerPacket(linkPayloadBytes int) int {
+	return baseline.AppCapacity(linkPayloadBytes, l.cfg.FragBytes)
+}
+
+// fragSpan returns fragment i's application byte range.
+func (l *fragARQ) fragSpan(appLen, i int) (lo, hi int) {
+	lo = i * l.cfg.FragBytes
+	hi = lo + l.cfg.FragBytes
+	if hi > appLen {
+		hi = appLen
+	}
+	return lo, hi
+}
+
+// feedbackBody encodes the receiver's fragment bitmap: type, seq, fragment
+// count, then one bit per still-missing fragment.
+func fragFeedbackBody(seq uint16, nFrags int, missing []bool) []byte {
+	body := []byte{pparq.TypeFeedback, byte(seq >> 8), byte(seq), byte(nFrags)}
+	bits := make([]byte, (nFrags+7)/8)
+	for i, m := range missing {
+		if m {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	return append(body, bits...)
+}
+
+// parseFragFeedback inverts fragFeedbackBody.
+func parseFragFeedback(body []byte) (seq uint16, missing []bool, err error) {
+	if len(body) < 4 || body[0] != pparq.TypeFeedback {
+		return 0, nil, fmt.Errorf("fragARQ: malformed feedback")
+	}
+	seq = uint16(body[1])<<8 | uint16(body[2])
+	nFrags := int(body[3])
+	if len(body) < 4+(nFrags+7)/8 {
+		return 0, nil, fmt.Errorf("fragARQ: truncated feedback bitmap")
+	}
+	missing = make([]bool, nFrags)
+	for i := range missing {
+		missing[i] = body[4+i/8]&(1<<(i%8)) != 0
+	}
+	return seq, missing, nil
+}
+
+// sendControl frames a control body and delivers it through pparq's shared
+// reliable-delivery loop (retry until the peer verifies the packet CRC).
+func (l *fragARQ) sendControl(link pparq.Link, body []byte, counter *int) (*frame.Reception, error) {
+	f := frame.New(l.dst, l.src, l.seq, body)
+	l.seq++
+	return pparq.DeliverControl(link, f, l.cfg.MaxAttempts, counter)
+}
+
+func (l *fragARQ) Transfer(app []byte) (int, pparq.Stats, error) {
+	var st pparq.Stats
+	nFrags := (len(app) + l.cfg.FragBytes - 1) / l.cfg.FragBytes
+	if nFrags > 255 {
+		return 0, st, fmt.Errorf("fragARQ: %d fragments exceed the bitmap header", nFrags)
+	}
+	missing := make([]bool, nFrags)
+	for i := range missing {
+		missing[i] = true
+	}
+	deliveredBytes := func() int {
+		n := 0
+		for i, m := range missing {
+			if !m {
+				lo, hi := l.fragSpan(len(app), i)
+				n += hi - lo
+			}
+		}
+		return n
+	}
+
+	// score banks every fragment of a frame copy whose checksum verifies:
+	// fragment i occupies its fixed slice of the encoded payload.
+	score := func(rec *frame.Reception) {
+		if rec == nil || !rec.HeaderOK {
+			return
+		}
+		for i := range missing {
+			if !missing[i] {
+				continue
+			}
+			lo, hi := l.fragSpan(len(app), i)
+			encLo := lo + i*baseline.FragOverhead
+			encHi := hi + (i+1)*baseline.FragOverhead
+			if encHi <= len(rec.PayloadBytes) {
+				if _, ok := crcutil.Verify32(rec.PayloadBytes[encLo:encHi]); ok {
+					missing[i] = false
+				}
+			}
+		}
+	}
+	f := frame.New(l.dst, l.src, l.seq, baseline.EncodeFragmented(app, l.cfg.FragBytes))
+	l.seq++
+	air := frame.AirBytes(len(f.Payload))
+	for attempt := 0; attempt < l.cfg.MaxAttempts; attempt++ {
+		// The retransmission unit is the whole frame: the status-quo link
+		// layer cannot resend less, however few fragments are still missing.
+		if attempt == 0 {
+			st.DataAirBytes += air
+		} else {
+			st.RetxAirBytes += air
+		}
+		st.Rounds++
+		rec := l.fwd.Transmit(f)
+		if rec == nil || !rec.HeaderOK {
+			st.FullResends++
+			continue
+		}
+		score(rec)
+		// Receiver feedback: the missing-fragment bitmap, an ACK when empty.
+		fbRec, err := l.sendControl(l.rev, fragFeedbackBody(f.Hdr.Seq, nFrags, missing), &st.FeedbackAirBytes)
+		if err != nil {
+			return deliveredBytes(), st, err
+		}
+		// The sender acts on the bitmap that crossed the channel (the control
+		// frame is CRC-verified, so it matches what the receiver sent).
+		_, senderMissing, err := parseFragFeedback(fbRec.PayloadBytes)
+		if err != nil {
+			return deliveredBytes(), st, err
+		}
+		still := false
+		for _, m := range senderMissing {
+			still = still || m
+		}
+		if !still {
+			return len(app), st, nil
+		}
+	}
+	return deliveredBytes(), st, fmt.Errorf("%w: fragments still missing after %d attempts", pparq.ErrGiveUp, l.cfg.MaxAttempts)
+}

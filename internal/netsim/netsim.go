@@ -1,0 +1,680 @@
+// Package netsim is the closed-loop network simulator of the repo: a
+// discrete-event engine in which every node runs a real link-layer state
+// machine over the shared CSMA channel, so acknowledgements, PP-ARQ feedback
+// frames and partial retransmissions occupy airtime and collide like any
+// other transmission. It exists to reproduce the paper's headline result
+// (Sec. 7.5, Fig. 17): when the cost of feedback and retransmission is paid
+// *on the channel* instead of accounted after the fact, PP-ARQ roughly
+// doubles aggregate network throughput over the status quo.
+//
+// The open-loop engine (internal/sim) schedules a fixed transmission
+// timeline and post-processes the resulting trace under each recovery
+// scheme; the offered load never reacts to what was lost. Here the loop is
+// closed: a flow's next frame — the initial data packet, the receiver's
+// feedback, the sender's partial retransmission — is decided by the protocol
+// from what actually arrived, and its transmit time is decided by the MAC
+// from what the channel is actually carrying.
+//
+// # Execution model
+//
+// The engine owns a virtual clock in chips and a priority queue of events.
+// Each flow runs its LinkLayer (PP-ARQ via internal/core/pparq, or one of
+// the status-quo ARQ baselines) as a coroutine: the link layer's blocking
+// Link.Transmit call yields to the engine, which queues the transmission,
+// applies carrier sense at the transmitting node against everything
+// currently on the air, commits the frame to the shared timeline, and — once
+// the virtual clock passes the frame's end — synthesizes the destination's
+// chip stream (interference from every concurrently committed transmission
+// included, via internal/radio) and resumes the flow with the reception.
+// Exactly one goroutine runs at any instant, and events at equal times order
+// deterministically, so a run is a pure function of its Config.
+//
+// Randomness is drawn from generators derived with stats.RNG.Derive keyed on
+// stable (node, chip-time) coordinates: channel noise and fading from the
+// receiving node and the transmission's start chip, CSMA backoff from the
+// sensing node and the arrival chip. Results therefore do not depend on how
+// many engine runs execute in parallel elsewhere (the Fig. 17 experiment
+// fans independent operating points over a worker pool).
+//
+// Jammer nodes from internal/scenario integrate as pure event sources: their
+// arrival models fire jam frames onto the timeline (reactive ones sense
+// first), which interfere with — and trigger recovery in — every flow.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"ppr/internal/frame"
+	"ppr/internal/mac"
+	"ppr/internal/phy"
+	"ppr/internal/radio"
+	"ppr/internal/scenario"
+	"ppr/internal/stats"
+	"ppr/internal/testbed"
+)
+
+// Flow is one closed-loop traffic flow: a sender streaming packets to a
+// receiver through a LinkLayer.
+type Flow struct {
+	// Sender is the testbed sender index (global node ID Sender).
+	Sender int
+	// Receiver is the testbed receiver index (global node ID
+	// testbed.NumSenders+Receiver).
+	Receiver int
+}
+
+// JammerNode overlays an adversarial event source on the shared channel: a
+// sender position transmitting jam bursts under a scenario traffic model,
+// with the scenario's MAC flags (carrier-sense-ignoring, reactive).
+type JammerNode struct {
+	// Sender is the testbed sender index whose position and link budget the
+	// jammer transmits from. It must not also carry a Flow.
+	Sender int
+	// Node is the scenario behaviour: Model generates jam arrivals,
+	// PacketBytes sizes the bursts, IgnoreCarrierSense/Reactive set the MAC
+	// discipline.
+	Node scenario.Node
+}
+
+// Config describes one closed-loop run.
+type Config struct {
+	// Testbed is the deployment to run on.
+	Testbed *testbed.Testbed
+	// Flows are the concurrent closed-loop flows sharing the channel.
+	Flows []Flow
+	// LinkLayer names the registered link layer every flow runs (see
+	// LinkLayerNames); "" means PP-ARQ.
+	LinkLayer string
+	// PacketBytes is the link-layer payload size per data packet.
+	PacketBytes int
+	// DurationSec is the simulated airtime: flows stop opening new transfers
+	// once the virtual clock passes it (the transfer in flight completes).
+	DurationSec float64
+	// CarrierSense toggles CSMA for every well-behaved transmission, control
+	// frames included — in a closed-loop world feedback contends for the
+	// medium like data.
+	CarrierSense bool
+	// Seed fixes all traffic, backoff, noise and fading randomness.
+	Seed uint64
+	// Traffic paces each flow's transfer openings; nil means saturated
+	// (back-to-back transfers, the paper's "streams packets as fast as the
+	// protocol allows"). Arrivals in a flow's backlog queue: an arrival that
+	// falls while a transfer is still in progress starts immediately after.
+	Traffic scenario.TrafficModel
+	// OfferedBps scales Traffic (unused when saturated).
+	OfferedBps float64
+	// Jammers are adversarial event sources overlaid on the channel.
+	Jammers []JammerNode
+	// FragBytes is the fragmented-CRC layer's fragment size; 0 means the
+	// paper's 50 bytes.
+	FragBytes int
+	// MaxRounds and MaxAttempts bound every link layer's persistence per
+	// transfer; 0 means the PP-ARQ defaults (8 rounds, 16 attempts).
+	MaxRounds, MaxAttempts int
+}
+
+// FlowResult is one flow's accounting over a run.
+type FlowResult struct {
+	// Flow identifies the flow.
+	Flow Flow
+	// DeliveredAppBytes counts application bytes verified at the receiver.
+	DeliveredAppBytes int
+	// Transfers counts transfers attempted; Failures those given up on.
+	Transfers, Failures int
+	// Air aggregates the link layer's byte accounting across transfers.
+	Air LinkStats
+}
+
+// Result is one closed-loop run's output.
+type Result struct {
+	// Flows holds per-flow accounting, in Config.Flows order.
+	Flows []FlowResult
+	// DurationSec echoes the configured duration.
+	DurationSec float64
+	// BusyChips is the union channel occupancy: chips during which at least
+	// one node was transmitting.
+	BusyChips int64
+	// TxChips is the sum of all transmission lengths (exceeds BusyChips
+	// exactly when transmissions overlapped — collisions happened).
+	TxChips int64
+	// JamFrames counts jam bursts committed to the channel.
+	JamFrames int
+}
+
+// AggregateAppBytes sums delivered application bytes across flows.
+func (r Result) AggregateAppBytes() int {
+	total := 0
+	for _, f := range r.Flows {
+		total += f.DeliveredAppBytes
+	}
+	return total
+}
+
+// AggregateKbps returns network-wide delivered application throughput.
+func (r Result) AggregateKbps() float64 {
+	return float64(r.AggregateAppBytes()) * 8 / r.DurationSec / 1000
+}
+
+// Derive-key tags separating the engine's independent random streams.
+const (
+	tagChannel = iota + 1
+	tagCSMA
+	tagPayload
+	tagJammer
+)
+
+// interferenceFloorDB mirrors internal/sim: transmissions weaker than this
+// below the noise floor are dropped from synthesis.
+const interferenceFloorDB = 10
+
+// windowMarginChips pads synthesis windows on both sides of a transmission.
+const windowMarginChips = 64
+
+// event kinds, in tie-break order: at equal times, deliveries resolve before
+// new transmissions start (a frame beginning exactly at another's end does
+// not overlap it).
+const (
+	evDeliver = iota
+	evTx
+	evJam
+)
+
+type event struct {
+	t    int64
+	kind int
+	seq  int // FIFO tie-break within (t, kind); assigned at push
+	fl   *flowProc
+	jam  *jamProc
+	tx   int // committed transmission index (evDeliver)
+	try  int // CSMA defer count (evTx, evJam)
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(a, b int) bool {
+	if q[a].t != q[b].t {
+		return q[a].t < q[b].t
+	}
+	if q[a].kind != q[b].kind {
+		return q[a].kind < q[b].kind
+	}
+	return q[a].seq < q[b].seq
+}
+func (q eventQueue) Swap(a, b int)       { q[a], q[b] = q[b], q[a] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// airTx is one committed transmission on the shared timeline. chips is
+// released once the prune frontier passes the transmission (length carries
+// the duration from then on), so a run's memory does not grow with
+// simulated airtime.
+type airTx struct {
+	node   int // global node ID
+	start  int64
+	length int64 // airtime in chips
+	chips  []byte
+}
+
+func (t *airTx) end() int64 { return t.start + t.length }
+
+// txRequest is what a yielded flow asks the engine to do next.
+type txRequest struct {
+	from, to int // global node IDs
+	frame    frame.Frame
+}
+
+// flowMsg is a coroutine yield: either the flow's next transmit request or
+// its completion.
+type flowMsg struct {
+	fl   *flowProc
+	done bool
+	req  txRequest
+}
+
+// flowProc is one flow coroutine and its engine-side state.
+type flowProc struct {
+	id     int
+	cfg    Flow
+	eng    *engine
+	ll     LinkLayer
+	resume chan *frame.Reception
+	now    int64 // the flow's local clock
+	req    txRequest
+	res    FlowResult
+}
+
+// engineLink adapts one direction of a flow's hop to pparq.Link: Transmit
+// yields the frame to the engine and blocks until the engine has carried it
+// across the shared channel.
+type engineLink struct {
+	fl       *flowProc
+	from, to int
+}
+
+// Transmit implements pparq.Link (the Link type every LinkLayer builds on).
+func (l *engineLink) Transmit(f frame.Frame) *frame.Reception {
+	l.fl.req = txRequest{from: l.from, to: l.to, frame: f}
+	l.fl.eng.msgs <- flowMsg{fl: l.fl}
+	return <-l.fl.resume
+}
+
+// jamProc is one jammer event source.
+type jamProc struct {
+	id       int
+	node     int // global node ID
+	spec     JammerNode
+	arrivals scenario.Arrivals
+	rng      *stats.RNG
+	seq      uint16
+}
+
+// engine is the discrete-event core.
+type engine struct {
+	cfg      Config
+	tb       *testbed.Testbed
+	base     *stats.RNG
+	queue    eventQueue
+	seq      int
+	msgs     chan flowMsg
+	txs      []airTx // committed transmissions, nondecreasing start
+	prune    int     // txs[:prune] can no longer overlap the current time
+	maxAir   int64   // longest committed transmission, for pruning
+	nodeFree []int64 // per-node radio busy-until (one radio per node)
+	csma     mac.CSMA
+	noiseMW  float64
+	floorMW  float64
+	endChip  int64
+	rx       *frame.Receiver
+	live     int
+
+	busyChips   int64
+	lastBusyEnd int64
+	txChips     int64
+	jamFrames   int
+}
+
+// Run executes one closed-loop simulation. It is a pure function of cfg:
+// the same configuration always produces the identical Result.
+func Run(cfg Config) (Result, error) {
+	if cfg.Testbed == nil {
+		return Result{}, fmt.Errorf("netsim: nil testbed")
+	}
+	if len(cfg.Flows) == 0 {
+		return Result{}, fmt.Errorf("netsim: no flows")
+	}
+	if cfg.PacketBytes <= 0 || cfg.DurationSec <= 0 {
+		return Result{}, fmt.Errorf("netsim: bad packet size %d or duration %v", cfg.PacketBytes, cfg.DurationSec)
+	}
+	maker, err := linkLayerMaker(cfg.LinkLayer)
+	if err != nil {
+		return Result{}, err
+	}
+	seen := map[int]bool{}
+	for _, f := range cfg.Flows {
+		if f.Sender < 0 || f.Sender >= testbed.NumSenders || f.Receiver < 0 || f.Receiver >= testbed.NumReceivers {
+			return Result{}, fmt.Errorf("netsim: flow %v out of deployment bounds", f)
+		}
+		if seen[f.Sender] {
+			return Result{}, fmt.Errorf("netsim: sender %d carries two flows (one radio per node)", f.Sender)
+		}
+		seen[f.Sender] = true
+	}
+	for _, j := range cfg.Jammers {
+		if j.Sender < 0 || j.Sender >= testbed.NumSenders || seen[j.Sender] {
+			return Result{}, fmt.Errorf("netsim: jammer node %d invalid or already a flow sender", j.Sender)
+		}
+		if j.Node.Model == nil {
+			return Result{}, fmt.Errorf("netsim: jammer node %d has no traffic model", j.Sender)
+		}
+		seen[j.Sender] = true
+	}
+
+	e := &engine{
+		cfg:      cfg,
+		tb:       cfg.Testbed,
+		base:     stats.NewRNG(cfg.Seed ^ 0xc105ed100f),
+		msgs:     make(chan flowMsg),
+		nodeFree: make([]int64, testbed.NumNodes),
+		noiseMW:  radio.DBmToMW(cfg.Testbed.Params.NoiseFloorDBm),
+		floorMW:  radio.DBmToMW(cfg.Testbed.Params.NoiseFloorDBm - interferenceFloorDB),
+		endChip:  mac.ChipsPerSecond(cfg.DurationSec),
+		rx:       frame.NewReceiver(phy.HardDecoder{}),
+	}
+	e.csma = mac.DefaultCSMA(radio.DBmToMW(cfg.Testbed.Params.CSThresholdDBm))
+	e.csma.Enabled = cfg.CarrierSense
+	heap.Init(&e.queue)
+
+	// Start each flow coroutine in turn, waiting for its first yield before
+	// starting the next so startup order is deterministic.
+	flows := make([]*flowProc, len(cfg.Flows))
+	for i, f := range cfg.Flows {
+		fl := &flowProc{
+			id:     i,
+			cfg:    f,
+			eng:    e,
+			resume: make(chan *frame.Reception),
+			res:    FlowResult{Flow: f},
+		}
+		src := uint16(f.Sender)
+		dst := uint16(testbed.NumSenders + f.Receiver)
+		fwd := &engineLink{fl: fl, from: int(src), to: int(dst)}
+		rev := &engineLink{fl: fl, from: int(dst), to: int(src)}
+		fl.ll = maker(fwd, rev, src, dst, layerConfig(cfg))
+		flows[i] = fl
+		e.live++
+		go fl.main()
+		if !e.handleMsg(<-e.msgs) {
+			e.live--
+		}
+	}
+	// Seed the jammers.
+	for i, j := range cfg.Jammers {
+		node := j.Sender
+		jp := &jamProc{
+			id:   i,
+			node: node,
+			spec: j,
+			rng:  e.base.Derive(uint64(node), tagJammer),
+		}
+		jp.arrivals = j.Node.Model.Arrivals(scenario.Params{
+			OfferedBps:    cfg.OfferedBps,
+			PacketBytes:   jamBytes(j),
+			DurationChips: e.endChip,
+		}, jp.rng.Split())
+		e.scheduleJam(jp)
+	}
+
+	// Event loop: runs until every flow has completed its final transfer and
+	// every jammer arrival inside the duration has fired.
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		switch ev.kind {
+		case evTx:
+			e.processTx(ev)
+		case evDeliver:
+			e.processDeliver(ev)
+		case evJam:
+			e.processJam(ev)
+		}
+	}
+	if e.live != 0 {
+		panic(fmt.Sprintf("netsim: event queue drained with %d flows still live", e.live))
+	}
+
+	res := Result{
+		DurationSec: cfg.DurationSec,
+		BusyChips:   e.busyChips,
+		TxChips:     e.txChips,
+		JamFrames:   e.jamFrames,
+	}
+	for _, fl := range flows {
+		res.Flows = append(res.Flows, fl.res)
+	}
+	return res, nil
+}
+
+// layerConfig assembles the per-flow link layer knobs.
+func layerConfig(cfg Config) LinkConfig {
+	return LinkConfig{
+		PacketBytes: cfg.PacketBytes,
+		FragBytes:   cfg.FragBytes,
+		MaxRounds:   cfg.MaxRounds,
+		MaxAttempts: cfg.MaxAttempts,
+	}
+}
+
+// jamBytes returns a jammer's burst payload size.
+func jamBytes(j JammerNode) int {
+	if j.Node.PacketBytes > 0 {
+		return j.Node.PacketBytes
+	}
+	return 40
+}
+
+// push enqueues an event, stamping the FIFO tie-break sequence.
+func (e *engine) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// handleMsg absorbs one coroutine yield, enqueueing the flow's transmit
+// request. It returns false when the flow announced completion.
+func (e *engine) handleMsg(m flowMsg) bool {
+	if m.done {
+		return false
+	}
+	e.push(&event{t: m.fl.now, kind: evTx, fl: m.fl})
+	return true
+}
+
+// scheduleJam enqueues a jammer's next arrival, dropping arrivals past the
+// end of the run.
+func (e *engine) scheduleJam(jp *jamProc) {
+	t := jp.arrivals.Next()
+	if t >= e.endChip {
+		return
+	}
+	e.push(&event{t: t, kind: evJam, jam: jp})
+}
+
+// busyMW returns the total received power (noise included) at a node from
+// every committed transmission active at time t, excluding the node's own.
+func (e *engine) busyMW(node int, t int64) float64 {
+	total := e.noiseMW
+	for i := e.prune; i < len(e.txs); i++ {
+		tx := &e.txs[i]
+		if tx.start > t {
+			break
+		}
+		if tx.end() <= t || tx.node == node {
+			continue
+		}
+		total += radio.DBmToMW(e.tb.NodeGainDBm(tx.node, node))
+	}
+	return total
+}
+
+// advancePrune moves the pruning frontier. Queries are issued at
+// nondecreasing event times, and the widest look-back any query performs is
+// a delivery's synthesis window — at most maxAir+margin chips before now —
+// so a transmission whose end (bounded by start+maxAir) precedes that
+// horizon can never be consulted again.
+func (e *engine) advancePrune(now int64) {
+	for e.prune < len(e.txs) && e.txs[e.prune].start+e.maxAir < now-e.maxAir-windowMarginChips {
+		e.txs[e.prune].chips = nil // never consulted again; release the buffer
+		e.prune++
+	}
+}
+
+// processTx handles a flow's transmit request: radio availability, carrier
+// sense, then commit + delivery scheduling.
+func (e *engine) processTx(ev *event) {
+	fl := ev.fl
+	t := ev.t
+	e.advancePrune(t)
+	// One radio per node: wait out the node's own in-flight transmission
+	// (several flows can share a receiver node, whose feedback frames queue).
+	if free := e.nodeFree[fl.req.from]; free > t {
+		e.push(&event{t: free, kind: evTx, fl: fl, try: ev.try})
+		return
+	}
+	if e.csma.Enabled && ev.try < e.csma.MaxDefers {
+		if e.busyMW(fl.req.from, t) >= e.csma.ThresholdMW {
+			rng := e.base.Derive(uint64(fl.req.from), uint64(t), tagCSMA)
+			backoff := 1 + int64(rng.Float64()*float64(e.csma.MaxBackoffChips))
+			e.push(&event{t: t + backoff, kind: evTx, fl: fl, try: ev.try + 1})
+			return
+		}
+	}
+	idx := e.commit(fl.req.from, t, fl.req.frame.AirChips())
+	e.push(&event{t: e.txs[idx].end(), kind: evDeliver, fl: fl, tx: idx})
+}
+
+// processJam handles a jammer arrival: reactive jammers fire only into a
+// busy channel; none of them back off.
+func (e *engine) processJam(ev *event) {
+	jp := ev.jam
+	t := ev.t
+	e.advancePrune(t)
+	if free := e.nodeFree[jp.node]; free > t {
+		// The jammer's own previous burst is still on the air; this arrival
+		// is absorbed (its poll found the radio busy).
+		e.scheduleJam(jp)
+		return
+	}
+	fire := true
+	if jp.spec.Node.Reactive {
+		fire = e.busyMW(jp.node, t) >= e.csma.ThresholdMW
+	} else if !jp.spec.Node.IgnoreCarrierSense && e.csma.Enabled && e.busyMW(jp.node, t) >= e.csma.ThresholdMW {
+		fire = false // a polite "jammer" (hostile workload) defers like anyone
+	}
+	if fire {
+		payload := make([]byte, jamBytes(jp.spec))
+		for i := range payload {
+			payload[i] = byte(jp.rng.Intn(256))
+		}
+		f := frame.New(0xffff, uint16(jp.node), jp.seq, payload)
+		jp.seq++
+		e.commit(jp.node, t, f.AirChips())
+		e.jamFrames++
+	}
+	e.scheduleJam(jp)
+}
+
+// commit places a transmission on the shared timeline and updates the
+// airtime accounting. Commits happen in nondecreasing start order because a
+// transmission always starts at the current event time.
+func (e *engine) commit(node int, start int64, chips []byte) int {
+	air := int64(len(chips))
+	e.txs = append(e.txs, airTx{node: node, start: start, length: air, chips: chips})
+	e.nodeFree[node] = start + air
+	if air > e.maxAir {
+		e.maxAir = air
+	}
+	e.txChips += air
+	busyFrom := start
+	if e.lastBusyEnd > busyFrom {
+		busyFrom = e.lastBusyEnd
+	}
+	if end := start + air; end > busyFrom {
+		e.busyChips += end - busyFrom
+		e.lastBusyEnd = end
+	}
+	return len(e.txs) - 1
+}
+
+// processDeliver synthesizes the destination's chip stream for one
+// completed transmission and resumes the waiting flow with its reception.
+// Every transmission overlapping this one is already committed: it must
+// start before this one's end, and all earlier events have been processed.
+func (e *engine) processDeliver(ev *event) {
+	fl := ev.fl
+	tx := &e.txs[ev.tx]
+	rec := e.receive(tx, fl.req.to, fl.req.frame)
+	// The node turns around before its next frame in the exchange.
+	fl.now = tx.end() + mac.TurnaroundChips
+	fl.resume <- rec
+	if !e.handleMsg(<-e.msgs) {
+		e.live--
+	}
+}
+
+// receive runs the destination's receiver pipeline over the synthesis
+// window of one transmission, returning the best header-verified reception
+// of that frame, or nil.
+func (e *engine) receive(tx *airTx, to int, sent frame.Frame) *frame.Reception {
+	// Half duplex: a node transmitting during any part of the frame's
+	// airtime hears none of it.
+	for i := e.prune; i < len(e.txs); i++ {
+		other := &e.txs[i]
+		if other.start >= tx.end() {
+			break
+		}
+		if other.node == to && other.end() > tx.start {
+			return nil
+		}
+	}
+	origin := tx.start - windowMarginChips
+	n := len(tx.chips) + 2*windowMarginChips
+	var overlaps []radio.Overlap
+	for i := e.prune; i < len(e.txs); i++ {
+		other := &e.txs[i]
+		if other.start >= origin+int64(n) {
+			break
+		}
+		if other.end() <= origin || other.node == to {
+			continue
+		}
+		p := radio.DBmToMW(e.tb.NodeGainDBm(other.node, to))
+		if p < e.floorMW {
+			continue
+		}
+		overlaps = append(overlaps, radio.Overlap{
+			Start:   int(other.start - origin),
+			Chips:   other.chips,
+			PowerMW: p,
+		})
+	}
+	rng := e.base.Derive(uint64(to), uint64(tx.start), tagChannel)
+	chips := radio.SynthesizeFading(rng, n, overlaps, e.noiseMW, radio.DefaultCoherenceChips)
+	recs := e.rx.Receive(chips)
+	// On a shared channel the window can contain other packets: keep only
+	// receptions of the transmitted frame before picking the best.
+	matched := recs[:0]
+	for _, rec := range recs {
+		if rec.HeaderOK && rec.Hdr.Src == sent.Hdr.Src && rec.Hdr.Seq == sent.Hdr.Seq &&
+			rec.Hdr.Dst == sent.Hdr.Dst {
+			matched = append(matched, rec)
+		}
+	}
+	return frame.BestReception(matched)
+}
+
+// main is the flow coroutine body: open transfers until the clock runs out,
+// driving the link layer which in turn yields every frame to the engine.
+func (fl *flowProc) main() {
+	e := fl.eng
+	payloadRng := e.base.Derive(uint64(fl.id), tagPayload)
+	var arrivals scenario.Arrivals
+	if e.cfg.Traffic != nil {
+		arrivals = e.cfg.Traffic.Arrivals(scenario.Params{
+			OfferedBps:    e.cfg.OfferedBps,
+			PacketBytes:   e.cfg.PacketBytes,
+			DurationChips: e.endChip,
+		}, payloadRng.Split())
+	}
+	appBytes := fl.ll.AppBytesPerPacket(e.cfg.PacketBytes)
+	for {
+		if arrivals != nil {
+			t := arrivals.Next()
+			if t > fl.now {
+				fl.now = t // idle until the next packet arrives
+			}
+		}
+		if fl.now >= e.endChip {
+			break
+		}
+		payload := make([]byte, appBytes)
+		for i := range payload {
+			payload[i] = byte(payloadRng.Intn(256))
+		}
+		delivered, st, err := fl.ll.Transfer(payload)
+		fl.res.Transfers++
+		if err != nil {
+			fl.res.Failures++
+		}
+		fl.res.DeliveredAppBytes += delivered
+		fl.res.Air.add(st)
+	}
+	e.msgs <- flowMsg{fl: fl, done: true}
+}

@@ -210,12 +210,7 @@ func Schedule(cfg Config) []*Transmission {
 		}
 		// Destination: the receiver with the strongest link from this
 		// sender (the routing layer would pick it).
-		bestJ := 0
-		for j := 1; j < testbed.NumReceivers; j++ {
-			if tb.GainDBm[a.src][j] > tb.GainDBm[a.src][bestJ] {
-				bestJ = j
-			}
-		}
+		bestJ := tb.BestReceiver(a.src)
 		f := frame.New(uint16(testbed.NumSenders+bestJ), uint16(a.src), seqs[a.src], payload)
 		seqs[a.src]++
 		tx := &Transmission{

@@ -28,6 +28,10 @@ const (
 const (
 	NumSenders   = 23
 	NumReceivers = 4
+	// NumNodes is the full deployment size. Global node IDs run senders
+	// first (0..NumSenders-1), then receivers (NumSenders..NumNodes-1) —
+	// the addressing the simulators' frames already use.
+	NumNodes = NumSenders + NumReceivers
 )
 
 // Testbed is one instantiated deployment: node positions and the link
@@ -46,6 +50,11 @@ type Testbed struct {
 	// SenderGainDBm[i][k] is the received power at sender k of sender i's
 	// transmissions, used for carrier sense.
 	SenderGainDBm [][]float64
+	// ReceiverGainDBm[j][k] is the received power at receiver k of receiver
+	// j's transmissions — the link budget between sinks, which matters once
+	// receivers transmit too (closed-loop feedback frames interfere at the
+	// other sinks).
+	ReceiverGainDBm [][]float64
 }
 
 // New builds the deployment. The seed fixes both placement jitter and the
@@ -106,7 +115,71 @@ func New(params radio.Params, seed uint64) *Testbed {
 			tb.SenderGainDBm[i][k] = params.RxPowerDBm(d, shadow)
 		}
 	}
+	// Receiver-to-receiver budgets are drawn after everything else so that
+	// the placement and the two matrices above stay bit-identical, for a
+	// given seed, with deployments built before closed-loop simulation
+	// existed.
+	tb.ReceiverGainDBm = make([][]float64, NumReceivers)
+	for j := range tb.ReceiverGainDBm {
+		tb.ReceiverGainDBm[j] = make([]float64, NumReceivers)
+	}
+	for j := 0; j < NumReceivers; j++ {
+		for k := j + 1; k < NumReceivers; k++ {
+			shadow := rng.NormFloat64() * params.ShadowSigmaDB
+			d := tb.Receivers[j].Dist(tb.Receivers[k])
+			g := params.RxPowerDBm(d, shadow)
+			tb.ReceiverGainDBm[j][k] = g
+			tb.ReceiverGainDBm[k][j] = g // reciprocal link
+		}
+		tb.ReceiverGainDBm[j][j] = params.TxPowerDBm // own transmission saturates
+	}
 	return tb
+}
+
+// IsSender reports whether global node ID n is a sender.
+func IsSender(n int) bool { return n >= 0 && n < NumSenders }
+
+// NodeGainDBm returns the received power at global node `to` of global node
+// `from`'s transmissions, covering all four quadrants of the deployment:
+// sender→receiver (GainDBm), sender→sender (SenderGainDBm), receiver→sender
+// (GainDBm by channel reciprocity — shadowing is a property of the path) and
+// receiver→receiver (ReceiverGainDBm). A node's own transmission saturates
+// its front end at the transmit power.
+func (tb *Testbed) NodeGainDBm(from, to int) float64 {
+	if from == to {
+		return tb.Params.TxPowerDBm
+	}
+	switch {
+	case IsSender(from) && IsSender(to):
+		return tb.SenderGainDBm[from][to]
+	case IsSender(from):
+		return tb.GainDBm[from][to-NumSenders]
+	case IsSender(to):
+		return tb.GainDBm[to][from-NumSenders]
+	default:
+		return tb.ReceiverGainDBm[from-NumSenders][to-NumSenders]
+	}
+}
+
+// NodePosition returns the floor-plan position of global node ID n.
+func (tb *Testbed) NodePosition(n int) radio.Position {
+	if IsSender(n) {
+		return tb.Senders[n]
+	}
+	return tb.Receivers[n-NumSenders]
+}
+
+// BestReceiver returns the receiver index with the strongest link from
+// sender i — the sink the routing layer would pick, and the destination the
+// open-loop scheduler already addresses frames to.
+func (tb *Testbed) BestReceiver(i int) int {
+	best := 0
+	for j := 1; j < NumReceivers; j++ {
+		if tb.GainDBm[i][j] > tb.GainDBm[i][best] {
+			best = j
+		}
+	}
+	return best
 }
 
 // RxPowerMW returns sender i's received power at receiver j in milliwatts.

@@ -79,6 +79,7 @@ import (
 	"ppr/internal/experiments"
 	"ppr/internal/frame"
 	"ppr/internal/modem"
+	"ppr/internal/netsim"
 	"ppr/internal/phy"
 	"ppr/internal/radio"
 	"ppr/internal/scenario"
@@ -271,6 +272,50 @@ func RunSim(cfg SimConfig, variants []SimVariant) ([]*Transmission, []Outcome) {
 	return sim.Run(cfg, variants)
 }
 
+// ---- Closed-loop network simulation (internal/netsim) ----
+
+type (
+	// ClosedLoopConfig describes one closed-loop run: concurrent flows whose
+	// link-layer state machines (PP-ARQ or a status-quo ARQ) contend for the
+	// shared channel — feedback and retransmissions occupy airtime and
+	// collide like any other transmission.
+	ClosedLoopConfig = netsim.Config
+	// ClosedLoopFlow is one sender→receiver flow.
+	ClosedLoopFlow = netsim.Flow
+	// ClosedLoopJammer overlays a scenario jammer as a channel event source.
+	ClosedLoopJammer = netsim.JammerNode
+	// ClosedLoopResult is a run's per-flow and channel-wide accounting.
+	ClosedLoopResult = netsim.Result
+	// ClosedLoopFlowResult is one flow's delivery and airtime accounting.
+	ClosedLoopFlowResult = netsim.FlowResult
+	// ClosedLoopLinkLayer is a pluggable reliable-transfer state machine;
+	// implement it and RegisterLinkLayer to compare a new protocol in Fig 17.
+	ClosedLoopLinkLayer = netsim.LinkLayer
+	// LinkLayerConfig carries the per-flow knobs a link-layer maker receives.
+	LinkLayerConfig = netsim.LinkConfig
+	// LinkLayerMaker builds a link layer over one flow's links.
+	LinkLayerMaker = netsim.Maker
+	// LinkAirStats aggregates a link layer's byte accounting.
+	LinkAirStats = netsim.LinkStats
+)
+
+// RunClosedLoop executes one closed-loop network simulation. It is a pure
+// function of its configuration: results are bit-identical run to run and
+// do not depend on anything outside cfg.
+func RunClosedLoop(cfg ClosedLoopConfig) (ClosedLoopResult, error) { return netsim.Run(cfg) }
+
+// RegisterLinkLayer adds a closed-loop link layer to the registry; it then
+// appears in LinkLayerNames and can be named in ClosedLoopConfig.LinkLayer.
+// Call from init.
+func RegisterLinkLayer(name string, mk LinkLayerMaker) { netsim.RegisterLinkLayer(name, mk) }
+
+// LinkLayerNames lists the registered closed-loop link layer slugs, sorted.
+func LinkLayerNames() []string { return netsim.LinkLayerNames() }
+
+// LinkLayers lists the registered link layer slugs in presentation order
+// (PP-ARQ first, then the status-quo baselines).
+func LinkLayers() []string { return netsim.LinkLayers() }
+
 // ---- Traffic scenarios ----
 
 type (
@@ -334,6 +379,8 @@ type (
 	CollisionResult = experiments.CollisionResult
 	// Fig16Result is the PP-ARQ retransmission-size distribution.
 	Fig16Result = experiments.Fig16Result
+	// Fig17Result is the closed-loop aggregate-throughput comparison.
+	Fig17Result = experiments.Fig17Result
 	// SummaryRow is one measured-vs-paper headline comparison.
 	SummaryRow = experiments.SummaryRow
 	// DiversityResult compares single-receiver delivery against
@@ -387,16 +434,19 @@ func RecoverySchemes() []RecoveryScheme { return schemes.All() }
 // Experiment entry points; each regenerates one table or figure of the
 // paper's evaluation section. See EXPERIMENTS.md for paper-vs-measured.
 var (
-	Fig3    = experiments.Fig3
-	Fig8    = experiments.Fig8
-	Fig9    = experiments.Fig9
-	Fig10   = experiments.Fig10
-	Fig11   = experiments.Fig11
-	Fig12   = experiments.Fig12
-	Fig13   = experiments.Fig13
-	Fig14   = experiments.Fig14
-	Fig15   = experiments.Fig15
-	Fig16   = experiments.Fig16
+	Fig3  = experiments.Fig3
+	Fig8  = experiments.Fig8
+	Fig9  = experiments.Fig9
+	Fig10 = experiments.Fig10
+	Fig11 = experiments.Fig11
+	Fig12 = experiments.Fig12
+	Fig13 = experiments.Fig13
+	Fig14 = experiments.Fig14
+	Fig15 = experiments.Fig15
+	Fig16 = experiments.Fig16
+	// Fig17 runs the closed-loop network simulator: concurrent PP-ARQ,
+	// fragmented-CRC and packet-CRC ARQ flows contending for the channel.
+	Fig17   = experiments.Fig17
 	Table2  = experiments.Table2
 	Summary = experiments.Summary
 	// Diversity evaluates the multi-receiver combining extension.
