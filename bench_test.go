@@ -8,6 +8,7 @@
 package ppr
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -136,6 +137,40 @@ func BenchmarkSummary(b *testing.B) {
 		if len(rows) == 0 {
 			b.Fatal("no summary rows")
 		}
+	}
+}
+
+// BenchmarkRunnerAllQuick regenerates the full 15-experiment suite through
+// the registry-backed Runner with a fresh trace cache per iteration —
+// exactly what `pprsim -exp all -quick` does — serially vs concurrently.
+// TestRunnerMatchesSerial proves both produce identical datasets, so the
+// ratio is the wall-clock speedup the concurrent Runner buys on multicore
+// hardware (distinct operating points simulate in parallel, and the
+// single-threaded experiments overlap the fan-out ones).
+func BenchmarkRunnerAllQuick(b *testing.B) {
+	var names []string
+	for _, e := range experiments.All() {
+		names = append(names, e.Name())
+	}
+	for _, bc := range []struct {
+		name string
+		jobs int
+	}{
+		{"serial", 1},
+		{"concurrent", runtime.NumCPU()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.Runner{
+					Options: experiments.Options{Seed: 1, Quick: true, Cache: experiments.NewTraceCache()},
+					Workers: bc.jobs,
+				}
+				ds, err := r.Run(context.Background(), names)
+				if err != nil || len(ds) != len(names) {
+					b.Fatalf("runner: %v (%d datasets)", err, len(ds))
+				}
+			}
+		})
 	}
 }
 

@@ -6,65 +6,65 @@
 //
 //	pprsim -exp fig8                      # one experiment
 //	pprsim -exp fig8,fig16,fig17          # several, in order
-//	pprsim -exp all                       # everything (one sim per operating point)
+//	pprsim -exp all                       # everything, concurrently
 //	pprsim -exp summary -quick            # fast, noisier statistics
-//	pprsim -exp fig17 -json               # machine-readable results on stdout
+//	pprsim -exp all -quick -out json      # machine-readable Datasets
+//	pprsim -exp fig17 -out csv            # flat point/band rows
 //	pprsim -exp fig10 -scenario bursty    # on/off traffic instead of Poisson
-//	pprsim -exp fig10 -workers 2          # bound engine parallelism
+//	pprsim -exp all -timeout 30s          # cancel the sweep at a deadline
 //	pprsim -exp fig8 -schemes ppr,fec     # pick the delivery-figure curves
-//	pprsim -list-schemes                  # registered recovery schemes
+//	pprsim -list-exps                     # registered experiments
 //
-// Experiments: layout, table2, fig3, fig8, fig9, fig10, fig11, fig12,
-// fig13, fig14, fig15, fig16, fig17 (closed-loop network simulation),
-// diversity, summary, all. Scenarios and recovery schemes are
-// registry-backed: -list-scenarios and -list-schemes print the names.
-// Results are identical for every -workers value.
+// Experiments, traffic scenarios and recovery schemes are all
+// registry-backed: -list-exps, -list-scenarios and -list-schemes print the
+// names, and unknown names exit non-zero with a suggestion. Every
+// experiment produces the same typed Dataset, so one generic text renderer
+// and one generic JSON/CSV encoder replace per-figure printers; "-exp all"
+// runs the suite concurrently on experiments.Runner, sharing one trace
+// cache across every figure. Results are identical for every -workers and
+// -jobs value.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"ppr/internal/experiments"
-	"ppr/internal/radio"
 	"ppr/internal/scenario"
 	"ppr/internal/schemes"
-	"ppr/internal/stats"
-	"ppr/internal/testbed"
 )
-
-// runner produces one experiment's structured result and renders it for
-// humans. run returns a JSON-marshalable value; print receives that same
-// value, so -json and the text output always agree.
-type runner struct {
-	run   func(experiments.Options) any
-	print func(any)
-}
-
-// expOrder is the presentation order of the full suite.
-var expOrder = []string{"layout", "fig3", "table2", "fig8", "fig9", "fig10", "fig11",
-	"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "diversity", "summary"}
 
 func main() {
 	exp := flag.String("exp", "summary",
-		"comma-separated experiments (layout, table2, fig3, fig8..fig17, diversity, summary, all)")
+		"comma-separated experiment names, or \"all\" (see -list-exps)")
 	seed := flag.Uint64("seed", 1, "deployment and channel seed")
 	quick := flag.Bool("quick", false, "smaller packets and durations (noisier, much faster)")
-	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores)")
-	jsonOut := flag.Bool("json", false, "emit results as JSON on stdout instead of text")
+	workers := flag.Int("workers", 0, "simulation worker goroutines per experiment (0 = all cores)")
+	jobs := flag.Int("jobs", 0, "concurrently running experiments (0 = all cores)")
+	out := flag.String("out", "text", "output format: text, json or csv")
+	jsonOut := flag.Bool("json", false, "deprecated alias for -out json")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the sweep (e.g. 30s; 0 = none)")
+	progress := flag.Bool("progress", false, "stream per-experiment progress to stderr")
 	scen := flag.String("scenario", "poisson",
 		"traffic scenario: "+strings.Join(scenario.Names(), ", "))
 	schemesFlag := flag.String("schemes", "",
 		"comma-separated recovery schemes for the delivery figures (default all registered: "+
 			strings.Join(schemes.Names(), ", ")+")")
+	listExps := flag.Bool("list-exps", false, "print registered experiment names and exit")
 	listScenarios := flag.Bool("list-scenarios", false, "print registered scenario names and exit")
 	listSchemes := flag.Bool("list-schemes", false, "print registered recovery scheme names and exit")
 	flag.Parse()
 
+	if *listExps {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.Name(), e.Description())
+		}
+		return
+	}
 	if *listScenarios {
 		for _, n := range scenario.Names() {
 			fmt.Println(n)
@@ -78,399 +78,141 @@ func main() {
 		}
 		return
 	}
+
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
+	if *jsonOut {
+		// The deprecated alias must not override an explicit -out choice.
+		if outSet && *out != "json" {
+			fatalf("-json conflicts with -out %s", *out)
+		}
+		*out = "json"
+	}
+	if *out != "text" && *out != "json" && *out != "csv" {
+		fatalf("unknown output format %q; use -out text, json or csv", *out)
+	}
+
+	// The three name axes reject unknown values the same way: non-zero
+	// exit, a did-you-mean hint when something is close, and the matching
+	// -list-* flag.
 	if _, err := scenario.ByName(*scen); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatalUnknown("scenario", *scen, scenario.Names(), "-list-scenarios")
 	}
 	var schemeNames []string
-	if *schemesFlag != "" {
-		for _, name := range strings.Split(*schemesFlag, ",") {
-			name = strings.TrimSpace(name)
-			if _, err := schemes.ByName(name); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
-			}
-			schemeNames = append(schemeNames, name)
+	for _, name := range splitList(*schemesFlag) {
+		if _, err := schemes.ByName(name); err != nil {
+			fatalUnknown("recovery scheme", name, schemes.Names(), "-list-schemes")
 		}
+		schemeNames = append(schemeNames, name)
 	}
-	o := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers, Scenario: *scen, Schemes: schemeNames}
+	names := resolveExperiments(*exp)
 
-	// Resolve the experiment list: comma-separated names, with "all"
-	// expanding to the full suite.
-	var names []string
-	for _, name := range strings.Split(*exp, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		if name == "all" {
-			names = append(names, expOrder...)
-			continue
-		}
-		if _, ok := runners[name]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			avail := make([]string, 0, len(runners))
-			for n := range runners {
-				avail = append(avail, n)
-			}
-			sort.Strings(avail)
-			fmt.Fprintf(os.Stderr, "available: %s, all\n", strings.Join(avail, ", "))
-			os.Exit(2)
-		}
-		names = append(names, name)
+	o := experiments.Options{
+		Seed:     *seed,
+		Quick:    *quick,
+		Workers:  *workers,
+		Scenario: *scen,
+		Schemes:  schemeNames,
 	}
-	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments requested")
-		os.Exit(2)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	if *jsonOut {
-		out := map[string]any{}
-		for _, name := range names {
-			out[name] = runners[name].run(o)
+	r := experiments.Runner{Options: o, Workers: *jobs}
+	if *progress {
+		r.Progress = func(p experiments.Progress) {
+			if p.Done {
+				status := "done"
+				if p.Err != nil {
+					status = "failed: " + p.Err.Error()
+				}
+				fmt.Fprintf(os.Stderr, "[%d/%d] %-10s %s (%.2fs)\n",
+					p.Index+1, p.Total, p.Experiment, status, p.Elapsed.Seconds())
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-10s running\n", p.Index+1, p.Total, p.Experiment)
 		}
+	}
+	datasets, err := r.Run(ctx, names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pprsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch *out {
+	case "json":
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
-	}
-	for _, name := range names {
-		if len(names) > 1 {
-			fmt.Printf("\n================ %s ================\n", name)
-		}
-		r := runners[name]
-		r.print(r.run(o))
-	}
-}
-
-// layoutResult is the structured form of the Fig. 7 stand-in.
-type layoutResult struct {
-	// Map is the ASCII floor plan.
-	Map string
-	// AudibleSenders[j] counts senders receiver j reliably hears.
-	AudibleSenders []int
-}
-
-// fig12Series is the JSON-friendly form of a scatter series (the scheme
-// rendered by name).
-type fig12Series struct {
-	Scheme     string
-	OfferedBps float64
-	Points     []experiments.ScatterPoint
-}
-
-var runners = map[string]runner{
-	"layout": {
-		run: func(o experiments.Options) any {
-			tb := testbed.New(radio.DefaultParams(), o.Seed)
-			res := layoutResult{Map: tb.ASCIIMap()}
-			for j := 0; j < testbed.NumReceivers; j++ {
-				res.AudibleSenders = append(res.AudibleSenders, tb.AudibleCount(j, 15))
+		err = enc.Encode(datasets)
+	case "csv":
+		err = experiments.WriteCSV(os.Stdout, datasets)
+	default:
+		for i, d := range datasets {
+			if i > 0 {
+				fmt.Println()
 			}
-			return res
-		},
-		print: func(v any) {
-			res := v.(layoutResult)
-			fmt.Println("Figure 7: testbed layout")
-			fmt.Print(res.Map)
-			for j, n := range res.AudibleSenders {
-				fmt.Printf("R%d reliably hears %d of %d senders (15 dB margin)\n", j+1, n, testbed.NumSenders)
-			}
-		},
-	},
-	"table2": {
-		run:   func(o experiments.Options) any { return experiments.Table2(o) },
-		print: func(v any) { table2(v.([]experiments.Table2Row)) },
-	},
-	"fig3": {
-		run:   func(o experiments.Options) any { return experiments.Fig3(o) },
-		print: func(v any) { fig3(v.([]experiments.HintCurve)) },
-	},
-	"fig8": {
-		run:   func(o experiments.Options) any { return experiments.Fig8(o) },
-		print: func(v any) { delivery(v.(experiments.DeliveryFigure)) },
-	},
-	"fig9": {
-		run:   func(o experiments.Options) any { return experiments.Fig9(o) },
-		print: func(v any) { delivery(v.(experiments.DeliveryFigure)) },
-	},
-	"fig10": {
-		run:   func(o experiments.Options) any { return experiments.Fig10(o) },
-		print: func(v any) { delivery(v.(experiments.DeliveryFigure)) },
-	},
-	"fig11": {
-		run:   func(o experiments.Options) any { return experiments.Fig11(o) },
-		print: func(v any) { fig11(v.(experiments.ThroughputFigure)) },
-	},
-	"fig12": {
-		run: func(o experiments.Options) any {
-			var out []fig12Series
-			for _, s := range experiments.Fig12(o) {
-				out = append(out, fig12Series{Scheme: s.Scheme.Name(), OfferedBps: s.OfferedBps, Points: s.Points})
-			}
-			return out
-		},
-		print: func(v any) { fig12(v.([]fig12Series)) },
-	},
-	"fig13": {
-		run:   func(o experiments.Options) any { return experiments.Fig13(o) },
-		print: func(v any) { fig13(v.(experiments.CollisionResult)) },
-	},
-	"fig14": {
-		run:   func(o experiments.Options) any { return experiments.Fig14(o) },
-		print: func(v any) { fig14(v.([]experiments.MissLengthCurve)) },
-	},
-	"fig15": {
-		run:   func(o experiments.Options) any { return experiments.Fig15(o) },
-		print: func(v any) { fig15(v.([]experiments.FalseAlarmCurve)) },
-	},
-	"fig16": {
-		run:   func(o experiments.Options) any { return experiments.Fig16(o) },
-		print: func(v any) { fig16(v.(experiments.Fig16Result)) },
-	},
-	"fig17": {
-		run:   func(o experiments.Options) any { return experiments.Fig17(o) },
-		print: func(v any) { fig17(v.(experiments.Fig17Result)) },
-	},
-	"diversity": {
-		run:   func(o experiments.Options) any { return experiments.Diversity(o) },
-		print: func(v any) { diversity(v.(experiments.DiversityResult)) },
-	},
-	"summary": {
-		run:   func(o experiments.Options) any { return experiments.Summary(o) },
-		print: func(v any) { summary(v.([]experiments.SummaryRow)) },
-	},
-}
-
-func table2(rows []experiments.Table2Row) {
-	fmt.Println("Table 2: fragmented-CRC aggregate throughput vs chunk count")
-	fmt.Println("(paper: 1->26, 10->85, 30->96 (peak), 100->80, 300->15 Kbit/s)")
-	fmt.Printf("%-18s %-20s %s\n", "Number of chunks", "Fragment size (B)", "Aggregate throughput (Kbit/s)")
-	for _, r := range rows {
-		fmt.Printf("%-18d %-20d %.1f\n", r.Chunks, r.FragBytes, r.AggregateKbps)
-	}
-}
-
-func cdfLine(cdf []stats.CDFPoint, xs []float64) string {
-	var b strings.Builder
-	for _, x := range xs {
-		fmt.Fprintf(&b, " %6.3f", stats.CDFAt(cdf, x))
-	}
-	return b.String()
-}
-
-func fig3(curves []experiments.HintCurve) {
-	fmt.Println("Figure 3: CDF of Hamming distance, correct vs incorrect codewords")
-	xs := []float64{0, 1, 2, 3, 6, 9, 12}
-	fmt.Printf("%-44s", "series \\ P[distance <= x] at x =")
-	for _, x := range xs {
-		fmt.Printf(" %6.0f", x)
-	}
-	fmt.Println()
-	for _, c := range curves {
-		kind := "incorrect"
-		if c.Correct {
-			kind = "correct"
-		}
-		label := fmt.Sprintf("%s, %s codewords (n=%d)", experiments.LoadName(c.OfferedBps), kind, c.Count)
-		fmt.Printf("%-44s%s\n", label, cdfLine(c.CDF, xs))
-	}
-	fmt.Println("(paper: 96% of correct codewords at distance <= 1; barely 10% of incorrect at <= 6)")
-}
-
-func delivery(fig experiments.DeliveryFigure) {
-	cs := "disabled"
-	if fig.CarrierSense {
-		cs = "enabled"
-	}
-	fmt.Printf("%s: per-link equivalent frame delivery rate\n", strings.ToUpper(fig.Name[:1])+fig.Name[1:])
-	fmt.Printf("offered load %s, carrier sense %s\n", experiments.LoadName(fig.OfferedBps), cs)
-	xs := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
-	fmt.Printf("%-44s %6s |", "scheme", "median")
-	for _, x := range xs {
-		fmt.Printf(" P<=%.2f", x)
-	}
-	fmt.Println()
-	for _, c := range fig.Curves {
-		fmt.Printf("%-44s %6.3f |%s\n", c.Label, c.Median, cdfLine(c.CDF, xs))
-	}
-}
-
-func fig11(fig experiments.ThroughputFigure) {
-	fmt.Println("Figure 11: end-to-end per-link throughput (Kbit/s)")
-	fmt.Printf("offered load %s, carrier sense disabled\n", experiments.LoadName(fig.OfferedBps))
-	fmt.Printf("%-44s %s\n", "scheme", "median Kbit/s")
-	for _, c := range fig.Curves {
-		fmt.Printf("%-44s %8.2f\n", c.Label, c.Median)
-	}
-}
-
-func fig12(series []fig12Series) {
-	fmt.Println("Figure 12: per-link throughput scatter vs fragmented CRC (x axis)")
-	for _, s := range series {
-		above, total := 0, 0
-		var ratios []float64
-		for _, pt := range s.Points {
-			if pt.FragKbps <= 0 {
-				continue
-			}
-			total++
-			if pt.YKbps >= pt.FragKbps {
-				above++
-			}
-			ratios = append(ratios, pt.YKbps/pt.FragKbps)
-		}
-		med := 0.0
-		if len(ratios) > 0 {
-			med = stats.Median(ratios)
-		}
-		fmt.Printf("%-12s at %s: %3d links, %3d at/above diagonal, median y/x ratio %.2f\n",
-			s.Scheme, experiments.LoadName(s.OfferedBps), total, above, med)
-	}
-	fmt.Println("(paper: PPR above fragmented CRC by a roughly constant factor; packet CRC far below)")
-}
-
-func fig13(res experiments.CollisionResult) {
-	fmt.Println("Figure 13: anatomy of a collision (Hamming distance vs codeword time)")
-	fmt.Printf("packet 1 acquired via: %v\n", res.P1AcquiredVia)
-	fmt.Printf("packet 2 acquired via: %v\n", res.P2AcquiredVia)
-	sketch := func(name string, pts []experiments.CollisionPoint) {
-		fmt.Printf("%s (%d codewords): distance timeline (.=0-1 -=2-6 x=7-15 X=16+)\n", name, len(pts))
-		var b strings.Builder
-		for i, pt := range pts {
-			if i%2 == 1 {
-				continue // halve horizontal resolution
-			}
-			switch {
-			case !pt.Decoded:
-				b.WriteByte(' ')
-			case pt.Hint <= 1:
-				b.WriteByte('.')
-			case pt.Hint <= 6:
-				b.WriteByte('-')
-			case pt.Hint <= 15:
-				b.WriteByte('x')
-			default:
-				b.WriteByte('X')
+			if err = d.WriteText(os.Stdout); err != nil {
+				break
 			}
 		}
-		fmt.Println(b.String())
-		correct := 0
-		for _, pt := range pts {
-			if pt.Correct {
-				correct++
-			}
-		}
-		fmt.Printf("  %d/%d codewords correct\n", correct, len(pts))
 	}
-	sketch("packet 1 (weak, first)", res.Packet1)
-	sketch("packet 2 (strong, collider)", res.Packet2)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pprsim: %v\n", err)
+		os.Exit(1)
+	}
 }
 
-func fig14(curves []experiments.MissLengthCurve) {
-	fmt.Println("Figure 14: CCDF of contiguous miss lengths")
-	xs := []float64{1, 2, 3, 5, 10, 20}
-	fmt.Printf("%-24s %9s |", "threshold", "miss rate")
-	for _, x := range xs {
-		fmt.Printf(" P>%-4.0f", x)
-	}
-	fmt.Println()
-	for _, c := range curves {
-		fmt.Printf("eta = %-18.0f %9.4f |", c.Eta, c.MissRate)
-		for _, x := range xs {
-			p := 0.0
-			if len(c.CCDF) > 0 {
-				p = 1 - stats.CDFAt(ccdfAsCDF(c.CCDF), x)
+// resolveExperiments expands the -exp flag into registry names, rejecting
+// unknown ones.
+func resolveExperiments(spec string) []string {
+	var names []string
+	for _, name := range splitList(spec) {
+		if name == "all" {
+			for _, e := range experiments.All() {
+				names = append(names, e.Name())
 			}
-			fmt.Printf(" %6.3f", p)
+			continue
 		}
-		fmt.Println()
+		e, err := experiments.ByName(name)
+		if err != nil {
+			fatalUnknown("experiment", name, experiments.Names(), "-list-exps")
+		}
+		names = append(names, e.Name())
 	}
-	fmt.Println("(paper: ~30% of misses have length 1; distribution decays faster than exponential)")
+	if len(names) == 0 {
+		fatalf("no experiments requested")
+	}
+	return names
 }
 
-func ccdfAsCDF(ccdf []stats.CDFPoint) []stats.CDFPoint {
-	out := make([]stats.CDFPoint, len(ccdf))
-	for i, p := range ccdf {
-		out[i] = stats.CDFPoint{X: p.X, P: 1 - p.P}
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(spec string) []string {
+	var out []string
+	for _, v := range strings.Split(spec, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
 	}
 	return out
 }
 
-func fig15(pts []experiments.FalseAlarmCurve) {
-	fmt.Println("Figure 15: false alarm rate (CCDF of correct-codeword Hamming distance)")
-	fmt.Printf("%-28s %s\n", "load", "false alarm rate at eta=6")
-	for _, c := range pts {
-		fmt.Printf("%-28s %.4f\n", experiments.LoadName(c.OfferedBps), c.FalseAlarmAtEta6)
+// fatalUnknown reports an unrecognized registry name and exits non-zero.
+func fatalUnknown(kind, name string, avail []string, listFlag string) {
+	hint := ""
+	if s := suggest(name, avail); s != "" {
+		hint = fmt.Sprintf(" — did you mean %q?", s)
 	}
-	fmt.Println("(paper: on the order of 5 in 1000 at eta = 6)")
+	fatalf("unknown %s %q%s (use %s to see registered names)", kind, name, hint, listFlag)
 }
 
-func fig16(res experiments.Fig16Result) {
-	fmt.Println("Figure 16: PP-ARQ partial retransmission sizes (250-byte packets)")
-	fmt.Printf("transfers: %d (failures: %d), retransmissions: %d\n",
-		res.Transfers, res.Failures, len(res.RetxSizes))
-	fmt.Printf("median retransmission: %.0f bytes (%.0f%% of packet)\n",
-		res.MedianRetxBytes, 100*res.MedianRetxBytes/float64(res.PacketBytes))
-	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
-		if len(res.RetxSizes) > 0 {
-			fmt.Printf("  p%-3.0f %6.0f bytes\n", q*100, stats.Quantile(res.RetxSizes, q))
-		}
-	}
-	fmt.Printf("air bytes: data %d, retx %d, feedback %d; misses caught: %d\n",
-		res.TotalStats.DataAirBytes, res.TotalStats.RetxAirBytes,
-		res.TotalStats.FeedbackAirBytes, res.TotalStats.Misses)
-	fmt.Println("(paper: median retransmission approximately half the full packet size)")
-}
-
-func fig17(res experiments.Fig17Result) {
-	cs := "disabled"
-	if res.CarrierSense {
-		cs = "enabled"
-	}
-	fmt.Println("Figure 17: closed-loop aggregate throughput, concurrent sender pairs")
-	fmt.Printf("%d pairs, %d-byte packets, carrier sense %s, %.1f s per run, scenario %s\n",
-		len(res.Pairs), res.PacketBytes, cs, res.DurationSec, res.Scenario)
-	xs := []float64{100, 150, 200, 250, 300, 400}
-	fmt.Printf("%-16s %6s %6s |", "link layer", "median", "mean")
-	for _, x := range xs {
-		fmt.Printf(" P<=%3.0f", x)
-	}
-	fmt.Printf("  (Kbit/s)\n")
-	for _, c := range res.Curves {
-		fmt.Printf("%-16s %6.1f %6.1f |%s   transfers %d (failed %d)\n",
-			c.Layer, c.MedianKbps, c.MeanKbps, cdfLine(c.CDF, xs), c.Transfers, c.Failures)
-	}
-	for _, c := range res.Curves {
-		total := c.Air.TotalAirBytes()
-		if total == 0 {
-			continue
-		}
-		fmt.Printf("%-16s airtime: data %2.0f%%, retransmission %2.0f%%, feedback %2.0f%%\n",
-			c.Layer, 100*float64(c.Air.DataAirBytes)/float64(total),
-			100*float64(c.Air.RetxAirBytes)/float64(total),
-			100*float64(c.Air.FeedbackAirBytes)/float64(total))
-	}
-	fmt.Printf("median ratios: PP-ARQ/frag %.2fx, PP-ARQ/packet %.2fx, frag/packet %.2fx\n",
-		res.MedianRatio("pp-arq", "frag-crc-arq"),
-		res.MedianRatio("pp-arq", "packet-crc-arq"),
-		res.MedianRatio("frag-crc-arq", "packet-crc-arq"))
-	fmt.Println("(paper: PP-ARQ roughly doubles aggregate throughput over status-quo ARQ, Sec. 7.5)")
-}
-
-func diversity(res experiments.DiversityResult) {
-	fmt.Println("Extension (Sec. 8.4): multi-receiver diversity combining at high load")
-	fmt.Printf("packets heard: %d (%d by multiple receivers)\n", res.Packets, res.MultiView)
-	fmt.Printf("mean PPR delivery: best single receiver %.3f -> min-hint combined %.3f (+%.0f%%)\n",
-		res.SingleRate, res.CombinedRate, 100*(res.CombinedRate/res.SingleRate-1))
-}
-
-func summary(rows []experiments.SummaryRow) {
-	fmt.Println("Table 1: summary of experimental conclusions (measured vs paper)")
-	for _, r := range rows {
-		fmt.Printf("%-58s measured %6.2f   paper %s\n", r.Name, r.Value, r.PaperValue)
-	}
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pprsim: "+format+"\n", args...)
+	os.Exit(2)
 }

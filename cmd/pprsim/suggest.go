@@ -1,0 +1,43 @@
+package main
+
+import "strings"
+
+// suggest returns the closest registered name to a mistyped one, or ""
+// when nothing is plausibly close (edit distance above a third of the
+// name's length, minimum 2). It powers the "did you mean" half of the
+// unknown-name errors shared by -exp, -schemes and -scenario.
+func suggest(name string, avail []string) string {
+	name = strings.ToLower(name)
+	maxDist := len(name) / 3
+	if maxDist < 2 {
+		maxDist = 2
+	}
+	best, bestDist := "", maxDist+1
+	for _, a := range avail {
+		if d := editDistance(name, strings.ToLower(a)); d < bestDist {
+			best, bestDist = a, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

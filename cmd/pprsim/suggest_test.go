@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"fig8", "fig8", 0},
+		{"figg8", "fig8", 1},
+		{"bursti", "bursty", 1},
+		{"ppr", "fec", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	exps := []string{"fig8", "fig9", "fig17", "table2", "summary"}
+	if s := suggest("figg8", exps); s != "fig8" {
+		t.Errorf("suggest(figg8) = %q", s)
+	}
+	if s := suggest("tabel2", exps); s != "table2" {
+		t.Errorf("suggest(tabel2) = %q", s)
+	}
+	// Nothing plausibly close: no suggestion.
+	if s := suggest("zzzzzzzzzz", exps); s != "" {
+		t.Errorf("suggest(zzzzzzzzzz) = %q, want none", s)
+	}
+}

@@ -1,0 +1,75 @@
+// Command suite regenerates a chosen slice of the paper's evaluation
+// through the public experiment registry: resolve experiments by name, run
+// them concurrently on the Runner with a deadline and live progress, and
+// render every result with the one generic Dataset text renderer —
+// no figure-specific code anywhere.
+//
+//	go run ./examples/suite                     # the headline subset, quick
+//	go run ./examples/suite -exp all            # everything
+//	go run ./examples/suite -timeout 10s        # bounded sweep
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ppr"
+)
+
+func main() {
+	exp := flag.String("exp", "fig7,fig8,fig16,summary",
+		"comma-separated experiment names, or \"all\"")
+	quick := flag.Bool("quick", true, "reduced scale (noisier, fast)")
+	seed := flag.Uint64("seed", 1, "deployment and channel seed")
+	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
+	flag.Parse()
+
+	var names []string
+	if *exp == "all" {
+		for _, e := range ppr.Experiments() {
+			names = append(names, e.Name())
+		}
+	} else {
+		for _, n := range strings.Split(*exp, ",") {
+			e, err := ppr.ExperimentByName(strings.TrimSpace(n))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			names = append(names, e.Name())
+		}
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	runner := ppr.ExperimentRunner{
+		Options: ppr.ExperimentOptions{Seed: *seed, Quick: *quick},
+		Progress: func(p ppr.RunnerProgress) {
+			if p.Done {
+				fmt.Fprintf(os.Stderr, "  %-10s %.2fs\n", p.Experiment, p.Elapsed.Seconds())
+			}
+		},
+	}
+	datasets, err := runner.Run(ctx, names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suite:", err)
+		os.Exit(1)
+	}
+	for i, d := range datasets {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := d.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "suite:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"ppr/internal/core/pparq"
 	"ppr/internal/frame"
 	"ppr/internal/phy"
@@ -64,6 +66,12 @@ type Fig16Result struct {
 // back-to-back to one receiver over a link suffering collision bursts;
 // every PP-ARQ partial retransmission's size is recorded.
 func Fig16(o Options) Fig16Result {
+	res, err := fig16Ctx(context.Background(), o)
+	must(err)
+	return res
+}
+
+func fig16Ctx(ctx context.Context, o Options) (Fig16Result, error) {
 	rng := stats.NewRNG(o.Seed ^ 0xf16)
 	transfers := 120
 	if o.Quick {
@@ -90,6 +98,11 @@ func Fig16(o Options) Fig16Result {
 	res := Fig16Result{PacketBytes: packetBytes, Transfers: transfers}
 	payloadRng := rng.Split()
 	for i := 0; i < transfers; i++ {
+		// Each transfer is the cancellation unit: a handful of frames over
+		// the bursty link, milliseconds of work.
+		if err := ctx.Err(); err != nil {
+			return Fig16Result{}, err
+		}
 		payload := make([]byte, packetBytes)
 		for b := range payload {
 			payload[b] = byte(payloadRng.Intn(256))
@@ -110,10 +123,8 @@ func Fig16(o Options) Fig16Result {
 		}
 	}
 	res.CDF = stats.CDF(res.RetxSizes)
-	if len(res.RetxSizes) > 0 {
-		res.MedianRetxBytes = stats.Median(res.RetxSizes)
-	}
-	return res
+	res.MedianRetxBytes = stats.MedianOrZero(res.RetxSizes)
+	return res, nil
 }
 
 // SummaryRow is one headline comparison in the Table 1 stand-in.
@@ -131,51 +142,69 @@ type SummaryRow struct {
 // at moderate and high load, the postamble acquisition gain, and PP-ARQ's
 // median retransmission fraction.
 func Summary(o Options) []SummaryRow {
+	rows, err := summaryCtx(context.Background(), o)
+	must(err)
+	return rows
+}
+
+func summaryCtx(ctx context.Context, o Options) ([]SummaryRow, error) {
 	p := DefaultSchemeParams()
 	var rows []SummaryRow
 
-	ratioAt := func(load float64, a, b schemes.RecoveryScheme) float64 {
-		tr := o.Trace(load, false)
+	ratioAt := func(load float64, a, b schemes.RecoveryScheme) (float64, error) {
+		tr, err := o.TraceContext(ctx, load, false)
+		if err != nil {
+			return 0, err
+		}
 		pp := tr.Post(o.Workers)
 		const variant = 1
-		am := median(ThroughputsKbps(pp.PerLinkDelivery(variant, a, p), tr.Cfg.DurationSec))
-		bm := median(ThroughputsKbps(pp.PerLinkDelivery(variant, b, p), tr.Cfg.DurationSec))
+		am := stats.MedianOrZero(ThroughputsKbps(pp.PerLinkDelivery(variant, a, p), tr.Cfg.DurationSec))
+		bm := stats.MedianOrZero(ThroughputsKbps(pp.PerLinkDelivery(variant, b, p), tr.Cfg.DurationSec))
 		if bm == 0 {
-			return 0
+			return 0, nil
 		}
-		return am / bm
+		return am / bm, nil
+	}
+
+	modPPRvsCRC, err := ratioAt(LoadModerate, schemes.PPR{}, schemes.PacketCRC{})
+	if err != nil {
+		return nil, err
+	}
+	highPPRvsCRC, err := ratioAt(LoadHigh, schemes.PPR{}, schemes.PacketCRC{})
+	if err != nil {
+		return nil, err
+	}
+	highPPRvsFrag, err := ratioAt(LoadHigh, schemes.PPR{}, schemes.FragCRC{})
+	if err != nil {
+		return nil, err
 	}
 
 	rows = append(rows,
 		SummaryRow{
 			Name:       "PPR vs packet CRC median throughput, moderate load",
-			Value:      ratioAt(LoadModerate, schemes.PPR{}, schemes.PacketCRC{}),
+			Value:      modPPRvsCRC,
 			PaperValue: "≈2x (Sec. 7.2)",
 		},
 		SummaryRow{
 			Name:       "PPR vs packet CRC median throughput, high load",
-			Value:      ratioAt(LoadHigh, schemes.PPR{}, schemes.PacketCRC{}),
+			Value:      highPPRvsCRC,
 			PaperValue: "≈7x (Sec. 1, 7.2)",
 		},
 		SummaryRow{
 			Name:       "PPR vs fragmented CRC median throughput, high load",
-			Value:      ratioAt(LoadHigh, schemes.PPR{}, schemes.FragCRC{}),
+			Value:      highPPRvsFrag,
 			PaperValue: "≈2x high load, 1.6x moderate (Table 1)",
 		},
 	)
 
-	f16 := Fig16(o)
+	f16, err := fig16Ctx(ctx, o)
+	if err != nil {
+		return nil, err
+	}
 	rows = append(rows, SummaryRow{
 		Name:       "PP-ARQ median retransmission fraction of packet size",
 		Value:      f16.MedianRetxBytes / float64(f16.PacketBytes),
 		PaperValue: "≈0.5 (Sec. 7.5)",
 	})
-	return rows
-}
-
-func median(v []float64) float64 {
-	if len(v) == 0 {
-		return 0
-	}
-	return stats.Median(v)
+	return rows, nil
 }

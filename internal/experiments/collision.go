@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"ppr/internal/chipseq"
 	"ppr/internal/frame"
 	"ppr/internal/modem"
@@ -49,6 +51,18 @@ type CollisionResult struct {
 // distances under the collision — and the frame receiver confirms packet
 // 1 is recoverable only through its postamble.
 func Fig13(o Options) CollisionResult {
+	res, err := fig13Ctx(context.Background(), o)
+	must(err)
+	return res
+}
+
+// fig13Ctx is the registry body. The experiment is one pair of modulated
+// packets through the sample-level modem — far below the cancellation
+// granularity of a simulation window — so ctx is only checked on entry.
+func fig13Ctx(ctx context.Context, o Options) (CollisionResult, error) {
+	if err := ctx.Err(); err != nil {
+		return CollisionResult{}, err
+	}
 	rng := stats.NewRNG(o.Seed ^ 0xf13)
 
 	// Packet 1: long and weak. Packet 2: short, strong, arriving during
@@ -128,7 +142,7 @@ func Fig13(o Options) CollisionResult {
 		return points
 	}
 
-	res := CollisionResult{
+	out := CollisionResult{
 		Packet1: timeline(chips1, 0),
 		Packet2: timeline(chips2, p2StartChip),
 	}
@@ -142,10 +156,10 @@ func Fig13(o Options) CollisionResult {
 		}
 		switch rec.Hdr.Src {
 		case f1.Hdr.Src:
-			res.P1AcquiredVia = append(res.P1AcquiredVia, rec.Kind.String())
+			out.P1AcquiredVia = append(out.P1AcquiredVia, rec.Kind.String())
 		case f2.Hdr.Src:
-			res.P2AcquiredVia = append(res.P2AcquiredVia, rec.Kind.String())
+			out.P2AcquiredVia = append(out.P2AcquiredVia, rec.Kind.String())
 		}
 	}
-	return res
+	return out, nil
 }

@@ -1,0 +1,513 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ppr/internal/stats"
+)
+
+// Dataset is the one result model every experiment produces: a set of
+// labelled series (points with units, percentile bands, scalar summaries)
+// plus experiment-level metadata. It is what the registry's Run returns,
+// what the Runner collects, and what cmd/pprsim renders — the generic text,
+// JSON and CSV encoders replace the seed's per-figure printers.
+type Dataset struct {
+	// Experiment is the registry name ("fig8", "table2", ...).
+	Experiment string `json:"experiment"`
+	// Title is the figure/table caption, matching the paper's artifact.
+	Title string `json:"title"`
+	// Meta records the operating point and any other experiment-level
+	// context as strings (offered load, carrier sense, scenario, maps).
+	Meta map[string]string `json:"meta,omitempty"`
+	// Series holds the labelled data series, in presentation order.
+	Series []Series `json:"series"`
+}
+
+// Series is one labelled curve, scatter, or row set within a Dataset.
+type Series struct {
+	// Label matches the figure legend ("PPR, postamble decoding").
+	Label string `json:"label"`
+	// Unit is the y-axis unit ("Kbit/s", "P[X<=x]"); XUnit the x-axis unit.
+	Unit  string `json:"unit,omitempty"`
+	XUnit string `json:"xunit,omitempty"`
+	// Points are the series' data points, in presentation order.
+	Points []Point `json:"points,omitempty"`
+	// Bands holds named scalar summaries of the series: percentile bands
+	// ("median", "p10", ..., "p90") and other per-series scalars
+	// ("mean", "miss_rate", "count").
+	Bands map[string]float64 `json:"bands,omitempty"`
+	// Meta records per-series string context (paper-reported values,
+	// acquisition paths).
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+// Point is one data point; Label distinguishes rows of the same series
+// (a link, a summary row name) where the x value alone does not.
+type Point struct {
+	Label string  `json:"label,omitempty"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+}
+
+// cdfPoints converts an empirical CDF into dataset points.
+func cdfPoints(cdf []stats.CDFPoint) []Point {
+	pts := make([]Point, len(cdf))
+	for i, p := range cdf {
+		pts[i] = Point{X: p.X, Y: p.P}
+	}
+	return pts
+}
+
+// cdfQuantile evaluates the nearest-rank quantile from an empirical CDF:
+// the smallest x whose cumulative probability reaches q. For CDFs built by
+// stats.CDF this equals stats.Quantile on the underlying samples.
+func cdfQuantile(cdf []stats.CDFPoint, q float64) (float64, bool) {
+	for _, p := range cdf {
+		if p.P >= q {
+			return p.X, true
+		}
+	}
+	return 0, false
+}
+
+// cdfBands summarizes a CDF series into the standard percentile bands.
+// median is passed in (not re-derived) so the band is bit-identical to the
+// typed result's Median field.
+func cdfBands(cdf []stats.CDFPoint, median float64) map[string]float64 {
+	b := map[string]float64{"median": median}
+	for _, q := range []struct {
+		name string
+		p    float64
+	}{{"p10", 0.10}, {"p25", 0.25}, {"p75", 0.75}, {"p90", 0.90}} {
+		if v, ok := cdfQuantile(cdf, q.p); ok {
+			b[q.name] = v
+		}
+	}
+	return b
+}
+
+// ---- Converters: one per typed experiment result ----
+
+// Dataset converts a delivery figure (Figs. 8-10) to the uniform model.
+func (fig DeliveryFigure) Dataset() Dataset {
+	d := Dataset{
+		Experiment: fig.Name,
+		Title:      fmt.Sprintf("Figure %s: per-link equivalent frame delivery rate", strings.TrimPrefix(fig.Name, "fig")),
+		Meta: map[string]string{
+			"offered_load":  LoadName(fig.OfferedBps),
+			"carrier_sense": strconv.FormatBool(fig.CarrierSense),
+		},
+	}
+	for _, c := range fig.Curves {
+		d.Series = append(d.Series, Series{
+			Label:  c.Label,
+			Unit:   "P[X<=x]",
+			XUnit:  "delivery rate",
+			Points: cdfPoints(c.CDF),
+			Bands:  cdfBands(c.CDF, c.Median),
+		})
+	}
+	return d
+}
+
+// Dataset converts the Fig. 11 throughput figure to the uniform model.
+func (fig ThroughputFigure) Dataset() Dataset {
+	d := Dataset{
+		Experiment: "fig11",
+		Title:      "Figure 11: end-to-end per-link throughput",
+		Meta: map[string]string{
+			"offered_load":  LoadName(fig.OfferedBps),
+			"carrier_sense": "false",
+		},
+	}
+	for _, c := range fig.Curves {
+		d.Series = append(d.Series, Series{
+			Label:  c.Label,
+			Unit:   "P[X<=x]",
+			XUnit:  "Kbit/s",
+			Points: cdfPoints(c.CDF),
+			Bands:  cdfBands(c.CDF, c.Median),
+		})
+	}
+	return d
+}
+
+func fig3Dataset(curves []HintCurve) Dataset {
+	d := Dataset{
+		Experiment: "fig3",
+		Title:      "Figure 3: CDF of Hamming distance, correct vs incorrect codewords",
+	}
+	for _, c := range curves {
+		kind := "incorrect"
+		if c.Correct {
+			kind = "correct"
+		}
+		d.Series = append(d.Series, Series{
+			Label:  fmt.Sprintf("%s, %s codewords", LoadName(c.OfferedBps), kind),
+			Unit:   "P[X<=x]",
+			XUnit:  "Hamming distance",
+			Points: cdfPoints(c.CDF),
+			Bands:  map[string]float64{"count": float64(c.Count)},
+		})
+	}
+	return d
+}
+
+func fig12Dataset(series []ScatterSeries) Dataset {
+	d := Dataset{
+		Experiment: "fig12",
+		Title:      "Figure 12: per-link throughput scatter vs fragmented CRC",
+		Meta:       map[string]string{"carrier_sense": "false", "variant": "postamble decoding"},
+	}
+	for _, s := range series {
+		out := Series{
+			Label: fmt.Sprintf("%s at %s", s.Scheme.Name(), LoadName(s.OfferedBps)),
+			Unit:  "Kbit/s",
+			XUnit: "fragmented CRC Kbit/s",
+		}
+		for _, pt := range s.Points {
+			out.Points = append(out.Points, Point{
+				Label: fmt.Sprintf("s%d->r%d", pt.Link.Src, pt.Link.Rcv),
+				X:     pt.FragKbps,
+				Y:     pt.YKbps,
+			})
+		}
+		d.Series = append(d.Series, out)
+	}
+	return d
+}
+
+// Dataset converts the Fig. 13 collision anatomy to the uniform model:
+// one series per packet, hint vs codeword time, with correctness flags on
+// the point labels and the acquisition paths in the series metadata.
+func (res CollisionResult) Dataset() Dataset {
+	d := Dataset{
+		Experiment: "fig13",
+		Title:      "Figure 13: anatomy of a collision (Hamming distance vs codeword time)",
+	}
+	timeline := func(label string, pts []CollisionPoint, via []string) Series {
+		s := Series{
+			Label: label,
+			Unit:  "Hamming distance",
+			XUnit: "codeword",
+			Meta:  map[string]string{"acquired_via": strings.Join(via, ",")},
+		}
+		correct := 0
+		for _, pt := range pts {
+			flag := "wrong"
+			switch {
+			case !pt.Decoded:
+				flag = "undecoded"
+			case pt.Correct:
+				flag = ""
+				correct++
+			}
+			s.Points = append(s.Points, Point{Label: flag, X: float64(pt.Codeword), Y: pt.Hint})
+		}
+		s.Bands = map[string]float64{"correct_codewords": float64(correct)}
+		return s
+	}
+	d.Series = append(d.Series,
+		timeline("packet 1 (weak, first)", res.Packet1, res.P1AcquiredVia),
+		timeline("packet 2 (strong, collider)", res.Packet2, res.P2AcquiredVia),
+	)
+	return d
+}
+
+func fig14Dataset(curves []MissLengthCurve) Dataset {
+	d := Dataset{
+		Experiment: "fig14",
+		Title:      "Figure 14: CCDF of contiguous miss lengths",
+	}
+	for _, c := range curves {
+		d.Series = append(d.Series, Series{
+			Label:  fmt.Sprintf("eta = %.0f", c.Eta),
+			Unit:   "P[X>x]",
+			XUnit:  "run length",
+			Points: cdfPoints(c.CCDF),
+			Bands:  map[string]float64{"miss_rate": c.MissRate, "eta": c.Eta},
+		})
+	}
+	return d
+}
+
+func fig15Dataset(curves []FalseAlarmCurve) Dataset {
+	d := Dataset{
+		Experiment: "fig15",
+		Title:      "Figure 15: false alarm rate (CCDF of correct-codeword Hamming distance)",
+	}
+	for _, c := range curves {
+		d.Series = append(d.Series, Series{
+			Label:  LoadName(c.OfferedBps),
+			Unit:   "P[X>x]",
+			XUnit:  "Hamming distance",
+			Points: cdfPoints(c.CCDF),
+			Bands:  map[string]float64{"false_alarm_eta6": c.FalseAlarmAtEta6},
+		})
+	}
+	return d
+}
+
+// Dataset converts the Fig. 16 PP-ARQ result to the uniform model.
+func (res Fig16Result) Dataset() Dataset {
+	sizeBands := cdfBands(res.CDF, res.MedianRetxBytes)
+	sizeBands["retransmissions"] = float64(len(res.RetxSizes))
+	return Dataset{
+		Experiment: "fig16",
+		Title:      "Figure 16: PP-ARQ partial retransmission sizes",
+		Meta: map[string]string{
+			"packet_bytes": strconv.Itoa(res.PacketBytes),
+			"transfers":    strconv.Itoa(res.Transfers),
+			"failures":     strconv.Itoa(res.Failures),
+		},
+		Series: []Series{
+			{
+				Label:  "partial retransmission size",
+				Unit:   "P[X<=x]",
+				XUnit:  "bytes",
+				Points: cdfPoints(res.CDF),
+				Bands:  sizeBands,
+			},
+			{
+				Label: "air bytes",
+				Unit:  "bytes",
+				Points: []Point{
+					{Label: "data", X: 0, Y: float64(res.TotalStats.DataAirBytes)},
+					{Label: "retransmission", X: 1, Y: float64(res.TotalStats.RetxAirBytes)},
+					{Label: "feedback", X: 2, Y: float64(res.TotalStats.FeedbackAirBytes)},
+				},
+				Bands: map[string]float64{
+					"rounds":       float64(res.TotalStats.Rounds),
+					"misses":       float64(res.TotalStats.Misses),
+					"full_resends": float64(res.TotalStats.FullResends),
+				},
+			},
+		},
+	}
+}
+
+// Dataset converts the Fig. 17 closed-loop result to the uniform model.
+func (res Fig17Result) Dataset() Dataset {
+	d := Dataset{
+		Experiment: "fig17",
+		Title:      "Figure 17: closed-loop aggregate throughput, concurrent sender pairs",
+		Meta: map[string]string{
+			"pairs":         strconv.Itoa(len(res.Pairs)),
+			"packet_bytes":  strconv.Itoa(res.PacketBytes),
+			"duration_sec":  strconv.FormatFloat(res.DurationSec, 'g', -1, 64),
+			"carrier_sense": strconv.FormatBool(res.CarrierSense),
+			"scenario":      res.Scenario,
+		},
+	}
+	for _, c := range res.Curves {
+		bands := cdfBands(c.CDF, c.MedianKbps)
+		bands["mean"] = c.MeanKbps
+		bands["transfers"] = float64(c.Transfers)
+		bands["failures"] = float64(c.Failures)
+		bands["data_air_bytes"] = float64(c.Air.DataAirBytes)
+		bands["retx_air_bytes"] = float64(c.Air.RetxAirBytes)
+		bands["feedback_air_bytes"] = float64(c.Air.FeedbackAirBytes)
+		d.Series = append(d.Series, Series{
+			Label:  c.Layer,
+			Unit:   "P[X<=x]",
+			XUnit:  "aggregate Kbit/s",
+			Points: cdfPoints(c.CDF),
+			Bands:  bands,
+		})
+	}
+	ratios := Series{Label: "median ratios", Unit: "ratio"}
+	for i, pair := range [][2]string{
+		{"pp-arq", "frag-crc-arq"},
+		{"pp-arq", "packet-crc-arq"},
+		{"frag-crc-arq", "packet-crc-arq"},
+	} {
+		ratios.Points = append(ratios.Points, Point{
+			Label: pair[0] + "/" + pair[1],
+			X:     float64(i),
+			Y:     res.MedianRatio(pair[0], pair[1]),
+		})
+	}
+	d.Series = append(d.Series, ratios)
+	return d
+}
+
+func table2Dataset(rows []Table2Row) Dataset {
+	d := Dataset{
+		Experiment: "table2",
+		Title:      "Table 2: fragmented-CRC aggregate throughput vs chunk count",
+		Meta:       map[string]string{"operating_point": "high load, carrier sense off"},
+	}
+	s := Series{Label: "aggregate throughput", Unit: "Kbit/s", XUnit: "chunks"}
+	for _, r := range rows {
+		s.Points = append(s.Points, Point{
+			Label: fmt.Sprintf("%d B fragments", r.FragBytes),
+			X:     float64(r.Chunks),
+			Y:     r.AggregateKbps,
+		})
+	}
+	d.Series = append(d.Series, s)
+	return d
+}
+
+func summaryDataset(rows []SummaryRow) Dataset {
+	d := Dataset{
+		Experiment: "summary",
+		Title:      "Table 1: summary of experimental conclusions (measured vs paper)",
+	}
+	s := Series{Label: "headline comparisons", Unit: "ratio", Meta: map[string]string{}}
+	for i, r := range rows {
+		s.Points = append(s.Points, Point{Label: r.Name, X: float64(i), Y: r.Value})
+		s.Meta[r.Name] = "paper: " + r.PaperValue
+	}
+	d.Series = append(d.Series, s)
+	return d
+}
+
+// Dataset converts the diversity extension result to the uniform model.
+func (res DiversityResult) Dataset() Dataset {
+	return Dataset{
+		Experiment: "diversity",
+		Title:      "Extension (Sec. 8.4): multi-receiver min-hint diversity combining",
+		Meta:       map[string]string{"operating_point": "high load, carrier sense off"},
+		Series: []Series{{
+			Label: "mean PPR delivery rate",
+			Unit:  "delivery rate",
+			Points: []Point{
+				{Label: "best single receiver", X: 0, Y: res.SingleRate},
+				{Label: "min-hint combined", X: 1, Y: res.CombinedRate},
+			},
+			Bands: map[string]float64{
+				"packets":    float64(res.Packets),
+				"multi_view": float64(res.MultiView),
+			},
+		}},
+	}
+}
+
+// ---- Generic renderers ----
+
+// ftoa renders a float compactly for the text renderer.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// sortedKeys returns a map's keys in sorted order, for deterministic
+// rendering.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// maxListedPoints bounds how many points the text renderer lists
+// individually; longer series (CDFs, scatters) are summarized by their
+// count, ranges and bands.
+const maxListedPoints = 12
+
+// WriteText renders the dataset in the generic layout every experiment
+// shares: title, metadata, then one block per series with its bands and
+// points. It replaces the seed's per-figure printers; the layout is pinned
+// by a golden-file test.
+func (d Dataset) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.printf("%s: %s\n", d.Experiment, d.Title)
+	for _, k := range sortedKeys(d.Meta) {
+		v := d.Meta[k]
+		if strings.Contains(v, "\n") {
+			// Multi-line values (ASCII maps) print verbatim, unindented.
+			bw.printf("  %s:\n%s", k, v)
+			if !strings.HasSuffix(v, "\n") {
+				bw.printf("\n")
+			}
+			continue
+		}
+		bw.printf("  %s = %s\n", k, v)
+	}
+	for _, s := range d.Series {
+		unit := ""
+		switch {
+		case s.Unit != "" && s.XUnit != "":
+			unit = fmt.Sprintf("  [%s vs %s]", s.Unit, s.XUnit)
+		case s.Unit != "":
+			unit = fmt.Sprintf("  [%s]", s.Unit)
+		}
+		bw.printf("  ~ %s%s\n", s.Label, unit)
+		if len(s.Bands) > 0 {
+			parts := make([]string, 0, len(s.Bands))
+			for _, k := range sortedKeys(s.Bands) {
+				parts = append(parts, fmt.Sprintf("%s=%s", k, ftoa(s.Bands[k])))
+			}
+			bw.printf("      bands: %s\n", strings.Join(parts, " "))
+		}
+		for _, k := range sortedKeys(s.Meta) {
+			bw.printf("      %s = %s\n", k, s.Meta[k])
+		}
+		switch {
+		case len(s.Points) == 0:
+		case len(s.Points) <= maxListedPoints:
+			for _, p := range s.Points {
+				label := ""
+				if p.Label != "" {
+					label = "  " + p.Label
+				}
+				bw.printf("      (%s, %s)%s\n", ftoa(p.X), ftoa(p.Y), label)
+			}
+		default:
+			xmin, xmax := s.Points[0].X, s.Points[0].X
+			ymin, ymax := s.Points[0].Y, s.Points[0].Y
+			for _, p := range s.Points[1:] {
+				xmin, xmax = min(xmin, p.X), max(xmax, p.X)
+				ymin, ymax = min(ymin, p.Y), max(ymax, p.Y)
+			}
+			bw.printf("      points: n=%d x in [%s, %s] y in [%s, %s]\n",
+				len(s.Points), ftoa(xmin), ftoa(xmax), ftoa(ymin), ftoa(ymax))
+		}
+	}
+	return bw.err
+}
+
+// errWriter folds fmt errors so the renderer body stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// WriteCSV encodes datasets as flat CSV rows — one row per point and per
+// band — with full float precision for machine consumption. String
+// metadata is not emitted (use JSON for the complete model).
+func WriteCSV(w io.Writer, ds []Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "series", "kind", "label", "x", "y"}); err != nil {
+		return err
+	}
+	full := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, d := range ds {
+		for _, s := range d.Series {
+			for _, p := range s.Points {
+				if err := cw.Write([]string{d.Experiment, s.Label, "point", p.Label, full(p.X), full(p.Y)}); err != nil {
+					return err
+				}
+			}
+			for _, k := range sortedKeys(s.Bands) {
+				if err := cw.Write([]string{d.Experiment, s.Label, "band", k, "", full(s.Bands[k])}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// This file is the redesign's parity proof at the Dataset layer: for every
+// registered experiment, the Dataset Run produces carries numbers
+// bit-identical to the pre-redesign typed struct computed under the same
+// options. Both paths share one trace cache, so the comparison isolates
+// the converters — a dropped series, reordered curve or lossy copy fails
+// here.
+
+// runDataset resolves and runs one experiment through the registry.
+func runDataset(t *testing.T, name string, o Options) Dataset {
+	t.Helper()
+	e, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Run(context.Background(), o)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if d.Experiment != name {
+		t.Fatalf("%s: dataset names itself %q", name, d.Experiment)
+	}
+	return d
+}
+
+// checkCDFSeries asserts one Dataset series carries exactly a typed
+// curve's CDF points and median.
+func checkCDFSeries(t *testing.T, where string, s Series, c DeliveryCurve) {
+	t.Helper()
+	if s.Label != c.Label {
+		t.Fatalf("%s: series %q, want curve %q", where, s.Label, c.Label)
+	}
+	if !reflect.DeepEqual(s.Points, cdfPoints(c.CDF)) {
+		t.Errorf("%s %q: points diverge from the typed CDF", where, s.Label)
+	}
+	if s.Bands["median"] != c.Median {
+		t.Errorf("%s %q: median band %v, want %v", where, s.Label, s.Bands["median"], c.Median)
+	}
+}
+
+func TestDatasetParityDeliveryFigures(t *testing.T) {
+	o := quickOpts()
+	for _, tc := range []struct {
+		name string
+		run  func(Options) DeliveryFigure
+	}{
+		{"fig8", Fig8}, {"fig9", Fig9}, {"fig10", Fig10},
+	} {
+		fig := tc.run(o)
+		d := runDataset(t, tc.name, o)
+		if len(d.Series) != len(fig.Curves) {
+			t.Fatalf("%s: %d series, want %d curves", tc.name, len(d.Series), len(fig.Curves))
+		}
+		for i, c := range fig.Curves {
+			checkCDFSeries(t, tc.name, d.Series[i], c)
+		}
+	}
+}
+
+func TestDatasetParityFig11(t *testing.T) {
+	o := quickOpts()
+	fig := Fig11(o)
+	d := runDataset(t, "fig11", o)
+	if len(d.Series) != len(fig.Curves) {
+		t.Fatalf("%d series, want %d", len(d.Series), len(fig.Curves))
+	}
+	for i, c := range fig.Curves {
+		checkCDFSeries(t, "fig11", d.Series[i], c)
+	}
+}
+
+func TestDatasetParityFig3(t *testing.T) {
+	o := quickOpts()
+	curves := Fig3(o)
+	d := runDataset(t, "fig3", o)
+	if len(d.Series) != len(curves) {
+		t.Fatalf("%d series, want %d", len(d.Series), len(curves))
+	}
+	for i, c := range curves {
+		s := d.Series[i]
+		if !reflect.DeepEqual(s.Points, cdfPoints(c.CDF)) {
+			t.Errorf("curve %d: points diverge", i)
+		}
+		if s.Bands["count"] != float64(c.Count) {
+			t.Errorf("curve %d: count %v, want %d", i, s.Bands["count"], c.Count)
+		}
+	}
+}
+
+func TestDatasetParityFig12(t *testing.T) {
+	o := quickOpts()
+	series := Fig12(o)
+	d := runDataset(t, "fig12", o)
+	if len(d.Series) != len(series) {
+		t.Fatalf("%d series, want %d", len(d.Series), len(series))
+	}
+	for i, src := range series {
+		s := d.Series[i]
+		if len(s.Points) != len(src.Points) {
+			t.Fatalf("series %d: %d points, want %d", i, len(s.Points), len(src.Points))
+		}
+		for j, pt := range src.Points {
+			got := s.Points[j]
+			if got.X != pt.FragKbps || got.Y != pt.YKbps {
+				t.Errorf("series %d point %d: (%v, %v), want (%v, %v)",
+					i, j, got.X, got.Y, pt.FragKbps, pt.YKbps)
+			}
+		}
+	}
+}
+
+func TestDatasetParityFig13(t *testing.T) {
+	o := quickOpts()
+	res := Fig13(o)
+	d := runDataset(t, "fig13", o)
+	if len(d.Series) != 2 {
+		t.Fatalf("%d series, want 2", len(d.Series))
+	}
+	for i, pts := range [][]CollisionPoint{res.Packet1, res.Packet2} {
+		s := d.Series[i]
+		if len(s.Points) != len(pts) {
+			t.Fatalf("series %d: %d points, want %d", i, len(s.Points), len(pts))
+		}
+		for j, pt := range pts {
+			got := s.Points[j]
+			if got.X != float64(pt.Codeword) || got.Y != pt.Hint {
+				t.Errorf("series %d point %d diverges", i, j)
+			}
+			wantLabel := "wrong"
+			switch {
+			case !pt.Decoded:
+				wantLabel = "undecoded"
+			case pt.Correct:
+				wantLabel = ""
+			}
+			if got.Label != wantLabel {
+				t.Errorf("series %d point %d: label %q, want %q", i, j, got.Label, wantLabel)
+			}
+		}
+	}
+}
+
+func TestDatasetParityFig14Fig15(t *testing.T) {
+	o := quickOpts()
+	f14 := Fig14(o)
+	d14 := runDataset(t, "fig14", o)
+	if len(d14.Series) != len(f14) {
+		t.Fatalf("fig14: %d series, want %d", len(d14.Series), len(f14))
+	}
+	for i, c := range f14 {
+		s := d14.Series[i]
+		if !reflect.DeepEqual(s.Points, cdfPoints(c.CCDF)) {
+			t.Errorf("fig14 curve %d: points diverge", i)
+		}
+		if s.Bands["miss_rate"] != c.MissRate || s.Bands["eta"] != c.Eta {
+			t.Errorf("fig14 curve %d: bands diverge", i)
+		}
+	}
+
+	f15 := Fig15(o)
+	d15 := runDataset(t, "fig15", o)
+	if len(d15.Series) != len(f15) {
+		t.Fatalf("fig15: %d series, want %d", len(d15.Series), len(f15))
+	}
+	for i, c := range f15 {
+		s := d15.Series[i]
+		if !reflect.DeepEqual(s.Points, cdfPoints(c.CCDF)) {
+			t.Errorf("fig15 curve %d: points diverge", i)
+		}
+		if s.Bands["false_alarm_eta6"] != c.FalseAlarmAtEta6 {
+			t.Errorf("fig15 curve %d: false alarm band diverges", i)
+		}
+	}
+}
+
+func TestDatasetParityFig16(t *testing.T) {
+	o := quickOpts()
+	res := Fig16(o)
+	d := runDataset(t, "fig16", o)
+	if len(d.Series) != 2 {
+		t.Fatalf("%d series, want 2", len(d.Series))
+	}
+	s := d.Series[0]
+	if !reflect.DeepEqual(s.Points, cdfPoints(res.CDF)) {
+		t.Error("retransmission-size points diverge")
+	}
+	if s.Bands["median"] != res.MedianRetxBytes {
+		t.Errorf("median band %v, want %v", s.Bands["median"], res.MedianRetxBytes)
+	}
+	if s.Bands["retransmissions"] != float64(len(res.RetxSizes)) {
+		t.Error("retransmission count diverges")
+	}
+	air := d.Series[1]
+	want := []float64{
+		float64(res.TotalStats.DataAirBytes),
+		float64(res.TotalStats.RetxAirBytes),
+		float64(res.TotalStats.FeedbackAirBytes),
+	}
+	for i, v := range want {
+		if air.Points[i].Y != v {
+			t.Errorf("air bytes point %d: %v, want %v", i, air.Points[i].Y, v)
+		}
+	}
+	if d.Meta["transfers"] != fmt.Sprint(res.Transfers) || d.Meta["failures"] != fmt.Sprint(res.Failures) {
+		t.Error("transfer metadata diverges")
+	}
+}
+
+func TestDatasetParityFig17(t *testing.T) {
+	o := quickOpts()
+	res := Fig17(o)
+	d := runDataset(t, "fig17", o)
+	if len(d.Series) != len(res.Curves)+1 { // +1: the median-ratio series
+		t.Fatalf("%d series, want %d", len(d.Series), len(res.Curves)+1)
+	}
+	for i, c := range res.Curves {
+		s := d.Series[i]
+		if s.Label != c.Layer {
+			t.Fatalf("series %d: %q, want layer %q", i, s.Label, c.Layer)
+		}
+		if !reflect.DeepEqual(s.Points, cdfPoints(c.CDF)) {
+			t.Errorf("layer %q: points diverge", c.Layer)
+		}
+		if s.Bands["median"] != c.MedianKbps || s.Bands["mean"] != c.MeanKbps {
+			t.Errorf("layer %q: median/mean bands diverge", c.Layer)
+		}
+		if s.Bands["transfers"] != float64(c.Transfers) || s.Bands["failures"] != float64(c.Failures) {
+			t.Errorf("layer %q: transfer bands diverge", c.Layer)
+		}
+	}
+	// The three ratio points match MedianRatio exactly.
+	ratios := d.Series[len(res.Curves)]
+	wantRatios := map[string]float64{
+		"pp-arq/frag-crc-arq":         res.MedianRatio("pp-arq", "frag-crc-arq"),
+		"pp-arq/packet-crc-arq":       res.MedianRatio("pp-arq", "packet-crc-arq"),
+		"frag-crc-arq/packet-crc-arq": res.MedianRatio("frag-crc-arq", "packet-crc-arq"),
+	}
+	if len(ratios.Points) != len(wantRatios) {
+		t.Fatalf("%d ratio points, want %d", len(ratios.Points), len(wantRatios))
+	}
+	for _, pt := range ratios.Points {
+		if want, ok := wantRatios[pt.Label]; !ok || pt.Y != want {
+			t.Errorf("ratio %q = %v, want %v", pt.Label, pt.Y, want)
+		}
+	}
+}
+
+func TestDatasetParityTable2SummaryDiversity(t *testing.T) {
+	o := quickOpts()
+
+	rows := Table2(o)
+	dt := runDataset(t, "table2", o)
+	pts := dt.Series[0].Points
+	if len(pts) != len(rows) {
+		t.Fatalf("table2: %d points, want %d", len(pts), len(rows))
+	}
+	for i, r := range rows {
+		if pts[i].X != float64(r.Chunks) || pts[i].Y != r.AggregateKbps {
+			t.Errorf("table2 row %d diverges", i)
+		}
+	}
+
+	sum := Summary(o)
+	ds := runDataset(t, "summary", o)
+	spts := ds.Series[0].Points
+	if len(spts) != len(sum) {
+		t.Fatalf("summary: %d points, want %d", len(spts), len(sum))
+	}
+	for i, r := range sum {
+		if spts[i].Label != r.Name || spts[i].Y != r.Value {
+			t.Errorf("summary row %q diverges", r.Name)
+		}
+	}
+
+	div := Diversity(o)
+	dd := runDataset(t, "diversity", o)
+	dpts := dd.Series[0].Points
+	if dpts[0].Y != div.SingleRate || dpts[1].Y != div.CombinedRate {
+		t.Error("diversity rates diverge")
+	}
+	if dd.Series[0].Bands["packets"] != float64(div.Packets) {
+		t.Error("diversity packet count diverges")
+	}
+}

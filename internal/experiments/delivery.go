@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"ppr/internal/schemes"
 	"ppr/internal/stats"
@@ -35,7 +37,16 @@ type DeliveryFigure struct {
 // every selected scheme/variant combination, sharing one set of
 // correctness masks across all of them.
 func deliveryFigure(o Options, name string, offeredBps float64, carrierSense bool) DeliveryFigure {
-	tr := o.Trace(offeredBps, carrierSense)
+	fig, err := deliveryFigureCtx(context.Background(), o, name, offeredBps, carrierSense)
+	must(err)
+	return fig
+}
+
+func deliveryFigureCtx(ctx context.Context, o Options, name string, offeredBps float64, carrierSense bool) (DeliveryFigure, error) {
+	tr, err := o.TraceContext(ctx, offeredBps, carrierSense)
+	if err != nil {
+		return DeliveryFigure{}, err
+	}
 	pp := tr.Post(o.Workers)
 	p := DefaultSchemeParams()
 
@@ -45,18 +56,14 @@ func deliveryFigure(o Options, name string, offeredBps float64, carrierSense boo
 			acc := pp.PerLinkDelivery(variant, scheme, p)
 			rates := Rates(acc)
 			label := fmt.Sprintf("%s, %s", scheme.Name(), StandardVariants()[variant].Name)
-			var median float64
-			if len(rates) > 0 {
-				median = stats.Median(rates)
-			}
 			fig.Curves = append(fig.Curves, DeliveryCurve{
 				Label:  label,
 				CDF:    stats.CDF(rates),
-				Median: median,
+				Median: stats.MedianOrZero(rates),
 			})
 		}
 	}
-	return fig
+	return fig, nil
 }
 
 // Fig8 reproduces Figure 8: per-link equivalent frame delivery rate with
@@ -89,7 +96,16 @@ type ThroughputFigure struct {
 // 6.9 Kbit/s/node offered load, carrier sense disabled, near channel
 // saturation.
 func Fig11(o Options) ThroughputFigure {
-	tr := o.Trace(LoadMedium, false)
+	fig, err := fig11Ctx(context.Background(), o)
+	must(err)
+	return fig
+}
+
+func fig11Ctx(ctx context.Context, o Options) (ThroughputFigure, error) {
+	tr, err := o.TraceContext(ctx, LoadMedium, false)
+	if err != nil {
+		return ThroughputFigure{}, err
+	}
 	cfg := tr.Cfg
 	pp := tr.Post(o.Workers)
 	p := DefaultSchemeParams()
@@ -100,18 +116,14 @@ func Fig11(o Options) ThroughputFigure {
 			acc := pp.PerLinkDelivery(variant, scheme, p)
 			tputs := ThroughputsKbps(acc, cfg.DurationSec)
 			label := fmt.Sprintf("%s, %s", scheme.Name(), StandardVariants()[variant].Name)
-			var median float64
-			if len(tputs) > 0 {
-				median = stats.Median(tputs)
-			}
 			fig.Curves = append(fig.Curves, DeliveryCurve{
 				Label:  label,
 				CDF:    stats.CDF(tputs),
-				Median: median,
+				Median: stats.MedianOrZero(tputs),
 			})
 		}
 	}
-	return fig
+	return fig, nil
 }
 
 // ScatterPoint is one link in the Fig. 12 scatter plot.
@@ -138,32 +150,53 @@ type ScatterSeries struct {
 // packet CRC (circles) against fragmented CRC on the x axis, at all three
 // offered loads, carrier sense disabled, postamble decoding enabled.
 func Fig12(o Options) []ScatterSeries {
+	series, err := fig12Ctx(context.Background(), o)
+	must(err)
+	return series
+}
+
+func fig12Ctx(ctx context.Context, o Options) ([]ScatterSeries, error) {
 	p := DefaultSchemeParams()
 	const variant = 1 // postamble decoding on
 	var series []ScatterSeries
 	for _, load := range Loads {
-		tr := o.Trace(load, false)
+		tr, err := o.TraceContext(ctx, load, false)
+		if err != nil {
+			return nil, err
+		}
 		cfg := tr.Cfg
 		pp := tr.Post(o.Workers)
 		frag := pp.PerLinkDelivery(variant, schemes.FragCRC{}, p)
+		// Deterministic link order: map iteration would shuffle the scatter
+		// points run to run.
+		links := make([]LinkKey, 0, len(frag))
+		for k := range frag {
+			links = append(links, k)
+		}
+		sort.Slice(links, func(a, b int) bool {
+			if links[a].Src != links[b].Src {
+				return links[a].Src < links[b].Src
+			}
+			return links[a].Rcv < links[b].Rcv
+		})
 		for _, scheme := range []schemes.RecoveryScheme{schemes.PacketCRC{}, schemes.PPR{}} {
 			other := pp.PerLinkDelivery(variant, scheme, p)
 			s := ScatterSeries{Scheme: scheme, OfferedBps: load}
-			for k, fa := range frag {
+			for _, k := range links {
 				oa, exists := other[k]
 				if !exists {
 					continue
 				}
 				s.Points = append(s.Points, ScatterPoint{
 					Link:     k,
-					FragKbps: float64(fa.DeliveredBytes) * 8 / cfg.DurationSec / 1000,
+					FragKbps: float64(frag[k].DeliveredBytes) * 8 / cfg.DurationSec / 1000,
 					YKbps:    float64(oa.DeliveredBytes) * 8 / cfg.DurationSec / 1000,
 				})
 			}
 			series = append(series, s)
 		}
 	}
-	return series
+	return series, nil
 }
 
 // Table2Row is one row of Table 2: fragmented-CRC aggregate throughput as
@@ -181,7 +214,16 @@ type Table2Row struct {
 // chunks. The paper runs it under load; we use the high-load, no-carrier-
 // sense point where the trade-off is sharpest.
 func Table2(o Options) []Table2Row {
-	tr := o.Trace(LoadHigh, false)
+	rows, err := table2Ctx(context.Background(), o)
+	must(err)
+	return rows
+}
+
+func table2Ctx(ctx context.Context, o Options) ([]Table2Row, error) {
+	tr, err := o.TraceContext(ctx, LoadHigh, false)
+	if err != nil {
+		return nil, err
+	}
 	cfg := tr.Cfg
 	pp := tr.Post(o.Workers)
 	const variant = 1
@@ -205,5 +247,5 @@ func Table2(o Options) []Table2Row {
 			AggregateKbps: float64(total) * 8 / cfg.DurationSec / 1000,
 		})
 	}
-	return rows
+	return rows, nil
 }

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"math"
+	"sort"
 
 	"ppr/internal/core/combine"
 	"ppr/internal/schemes"
@@ -31,7 +33,17 @@ type DiversityResult struct {
 // property-checked in the tests — and gains most under heavy collisions,
 // where different receivers lose different parts of a packet.
 func Diversity(o Options) DiversityResult {
-	outs := o.Trace(LoadHigh, false).Outs
+	res, err := diversityCtx(context.Background(), o)
+	must(err)
+	return res
+}
+
+func diversityCtx(ctx context.Context, o Options) (DiversityResult, error) {
+	tr, err := o.TraceContext(ctx, LoadHigh, false)
+	if err != nil {
+		return DiversityResult{}, err
+	}
+	outs := tr.Outs
 	const variant = 1
 	eta := schemes.DefaultParams().Eta
 
@@ -57,9 +69,18 @@ func Diversity(o Options) DiversityResult {
 		})
 	}
 
+	// Deterministic transmission order: summing float delivery fractions in
+	// map-iteration order would make the means drift run to run.
+	ids := make([]int, 0, len(byTx))
+	for id := range byTx {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
 	res := DiversityResult{}
 	var singleSum, combinedSum float64
-	for _, p := range byTx {
+	for _, id := range ids {
+		p := byTx[id]
 		res.Packets++
 		if len(p.views) > 1 {
 			res.MultiView++
@@ -83,5 +104,5 @@ func Diversity(o Options) DiversityResult {
 		res.SingleRate = singleSum / float64(res.Packets)
 		res.CombinedRate = combinedSum / float64(res.Packets)
 	}
-	return res
+	return res, nil
 }

@@ -1,7 +1,21 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (Sec. 7) on the simulated testbed. Each experiment function
-// returns structured series that cmd/pprsim prints in the same rows/columns
-// the paper reports, and the root-level benchmarks wrap.
+// evaluation (Sec. 7) on the simulated testbed. The package is organised
+// around three pieces:
+//
+//   - The Experiment registry (Register / ByName / Names / All): every
+//     figure and table is a named Experiment whose Run(ctx, Options)
+//     produces a Dataset — the one typed result model all entry points
+//     share (labelled series of points with units, percentile bands and
+//     metadata). New experiments plug in by name, exactly like recovery
+//     schemes and traffic scenarios.
+//   - The Runner, which executes a set of experiments concurrently on a
+//     bounded worker pool, sharing one TraceCache so figures that
+//     post-process the same operating point never re-simulate it, with
+//     context cancellation threaded down through simulation windows and
+//     closed-loop cells, streaming per-experiment progress callbacks.
+//   - The typed entry points (Fig3 … Fig17, Table2, Summary, Diversity),
+//     kept as thin wrappers over the same code paths for callers that want
+//     the figure-specific structs.
 //
 // Methodology note: like the paper ("each node sends a stream of bits,
 // which are formed into traces and post-processed to emulate a packet size
@@ -12,6 +26,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -53,6 +68,19 @@ type Options struct {
 	// Schemes names the recovery schemes the delivery figures post-process
 	// (see schemes.Names()); empty means every registered scheme.
 	Schemes []string
+	// Cache is the trace cache the experiments draw from; nil means the
+	// process-wide SharedTraces. A Runner regenerating a suite hands every
+	// experiment the same cache, so concurrent figures sharing an operating
+	// point collapse to one simulation.
+	Cache *TraceCache
+}
+
+// cache resolves the configured trace cache.
+func (o Options) cache() *TraceCache {
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return SharedTraces
 }
 
 // schemeList resolves the configured scheme selection. It panics on an
@@ -111,6 +139,15 @@ func (o Options) simConfig(tb *testbed.Testbed, offeredBps float64, carrierSense
 		Seed:         o.Seed ^ uint64(offeredBps) ^ boolBit(carrierSense)<<40,
 		Scenario:     sc,
 		Workers:      o.Workers,
+	}
+}
+
+// must panics on an impossible error: the typed entry points run their
+// ctx-aware bodies under context.Background(), which never cancels — the
+// only error source in those paths.
+func must(err error) {
+	if err != nil {
+		panic(err)
 	}
 }
 
@@ -353,11 +390,14 @@ type TraceCache struct {
 	misses  int
 }
 
-// traceEntry pairs the fill latch with its trace so an in-flight Get keeps
+// traceEntry pairs the fill lock with its trace so an in-flight Get keeps
 // a handle to the entry it joined even if Reset swaps the map underneath.
+// The lock is held across the fill simulation: concurrent Gets of the same
+// point block on it (they need the trace anyway), and a fill aborted by
+// cancellation leaves tr nil so the next caller retries.
 type traceEntry struct {
-	once sync.Once
-	tr   *Trace
+	mu sync.Mutex
+	tr *Trace
 }
 
 // NewTraceCache returns an empty cache.
@@ -374,6 +414,19 @@ var SharedTraces = NewTraceCache()
 // use. Concurrent callers asking for the same point block until the single
 // simulation finishes; callers asking for different points proceed.
 func (c *TraceCache) Get(o Options, load float64, carrierSense bool) *Trace {
+	// A background context never cancels, so the fill cannot fail.
+	tr, _ := c.GetContext(context.Background(), o, load, carrierSense)
+	return tr
+}
+
+// GetContext is Get under a context: a cache miss runs the simulation with
+// ctx threaded down to the delivery windows (see sim.DeliverContext), so a
+// cancel or deadline aborts the fill promptly. An aborted fill does not
+// poison the cache — the entry is dropped and a later Get retries. A caller
+// joining another caller's in-flight fill blocks until that fill resolves
+// (it needs the trace regardless); if the filler was cancelled, the joiner
+// re-attempts the fill under its own context.
+func (c *TraceCache) GetContext(ctx context.Context, o Options, load float64, carrierSense bool) (*Trace, error) {
 	key := traceKey{
 		seed:         o.Seed,
 		quick:        o.Quick,
@@ -392,12 +445,33 @@ func (c *TraceCache) Get(o Options, load float64, carrierSense bool) *Trace {
 	}
 	c.mu.Unlock()
 
-	e.once.Do(func() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.tr == nil {
 		cfg := o.simConfig(o.Bed(), load, carrierSense)
-		txs, outs := sim.Run(cfg, StandardVariants())
+		txs, outs, err := sim.RunContext(ctx, cfg, StandardVariants())
+		if err != nil {
+			// Drop the unfilled entry (unless Reset already replaced the
+			// map) so a future Get simulates instead of seeing a nil trace.
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+			return nil, err
+		}
 		e.tr = &Trace{Cfg: cfg, Txs: txs, Outs: outs}
-	})
-	return e.tr
+		// A joiner re-filling an entry a cancelled filler dropped from the
+		// map must re-insert it, or every later Get of this point would
+		// miss and re-simulate. The normal path (entry still mapped) and a
+		// racing fresh fill (different entry mapped) both skip the insert.
+		c.mu.Lock()
+		if _, ok := c.entries[key]; !ok {
+			c.entries[key] = e
+		}
+		c.mu.Unlock()
+	}
+	return e.tr, nil
 }
 
 // Stats returns the cache's hit and miss counts so speedup claims can be
@@ -418,10 +492,16 @@ func (c *TraceCache) Reset() {
 	c.hits, c.misses = 0, 0
 }
 
-// Trace returns the shared-cache trace for one operating point under these
-// options — the entry point every figure uses.
+// Trace returns the cached trace for one operating point under these
+// options (Options.Cache, defaulting to SharedTraces).
 func (o Options) Trace(load float64, carrierSense bool) *Trace {
-	return SharedTraces.Get(o, load, carrierSense)
+	return o.cache().Get(o, load, carrierSense)
+}
+
+// TraceContext is Trace under a context — the entry point every figure
+// uses, so a Runner cancellation reaches the simulation windows.
+func (o Options) TraceContext(ctx context.Context, load float64, carrierSense bool) (*Trace, error) {
+	return o.cache().GetContext(ctx, o, load, carrierSense)
 }
 
 // StandardVariants returns the two receiver variants every capacity

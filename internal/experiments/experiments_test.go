@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
@@ -445,6 +447,26 @@ func TestTraceCacheHits(t *testing.T) {
 	c.Reset()
 	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
 		t.Errorf("post-reset stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestTraceCacheCancelledFillNotPoisoned(t *testing.T) {
+	c := NewTraceCache()
+	o := quickOpts()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.GetContext(ctx, o, LoadModerate, true); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fill: err = %v, want context.Canceled", err)
+	}
+	// The aborted fill must not poison the entry: a later Get re-simulates
+	// and succeeds...
+	tr, err := c.GetContext(context.Background(), o, LoadModerate, true)
+	if err != nil || tr == nil || len(tr.Outs) == 0 {
+		t.Fatalf("retry after cancelled fill: %v", err)
+	}
+	// ...and its result is cached for everyone after it.
+	if tr2 := c.Get(o, LoadModerate, true); tr2 != tr {
+		t.Error("successful retry was not re-inserted into the cache")
 	}
 }
 

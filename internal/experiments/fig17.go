@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ppr/internal/netsim"
@@ -155,6 +156,12 @@ func fig17Pairs(o Options, tb *testbed.Testbed, n int, excluded map[int]bool) []
 // worker pool; each cell's randomness derives from the cell's own stable
 // coordinates, so results are bit-identical for every worker count.
 func Fig17(o Options) Fig17Result {
+	res, err := fig17Ctx(context.Background(), o)
+	must(err)
+	return res
+}
+
+func fig17Ctx(ctx context.Context, o Options) (Fig17Result, error) {
 	tb := o.Bed()
 	nPairs := 16
 	if o.Quick {
@@ -190,6 +197,12 @@ func Fig17(o Options) Fig17Result {
 	runs := make([]netsim.Result, len(cells))
 	fanOut(len(cells), o.Workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
+			// Each closed-loop cell is a cancellation unit: once ctx is
+			// done, remaining cells are skipped and the in-flight ones
+			// drain through netsim.RunContext's own ctx check.
+			if ctx.Err() != nil {
+				return
+			}
 			c := cells[i]
 			pair := pairs[c.pair]
 			cfg := netsim.Config{
@@ -210,13 +223,19 @@ func Fig17(o Options) Fig17Result {
 				// same traffic phase and channel draws per pair.
 				Seed: o.Seed ^ (uint64(c.pair+1) << 16),
 			}
-			r, err := netsim.Run(cfg)
+			r, err := netsim.RunContext(ctx, cfg)
 			if err != nil {
+				if ctx.Err() != nil {
+					return // cancelled mid-cell; the result is discarded
+				}
 				panic(fmt.Sprintf("fig17: %v", err))
 			}
 			runs[i] = r
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return Fig17Result{}, err
+	}
 
 	for li, layer := range layers {
 		curve := Fig17Curve{Layer: layer}
@@ -230,9 +249,9 @@ func Fig17(o Options) Fig17Result {
 			}
 		}
 		curve.CDF = stats.CDF(curve.PairKbps)
-		curve.MedianKbps = median(curve.PairKbps)
+		curve.MedianKbps = stats.MedianOrZero(curve.PairKbps)
 		curve.MeanKbps = stats.Mean(curve.PairKbps)
 		res.Curves = append(res.Curves, curve)
 	}
-	return res
+	return res, nil
 }

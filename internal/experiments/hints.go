@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"ppr/internal/schemes"
 	"ppr/internal/stats"
 )
@@ -22,8 +24,12 @@ type HintCurve struct {
 // hintTrace collects (hint, correct) pairs for every decoded payload
 // codeword at one operating point, postamble decoding enabled (the paper's
 // receivers always run it).
-func hintTrace(o Options, offeredBps float64) (correct, incorrect []float64) {
-	outs := o.Trace(offeredBps, false).Outs
+func hintTrace(ctx context.Context, o Options, offeredBps float64) (correct, incorrect []float64, err error) {
+	tr, err := o.TraceContext(ctx, offeredBps, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	outs := tr.Outs
 	for i := range outs {
 		out := &outs[i]
 		if !out.Acquired || out.Variant != 1 {
@@ -41,22 +47,31 @@ func hintTrace(o Options, offeredBps float64) (correct, incorrect []float64) {
 			}
 		}
 	}
-	return correct, incorrect
+	return correct, incorrect, nil
 }
 
 // Fig3 reproduces Figure 3: the CDF of Hamming distance over every
 // received codeword, separated by correctness, at the three offered loads.
 // This is the experiment establishing Hamming distance as a SoftPHY hint.
 func Fig3(o Options) []HintCurve {
+	curves, err := fig3Ctx(context.Background(), o)
+	must(err)
+	return curves
+}
+
+func fig3Ctx(ctx context.Context, o Options) ([]HintCurve, error) {
 	var curves []HintCurve
 	for _, load := range Loads {
-		correct, incorrect := hintTrace(o, load)
+		correct, incorrect, err := hintTrace(ctx, o, load)
+		if err != nil {
+			return nil, err
+		}
 		curves = append(curves,
 			HintCurve{OfferedBps: load, Correct: true, CDF: stats.CDF(correct), Count: len(correct)},
 			HintCurve{OfferedBps: load, Correct: false, CDF: stats.CDF(incorrect), Count: len(incorrect)},
 		)
 	}
-	return curves
+	return curves, nil
 }
 
 // MissLengthCurve is one CCDF of contiguous miss lengths at a threshold η
@@ -76,7 +91,17 @@ type MissLengthCurve struct {
 // misses (incorrect codewords mislabelled good) for η ∈ {1, 2, 3, 4},
 // collected at high load where collisions dominate.
 func Fig14(o Options) []MissLengthCurve {
-	outs := o.Trace(LoadHigh, false).Outs
+	curves, err := fig14Ctx(context.Background(), o)
+	must(err)
+	return curves
+}
+
+func fig14Ctx(ctx context.Context, o Options) ([]MissLengthCurve, error) {
+	tr, err := o.TraceContext(ctx, LoadHigh, false)
+	if err != nil {
+		return nil, err
+	}
+	outs := tr.Outs
 
 	var curves []MissLengthCurve
 	for _, eta := range []float64{1, 2, 3, 4} {
@@ -117,7 +142,7 @@ func Fig14(o Options) []MissLengthCurve {
 		}
 		curves = append(curves, c)
 	}
-	return curves
+	return curves, nil
 }
 
 // FalseAlarmCurve is one CCDF of correct-codeword hints (Fig. 15): the
@@ -136,10 +161,19 @@ type FalseAlarmCurve struct {
 // for every correctly-decoded codeword, per load — the false alarm rate as
 // a function of threshold.
 func Fig15(o Options) []FalseAlarmCurve {
+	curves, err := fig15Ctx(context.Background(), o)
+	must(err)
+	return curves
+}
+
+func fig15Ctx(ctx context.Context, o Options) ([]FalseAlarmCurve, error) {
 	eta := schemes.DefaultParams().Eta
 	var curves []FalseAlarmCurve
 	for _, load := range Loads {
-		correct, _ := hintTrace(o, load)
+		correct, _, err := hintTrace(ctx, o, load)
+		if err != nil {
+			return nil, err
+		}
 		ccdf := stats.CCDF(correct)
 		fa := 0.0
 		if len(correct) > 0 {
@@ -157,5 +191,5 @@ func Fig15(o Options) []FalseAlarmCurve {
 			FalseAlarmAtEta6: fa,
 		})
 	}
-	return curves
+	return curves, nil
 }

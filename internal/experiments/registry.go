@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ppr/internal/radio"
+	"ppr/internal/testbed"
+)
+
+// Experiment is one named, registry-backed reproduction of a paper figure
+// or table. Run produces the uniform Dataset; ctx cancellation is threaded
+// down through simulation windows and closed-loop cells, so a deadline or
+// cancel aborts promptly. Implement it and Register to add an experiment
+// every CLI invocation and Runner sweep can resolve by name — exactly like
+// recovery schemes and traffic scenarios.
+type Experiment interface {
+	// Name is the registry key ("fig8", "table2").
+	Name() string
+	// Description is a one-line summary for listings.
+	Description() string
+	// Run regenerates the artifact under the options.
+	Run(ctx context.Context, o Options) (Dataset, error)
+}
+
+// expFunc adapts a function to the Experiment interface; every built-in
+// experiment is one of these.
+type expFunc struct {
+	name, desc string
+	run        func(context.Context, Options) (Dataset, error)
+}
+
+func (e expFunc) Name() string        { return e.name }
+func (e expFunc) Description() string { return e.desc }
+func (e expFunc) Run(ctx context.Context, o Options) (Dataset, error) {
+	return e.run(ctx, o)
+}
+
+// The registry maps names to experiments and preserves registration order
+// for presentation ("all" runs in the paper's order).
+var (
+	expRegistry = map[string]Experiment{}
+	expOrdered  []Experiment
+)
+
+// expAliases maps legacy CLI names onto registry names.
+var expAliases = map[string]string{"layout": "fig7"}
+
+// Register adds an experiment to the registry under its Name. It panics on
+// an empty or duplicate name; like scheme and scenario registration it is
+// meant for init-time use and is not safe for concurrent callers.
+func Register(e Experiment) {
+	key := strings.ToLower(e.Name())
+	if key == "" {
+		panic("experiments: experiment with empty name")
+	}
+	if _, dup := expRegistry[key]; dup {
+		panic(fmt.Sprintf("experiments: duplicate experiment %q", key))
+	}
+	expRegistry[key] = e
+	expOrdered = append(expOrdered, e)
+}
+
+// ByName resolves an experiment by registry name (case-insensitive;
+// "layout" is accepted as an alias for fig7).
+func ByName(name string) (Experiment, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if a, ok := expAliases[key]; ok {
+		key = a
+	}
+	if e, ok := expRegistry[key]; ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (available: %v)", name, Names())
+}
+
+// Names lists the registered experiment names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(expRegistry))
+	for n := range expRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered experiment in registration (presentation)
+// order — the order `-exp all` runs and prints.
+func All() []Experiment {
+	out := make([]Experiment, len(expOrdered))
+	copy(out, expOrdered)
+	return out
+}
+
+func init() {
+	Register(expFunc{"fig7", "testbed layout: deployment map and per-receiver audibility", runFig7})
+	Register(expFunc{"fig3", "hint CDFs over received codewords, correct vs incorrect, per load", func(ctx context.Context, o Options) (Dataset, error) {
+		curves, err := fig3Ctx(ctx, o)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return fig3Dataset(curves), nil
+	}})
+	Register(expFunc{"table2", "fragmented-CRC aggregate throughput vs chunk count", func(ctx context.Context, o Options) (Dataset, error) {
+		rows, err := table2Ctx(ctx, o)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return table2Dataset(rows), nil
+	}})
+	Register(expFunc{"fig8", "per-link delivery-rate CDFs, moderate load, carrier sense on", deliveryExp("fig8", LoadModerate, true)})
+	Register(expFunc{"fig9", "per-link delivery-rate CDFs, moderate load, carrier sense off", deliveryExp("fig9", LoadModerate, false)})
+	Register(expFunc{"fig10", "per-link delivery-rate CDFs, high load, carrier sense off", deliveryExp("fig10", LoadHigh, false)})
+	Register(expFunc{"fig11", "end-to-end per-link throughput CDFs, medium load", func(ctx context.Context, o Options) (Dataset, error) {
+		fig, err := fig11Ctx(ctx, o)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return fig.Dataset(), nil
+	}})
+	Register(expFunc{"fig12", "per-link throughput scatter vs fragmented CRC, all loads", func(ctx context.Context, o Options) (Dataset, error) {
+		series, err := fig12Ctx(ctx, o)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return fig12Dataset(series), nil
+	}})
+	Register(expFunc{"fig13", "anatomy of a collision through the sample-level MSK modem", func(ctx context.Context, o Options) (Dataset, error) {
+		res, err := fig13Ctx(ctx, o)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return res.Dataset(), nil
+	}})
+	Register(expFunc{"fig14", "CCDFs of contiguous miss lengths, eta in {1..4}", func(ctx context.Context, o Options) (Dataset, error) {
+		curves, err := fig14Ctx(ctx, o)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return fig14Dataset(curves), nil
+	}})
+	Register(expFunc{"fig15", "false-alarm CCDFs of correct-codeword hints, per load", func(ctx context.Context, o Options) (Dataset, error) {
+		curves, err := fig15Ctx(ctx, o)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return fig15Dataset(curves), nil
+	}})
+	Register(expFunc{"fig16", "PP-ARQ partial retransmission sizes over a bursty link", func(ctx context.Context, o Options) (Dataset, error) {
+		res, err := fig16Ctx(ctx, o)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return res.Dataset(), nil
+	}})
+	Register(expFunc{"fig17", "closed-loop aggregate throughput of contending sender pairs", func(ctx context.Context, o Options) (Dataset, error) {
+		res, err := fig17Ctx(ctx, o)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return res.Dataset(), nil
+	}})
+	Register(expFunc{"diversity", "multi-receiver min-hint combining (Sec. 8.4 extension)", func(ctx context.Context, o Options) (Dataset, error) {
+		res, err := diversityCtx(ctx, o)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return res.Dataset(), nil
+	}})
+	Register(expFunc{"summary", "headline measured-vs-paper ratios (Table 1)", func(ctx context.Context, o Options) (Dataset, error) {
+		rows, err := summaryCtx(ctx, o)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return summaryDataset(rows), nil
+	}})
+}
+
+// deliveryExp builds the registry body for one delivery figure.
+func deliveryExp(name string, load float64, carrierSense bool) func(context.Context, Options) (Dataset, error) {
+	return func(ctx context.Context, o Options) (Dataset, error) {
+		fig, err := deliveryFigureCtx(ctx, o, name, load, carrierSense)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return fig.Dataset(), nil
+	}
+}
+
+// audibilityMarginDB is the link margin the layout experiment counts
+// "reliably audible" senders at, matching the seed CLI's Fig. 7 output.
+const audibilityMarginDB = 15
+
+// runFig7 is the Fig. 7 stand-in: the deterministic 27-node deployment's
+// floor plan and how many senders each receiver reliably hears.
+func runFig7(ctx context.Context, o Options) (Dataset, error) {
+	if err := ctx.Err(); err != nil {
+		return Dataset{}, err
+	}
+	tb := testbed.New(radio.DefaultParams(), o.Seed)
+	d := Dataset{
+		Experiment: "fig7",
+		Title:      "Figure 7: testbed layout",
+		Meta: map[string]string{
+			"map":       tb.ASCIIMap(),
+			"margin_db": strconv.Itoa(audibilityMarginDB),
+		},
+	}
+	s := Series{Label: "reliably audible senders", Unit: "senders", XUnit: "receiver"}
+	for j := 0; j < testbed.NumReceivers; j++ {
+		s.Points = append(s.Points, Point{
+			Label: fmt.Sprintf("R%d", j+1),
+			X:     float64(j + 1),
+			Y:     float64(tb.AudibleCount(j, audibilityMarginDB)),
+		})
+	}
+	d.Series = append(d.Series, s)
+	return d, nil
+}

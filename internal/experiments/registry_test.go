@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// seedArtifacts is the frozen set of paper artifacts the seed shipped: the
+// 14 figure/table entry points plus the diversity extension. The registry
+// must carry each exactly once — a registration typo (duplicate Register
+// panics at init; a missing or renamed figure fails here) would silently
+// shrink `-exp all`.
+var seedArtifacts = []string{
+	"diversity", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+	"fig16", "fig17", "fig3", "fig7", "fig8", "fig9", "summary", "table2",
+}
+
+func TestRegistryCompleteness(t *testing.T) {
+	if got := Names(); !reflect.DeepEqual(got, seedArtifacts) {
+		t.Fatalf("registry names = %v, want the seed artifact set %v", got, seedArtifacts)
+	}
+	// Registration (presentation) order is unique per name too.
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.Name()] {
+			t.Errorf("experiment %q appears twice in All()", e.Name())
+		}
+		seen[e.Name()] = true
+		if e.Description() == "" {
+			t.Errorf("experiment %q has no description", e.Name())
+		}
+	}
+	if len(seen) != len(seedArtifacts) {
+		t.Errorf("All() carries %d experiments, want %d", len(seen), len(seedArtifacts))
+	}
+}
+
+func TestRegistryByName(t *testing.T) {
+	for _, name := range seedArtifacts {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if e.Name() != name {
+			t.Errorf("ByName(%q) resolves to %q", name, e.Name())
+		}
+	}
+	// Case-insensitive, and the seed CLI's "layout" still resolves.
+	if e, err := ByName("FIG8"); err != nil || e.Name() != "fig8" {
+		t.Errorf("ByName(FIG8) = %v, %v", e, err)
+	}
+	if e, err := ByName("layout"); err != nil || e.Name() != "fig7" {
+		t.Errorf("ByName(layout) = %v, %v", e, err)
+	}
+	if _, err := ByName("fig99"); err == nil {
+		t.Error("unknown experiment name did not error")
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite renderer golden files")
+
+// goldenDataset is a small fixed Dataset exercising every renderer path:
+// single- and multi-line metadata, units, bands, per-series metadata,
+// labelled listed points, and a long series that gets summarized.
+func goldenDataset() Dataset {
+	long := make([]Point, 40)
+	for i := range long {
+		long[i] = Point{X: float64(i) / 4, Y: float64(i*i) / 1600}
+	}
+	return Dataset{
+		Experiment: "figX",
+		Title:      "Golden fixture: renderer layout",
+		Meta: map[string]string{
+			"carrier_sense": "true",
+			"map":           "+--+\n|**|\n+--+",
+			"offered_load":  "3.5 Kbits/s/node",
+		},
+		Series: []Series{
+			{
+				Label: "short labelled rows",
+				Unit:  "Kbit/s",
+				XUnit: "chunks",
+				Points: []Point{
+					{Label: "first", X: 1, Y: 26.25},
+					{Label: "second", X: 30, Y: 96},
+					{X: 300, Y: 0.5},
+				},
+				Bands: map[string]float64{"median": 26.25, "p90": 96},
+				Meta:  map[string]string{"note": "paper peaks interior"},
+			},
+			{
+				Label:  "long curve",
+				Unit:   "P[X<=x]",
+				XUnit:  "delivery rate",
+				Points: long,
+				Bands:  map[string]float64{"median": 0.25, "p10": 0.01, "p90": 0.81},
+			},
+			{Label: "empty series"},
+		},
+	}
+}
+
+// TestTextRendererGolden pins the generic text renderer's layout — the one
+// renderer every experiment now shares — against a golden file. Update
+// with: go test ./internal/experiments -run Golden -update-golden
+func TestTextRendererGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenDataset().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "render_text.golden"), buf.Bytes())
+}
+
+// TestCSVRendererGolden pins the flat CSV encoding the same way.
+func TestCSVRendererGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []Dataset{goldenDataset()}); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "render_csv.golden"), buf.Bytes())
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("renderer output diverges from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Progress is one experiment lifecycle notification streamed by the
+// Runner: once when the experiment starts (Done false) and once when it
+// finishes (Done true, with its error and elapsed wall-clock time).
+type Progress struct {
+	// Experiment is the registry name.
+	Experiment string
+	// Index is the experiment's position in the requested set; Total the
+	// set's size.
+	Index, Total int
+	// Done distinguishes the completion notification from the start one.
+	Done bool
+	// Err is the experiment's error on completion (nil on success).
+	Err error
+	// Elapsed is the experiment's wall-clock time, set on completion.
+	Elapsed time.Duration
+}
+
+// Runner executes a set of experiments concurrently on a bounded worker
+// pool. All experiments share one trace cache (Options.Cache, defaulting
+// to SharedTraces), so concurrent figures post-processing the same
+// operating point collapse to a single simulation — the seed ran `-exp
+// all` serially even though most figures share traces; the Runner overlaps
+// the distinct simulations and every figure's post-processing instead.
+//
+// Cancellation: ctx is passed to every experiment and threaded down
+// through simulation windows and closed-loop cells, so cancelling
+// mid-sweep returns promptly with ctx.Err() and no goroutine left behind.
+type Runner struct {
+	// Options configures every experiment run. Options.Workers bounds each
+	// experiment's internal fan-out as usual.
+	Options Options
+	// Workers bounds how many experiments run concurrently; 0 means
+	// runtime.NumCPU(). Results do not depend on it (every experiment is
+	// deterministic in Options alone).
+	Workers int
+	// Progress, when set, receives start and completion notifications.
+	// Calls are serialized by the Runner; the callback needs no locking of
+	// its own.
+	Progress func(Progress)
+}
+
+// Run resolves names through the registry and executes them, returning the
+// datasets in the same order as names. The first experiment error (or the
+// context's, on cancellation) aborts the sweep: remaining experiments are
+// skipped, in-flight ones drain, and the error is returned.
+func (r *Runner) Run(ctx context.Context, names []string) ([]Dataset, error) {
+	exps := make([]Experiment, len(names))
+	for i, n := range names {
+		e, err := ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		exps[i] = e
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+
+	var (
+		mu       sync.Mutex // serializes Progress calls and firstErr
+		firstErr error
+	)
+	emit := func(p Progress) {
+		if r.Progress == nil {
+			return
+		}
+		mu.Lock()
+		r.Progress(p)
+		mu.Unlock()
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	results := make([]Dataset, len(exps))
+	completed := make([]bool, len(exps)) // index i written only by its worker
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				mu.Lock()
+				aborted := firstErr != nil
+				mu.Unlock()
+				if aborted || ctx.Err() != nil {
+					continue // drain the queue without starting new work
+				}
+				e := exps[i]
+				emit(Progress{Experiment: e.Name(), Index: i, Total: len(exps)})
+				start := time.Now()
+				ds, err := e.Run(ctx, r.Options)
+				emit(Progress{Experiment: e.Name(), Index: i, Total: len(exps), Done: true, Err: err, Elapsed: time.Since(start)})
+				if err != nil {
+					fail(err)
+					continue
+				}
+				results[i] = ds
+				completed[i] = true
+			}
+		}()
+	}
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err == nil {
+		// A cancel can land after every started experiment finished but
+		// before queued ones ran; a skipped slot means the sweep is
+		// incomplete.
+		for i := range completed {
+			if !completed[i] {
+				err = ctx.Err()
+				break
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

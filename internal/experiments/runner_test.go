@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// allNames returns every registered experiment in presentation order.
+func allNames() []string {
+	var names []string
+	for _, e := range All() {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// TestRunnerMatchesSerial proves experiment-level concurrency does not
+// change results: the full suite run serially and with many workers
+// produces deeply equal datasets, in request order.
+func TestRunnerMatchesSerial(t *testing.T) {
+	// The cheap, trace-backed subset keeps the double run fast; fig17 and
+	// fig16 are covered by the parity tests.
+	names := []string{"fig7", "fig3", "table2", "fig10", "fig14", "diversity"}
+	o := Options{Seed: 3, Quick: true, Cache: NewTraceCache()}
+	serial := &Runner{Options: o, Workers: 1}
+	a, err := serial.Run(context.Background(), names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrent := &Runner{Options: o, Workers: 8}
+	b, err := concurrent.Run(context.Background(), names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("serial and concurrent runs disagree")
+	}
+	for i, d := range a {
+		if want, _ := ByName(names[i]); d.Experiment != want.Name() {
+			t.Errorf("result %d is %q, want %q", i, d.Experiment, want.Name())
+		}
+	}
+}
+
+// TestRunnerSharesTraceCache proves a concurrent sweep still simulates
+// each operating point exactly once: the suite's figures cover 4 distinct
+// (load, carrier-sense) points, so a fresh cache must record exactly 4
+// misses however many figures post-process them.
+func TestRunnerSharesTraceCache(t *testing.T) {
+	cache := NewTraceCache()
+	r := &Runner{Options: Options{Seed: 9, Quick: true, Cache: cache}, Workers: 4}
+	// fig10, fig14, table2 and diversity share (high, off); fig3 and fig15
+	// add (moderate, off) and (medium, off); fig8 adds (moderate, on).
+	if _, err := r.Run(context.Background(), []string{"fig8", "fig3", "fig10", "fig14", "fig15", "table2", "diversity"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := cache.Stats(); misses != 4 {
+		t.Errorf("concurrent suite simulated %d operating points, want 4", misses)
+	}
+}
+
+// TestRunnerProgress checks the callback stream: one start and one
+// completion per experiment, with the completion carrying the elapsed
+// time. The callback mutates shared state without its own locking — the
+// Runner serializes calls, and the race detector verifies it.
+func TestRunnerProgress(t *testing.T) {
+	names := []string{"fig7", "fig13", "table2"}
+	starts, dones := map[string]int{}, map[string]int{}
+	r := &Runner{
+		Options: Options{Seed: 1, Quick: true, Cache: NewTraceCache()},
+		Workers: 4,
+		Progress: func(p Progress) {
+			if p.Total != len(names) {
+				t.Errorf("progress total %d, want %d", p.Total, len(names))
+			}
+			if p.Done {
+				dones[p.Experiment]++
+				if p.Err != nil {
+					t.Errorf("%s failed: %v", p.Experiment, p.Err)
+				}
+			} else {
+				starts[p.Experiment]++
+			}
+		},
+	}
+	if _, err := r.Run(context.Background(), names); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if starts[n] != 1 || dones[n] != 1 {
+			t.Errorf("%s: %d starts, %d completions, want 1/1", n, starts[n], dones[n])
+		}
+	}
+}
+
+func TestRunnerUnknownName(t *testing.T) {
+	r := &Runner{Options: Options{Seed: 1, Quick: true}}
+	if _, err := r.Run(context.Background(), []string{"fig8", "fig99"}); err == nil {
+		t.Error("unknown experiment name did not error")
+	}
+}
+
+// TestRunnerPreCancelled: a context cancelled before Run starts returns
+// ctx.Err() without running anything.
+func TestRunnerPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Runner{Options: Options{Seed: 1, Quick: true, Cache: NewTraceCache()}}
+	ds, err := r.Run(ctx, allNames())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ds != nil {
+		t.Error("datasets returned despite cancellation")
+	}
+}
+
+// TestRunnerCancellationPromptNoLeak cancels a full-suite sweep mid-flight
+// at full (non-quick) scale — where a serial completion would take minutes
+// — and requires Run to return context.Canceled within seconds, with every
+// goroutine it spawned (workers, simulation windows, netsim coroutines)
+// gone afterwards. Run under -race in CI, this is also the
+// callback/cancellation race check.
+func TestRunnerCancellationPromptNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	r := &Runner{
+		Options: Options{Seed: 11, Cache: NewTraceCache()}, // full scale: sims take long enough to be mid-flight
+		Workers: 4,
+		Progress: func(p Progress) {
+			// Cancel as soon as the first experiment has started.
+			once.Do(cancel)
+		},
+	}
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := r.Run(ctx, allNames())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Run did not return within 60s of cancellation")
+	}
+	t.Logf("cancelled sweep returned in %v", time.Since(start))
+
+	// Every spawned goroutine must wind down; allow the runtime a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancellation", before, n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

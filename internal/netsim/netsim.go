@@ -43,6 +43,7 @@ package netsim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"ppr/internal/frame"
@@ -300,11 +301,25 @@ type engine struct {
 	lastBusyEnd int64
 	txChips     int64
 	jamFrames   int
+
+	// cancelled flips once the run's context is done: the event loop stops
+	// committing work and drains every flow coroutine instead.
+	cancelled bool
 }
 
 // Run executes one closed-loop simulation. It is a pure function of cfg:
 // the same configuration always produces the identical Result.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context: the event loop checks ctx at every
+// event, and on cancellation stops committing transmissions, resumes each
+// blocked flow coroutine with nil receptions and a clock past the end of
+// the run so its link layer fails fast, and returns ctx.Err() with no
+// goroutine left behind. A nil error means the Result is complete and
+// bit-identical to Run's.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Testbed == nil {
 		return Result{}, fmt.Errorf("netsim: nil testbed")
 	}
@@ -395,8 +410,25 @@ func Run(cfg Config) (Result, error) {
 
 	// Event loop: runs until every flow has completed its final transfer and
 	// every jammer arrival inside the duration has fired.
+	done := ctx.Done()
 	for e.queue.Len() > 0 {
+		if !e.cancelled && done != nil {
+			select {
+			case <-done:
+				e.cancelled = true
+			default:
+			}
+		}
 		ev := heap.Pop(&e.queue).(*event)
+		if e.cancelled {
+			switch ev.kind {
+			case evTx, evDeliver:
+				e.abortFlow(ev.fl)
+			case evJam:
+				// Dropped: jammers are pure event sources, nothing to drain.
+			}
+			continue
+		}
 		switch ev.kind {
 		case evTx:
 			e.processTx(ev)
@@ -408,6 +440,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	if e.live != 0 {
 		panic(fmt.Sprintf("netsim: event queue drained with %d flows still live", e.live))
+	}
+	if e.cancelled {
+		return Result{}, ctx.Err()
 	}
 
 	res := Result{
@@ -455,6 +490,23 @@ func (e *engine) handleMsg(m flowMsg) bool {
 	}
 	e.push(&event{t: m.fl.now, kind: evTx, fl: m.fl})
 	return true
+}
+
+// abortFlow winds one flow down after cancellation: the coroutine is
+// blocked in Transmit (evTx: nothing committed yet; evDeliver: the frame is
+// on the timeline but synthesis is skipped), so resume it with a nil
+// reception and a clock past the end of the run. Its link layer treats the
+// nil as a loss and fails the transfer after its bounded attempts — each
+// retry is one more event through this same path — and the main loop then
+// sees the clock expired and exits. No flow goroutine outlives RunContext.
+func (e *engine) abortFlow(fl *flowProc) {
+	if fl.now < e.endChip {
+		fl.now = e.endChip
+	}
+	fl.resume <- nil
+	if !e.handleMsg(<-e.msgs) {
+		e.live--
+	}
 }
 
 // scheduleJam enqueues a jammer's next arrival, dropping arrivals past the

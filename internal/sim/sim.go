@@ -26,6 +26,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -425,10 +426,29 @@ func deliverWindow(cfg Config, w window, variants []Variant, rng *stats.RNG) []O
 // identical for every worker count. Outcomes are ordered by (receiver,
 // transmission, variant).
 func Deliver(cfg Config, txs []*Transmission, variants []Variant) []Outcome {
+	outs, _ := DeliverContext(context.Background(), cfg, txs, variants)
+	return outs
+}
+
+// DeliverContext is Deliver with cancellation: ctx is checked between
+// windows (the unit of work), so a cancel or deadline returns promptly —
+// within one window's synthesis — with ctx.Err() and no goroutine left
+// behind. The partial trace is discarded; a nil error means the trace is
+// complete and identical to Deliver's.
+func DeliverContext(ctx context.Context, cfg Config, txs []*Transmission, variants []Variant) ([]Outcome, error) {
 	windows := buildWindows(cfg, txs)
 	base := stats.NewRNG(cfg.Seed ^ 0xdeadbeef)
 	windowRNG := func(w window) *stats.RNG {
 		return base.Derive(uint64(w.receiver), uint64(w.origin))
+	}
+	done := ctx.Done()
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
 	}
 
 	var outcomes []Outcome
@@ -438,6 +458,9 @@ func Deliver(cfg Config, txs []*Transmission, variants []Variant) []Outcome {
 	}
 	if workers <= 1 {
 		for _, w := range windows {
+			if cancelled() {
+				return nil, ctx.Err()
+			}
 			outcomes = append(outcomes, deliverWindow(cfg, w, variants, windowRNG(w))...)
 		}
 	} else {
@@ -454,8 +477,15 @@ func Deliver(cfg Config, txs []*Transmission, variants []Variant) []Outcome {
 			}()
 		}
 		go func() {
+			// Stop feeding on cancellation; in-flight windows finish, then
+			// the pool drains and the collector unblocks.
+		feed:
 			for _, w := range windows {
-				jobs <- w
+				select {
+				case jobs <- w:
+				case <-done:
+					break feed
+				}
 			}
 			close(jobs)
 			wg.Wait()
@@ -464,6 +494,9 @@ func Deliver(cfg Config, txs []*Transmission, variants []Variant) []Outcome {
 		// Collector: stream window batches into one trace as they complete.
 		for batch := range results {
 			outcomes = append(outcomes, batch...)
+		}
+		if cancelled() {
+			return nil, ctx.Err()
 		}
 	}
 	// Completion order is nondeterministic under parallelism; (receiver,
@@ -479,11 +512,25 @@ func Deliver(cfg Config, txs []*Transmission, variants []Variant) []Outcome {
 		}
 		return oa.Variant < ob.Variant
 	})
-	return outcomes
+	return outcomes, nil
 }
 
 // Run is the convenience wrapper: schedule then deliver.
 func Run(cfg Config, variants []Variant) ([]*Transmission, []Outcome) {
 	txs := Schedule(cfg)
 	return txs, Deliver(cfg, txs, variants)
+}
+
+// RunContext is Run with cancellation threaded through delivery; see
+// DeliverContext for the guarantees.
+func RunContext(ctx context.Context, cfg Config, variants []Variant) ([]*Transmission, []Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	txs := Schedule(cfg)
+	outs, err := DeliverContext(ctx, cfg, txs, variants)
+	if err != nil {
+		return nil, nil, err
+	}
+	return txs, outs, nil
 }

@@ -214,6 +214,16 @@ func Quantile(samples []float64, q float64) float64 {
 // Median returns the 0.5 quantile.
 func Median(samples []float64) float64 { return Quantile(samples, 0.5) }
 
+// MedianOrZero returns the median, or 0 for an empty sample set — the
+// guard every figure whose distributions can come up empty (no
+// retransmissions, no qualifying links) otherwise reimplements inline.
+func MedianOrZero(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	return Median(samples)
+}
+
 // Mean returns the arithmetic mean, or 0 for an empty slice.
 func Mean(samples []float64) float64 {
 	if len(samples) == 0 {

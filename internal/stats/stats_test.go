@@ -222,6 +222,16 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+func TestMedianOrZero(t *testing.T) {
+	if v := MedianOrZero(nil); v != 0 {
+		t.Errorf("MedianOrZero(nil) = %v", v)
+	}
+	s := []float64{3, 1, 2}
+	if v := MedianOrZero(s); v != Median(s) {
+		t.Errorf("MedianOrZero diverges from Median: %v", v)
+	}
+}
+
 func TestQuantilePanicsEmpty(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -56,6 +56,21 @@
 // interleaving (SchemeFEC, SchemeFECIL) and a hint-directed hybrid
 // (SchemePPRFEC).
 //
+// # Experiments, Datasets and the Runner
+//
+// The evaluation itself is the third registry: every figure and table is
+// a named Experiment (RegisterExperiment, ExperimentByName,
+// ExperimentNames, Experiments) whose Run(ctx, options) produces the one
+// typed Dataset model — labelled series of points with units, percentile
+// bands and metadata — that cmd/pprsim renders generically as text, JSON
+// or CSV. An ExperimentRunner executes a set of experiments concurrently
+// on a bounded worker pool, sharing one TraceCache across all of them and
+// streaming RunnerProgress callbacks; context cancellation is threaded
+// down through simulation windows and closed-loop cells, so deadlines
+// abort promptly. The typed entry points (Fig3 … Fig17, Table2, Summary)
+// remain as thin wrappers for callers that want the figure-specific
+// structs.
+//
 // # Quick start
 //
 //	f := ppr.NewFrame(dst, src, seq, payload)
@@ -367,6 +382,22 @@ func ScenarioNames() []string { return scenario.Names() }
 type (
 	// ExperimentOptions seeds and scales the reproduction runs.
 	ExperimentOptions = experiments.Options
+	// Experiment is one named, registry-backed paper reproduction; its Run
+	// produces a Dataset. Implement it and RegisterExperiment to add an
+	// artifact every CLI invocation and Runner sweep can resolve by name.
+	Experiment = experiments.Experiment
+	// Dataset is the uniform experiment result: labelled series of points
+	// with units, percentile bands and metadata.
+	Dataset = experiments.Dataset
+	// DatasetSeries is one labelled series within a Dataset.
+	DatasetSeries = experiments.Series
+	// DatasetPoint is one data point of a series.
+	DatasetPoint = experiments.Point
+	// ExperimentRunner executes a set of experiments concurrently on a
+	// bounded worker pool, sharing one trace cache.
+	ExperimentRunner = experiments.Runner
+	// RunnerProgress is one per-experiment progress notification.
+	RunnerProgress = experiments.Progress
 	// DeliveryFigure is the output shape of Figs. 8–10.
 	DeliveryFigure = experiments.DeliveryFigure
 	// DeliveryCurve is one per-link CDF within a delivery figure.
@@ -431,8 +462,25 @@ func RecoverySchemeNames() []string { return schemes.Names() }
 // RecoverySchemes returns every registered scheme in presentation order.
 func RecoverySchemes() []RecoveryScheme { return schemes.All() }
 
+// RegisterExperiment adds an experiment to the registry; it then resolves
+// by name in ExperimentByName, the pprsim -exp flag and Runner sweeps.
+// Call from init.
+func RegisterExperiment(e Experiment) { experiments.Register(e) }
+
+// ExperimentByName resolves an experiment by its registry name ("fig8",
+// "table2", ...); ExperimentNames lists the names sorted.
+func ExperimentByName(name string) (Experiment, error) { return experiments.ByName(name) }
+
+// ExperimentNames lists the registered experiment names, sorted.
+func ExperimentNames() []string { return experiments.Names() }
+
+// Experiments returns every registered experiment in presentation order —
+// the order `pprsim -exp all` runs.
+func Experiments() []Experiment { return experiments.All() }
+
 // Experiment entry points; each regenerates one table or figure of the
-// paper's evaluation section. See EXPERIMENTS.md for paper-vs-measured.
+// paper's evaluation section — thin typed wrappers over the same code the
+// registry runs. See EXPERIMENTS.md for paper-vs-measured.
 var (
 	Fig3  = experiments.Fig3
 	Fig8  = experiments.Fig8

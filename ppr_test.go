@@ -2,6 +2,7 @@ package ppr
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"ppr/internal/frame"
@@ -140,6 +141,45 @@ func TestPublicExperimentEntryPoints(t *testing.T) {
 	}
 	if res := Fig16(o); res.Transfers == 0 {
 		t.Error("Fig16 shape")
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) != 15 {
+		t.Fatalf("experiment registry carries %d names: %v", len(names), names)
+	}
+	for _, n := range names {
+		e, err := ExperimentByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Name() != n {
+			t.Errorf("experiment %q resolves to %q", n, e.Name())
+		}
+	}
+	if _, err := ExperimentByName("bogus"); err == nil {
+		t.Error("unknown experiment name did not error")
+	}
+	if len(Experiments()) != len(names) {
+		t.Error("presentation order and name set disagree in size")
+	}
+
+	if testing.Short() {
+		return
+	}
+	// A small sweep through the public Runner: datasets arrive in request
+	// order, named after their experiments.
+	r := ExperimentRunner{Options: ExperimentOptions{Seed: 2, Quick: true}}
+	ds, err := r.Run(context.Background(), []string{"fig7", "table2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || ds[0].Experiment != "fig7" || ds[1].Experiment != "table2" {
+		t.Fatalf("runner datasets: %+v", ds)
+	}
+	if len(ds[1].Series) == 0 || len(ds[1].Series[0].Points) != 5 {
+		t.Error("table2 dataset shape")
 	}
 }
 
