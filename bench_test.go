@@ -9,9 +9,11 @@ package ppr
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"testing"
 
+	"ppr/internal/bitutil"
 	"ppr/internal/chipseq"
 	"ppr/internal/core/chunkdp"
 	"ppr/internal/core/pparq"
@@ -22,6 +24,7 @@ import (
 	"ppr/internal/modem"
 	"ppr/internal/phy"
 	"ppr/internal/radio"
+	"ppr/internal/radio/synthref"
 	"ppr/internal/schemes"
 	"ppr/internal/sim"
 	"ppr/internal/stats"
@@ -437,15 +440,13 @@ func BenchmarkAblationDecoder(b *testing.B) {
 // PPR receiver, reporting the recovery rate each achieves.
 func BenchmarkAblationPostamble(b *testing.B) {
 	payload := make([]byte, 200)
-	streams := make([][]byte, 16)
+	streams := make([]*frame.ChipBuffer, 16)
 	for i := range streams {
 		rng2 := stats.NewRNG(uint64(i))
 		f := frame.New(1, 2, uint16(i), payload)
 		chips := f.AirChips()
 		ruined := (frame.SyncBytes + frame.HeaderBytes) * frame.ChipsPerByte
-		for k := 0; k < ruined; k++ {
-			chips[k] = byte(rng2.Intn(2))
-		}
+		chips.FillUniform(0, ruined, rng2.Uint64)
 		streams[i] = chips
 	}
 	for _, enabled := range []bool{false, true} {
@@ -500,9 +501,8 @@ func BenchmarkChunkDP(b *testing.B) {
 
 func BenchmarkSyncScan(b *testing.B) {
 	f := frame.New(1, 2, 3, make([]byte, 1500))
-	chips := f.AirChips()
-	buf := frame.NewChipBuffer(chips)
-	b.SetBytes(int64(len(chips)))
+	buf := f.AirChips()
+	b.SetBytes(int64(buf.Len()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		syncs := frame.FindSyncs(buf, frame.DefaultSyncMaxDist)
@@ -513,7 +513,7 @@ func BenchmarkSyncScan(b *testing.B) {
 }
 
 func BenchmarkDespread1500B(b *testing.B) {
-	chips := phy.ChipsOf(phy.SpreadBytes(make([]byte, 1500)))
+	chips := bitutil.PackWord32s(phy.SpreadBytes(make([]byte, 1500)))
 	b.SetBytes(1500)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -545,6 +545,116 @@ func BenchmarkFrameRoundTrip(b *testing.B) {
 			b.Fatal("round trip failed")
 		}
 	}
+}
+
+// benchTxChips builds one 1500-byte frame's packed on-air stream, the
+// dominant-signal payload for the synthesis benches.
+func benchTxChips() *bitutil.ChipWords {
+	return frame.New(1, 2, 3, make([]byte, 1500)).AirChips()
+}
+
+// BenchmarkSynthesize measures the channel synthesizer on its three
+// segment regimes over one max-frame window (~96k chips): pure noise
+// (word fill), a clean dominant at 25 dB SNR (word copy + near-zero
+// flips), and a two-transmission collision at ~0 dB SINR (word copy +
+// dense sparse-sampled flips). bytes-reference runs the frozen seed
+// implementation (internal/radio/synthref, the same copy the statistical-
+// equivalence tests pin against) on the clean-dominant input for the
+// speedup ratio.
+func BenchmarkSynthesize(b *testing.B) {
+	tx := benchTxChips()
+	n := tx.Len() + 128
+	noise := radio.DBmToMW(-95)
+	clean := []radio.Overlap{{Start: 64, Chips: tx, PowerMW: radio.DBmToMW(-70)}}
+	collision := []radio.Overlap{
+		{Start: 64, Chips: tx, PowerMW: radio.DBmToMW(-80)},
+		{Start: n / 3, Chips: tx, PowerMW: radio.DBmToMW(-80.5)},
+	}
+	cases := []struct {
+		name     string
+		overlaps []radio.Overlap
+	}{
+		{"noise-only", nil},
+		{"clean-dominant", clean},
+		{"collision", collision},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			rng := stats.NewRNG(1)
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				out := radio.Synthesize(rng, n, bc.overlaps, noise)
+				if out.Len() != n {
+					b.Fatal("wrong window length")
+				}
+			}
+		})
+	}
+	b.Run("bytes-reference", func(b *testing.B) {
+		rng := stats.NewRNG(1)
+		b.SetBytes(int64(n))
+		for i := 0; i < b.N; i++ {
+			out := synthref.Synthesize(rng, n, clean, noise)
+			if len(out) != n {
+				b.Fatal("wrong window length")
+			}
+		}
+	})
+}
+
+// BenchmarkChipPack measures the packed-stream primitives the pipeline is
+// built on: byte→word packing (the modem-boundary adapter), word→byte
+// unpacking, codeword packing (the transmit path), unaligned word copy
+// (dominant-segment synthesis) and the sliding Word32 extraction (sync
+// scan and despreading).
+func BenchmarkChipPack(b *testing.B) {
+	tx := benchTxChips()
+	n := tx.Len()
+	chipBytes := tx.Bytes()
+	cws := phy.SpreadBytes(make([]byte, 1500))
+	b.Run("pack-bytes", func(b *testing.B) {
+		b.SetBytes(int64(n))
+		for i := 0; i < b.N; i++ {
+			if w := bitutil.PackChipBytes(chipBytes); w.Len() != n {
+				b.Fatal("bad pack")
+			}
+		}
+	})
+	b.Run("unpack-bytes", func(b *testing.B) {
+		b.SetBytes(int64(n))
+		for i := 0; i < b.N; i++ {
+			if out := tx.Bytes(); len(out) != n {
+				b.Fatal("bad unpack")
+			}
+		}
+	})
+	b.Run("pack-codewords", func(b *testing.B) {
+		b.SetBytes(int64(n))
+		for i := 0; i < b.N; i++ {
+			if w := bitutil.PackWord32s(cws); w.Len() != len(cws)*32 {
+				b.Fatal("bad codeword pack")
+			}
+		}
+	})
+	b.Run("copy-unaligned", func(b *testing.B) {
+		dst := bitutil.NewChipWords(n + 64)
+		b.SetBytes(int64(n))
+		for i := 0; i < b.N; i++ {
+			dst.CopyFrom(13, tx, 0, n)
+		}
+	})
+	b.Run("word32-scan", func(b *testing.B) {
+		b.SetBytes(int64(n))
+		var acc uint32
+		for i := 0; i < b.N; i++ {
+			for off := 0; off+32 <= n; off += 32 {
+				acc ^= tx.Word32(off)
+			}
+		}
+		if acc == 1 && math.Signbit(-1) {
+			b.Log(acc) // keep acc live
+		}
+	})
 }
 
 func BenchmarkMSKModemRoundTrip(b *testing.B) {

@@ -35,14 +35,12 @@ func (c *burstChannel) Transmit(f frame.Frame) *frame.Reception {
 	c.lastBurst = 0
 	if c.rng.Bool(c.burstProb) {
 		lenBytes := int(c.rng.ExpFloat64()*c.meanBytes) + 4
-		start := c.rng.Intn(len(chips))
+		start := c.rng.Intn(chips.Len())
 		end := start + lenBytes*frame.ChipsPerByte
-		if end > len(chips) {
-			end = len(chips)
+		if end > chips.Len() {
+			end = chips.Len()
 		}
-		for i := start; i < end; i++ {
-			chips[i] = byte(c.rng.Intn(2))
-		}
+		chips.FillUniform(start, end, c.rng.Uint64)
 		c.lastBurst = (end - start) / frame.ChipsPerByte
 	}
 	return frame.BestReception(c.rx.Receive(chips))

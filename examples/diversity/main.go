@@ -29,11 +29,12 @@ func main() {
 	var views []combine.View
 	for apIdx := 0; apIdx < 3; apIdx++ {
 		chips := f.AirChips()
-		lo := rng.Intn(len(chips) * 2 / 3)
-		hi := lo + len(chips)/4
-		for i := lo; i < hi && i < len(chips); i++ {
-			chips[i] = byte(rng.Intn(2))
+		lo := rng.Intn(chips.Len() * 2 / 3)
+		hi := lo + chips.Len()/4
+		if hi > chips.Len() {
+			hi = chips.Len()
 		}
+		chips.FillUniform(lo, hi, rng.Uint64)
 		rx := ppr.NewReceiver(ppr.HardDecoder{})
 		for _, rec := range rx.Receive(chips) {
 			if !rec.HeaderOK {

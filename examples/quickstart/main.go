@@ -16,14 +16,16 @@ func main() {
 	f := ppr.NewFrame(2, 1, 0, payload)
 	chips := f.AirChips()
 	fmt.Printf("frame: %d payload bytes -> %d bytes on the air -> %d chips\n",
-		len(payload), ppr.AirBytes(len(payload)), len(chips))
+		len(payload), ppr.AirBytes(len(payload)), chips.Len())
 
 	// 2. A collision destroys a burst in the middle of the packet.
 	rng := stats.NewRNG(42)
-	burstStart, burstLen := len(chips)/2, 1800
-	for i := burstStart; i < burstStart+burstLen && i < len(chips); i++ {
-		chips[i] = byte(rng.Intn(2))
+	burstStart, burstLen := chips.Len()/2, 1800
+	burstEnd := burstStart + burstLen
+	if burstEnd > chips.Len() {
+		burstEnd = chips.Len()
 	}
+	chips.FillUniform(burstStart, burstEnd, rng.Uint64)
 
 	// 3. The receiver synchronizes, despreads, and attaches a Hamming
 	// distance hint to every symbol.

@@ -1,8 +1,10 @@
 // Package bitutil provides low-level bit manipulation primitives used
 // throughout the PPR stack: Hamming weight/distance over words and slices,
-// nibble and bit (un)packing between byte payloads and symbol streams, and a
-// bit-granular reader/writer pair used by the PP-ARQ feedback codec, which
-// must encode offsets and lengths in non-byte-aligned ⌈log₂ S⌉-bit fields.
+// nibble and bit (un)packing between byte payloads and symbol streams, the
+// packed ChipWords chip-stream representation the channel simulator and
+// receiver pipeline share, and a bit-granular reader/writer pair used by
+// the PP-ARQ feedback codec, which must encode offsets and lengths in
+// non-byte-aligned ⌈log₂ S⌉-bit fields.
 package bitutil
 
 import (

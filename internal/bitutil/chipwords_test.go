@@ -1,0 +1,268 @@
+package bitutil
+
+import (
+	"bytes"
+	"testing"
+)
+
+// refWord32 is the byte-slice reference for Word32: chip off at bit 31.
+func refWord32(chips []byte, off int) uint32 {
+	var v uint32
+	for i := 0; i < 32; i++ {
+		if chips[off+i] != 0 {
+			v |= 1 << uint(31-i)
+		}
+	}
+	return v
+}
+
+func patternBytes(n int, seed uint64) []byte {
+	out := make([]byte, n)
+	x := seed
+	for i := range out {
+		x = x*6364136223846793005 + 1442695040888963407
+		out[i] = byte(x >> 62 & 1)
+	}
+	return out
+}
+
+func TestChipWordsPackUnpackRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		chips := patternBytes(n, uint64(n)+1)
+		w := PackChipBytes(chips)
+		if w.Len() != n {
+			t.Fatalf("n=%d: Len %d", n, w.Len())
+		}
+		if got := w.Bytes(); !bytes.Equal(got, chips) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+		for i := 0; i < n; i++ {
+			if w.Bit(i) != chips[i] {
+				t.Fatalf("n=%d: Bit(%d) = %d want %d", n, i, w.Bit(i), chips[i])
+			}
+		}
+	}
+}
+
+func TestChipWordsWord32MatchesReference(t *testing.T) {
+	chips := patternBytes(300, 42)
+	w := PackChipBytes(chips)
+	for off := 0; off+32 <= len(chips); off++ {
+		if got, want := w.Word32(off), refWord32(chips, off); got != want {
+			t.Fatalf("Word32(%d) = %08x want %08x", off, got, want)
+		}
+	}
+}
+
+func TestPackWord32sMatchesBytePath(t *testing.T) {
+	cws := []uint32{0xdeadbeef, 0x12345678, 0xffffffff, 0, 0x80000001}
+	for count := 0; count <= len(cws); count++ {
+		var chips []byte
+		for _, cw := range cws[:count] {
+			for i := 0; i < 32; i++ {
+				chips = append(chips, byte(cw>>uint(31-i)&1))
+			}
+		}
+		a, b := PackWord32s(cws[:count]), PackChipBytes(chips)
+		if a.Len() != b.Len() || !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("count=%d: codeword packing diverges from byte packing", count)
+		}
+	}
+}
+
+func TestChipWordsCopyFromMatchesByteCopy(t *testing.T) {
+	src := patternBytes(500, 7)
+	sw := PackChipBytes(src)
+	for _, tc := range []struct{ dstOff, srcOff, n int }{
+		{0, 0, 500}, {0, 0, 0}, {1, 0, 64}, {0, 1, 64}, {63, 65, 130},
+		{100, 3, 397}, {64, 64, 64}, {37, 41, 1}, {200, 199, 64},
+	} {
+		dst := patternBytes(600, 99)
+		dw := PackChipBytes(dst)
+		dw.CopyFrom(tc.dstOff, sw, tc.srcOff, tc.n)
+		copy(dst[tc.dstOff:tc.dstOff+tc.n], src[tc.srcOff:tc.srcOff+tc.n])
+		if !bytes.Equal(dw.Bytes(), dst) {
+			t.Fatalf("CopyFrom(%d, src, %d, %d) diverges from byte copy", tc.dstOff, tc.srcOff, tc.n)
+		}
+	}
+}
+
+func TestChipWordsFillUniformBoundsAndSource(t *testing.T) {
+	w := NewChipWords(300)
+	draws := 0
+	w.FillUniform(65, 230, func() uint64 { draws++; return ^uint64(0) })
+	// ⌈165/64⌉ = 3 draws: 64 chips per word regardless of alignment.
+	if draws != 3 {
+		t.Errorf("FillUniform drew %d words for 165 chips, want 3", draws)
+	}
+	for i := 0; i < 300; i++ {
+		want := byte(0)
+		if i >= 65 && i < 230 {
+			want = 1
+		}
+		if w.Bit(i) != want {
+			t.Fatalf("chip %d = %d after fill of [65, 230)", i, w.Bit(i))
+		}
+	}
+}
+
+func TestChipWordsXORWithAndOnesCount(t *testing.T) {
+	a := patternBytes(321, 1)
+	b := patternBytes(321, 2)
+	wa, wb := PackChipBytes(a), PackChipBytes(b)
+	wa.XORWith(wb)
+	want := 0
+	for i := range a {
+		if a[i] != b[i] {
+			want++
+		}
+	}
+	if got := wa.OnesCount(); got != want {
+		t.Errorf("XOR+OnesCount = %d, byte Hamming distance %d", got, want)
+	}
+}
+
+func TestChipWordsXORWithMasksSharedViewTail(t *testing.T) {
+	// An aligned Slice shares its last word with the parent; XORWith on the
+	// view must not flip parent chips past the view's end, and must ignore
+	// 1-chips past the operand's length sharing the operand's last word.
+	parent := PackChipBytes(patternBytes(128, 13))
+	before := parent.Bytes()
+	view := parent.Slice(0, 100)
+	other := PackChipBytes(bytes.Repeat([]byte{1}, 128))
+	view.XORWith(other.Slice(0, 100))
+	after := parent.Bytes()
+	for i := 0; i < 100; i++ {
+		if after[i] != before[i]^1 {
+			t.Fatalf("chip %d not flipped", i)
+		}
+	}
+	for i := 100; i < 128; i++ {
+		if after[i] != before[i] {
+			t.Fatalf("parent chip %d past the view corrupted by XORWith", i)
+		}
+	}
+}
+
+func TestChipWordsSliceViewsAndCopies(t *testing.T) {
+	chips := patternBytes(400, 5)
+	w := PackChipBytes(chips)
+	for _, tc := range []struct{ lo, hi int }{{0, 400}, {64, 400}, {64, 100}, {1, 399}, {65, 129}, {128, 128}} {
+		s := w.Slice(tc.lo, tc.hi)
+		if s.Len() != tc.hi-tc.lo {
+			t.Fatalf("Slice(%d, %d).Len() = %d", tc.lo, tc.hi, s.Len())
+		}
+		if !bytes.Equal(s.Bytes(), chips[tc.lo:tc.hi]) {
+			t.Fatalf("Slice(%d, %d) content mismatch", tc.lo, tc.hi)
+		}
+	}
+	// Aligned slices share storage with the parent: a write through the
+	// parent is visible in the view (the fading path relies on this being
+	// zero-copy).
+	view := w.Slice(64, 128)
+	w.FlipBit(64)
+	if view.Bit(0) != 1-chips[64] {
+		t.Error("aligned Slice did not share the parent's words")
+	}
+}
+
+func TestChipWordsSetBitAndFlipBit(t *testing.T) {
+	w := NewChipWords(130)
+	w.SetBit(0, 1)
+	w.SetBit(129, 1)
+	w.SetBit(64, 1)
+	if w.OnesCount() != 3 {
+		t.Fatalf("OnesCount %d after 3 sets", w.OnesCount())
+	}
+	w.FlipBit(64)
+	w.SetBit(0, 0)
+	if w.OnesCount() != 1 || w.Bit(129) != 1 {
+		t.Fatalf("set/flip bookkeeping wrong: count %d", w.OnesCount())
+	}
+}
+
+func TestChipWordsClone(t *testing.T) {
+	w := PackChipBytes(patternBytes(100, 3))
+	c := w.Clone()
+	c.FlipBit(50)
+	if w.Bit(50) == c.Bit(50) {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestChipWordsPanics(t *testing.T) {
+	w := NewChipWords(64)
+	for name, fn := range map[string]func(){
+		"negative-len": func() { NewChipWords(-1) },
+		"bit-oob":      func() { w.Bit(64) },
+		"word32-oob":   func() { w.Word32(33) },
+		"copy-oob":     func() { w.CopyFrom(0, NewChipWords(10), 0, 11) },
+		"fill-oob":     func() { w.FillUniform(0, 65, func() uint64 { return 0 }) },
+		"xor-mismatch": func() { w.XORWith(NewChipWords(63)) },
+		"slice-oob":    func() { w.Slice(10, 65) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// FuzzChipWords drives the packed type against the byte-slice reference:
+// pack/unpack, Word32 at every offset, an arbitrary CopyFrom, an XOR apply
+// and OnesCount must all agree with the naive byte implementation.
+func FuzzChipWords(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1}, []byte{0, 1}, uint16(0), uint16(0), uint16(2))
+	f.Add(make([]byte, 200), make([]byte, 130), uint16(40), uint16(3), uint16(100))
+	f.Fuzz(func(t *testing.T, rawDst, rawSrc []byte, dstOff, srcOff, cnt uint16) {
+		// Normalize to 0/1 chips.
+		dst := make([]byte, len(rawDst))
+		for i, v := range rawDst {
+			dst[i] = v & 1
+		}
+		src := make([]byte, len(rawSrc))
+		for i, v := range rawSrc {
+			src[i] = v & 1
+		}
+		dw, sw := PackChipBytes(dst), PackChipBytes(src)
+		if !bytes.Equal(dw.Bytes(), dst) {
+			t.Fatal("pack/unpack mismatch")
+		}
+		for off := 0; off+32 <= len(dst); off++ {
+			if dw.Word32(off) != refWord32(dst, off) {
+				t.Fatalf("Word32(%d) mismatch", off)
+			}
+		}
+		// Bounded CopyFrom against the byte copy.
+		d, s, n := int(dstOff), int(srcOff), int(cnt)
+		if d <= len(dst) && s <= len(src) {
+			if max := len(dst) - d; n > max {
+				n = max
+			}
+			if max := len(src) - s; n > max {
+				n = max
+			}
+			dw.CopyFrom(d, sw, s, n)
+			copy(dst[d:d+n], src[s:s+n])
+			if !bytes.Equal(dw.Bytes(), dst) {
+				t.Fatalf("CopyFrom(%d, src, %d, %d) mismatch", d, s, n)
+			}
+		}
+		// XOR apply + popcount against the byte reference.
+		if len(dst) == len(src) {
+			dw.XORWith(sw)
+			want := 0
+			for i := range dst {
+				dst[i] ^= src[i]
+				want += int(dst[i])
+			}
+			if !bytes.Equal(dw.Bytes(), dst) || dw.OnesCount() != want {
+				t.Fatal("XORWith/OnesCount mismatch")
+			}
+		}
+	})
+}

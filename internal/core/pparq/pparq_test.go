@@ -23,7 +23,7 @@ func (l *chipLink) Transmit(f frame.Frame) *frame.Reception {
 	l.attempts++
 	chips := f.AirChips()
 	if l.corrupt != nil {
-		chips = l.corrupt(chips)
+		chips = frame.NewChipBuffer(l.corrupt(chips.Bytes()))
 	}
 	return frame.BestReception(l.rx.Receive(chips))
 }
@@ -353,9 +353,11 @@ func (l *halfDeafLink) Transmit(f frame.Frame) *frame.Reception {
 	chips := f.AirChips()
 	if len(f.Payload) > 0 && (f.Payload[0] == TypeResponse || f.Payload[0] == TypeFeedback) {
 		// Smash the payload CRC region.
-		for i := len(chips) / 2; i < len(chips)/2+2000 && i < len(chips); i++ {
-			chips[i] = byte(l.rng.Intn(2))
+		end := chips.Len()/2 + 2000
+		if end > chips.Len() {
+			end = chips.Len()
 		}
+		chips.FillUniform(chips.Len()/2, end, l.rng.Uint64)
 	}
 	recs := l.rx.Receive(chips)
 	for i := range recs {

@@ -29,14 +29,12 @@ func (l *burstyLink) Transmit(f frame.Frame) *frame.Reception {
 		nBursts := 1 + l.rng.Intn(2)
 		for b := 0; b < nBursts; b++ {
 			lenBytes := int(l.rng.ExpFloat64()*l.meanBurstBytes) + 4
-			startChip := l.rng.Intn(len(chips))
+			startChip := l.rng.Intn(chips.Len())
 			endChip := startChip + lenBytes*frame.ChipsPerByte
-			if endChip > len(chips) {
-				endChip = len(chips)
+			if endChip > chips.Len() {
+				endChip = chips.Len()
 			}
-			for i := startChip; i < endChip; i++ {
-				chips[i] = byte(l.rng.Intn(2))
-			}
+			chips.FillUniform(startChip, endChip, l.rng.Uint64)
 		}
 	}
 	return frame.BestReception(l.rx.Receive(chips))

@@ -77,7 +77,9 @@ func fig13Ctx(ctx context.Context, o Options) (CollisionResult, error) {
 	}
 	f1 := frame.New(1, 10, 100, p1Payload)
 	f2 := frame.New(1, 11, 200, p2Payload)
-	chips1, chips2 := f1.AirChips(), f2.AirChips()
+	// The modem is the sample-level boundary: unpack the on-air streams to
+	// byte chips for modulation.
+	chips1, chips2 := f1.AirChips().Bytes(), f2.AirChips().Bytes()
 
 	// Packet 2 arrives six codeword-times in, at an arbitrary chip offset
 	// within the codeword — collisions are never codeword-aligned, and the
@@ -99,7 +101,7 @@ func fig13Ctx(ctx context.Context, o Options) (CollisionResult, error) {
 		{0, m1.Modulate(chips1)},
 		{p2StartChip * sps, m2.Modulate(chips2)},
 	})
-	samples := modem.AddAWGN(rng, mix, 0.08)
+	samples := modem.AddAWGNTo(mix, rng, mix, 0.08) // in place: the clean mix is not needed again
 
 	dem := modem.NewDemodulator()
 	off := dem.RecoverTiming(samples)
@@ -150,7 +152,7 @@ func fig13Ctx(ctx context.Context, o Options) (CollisionResult, error) {
 	// Run the full frame receiver over the demodulated chips to see how
 	// each packet is acquirable.
 	rx := frame.NewReceiver(phy.HardDecoder{})
-	for _, rec := range rx.Receive(hard) {
+	for _, rec := range rx.Receive(frame.NewChipBuffer(hard)) {
 		if !rec.HeaderOK {
 			continue
 		}

@@ -187,9 +187,11 @@ func (f Frame) AirBytes() []byte {
 	return out
 }
 
-// AirChips returns the frame's chip stream (one byte per chip, 0 or 1).
-func (f Frame) AirChips() []byte {
-	return phy.ChipsOf(phy.SpreadBytes(f.AirBytes()))
+// AirChips returns the frame's packed on-air chip stream, two codewords per
+// word — the representation the channel synthesizer and receiver operate on
+// natively.
+func (f Frame) AirChips() *bitutil.ChipWords {
+	return bitutil.PackWord32s(phy.SpreadBytes(f.AirBytes()))
 }
 
 // PacketCRC32OK recomputes the whole-packet CRC over decoded header fields

@@ -102,7 +102,7 @@ func TestNewPanicsOnOversizePayload(t *testing.T) {
 
 func TestAirChipsLength(t *testing.T) {
 	f := New(1, 2, 3, make([]byte, 50))
-	if got := len(f.AirChips()); got != AirChips(50) {
+	if got := f.AirChips().Len(); got != AirChips(50) {
 		t.Errorf("chips %d, want %d", got, AirChips(50))
 	}
 }
@@ -159,14 +159,14 @@ func TestChipBufferPanicsOutOfRange(t *testing.T) {
 func TestFindSyncsCleanFrame(t *testing.T) {
 	f := New(1, 2, 3, []byte("payload"))
 	chips := f.AirChips()
-	syncs := FindSyncs(NewChipBuffer(chips), 0)
+	syncs := FindSyncs(chips, 0)
 	if len(syncs) != 2 {
 		t.Fatalf("got %d syncs, want 2: %+v", len(syncs), syncs)
 	}
 	if syncs[0].Kind != SyncPreamble || syncs[0].ChipOffset != 0 {
 		t.Errorf("first sync %+v", syncs[0])
 	}
-	wantPost := len(chips) - SyncChips
+	wantPost := chips.Len() - SyncChips
 	if syncs[1].Kind != SyncPostamble || syncs[1].ChipOffset != wantPost {
 		t.Errorf("second sync %+v, want postamble at %d", syncs[1], wantPost)
 	}
@@ -177,12 +177,12 @@ func TestFindSyncsWithChipNoise(t *testing.T) {
 	f := New(1, 2, 3, make([]byte, 100))
 	chips := f.AirChips()
 	// 3% chip error rate across the whole stream.
-	for i := range chips {
+	for i := 0; i < chips.Len(); i++ {
 		if rng.Bool(0.03) {
-			chips[i] ^= 1
+			chips.FlipBit(i)
 		}
 	}
-	syncs := FindSyncs(NewChipBuffer(chips), DefaultSyncMaxDist)
+	syncs := FindSyncs(chips, DefaultSyncMaxDist)
 	if len(syncs) != 2 || syncs[0].Kind != SyncPreamble || syncs[1].Kind != SyncPostamble {
 		t.Fatalf("noisy syncs: %+v", syncs)
 	}
@@ -207,7 +207,7 @@ func TestFindSyncsOffsetFrame(t *testing.T) {
 	for i := range pre {
 		pre[i] = byte(rng.Intn(2))
 	}
-	chips := append(pre, f.AirChips()...)
+	chips := append(pre, f.AirChips().Bytes()...)
 	chips = append(chips, pre[:301]...)
 	syncs := FindSyncs(NewChipBuffer(chips), DefaultSyncMaxDist)
 	if len(syncs) != 2 {
@@ -276,9 +276,7 @@ func TestReceiveDestroyedPreambleRecoversViaPostamble(t *testing.T) {
 	// Obliterate the preamble and header: the first sync+header chips become
 	// random, as a strong colliding packet would leave them.
 	ruined := (SyncBytes + HeaderBytes) * ChipsPerByte
-	for i := 0; i < ruined; i++ {
-		chips[i] = byte(rng.Intn(2))
-	}
+	chips.FillUniform(0, ruined, rng.Uint64)
 	r := NewReceiver(phy.HardDecoder{})
 	recs := r.Receive(chips)
 	var got *Reception
@@ -309,9 +307,7 @@ func TestReceivePostambleDisabled(t *testing.T) {
 	chips := f.AirChips()
 	rng := stats.NewRNG(6)
 	ruined := (SyncBytes + HeaderBytes) * ChipsPerByte
-	for i := 0; i < ruined; i++ {
-		chips[i] = byte(rng.Intn(2))
-	}
+	chips.FillUniform(0, ruined, rng.Uint64)
 	r := NewReceiver(phy.HardDecoder{})
 	r.UsePostamble = false
 	for _, rec := range r.Receive(chips) {
@@ -332,9 +328,7 @@ func TestReceiveRollbackHorizonTruncates(t *testing.T) {
 	chips := f.AirChips()
 	rng := stats.NewRNG(7)
 	ruined := (SyncBytes + HeaderBytes) * ChipsPerByte
-	for i := 0; i < ruined; i++ {
-		chips[i] = byte(rng.Intn(2))
-	}
+	chips.FillUniform(0, ruined, rng.Uint64)
 	r := NewReceiver(phy.HardDecoder{})
 	r.BufferChips = AirChips(150) // buffer holds only half the packet
 	var got *Reception
@@ -368,9 +362,7 @@ func TestReceiveCorruptPayloadHintsMarkErrors(t *testing.T) {
 	payloadStart := (SyncBytes + HeaderBytes) * ChipsPerByte
 	burstStart := payloadStart + 40*ChipsPerByte
 	rng := stats.NewRNG(8)
-	for i := burstStart; i < burstStart+20*ChipsPerByte; i++ {
-		chips[i] = byte(rng.Intn(2))
-	}
+	chips.FillUniform(burstStart, burstStart+20*ChipsPerByte, rng.Uint64)
 	r := NewReceiver(phy.HardDecoder{})
 	recs := r.Receive(chips)
 	if len(recs) != 1 || !recs[0].HeaderOK {
@@ -400,9 +392,9 @@ func TestReceiveCorruptPayloadHintsMarkErrors(t *testing.T) {
 func TestReceiveBackToBackFrames(t *testing.T) {
 	f1 := New(1, 2, 3, []byte("first frame payload"))
 	f2 := New(1, 4, 9, []byte("second frame payload x"))
-	chips := append(f1.AirChips(), f2.AirChips()...)
+	chips := append(f1.AirChips().Bytes(), f2.AirChips().Bytes()...)
 	r := NewReceiver(phy.HardDecoder{})
-	recs := r.Receive(chips)
+	recs := r.Receive(NewChipBuffer(chips))
 	var okCount int
 	for _, rec := range recs {
 		if rec.HeaderOK && rec.CRCOK {

@@ -49,7 +49,7 @@ func TestReceiveSurvivesRandomStreams(t *testing.T) {
 		for i := range chips {
 			chips[i] = byte(rng.Intn(2))
 		}
-		for _, rec := range rx.Receive(chips) {
+		for _, rec := range rx.Receive(NewChipBuffer(chips)) {
 			validateReception(t, rec, n)
 		}
 	}
@@ -58,7 +58,7 @@ func TestReceiveSurvivesRandomStreams(t *testing.T) {
 func TestReceiveSurvivesTruncatedFrames(t *testing.T) {
 	rng := stats.NewRNG(101)
 	rx := NewReceiver(phy.HardDecoder{})
-	full := New(1, 2, 3, make([]byte, 300)).AirChips()
+	full := New(1, 2, 3, make([]byte, 300)).AirChips().Bytes()
 	for trial := 0; trial < 40; trial++ {
 		cut := rng.Intn(len(full))
 		var chips []byte
@@ -67,7 +67,7 @@ func TestReceiveSurvivesTruncatedFrames(t *testing.T) {
 		} else {
 			chips = full[cut:] // tail only
 		}
-		for _, rec := range rx.Receive(chips) {
+		for _, rec := range rx.Receive(NewChipBuffer(chips)) {
 			validateReception(t, rec, len(chips))
 		}
 	}
@@ -78,8 +78,8 @@ func TestReceiveSurvivesSplicedFrames(t *testing.T) {
 	// the shape a receiver sees after a capture switch mid-air.
 	rng := stats.NewRNG(102)
 	rx := NewReceiver(phy.HardDecoder{})
-	a := New(1, 2, 3, make([]byte, 200)).AirChips()
-	bb := New(4, 5, 6, make([]byte, 150)).AirChips()
+	a := New(1, 2, 3, make([]byte, 200)).AirChips().Bytes()
+	bb := New(4, 5, 6, make([]byte, 150)).AirChips().Bytes()
 	for trial := 0; trial < 30; trial++ {
 		var chips []byte
 		chips = append(chips, a[:rng.Intn(len(a))]...)
@@ -89,7 +89,7 @@ func TestReceiveSurvivesSplicedFrames(t *testing.T) {
 		}
 		chips = append(chips, gap...)
 		chips = append(chips, bb[rng.Intn(len(bb)):]...)
-		for _, rec := range rx.Receive(chips) {
+		for _, rec := range rx.Receive(NewChipBuffer(chips)) {
 			validateReception(t, rec, len(chips))
 		}
 	}
@@ -104,10 +104,10 @@ func TestReceiveAdversarialLengthInTrailer(t *testing.T) {
 	chips := f.AirChips()
 	// Keep only the tail: trailer + postamble, with the claimed payload
 	// far before the buffer.
-	tail := chips[len(chips)-(HeaderBytes+SyncBytes)*ChipsPerByte:]
+	tail := chips.Slice(chips.Len()-(HeaderBytes+SyncBytes)*ChipsPerByte, chips.Len())
 	rx := NewReceiver(phy.HardDecoder{})
 	for _, rec := range rx.Receive(tail) {
-		validateReception(t, rec, len(tail))
+		validateReception(t, rec, tail.Len())
 		if rec.HeaderOK && rec.MissingPrefix == 0 && len(rec.Decisions) > 0 {
 			t.Fatal("rollback past stream start produced decisions")
 		}
@@ -117,7 +117,7 @@ func TestReceiveAdversarialLengthInTrailer(t *testing.T) {
 func TestReceiveEmptyAndTinyStreams(t *testing.T) {
 	rx := NewReceiver(phy.HardDecoder{})
 	for _, n := range []int{0, 1, 31, 32, SyncChips - 1, SyncChips} {
-		if recs := rx.Receive(make([]byte, n)); len(recs) != 0 {
+		if recs := rx.Receive(NewChipBuffer(make([]byte, n))); len(recs) != 0 {
 			t.Errorf("stream of %d chips produced %d receptions", n, len(recs))
 		}
 	}
@@ -134,11 +134,11 @@ func TestReceiveManyConcatenatedFrames(t *testing.T) {
 		for k := range payload {
 			payload[k] = byte(rng.Intn(256))
 		}
-		chips = append(chips, New(1, uint16(i+2), uint16(i), payload).AirChips()...)
+		chips = append(chips, New(1, uint16(i+2), uint16(i), payload).AirChips().Bytes()...)
 	}
 	rx := NewReceiver(phy.HardDecoder{})
 	got := map[uint16]int{}
-	for _, rec := range rx.Receive(chips) {
+	for _, rec := range rx.Receive(NewChipBuffer(chips)) {
 		if rec.HeaderOK && rec.CRCOK {
 			got[rec.Hdr.Seq]++
 		}

@@ -104,11 +104,12 @@ func (r *Receiver) decodeBytes(buf *ChipBuffer, chipOff, nBytes int) (b []byte, 
 	return bitutil.BytesFromNibbles(phy.SymbolsOf(ds)), true
 }
 
-// Receive scans one chip stream and returns every distinct packet reception,
-// ordered by payload position. Packets acquired via both their preamble and
-// postamble are deduplicated, preferring the reception that recovered more.
-func (r *Receiver) Receive(chips []byte) []Reception {
-	buf := NewChipBuffer(chips)
+// Receive scans one packed chip stream and returns every distinct packet
+// reception, ordered by payload position. Packets acquired via both their
+// preamble and postamble are deduplicated, preferring the reception that
+// recovered more. The stream is consumed as-is — byte-per-chip callers at
+// the modem boundary pack once with NewChipBuffer.
+func (r *Receiver) Receive(buf *ChipBuffer) []Reception {
 	return r.ReceiveSynced(buf, FindSyncs(buf, r.SyncMaxDist))
 }
 

@@ -1,51 +1,25 @@
 package frame
 
 import (
-	"fmt"
 	"math/bits"
 
+	"ppr/internal/bitutil"
 	"ppr/internal/chipseq"
 	"ppr/internal/phy"
 )
 
-// ChipBuffer is a packed view of a received chip stream that supports fast
-// extraction of arbitrary 32-chip windows, the primitive both synchronizers
-// are built on. Packing lets the sliding sync correlation run as a handful
-// of XOR+popcount operations per candidate offset instead of hundreds of
-// byte compares.
-type ChipBuffer struct {
-	words []uint64
-	n     int
-}
+// ChipBuffer is the receiver's view of a packed chip stream. It is exactly
+// bitutil.ChipWords — the representation the channel synthesizer produces —
+// so reception consumes the on-air stream directly: the sliding sync
+// correlation runs as a handful of XOR+popcount operations per candidate
+// offset, and no byte-per-chip repack happens anywhere on the receive path.
+type ChipBuffer = bitutil.ChipWords
 
-// NewChipBuffer packs a chip stream (one byte per chip; any nonzero byte is
-// chip value 1).
+// NewChipBuffer packs a byte-per-chip stream (any nonzero byte is chip
+// value 1) — the adapter for callers at the sample-level modem boundary,
+// where chips arrive as demodulated bytes.
 func NewChipBuffer(chips []byte) *ChipBuffer {
-	b := &ChipBuffer{n: len(chips), words: make([]uint64, (len(chips)+63)/64)}
-	for i, c := range chips {
-		if c != 0 {
-			b.words[i/64] |= 1 << uint(63-i%64)
-		}
-	}
-	return b
-}
-
-// Len returns the stream length in chips.
-func (b *ChipBuffer) Len() int { return b.n }
-
-// Word32 extracts the 32 chips starting at chip offset off, chip off at bit
-// 31. It panics when the window runs past the buffer.
-func (b *ChipBuffer) Word32(off int) uint32 {
-	if off < 0 || off+32 > b.n {
-		panic(fmt.Sprintf("frame: Word32(%d) out of range for %d chips", off, b.n))
-	}
-	w := off / 64
-	sh := uint(off % 64)
-	v := b.words[w] << sh
-	if sh > 0 && w+1 < len(b.words) {
-		v |= b.words[w+1] >> (64 - sh)
-	}
-	return uint32(v >> 32)
+	return bitutil.PackChipBytes(chips)
 }
 
 // SyncKind distinguishes which end of a packet a synchronizer locked onto.

@@ -69,11 +69,24 @@ func (m Modulator) Modulate(chips []byte) []complex128 {
 // AddAWGN adds complex white Gaussian noise of the given standard deviation
 // per real dimension to a copy of the samples.
 func AddAWGN(rng *stats.RNG, samples []complex128, sigma float64) []complex128 {
-	out := make([]complex128, len(samples))
-	for i, s := range samples {
-		out[i] = s + complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	return AddAWGNTo(nil, rng, samples, sigma)
+}
+
+// AddAWGNTo is AddAWGN with destination reuse: dst's backing array is
+// reused when it has the capacity (pass a previous result to stop a
+// steady-state sample loop from allocating per packet), and the written
+// slice is returned. dst may be nil, and may be samples itself — each
+// element is read before it is written, so noising a waveform in place is
+// safe and costs no allocation at all.
+func AddAWGNTo(dst []complex128, rng *stats.RNG, samples []complex128, sigma float64) []complex128 {
+	if cap(dst) < len(samples) {
+		dst = make([]complex128, len(samples))
 	}
-	return out
+	dst = dst[:len(samples)]
+	for i, s := range samples {
+		dst[i] = s + complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	return dst
 }
 
 // Mix sums multiple baseband signals, each starting at its own sample
@@ -83,16 +96,31 @@ func Mix(n int, signals []struct {
 	Start   int
 	Samples []complex128
 }) []complex128 {
-	out := make([]complex128, n)
+	return MixTo(nil, n, signals)
+}
+
+// MixTo is Mix with destination reuse: dst's backing array is reused (and
+// zeroed) when it has the capacity, and the written slice is returned. dst
+// may be nil and may not alias any of the signals.
+func MixTo(dst []complex128, n int, signals []struct {
+	Start   int
+	Samples []complex128
+}) []complex128 {
+	if cap(dst) < n {
+		dst = make([]complex128, n)
+	} else {
+		dst = dst[:n]
+		clear(dst)
+	}
 	for _, sig := range signals {
 		for i, s := range sig.Samples {
 			idx := sig.Start + i
 			if idx >= 0 && idx < n {
-				out[idx] += s
+				dst[idx] += s
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Demodulator recovers chips from MSK baseband samples.
@@ -145,7 +173,14 @@ func (d Demodulator) RecoverTiming(samples []complex128) int {
 // history. It returns hard chips and the soft per-chip metric (Im of the
 // differential product, positive for chip 1).
 func (d Demodulator) Demodulate(samples []complex128, offset int) (chips []byte, soft []float64) {
-	for i := 2*d.SPS - 1 + offset; i < len(samples); i += d.SPS {
+	start := 2*d.SPS - 1 + offset
+	if start >= len(samples) {
+		return nil, nil
+	}
+	n := (len(samples) - start + d.SPS - 1) / d.SPS
+	chips = make([]byte, 0, n)
+	soft = make([]float64, 0, n)
+	for i := start; i < len(samples); i += d.SPS {
 		v := imag(d.diff(samples, i))
 		soft = append(soft, v)
 		if v > 0 {

@@ -193,6 +193,88 @@ func TestMixOverlapsSignals(t *testing.T) {
 	}
 }
 
+func TestAddAWGNToReusesDestination(t *testing.T) {
+	rng := stats.NewRNG(21)
+	m := NewModulator()
+	samples := m.Modulate([]byte{1, 0, 1, 1, 0, 0, 1, 0})
+	first := AddAWGNTo(nil, rng, samples, 0.1)
+	if len(first) != len(samples) {
+		t.Fatalf("len %d, want %d", len(first), len(samples))
+	}
+	second := AddAWGNTo(first, rng, samples, 0.1)
+	if &second[0] != &first[0] {
+		t.Error("AddAWGNTo did not reuse the destination's backing array")
+	}
+	// A too-small destination grows instead of truncating.
+	grown := AddAWGNTo(make([]complex128, 1), rng, samples, 0.1)
+	if len(grown) != len(samples) {
+		t.Errorf("grown len %d, want %d", len(grown), len(samples))
+	}
+	// Output is the input plus bounded noise, like AddAWGN's.
+	for i := range second {
+		if cmplx.Abs(second[i]-samples[i]) > 1 {
+			t.Fatalf("sample %d drifted more than 10 sigma", i)
+		}
+	}
+	// In-place operation (dst == samples) is supported and sound.
+	inPlace := append([]complex128(nil), samples...)
+	out := AddAWGNTo(inPlace, rng, inPlace, 0.1)
+	if &out[0] != &inPlace[0] {
+		t.Error("in-place AddAWGNTo reallocated")
+	}
+	for i := range out {
+		if cmplx.Abs(out[i]-samples[i]) > 1 {
+			t.Fatalf("in-place sample %d drifted more than 10 sigma", i)
+		}
+	}
+}
+
+func TestMixToReusesAndZeroesDestination(t *testing.T) {
+	m := NewModulator()
+	a := m.Modulate([]byte{1, 1})
+	sig := []struct {
+		Start   int
+		Samples []complex128
+	}{{0, a}}
+	dst := make([]complex128, 2*len(a))
+	for i := range dst {
+		dst[i] = complex(9, 9) // stale garbage that must be cleared
+	}
+	out := MixTo(dst, 2*len(a), sig)
+	if &out[0] != &dst[0] {
+		t.Error("MixTo did not reuse the destination")
+	}
+	for i := 0; i < len(a); i++ {
+		if out[i] != a[i] {
+			t.Fatalf("sample %d not the signal", i)
+		}
+		if out[len(a)+i] != 0 {
+			t.Fatalf("stale sample %d not zeroed", len(a)+i)
+		}
+	}
+	// Mix and MixTo(nil, ...) agree.
+	ref := Mix(2*len(a), sig)
+	for i := range ref {
+		if ref[i] != out[i] {
+			t.Fatal("Mix and MixTo diverge")
+		}
+	}
+}
+
+func TestDemodulateAllocatesExactly(t *testing.T) {
+	m, d := NewModulator(), NewDemodulator()
+	samples := m.Modulate(make([]byte, 512))
+	chips, soft := d.Demodulate(samples, 0)
+	if cap(chips) != len(chips) || cap(soft) != len(soft) {
+		t.Errorf("demodulate over-allocated: chips %d/%d, soft %d/%d",
+			len(chips), cap(chips), len(soft), cap(soft))
+	}
+	// Degenerate input: nothing to decide.
+	if c, s := d.Demodulate(samples[:d.SPS], 0); c != nil || s != nil {
+		t.Error("short input should demodulate to nothing")
+	}
+}
+
 func TestStrongSignalCapturesMix(t *testing.T) {
 	// 10× amplitude difference: demod follows the strong signal through the
 	// overlap.
@@ -278,7 +360,7 @@ func TestRingRollbackRecoversPostamblePacket(t *testing.T) {
 		payload[i] = byte(rng.Intn(256))
 	}
 	f := frame.New(3, 4, 5, payload)
-	chips := f.AirChips()
+	chips := f.AirChips().Bytes()
 
 	m := NewModulator()
 	samples := m.Modulate(chips)
@@ -313,7 +395,7 @@ func TestRingRollbackRecoversPostamblePacket(t *testing.T) {
 
 	rx := frame.NewReceiver(phy.HardDecoder{})
 	var got *frame.Reception
-	for _, rec := range rx.Receive(hard) {
+	for _, rec := range rx.Receive(frame.NewChipBuffer(hard)) {
 		if rec.HeaderOK {
 			cp := rec
 			got = &cp

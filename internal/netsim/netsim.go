@@ -46,6 +46,7 @@ import (
 	"context"
 	"fmt"
 
+	"ppr/internal/bitutil"
 	"ppr/internal/frame"
 	"ppr/internal/mac"
 	"ppr/internal/phy"
@@ -222,7 +223,7 @@ type airTx struct {
 	node   int // global node ID
 	start  int64
 	length int64 // airtime in chips
-	chips  []byte
+	chips  *bitutil.ChipWords
 }
 
 func (t *airTx) end() int64 { return t.start + t.length }
@@ -606,8 +607,8 @@ func (e *engine) processJam(ev *event) {
 // commit places a transmission on the shared timeline and updates the
 // airtime accounting. Commits happen in nondecreasing start order because a
 // transmission always starts at the current event time.
-func (e *engine) commit(node int, start int64, chips []byte) int {
-	air := int64(len(chips))
+func (e *engine) commit(node int, start int64, chips *bitutil.ChipWords) int {
+	air := int64(chips.Len())
 	e.txs = append(e.txs, airTx{node: node, start: start, length: air, chips: chips})
 	e.nodeFree[node] = start + air
 	if air > e.maxAir {
@@ -657,7 +658,7 @@ func (e *engine) receive(tx *airTx, to int, sent frame.Frame) *frame.Reception {
 		}
 	}
 	origin := tx.start - windowMarginChips
-	n := len(tx.chips) + 2*windowMarginChips
+	n := tx.chips.Len() + 2*windowMarginChips
 	var overlaps []radio.Overlap
 	for i := e.prune; i < len(e.txs); i++ {
 		other := &e.txs[i]
@@ -678,6 +679,8 @@ func (e *engine) receive(tx *airTx, to int, sent frame.Frame) *frame.Reception {
 		})
 	}
 	rng := e.base.Derive(uint64(to), uint64(tx.start), tagChannel)
+	// The synthesizer's packed stream feeds the receiver directly — no
+	// per-reception repack on the closed-loop path either.
 	chips := radio.SynthesizeFading(rng, n, overlaps, e.noiseMW, radio.DefaultCoherenceChips)
 	recs := e.rx.Receive(chips)
 	// On a shared channel the window can contain other packets: keep only

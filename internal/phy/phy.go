@@ -123,7 +123,8 @@ func SpreadBytes(data []byte) []uint32 {
 }
 
 // ChipsOf flattens codewords into a chip slice (one byte per chip, 0 or 1),
-// which is the representation the radio simulator works over.
+// the representation of the sample-level modem boundary. The simulator
+// proper works over packed words (bitutil.PackWord32s / DecodeStream).
 func ChipsOf(cws []uint32) []byte {
 	out := make([]byte, 0, len(cws)*chipseq.ChipsPerSymbol)
 	for _, cw := range cws {
@@ -135,8 +136,8 @@ func ChipsOf(cws []uint32) []byte {
 }
 
 // PackChips converts a chip slice (0/1 bytes) starting at off back into a
-// codeword-aligned uint32. It panics if fewer than 32 chips remain: framers
-// must bound their own scans.
+// codeword-aligned uint32 — the adapter from demodulated byte chips. It
+// panics if fewer than 32 chips remain: framers must bound their own scans.
 func PackChips(chips []byte, off int) uint32 {
 	if off < 0 || off+chipseq.ChipsPerSymbol > len(chips) {
 		panic(fmt.Sprintf("phy: PackChips offset %d out of range for %d chips", off, len(chips)))
@@ -150,14 +151,15 @@ func PackChips(chips []byte, off int) uint32 {
 	return cw
 }
 
-// DecodeStream despreads a symbol-aligned chip stream (hard chips, one byte
-// per chip) with the given decoder, returning one Decision per whole
-// codeword. Trailing chips short of a full codeword are ignored.
-func DecodeStream(dec Decoder, chips []byte) []Decision {
-	n := len(chips) / chipseq.ChipsPerSymbol
+// DecodeStream despreads a symbol-aligned packed chip stream with the given
+// decoder, returning one Decision per whole codeword. Trailing chips short
+// of a full codeword are ignored. Codewords are extracted directly from the
+// packed words — no byte-per-chip intermediate exists on this path.
+func DecodeStream(dec Decoder, chips *bitutil.ChipWords) []Decision {
+	n := chips.Len() / chipseq.ChipsPerSymbol
 	out := make([]Decision, n)
 	for i := 0; i < n; i++ {
-		out[i] = dec.Decode(Observation{Hard: PackChips(chips, i*chipseq.ChipsPerSymbol)})
+		out[i] = dec.Decode(Observation{Hard: chips.Word32(i * chipseq.ChipsPerSymbol)})
 	}
 	return out
 }

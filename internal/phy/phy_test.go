@@ -13,7 +13,7 @@ import (
 func TestSpreadDecodeRoundTripClean(t *testing.T) {
 	f := func(data []byte) bool {
 		cws := SpreadBytes(data)
-		chips := ChipsOf(cws)
+		chips := bitutil.PackWord32s(cws)
 		ds := DecodeStream(HardDecoder{}, chips)
 		got := bitutil.BytesFromNibbles(SymbolsOf(ds))
 		if !bytes.Equal(got, data) {
@@ -173,7 +173,7 @@ func TestMonotonicityContractUnderNoise(t *testing.T) {
 func TestDecodeStreamIgnoresTrailingChips(t *testing.T) {
 	chips := ChipsOf(SpreadBytes([]byte{0xab}))
 	chips = append(chips, 1, 0, 1) // ragged tail
-	ds := DecodeStream(HardDecoder{}, chips)
+	ds := DecodeStream(HardDecoder{}, bitutil.PackChipBytes(chips))
 	if len(ds) != 2 {
 		t.Errorf("got %d decisions, want 2", len(ds))
 	}

@@ -12,13 +12,22 @@
 // (the weaker packet's chips become uncorrelated noise relative to the
 // stronger), producing the bursty symbol errors whose structure SoftPHY
 // hints expose (Sec. 7.3) — the phenomenology the whole paper rests on.
+//
+// Synthesis is word-level, not chip-level: streams are bitutil.ChipWords,
+// noise segments draw 64 chips per RNG word, dominant-signal segments copy
+// the transmitter's packed chips word-at-a-time, and chip errors are
+// applied by geometric skip-sampling — the gap to the next flip is drawn in
+// one shot from log(U)/log1p(-p) — so the cost of a segment is proportional
+// to the errors it contains, not the chips it spans. A clean segment costs
+// roughly one draw in total.
 package radio
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
+	"ppr/internal/bitutil"
 	"ppr/internal/stats"
 )
 
@@ -106,35 +115,27 @@ func ChipErrProb(sinr float64) float64 {
 // chips themselves, and its received power.
 type Overlap struct {
 	// Start is the chip index (relative to the synthesis window origin) at
-	// which Chips[0] arrives. It may be negative if the transmission began
-	// before the window.
+	// which the transmission's first chip arrives. It may be negative if
+	// the transmission began before the window.
 	Start int
-	// Chips is the transmission's on-air chip stream.
-	Chips []byte
+	// Chips is the transmission's on-air packed chip stream.
+	Chips *bitutil.ChipWords
 	// PowerMW is the received power of this transmission at the receiver.
 	PowerMW float64
 }
 
 // End returns the window-relative chip index one past the transmission.
-func (o Overlap) End() int { return o.Start + len(o.Chips) }
+func (o Overlap) End() int { return o.Start + o.Chips.Len() }
 
-// Synthesize produces the hard-decision chip stream a receiver observes
-// over a window of n chips, given every transmission audible during the
-// window and the noise floor. Where no transmission is active the receiver
-// slices pure noise (uniform random chips); where one or more are active,
-// each chip comes from the strongest, flipped with probability
-// ChipErrProb(P_strongest / (noise + ΣP_others)).
-//
-// The window is processed in segments between transmission boundaries so
-// the active set, dominant signal and chip error probability are computed
-// once per segment rather than once per chip.
-func Synthesize(rng *stats.RNG, n int, overlaps []Overlap, noiseMW float64) []byte {
-	if n < 0 {
-		panic(fmt.Sprintf("radio: negative window %d", n))
-	}
-	out := make([]byte, n)
-	// Collect segment boundaries.
-	bounds := []int{0, n}
+// forEachSegment walks the window [0, n) in maximal spans over which the
+// active transmission set is constant: boundaries are collected from every
+// overlap's entry and exit, sorted and deduplicated, and each span is
+// resolved once to its dominant (strongest) transmission and the total
+// active power. dom is nil on pure-noise spans. Both the hard and the soft
+// synthesizer are built on this iterator.
+func forEachSegment(n int, overlaps []Overlap, fn func(lo, hi int, dom *Overlap, total float64)) {
+	bounds := make([]int, 0, 2+2*len(overlaps))
+	bounds = append(bounds, 0, n)
 	for _, o := range overlaps {
 		if s := o.Start; s > 0 && s < n {
 			bounds = append(bounds, s)
@@ -143,13 +144,10 @@ func Synthesize(rng *stats.RNG, n int, overlaps []Overlap, noiseMW float64) []by
 			bounds = append(bounds, e)
 		}
 	}
-	sort.Ints(bounds)
+	slices.Sort(bounds)
+	bounds = slices.Compact(bounds)
 	for bi := 0; bi+1 < len(bounds); bi++ {
 		lo, hi := bounds[bi], bounds[bi+1]
-		if lo >= hi {
-			continue
-		}
-		// Active set over [lo, hi) is constant.
 		var dom *Overlap
 		var total float64
 		for i := range overlaps {
@@ -161,22 +159,59 @@ func Synthesize(rng *stats.RNG, n int, overlaps []Overlap, noiseMW float64) []by
 				}
 			}
 		}
-		if dom == nil {
-			for t := lo; t < hi; t++ {
-				out[t] = byte(rng.Uint64() & 1)
-			}
-			continue
-		}
-		sinr := dom.PowerMW / (noiseMW + (total - dom.PowerMW))
-		pErr := ChipErrProb(sinr)
-		for t := lo; t < hi; t++ {
-			c := dom.Chips[t-dom.Start]
-			if rng.Bool(pErr) {
-				c ^= 1
-			}
-			out[t] = c
-		}
+		fn(lo, hi, dom, total)
 	}
+}
+
+// flipSparse flips each chip of out[lo, hi) independently with probability
+// p by geometric skip-sampling: the gap to the next flip is
+// ⌊log(U)/log1p(-p)⌋ failures before the next success of a Bernoulli(p)
+// sequence, drawn in one shot. Cost is one draw per flip (plus one to run
+// off the end), so clean segments are near-free and even a 0.5-probability
+// collision segment costs no more per chip than the per-chip Bernoulli it
+// replaces.
+func flipSparse(rng *stats.RNG, out *bitutil.ChipWords, lo, hi int, p float64) {
+	if p <= 0 {
+		return
+	}
+	denom := math.Log1p(-p) // < 0 for p in (0, 1)
+	span := float64(hi - lo)
+	for t := lo; ; t++ {
+		u := 1 - rng.Float64() // (0, 1]: log is finite
+		gap := math.Log(u) / denom
+		if gap >= span-float64(t-lo) {
+			return
+		}
+		t += int(gap)
+		out.FlipBit(t)
+	}
+}
+
+// Synthesize produces the hard-decision chip stream a receiver observes
+// over a window of n chips, given every transmission audible during the
+// window and the noise floor. Where no transmission is active the receiver
+// slices pure noise (uniform random chips); where one or more are active,
+// each chip comes from the strongest, flipped with probability
+// ChipErrProb(P_strongest / (noise + ΣP_others)).
+//
+// The window is processed in segments between transmission boundaries, so
+// the active set, dominant signal and chip error probability are computed
+// once per segment; within a segment, work is word-level (see the package
+// comment), so cost scales with errors rather than chips.
+func Synthesize(rng *stats.RNG, n int, overlaps []Overlap, noiseMW float64) *bitutil.ChipWords {
+	if n < 0 {
+		panic(fmt.Sprintf("radio: negative window %d", n))
+	}
+	out := bitutil.NewChipWords(n)
+	forEachSegment(n, overlaps, func(lo, hi int, dom *Overlap, total float64) {
+		if dom == nil {
+			out.FillUniform(lo, hi, rng.Uint64)
+			return
+		}
+		out.CopyFrom(lo, dom.Chips, lo-dom.Start, hi-lo)
+		sinr := dom.PowerMW / (noiseMW + (total - dom.PowerMW))
+		flipSparse(rng, out, lo, hi, ChipErrProb(sinr))
+	})
 	return out
 }
 
@@ -184,7 +219,8 @@ func Synthesize(rng *stats.RNG, n int, overlaps []Overlap, noiseMW float64) []by
 // simulator: ~2 ms at 2 Mchip/s, a pedestrian-Doppler indoor coherence
 // time. A 1500-byte packet (≈49 ms) spans several independent fade blocks,
 // reproducing the paper's observation that SINR "varies in time even
-// within a single packet transmission" (Sec. 1).
+// within a single packet transmission" (Sec. 1). It is a multiple of 64,
+// so fading blocks slice the packed transmit stream without copying.
 const DefaultCoherenceChips = 4096
 
 // RicianK is the fading model's K factor (LOS-to-scatter power ratio).
@@ -211,7 +247,7 @@ func ricianPowerFade(rng *stats.RNG, k float64) float64 {
 // Fading is what pushes marginal links into partial-packet territory even
 // without collisions — some stretches of a packet fade out or degrade
 // while the rest arrives clean.
-func SynthesizeFading(rng *stats.RNG, n int, overlaps []Overlap, noiseMW float64, coherenceChips int) []byte {
+func SynthesizeFading(rng *stats.RNG, n int, overlaps []Overlap, noiseMW float64, coherenceChips int) *bitutil.ChipWords {
 	if coherenceChips <= 0 {
 		return Synthesize(rng, n, overlaps, noiseMW)
 	}
@@ -219,15 +255,17 @@ func SynthesizeFading(rng *stats.RNG, n int, overlaps []Overlap, noiseMW float64
 	for _, o := range overlaps {
 		// Split the overlap into coherence blocks, each with its own fade.
 		// Block boundaries are aligned to the transmission, not the window,
-		// so a given packet fades identically regardless of windowing.
-		for blk := 0; blk < len(o.Chips); blk += coherenceChips {
+		// so a given packet fades identically regardless of windowing; when
+		// coherenceChips is a multiple of 64 (the default) the blocks are
+		// zero-copy views of the transmit stream.
+		for blk := 0; blk < o.Chips.Len(); blk += coherenceChips {
 			end := blk + coherenceChips
-			if end > len(o.Chips) {
-				end = len(o.Chips)
+			if end > o.Chips.Len() {
+				end = o.Chips.Len()
 			}
 			faded = append(faded, Overlap{
 				Start:   o.Start + blk,
-				Chips:   o.Chips[blk:end],
+				Chips:   o.Chips.Slice(blk, end),
 				PowerMW: o.PowerMW * ricianPowerFade(rng, RicianK),
 			})
 		}
@@ -242,37 +280,12 @@ func SynthesizeFading(rng *stats.RNG, n int, overlaps []Overlap, noiseMW float64
 // the sample-level experiments; the capacity experiments use Synthesize.
 func SynthesizeSoft(rng *stats.RNG, n int, overlaps []Overlap, noiseMW float64) []float64 {
 	out := make([]float64, n)
-	bounds := []int{0, n}
-	for _, o := range overlaps {
-		if s := o.Start; s > 0 && s < n {
-			bounds = append(bounds, s)
-		}
-		if e := o.End(); e > 0 && e < n {
-			bounds = append(bounds, e)
-		}
-	}
-	sort.Ints(bounds)
-	for bi := 0; bi+1 < len(bounds); bi++ {
-		lo, hi := bounds[bi], bounds[bi+1]
-		if lo >= hi {
-			continue
-		}
-		var dom *Overlap
-		var total float64
-		for i := range overlaps {
-			o := &overlaps[i]
-			if o.Start <= lo && o.End() >= hi {
-				total += o.PowerMW
-				if dom == nil || o.PowerMW > dom.PowerMW {
-					dom = o
-				}
-			}
-		}
+	forEachSegment(n, overlaps, func(lo, hi int, dom *Overlap, total float64) {
 		if dom == nil {
 			for t := lo; t < hi; t++ {
 				out[t] = rng.NormFloat64()
 			}
-			continue
+			return
 		}
 		sinr := dom.PowerMW / (noiseMW + (total - dom.PowerMW))
 		sigma := math.Inf(1)
@@ -281,17 +294,19 @@ func SynthesizeSoft(rng *stats.RNG, n int, overlaps []Overlap, noiseMW float64) 
 		}
 		for t := lo; t < hi; t++ {
 			v := -1.0
-			if dom.Chips[t-dom.Start] != 0 {
+			if dom.Chips.Bit(t-dom.Start) != 0 {
 				v = 1.0
 			}
 			out[t] = v + rng.NormFloat64()*sigma
 		}
-	}
+	})
 	return out
 }
 
 // HardFromSoft slices soft samples back to hard chips by sign, the
-// demodulator's hard decision.
+// demodulator's hard decision. The output is byte-per-chip: soft samples
+// only exist at the sample-level modem boundary, where that is the lingua
+// franca.
 func HardFromSoft(soft []float64) []byte {
 	out := make([]byte, len(soft))
 	for i, v := range soft {

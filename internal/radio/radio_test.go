@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"ppr/internal/bitutil"
 	"ppr/internal/stats"
 )
 
@@ -77,22 +78,18 @@ func TestChipErrProbKnownPoint(t *testing.T) {
 	}
 }
 
-func chipsOfPattern(n int, v byte) []byte {
-	c := make([]byte, n)
-	for i := range c {
-		c[i] = v
+func chipsOfPattern(n int, v byte) *bitutil.ChipWords {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = v
 	}
-	return c
+	return bitutil.PackChipBytes(b)
 }
 
 func TestSynthesizeNoiseOnly(t *testing.T) {
 	rng := stats.NewRNG(1)
 	out := Synthesize(rng, 10000, nil, DBmToMW(-95))
-	ones := 0
-	for _, c := range out {
-		ones += int(c)
-	}
-	frac := float64(ones) / 10000
+	frac := float64(out.OnesCount()) / 10000
 	if frac < 0.45 || frac > 0.55 {
 		t.Errorf("noise chips not balanced: %v", frac)
 	}
@@ -103,13 +100,7 @@ func TestSynthesizeCleanSignal(t *testing.T) {
 	chips := chipsOfPattern(5000, 1)
 	// 30 dB SNR: essentially error-free.
 	out := Synthesize(rng, 5000, []Overlap{{Start: 0, Chips: chips, PowerMW: DBmToMW(-60)}}, DBmToMW(-90))
-	errs := 0
-	for _, c := range out {
-		if c != 1 {
-			errs++
-		}
-	}
-	if errs != 0 {
+	if errs := 5000 - out.OnesCount(); errs != 0 {
 		t.Errorf("%d chip errors at 30 dB SNR", errs)
 	}
 }
@@ -121,12 +112,8 @@ func TestSynthesizeErrorRateMatchesModel(t *testing.T) {
 	noise := DBmToMW(-90)
 	sig := DBmToMW(-87) // 3 dB SNR
 	out := Synthesize(rng, n, []Overlap{{Start: 0, Chips: chips, PowerMW: sig}}, noise)
-	errs := 0
-	for _, c := range out {
-		errs += int(c)
-	}
 	want := ChipErrProb(sig / noise)
-	got := float64(errs) / n
+	got := float64(out.OnesCount()) / n
 	if math.Abs(got-want) > 0.005 {
 		t.Errorf("empirical chip error rate %v, model %v", got, want)
 	}
@@ -141,14 +128,8 @@ func TestSynthesizeCaptureEffect(t *testing.T) {
 	strong := Overlap{Start: 0, Chips: chipsOfPattern(n, 1), PowerMW: DBmToMW(-50)}
 	weak := Overlap{Start: 0, Chips: chipsOfPattern(n, 0), PowerMW: DBmToMW(-70)}
 	out := Synthesize(rng, n, []Overlap{strong, weak}, DBmToMW(-95))
-	match := 0
-	for _, c := range out {
-		if c == 1 {
-			match++
-		}
-	}
 	// Strong has 20 dB SINR over the weak: ≥ 99.9% of chips should be its.
-	if frac := float64(match) / n; frac < 0.999 {
+	if frac := float64(out.OnesCount()) / n; frac < 0.999 {
 		t.Errorf("capture: strong signal only got %v of chips", frac)
 	}
 }
@@ -159,11 +140,7 @@ func TestSynthesizeComparableCollisionCorruptsBoth(t *testing.T) {
 	a := Overlap{Start: 0, Chips: chipsOfPattern(n, 1), PowerMW: DBmToMW(-60)}
 	b := Overlap{Start: 0, Chips: chipsOfPattern(n, 0), PowerMW: DBmToMW(-60.1)}
 	out := Synthesize(rng, n, []Overlap{a, b}, DBmToMW(-95))
-	aMatch := 0
-	for _, c := range out {
-		aMatch += int(c)
-	}
-	frac := float64(aMatch) / n
+	frac := float64(out.OnesCount()) / n
 	// At ~0 dB SINR the dominant still wins most chips but with substantial
 	// errors (Q(sqrt(2)) ≈ 8%); neither side is clean.
 	if frac > 0.97 || frac < 0.80 {
@@ -181,7 +158,7 @@ func TestSynthesizePartialOverlapSegments(t *testing.T) {
 	out := Synthesize(rng, n, []Overlap{a, b}, DBmToMW(-95))
 	headErrs := 0
 	for t0 := 0; t0 < 4000; t0++ {
-		if out[t0] != 1 {
+		if out.Bit(t0) != 1 {
 			headErrs++
 		}
 	}
@@ -191,7 +168,7 @@ func TestSynthesizePartialOverlapSegments(t *testing.T) {
 	// During the overlap, B dominates: most chips are 0.
 	bWins := 0
 	for t0 := 4000; t0 < 6000; t0++ {
-		if out[t0] == 0 {
+		if out.Bit(t0) == 0 {
 			bWins++
 		}
 	}
@@ -201,7 +178,7 @@ func TestSynthesizePartialOverlapSegments(t *testing.T) {
 	// After A ends, B alone continues, nearly clean.
 	tailErrs := 0
 	for t0 := 6000; t0 < 10000; t0++ {
-		tailErrs += int(out[t0])
+		tailErrs += int(out.Bit(t0))
 	}
 	if frac := float64(tailErrs) / 4000; frac > 0.01 {
 		t.Errorf("post-collision tail error rate %v", frac)
@@ -214,7 +191,7 @@ func TestSynthesizeNegativeStartClips(t *testing.T) {
 	out := Synthesize(rng, 1000, []Overlap{o}, DBmToMW(-95))
 	// Chips 0..499 covered by the transmission's tail; 500.. is noise.
 	for i := 0; i < 500; i++ {
-		if out[i] != 1 {
+		if out.Bit(i) != 1 {
 			t.Fatalf("chip %d should be signal", i)
 		}
 	}
@@ -256,15 +233,14 @@ func TestHardFromSoftAgreesWithSign(t *testing.T) {
 }
 
 func TestSynthesizeDeterministic(t *testing.T) {
-	mk := func() []byte {
+	mk := func() *bitutil.ChipWords {
 		rng := stats.NewRNG(99)
 		return Synthesize(rng, 1000, []Overlap{{Start: 100, Chips: chipsOfPattern(500, 1), PowerMW: DBmToMW(-70)}}, DBmToMW(-90))
 	}
 	a, b := mk(), mk()
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatal("synthesis not deterministic under fixed seed")
-		}
+	a.XORWith(b)
+	if a.OnesCount() != 0 {
+		t.Fatal("synthesis not deterministic under fixed seed")
 	}
 }
 
@@ -275,16 +251,15 @@ func TestPositionDist(t *testing.T) {
 }
 
 func TestSynthesizeFadingDeterministic(t *testing.T) {
-	mk := func() []byte {
+	mk := func() *bitutil.ChipWords {
 		rng := stats.NewRNG(31)
 		o := Overlap{Start: 0, Chips: chipsOfPattern(30000, 1), PowerMW: DBmToMW(-85)}
 		return SynthesizeFading(rng, 30000, []Overlap{o}, DBmToMW(-95), DefaultCoherenceChips)
 	}
 	a, b := mk(), mk()
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatal("fading synthesis not deterministic")
-		}
+	a.XORWith(b)
+	if a.OnesCount() != 0 {
+		t.Fatal("fading synthesis not deterministic")
 	}
 }
 
@@ -293,10 +268,9 @@ func TestSynthesizeFadingZeroCoherenceFallsBack(t *testing.T) {
 	o := Overlap{Start: 0, Chips: chipsOfPattern(5000, 1), PowerMW: DBmToMW(-60)}
 	a := SynthesizeFading(rngA, 5000, []Overlap{o}, DBmToMW(-95), 0)
 	b := Synthesize(rngB, 5000, []Overlap{o}, DBmToMW(-95))
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatal("coherence 0 should match unfaded synthesis exactly")
-		}
+	a.XORWith(b)
+	if a.OnesCount() != 0 {
+		t.Fatal("coherence 0 should match unfaded synthesis exactly")
 	}
 }
 
@@ -311,12 +285,7 @@ func TestSynthesizeFadingBlockStructure(t *testing.T) {
 	out := SynthesizeFading(rng, n, []Overlap{o}, DBmToMW(-95), 4096)
 	clean, degraded := 0, 0
 	for blk := 0; blk < nBlocks; blk++ {
-		errs := 0
-		for i := blk * 4096; i < (blk+1)*4096; i++ {
-			if out[i] != 1 {
-				errs++
-			}
-		}
+		errs := 4096 - out.Slice(blk*4096, (blk+1)*4096).OnesCount()
 		frac := float64(errs) / 4096
 		if frac < 0.005 {
 			clean++

@@ -1,0 +1,64 @@
+// Package synthref freezes the seed's byte-per-chip channel synthesizer —
+// one RNG draw and one byte store per chip — as the behavioral reference
+// for the packed word-level radio.Synthesize. It exists so exactly one
+// copy of the reference is shared by the statistical-equivalence tests
+// (internal/radio) and the BenchmarkSynthesize baseline (package ppr): the
+// ≥5× speedup claim and the model-drift guard both measure against this
+// function. Do not optimize or "fix" it; its value is that it does not
+// change.
+package synthref
+
+import (
+	"sort"
+
+	"ppr/internal/radio"
+	"ppr/internal/stats"
+)
+
+// Synthesize is the seed implementation of radio.Synthesize, verbatim
+// modulo the packed-chip accessor on the (now packed) Overlap input.
+func Synthesize(rng *stats.RNG, n int, overlaps []radio.Overlap, noiseMW float64) []byte {
+	out := make([]byte, n)
+	bounds := []int{0, n}
+	for _, o := range overlaps {
+		if s := o.Start; s > 0 && s < n {
+			bounds = append(bounds, s)
+		}
+		if e := o.End(); e > 0 && e < n {
+			bounds = append(bounds, e)
+		}
+	}
+	sort.Ints(bounds)
+	for bi := 0; bi+1 < len(bounds); bi++ {
+		lo, hi := bounds[bi], bounds[bi+1]
+		if lo >= hi {
+			continue
+		}
+		var dom *radio.Overlap
+		var total float64
+		for i := range overlaps {
+			o := &overlaps[i]
+			if o.Start <= lo && o.End() >= hi {
+				total += o.PowerMW
+				if dom == nil || o.PowerMW > dom.PowerMW {
+					dom = o
+				}
+			}
+		}
+		if dom == nil {
+			for t := lo; t < hi; t++ {
+				out[t] = byte(rng.Uint64() & 1)
+			}
+			continue
+		}
+		pErr := radio.ChipErrProb(dom.PowerMW / (noiseMW + (total - dom.PowerMW)))
+		for t := lo; t < hi; t++ {
+			c := dom.Chips.Bit(t - dom.Start)
+			if rng.Bool(pErr) {
+				c ^= 1
+			}
+			out[t] = c
+		}
+	}
+	return out
+}

@@ -31,6 +31,7 @@ import (
 	"sort"
 	"sync"
 
+	"ppr/internal/bitutil"
 	"ppr/internal/frame"
 	"ppr/internal/mac"
 	"ppr/internal/phy"
@@ -90,6 +91,20 @@ type Transmission struct {
 	Frame frame.Frame
 	// TruthSyms is the payload's true symbol sequence.
 	TruthSyms []byte
+
+	// chipsOnce guards chips: the packed on-air stream is spread once and
+	// shared read-only by every (receiver, window) unit that hears the
+	// transmission, however many workers process them.
+	chipsOnce sync.Once
+	chips     *bitutil.ChipWords
+}
+
+// ChipStream returns the transmission's packed on-air chip stream, spread
+// on first use and cached (a transmission is typically audible at several
+// receivers).
+func (tx *Transmission) ChipStream() *bitutil.ChipWords {
+	tx.chipsOnce.Do(func() { tx.chips = tx.Frame.AirChips() })
+	return tx.chips
 }
 
 // AirChips returns the transmission's on-air length in chips.
@@ -219,7 +234,7 @@ func Schedule(cfg Config) []*Transmission {
 			Src:       a.src,
 			StartChip: start,
 			Frame:     f,
-			TruthSyms: phy.SymbolsOf(phy.DecodeStream(phy.HardDecoder{}, phy.ChipsOf(phy.SpreadBytes(payload)))),
+			TruthSyms: phy.SymbolsOf(phy.DecodeStream(phy.HardDecoder{}, bitutil.PackWord32s(phy.SpreadBytes(payload)))),
 		}
 		txs = append(txs, tx)
 	}
@@ -362,13 +377,14 @@ func deliverWindow(cfg Config, w window, variants []Variant, rng *stats.RNG) []O
 	for _, m := range w.members {
 		overlaps = append(overlaps, radio.Overlap{
 			Start:   int(m.tx.StartChip - w.origin),
-			Chips:   m.tx.Frame.AirChips(),
+			Chips:   m.tx.ChipStream(),
 			PowerMW: m.powerMW,
 		})
 	}
-	chips := radio.SynthesizeFading(rng, w.length, overlaps, noiseMW, radio.DefaultCoherenceChips)
-	// The sync scan is variant-independent: do it once per window.
-	buf := frame.NewChipBuffer(chips)
+	// The synthesizer's packed output is the receiver's buffer directly —
+	// no repack between channel and sync scan. The scan is variant-
+	// independent: do it once per window.
+	buf := radio.SynthesizeFading(rng, w.length, overlaps, noiseMW, radio.DefaultCoherenceChips)
 	syncs := frame.FindSyncs(buf, frame.DefaultSyncMaxDist)
 
 	var outcomes []Outcome

@@ -39,6 +39,12 @@
 // simulating each (seed, scenario, load, carrier-sense) operating point
 // exactly once per process however many figures post-process it.
 //
+// Chip streams are bit-packed end to end (ChipWords): channel synthesis
+// writes 64 noise chips per RNG word, copies dominant signals
+// word-at-a-time and applies chip errors by geometric skip-sampling — cost
+// proportional to errors, not chips — and the receiver's sync scan and
+// despreader consume the same packed words with no per-reception repack.
+//
 // Workloads are pluggable through SimConfig.Scenario: the default Scenario
 // is the paper's all-Poisson traffic, and internal/scenario also ships
 // bursty on/off sources (BurstyTrafficScenario) and periodic or reactive
@@ -85,6 +91,7 @@
 package ppr
 
 import (
+	"ppr/internal/bitutil"
 	"ppr/internal/core/chunkdp"
 	"ppr/internal/core/feedback"
 	"ppr/internal/core/pparq"
@@ -121,7 +128,18 @@ type (
 	Reception = frame.Reception
 	// SyncKind says which end of the packet acquisition locked onto.
 	SyncKind = frame.SyncKind
+	// ChipWords is the bit-packed on-air chip stream: 64 chips per word,
+	// MSB-first. Frame.AirChips produces it, the channel synthesizer
+	// operates on it word-at-a-time, and Receiver.Receive consumes it
+	// directly — byte-per-chip slices exist only at the sample-level modem
+	// boundary (NewChipBuffer packs them).
+	ChipWords = bitutil.ChipWords
 )
+
+// NewChipBuffer packs a byte-per-chip stream (any nonzero byte is chip
+// value 1) into the receiver's native representation — the adapter for
+// chips demodulated at the sample-level modem boundary.
+func NewChipBuffer(chips []byte) *ChipWords { return frame.NewChipBuffer(chips) }
 
 // Sync kinds.
 const (

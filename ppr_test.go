@@ -32,9 +32,7 @@ func TestPublicLabelAndChunk(t *testing.T) {
 	// Destroy bytes 40..60 of the payload.
 	rng := stats.NewRNG(1)
 	base := (frame.SyncBytes + frame.HeaderBytes) * frame.ChipsPerByte
-	for i := base + 40*frame.ChipsPerByte; i < base+60*frame.ChipsPerByte; i++ {
-		chips[i] = byte(rng.Intn(2))
-	}
+	chips.FillUniform(base+40*frame.ChipsPerByte, base+60*frame.ChipsPerByte, rng.Uint64)
 	rx := NewReceiver(HardDecoder{})
 	var rec *Reception
 	for _, r := range rx.Receive(chips) {
@@ -69,9 +67,7 @@ func (l *flakyLink) Transmit(f Frame) *Reception {
 	l.count++
 	if l.count == 1 {
 		rng := stats.NewRNG(9)
-		for i := len(chips) / 3; i < len(chips)/2; i++ {
-			chips[i] = byte(rng.Intn(2))
-		}
+		chips.FillUniform(chips.Len()/3, chips.Len()/2, rng.Uint64)
 	}
 	recs := l.rx.Receive(chips)
 	for i := range recs {
