@@ -20,7 +20,10 @@ import (
 	"ppr/internal/core/runlen"
 	"ppr/internal/core/softphy"
 	"ppr/internal/experiments"
+	"ppr/internal/fec"
+	"ppr/internal/fec/sovaref"
 	"ppr/internal/frame"
+	"ppr/internal/frame/syncref"
 	"ppr/internal/modem"
 	"ppr/internal/phy"
 	"ppr/internal/radio"
@@ -508,6 +511,104 @@ func BenchmarkSyncScan(b *testing.B) {
 		syncs := frame.FindSyncs(buf, frame.DefaultSyncMaxDist)
 		if len(syncs) != 2 {
 			b.Fatal("wrong sync count")
+		}
+	}
+}
+
+// benchSyncStream builds a realistic scan workload: mostly noise (the case
+// the prefilter is tuned for) with four embedded 200-byte frames.
+func benchSyncStream() *frame.ChipBuffer {
+	rng := stats.NewRNG(99)
+	chips := make([]byte, 0, 300000)
+	noise := make([]byte, 30000)
+	for f := 0; f < 4; f++ {
+		for i := range noise {
+			noise[i] = byte(rng.Intn(2))
+		}
+		chips = append(chips, noise...)
+		chips = append(chips, frame.New(1, 2, uint16(f), make([]byte, 200)).AirChips().Bytes()...)
+	}
+	return frame.NewChipBuffer(chips)
+}
+
+// BenchmarkFindSyncs measures the word-parallel sync scan against the
+// frozen seed implementation (internal/frame/syncref) on the same stream.
+// TestFindSyncsMatchesSyncref proves both produce identical detections, and
+// TestFindSyncsSpeedGate enforces a ≥3x ratio, so the new/ref pair here is
+// pure, semantics-preserving speedup.
+func BenchmarkFindSyncs(b *testing.B) {
+	buf := benchSyncStream()
+	want := len(frame.FindSyncs(buf, frame.DefaultSyncMaxDist))
+	if want < 8 { // 4 frames x (preamble + postamble), plus edge locks
+		b.Fatalf("stream yields only %d syncs", want)
+	}
+	b.Run("new", func(b *testing.B) {
+		b.SetBytes(int64(buf.Len()))
+		var syncs []frame.Sync
+		for i := 0; i < b.N; i++ {
+			syncs = frame.AppendSyncs(syncs[:0], buf, frame.DefaultSyncMaxDist)
+			if len(syncs) != want {
+				b.Fatalf("got %d syncs, want %d", len(syncs), want)
+			}
+		}
+	})
+	b.Run("ref", func(b *testing.B) {
+		b.SetBytes(int64(buf.Len()))
+		for i := 0; i < b.N; i++ {
+			if syncs := syncref.FindSyncs(buf, frame.DefaultSyncMaxDist); len(syncs) != want {
+				b.Fatalf("got %d syncs, want %d", len(syncs), want)
+			}
+		}
+	})
+}
+
+// BenchmarkFECDecode measures the flattened SOVA trellis against the frozen
+// seed implementation (internal/fec/sovaref) on a 1500-byte coded packet
+// with 3% channel errors. TestDecodeMatchesSovaref proves bit-identical
+// output; TestSOVADecodeSpeedGate enforces the ≥3x ratio.
+func BenchmarkFECDecode(b *testing.B) {
+	rng := stats.NewRNG(888)
+	data := make([]byte, 1500*8)
+	for i := range data {
+		data[i] = byte(rng.Intn(2))
+	}
+	coded := fec.Encode(data)
+	for i := range coded {
+		if rng.Bool(0.03) {
+			coded[i] ^= 1
+		}
+	}
+	b.Run("new", func(b *testing.B) {
+		b.SetBytes(1500)
+		for i := 0; i < b.N; i++ {
+			if _, err := fec.Decode(coded); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ref", func(b *testing.B) {
+		b.SetBytes(1500)
+		for i := 0; i < b.N; i++ {
+			if _, err := sovaref.Decode(coded); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkReceiveSteadyState measures the full receive pipeline (sync scan
+// + header/payload decode + CRC) in its zero-alloc steady state: one warm
+// Receiver over a noise+frames stream. TestReceiveSteadyStateAllocs pins
+// allocs/op at exactly 0.
+func BenchmarkReceiveSteadyState(b *testing.B) {
+	buf := benchSyncStream()
+	rx := frame.NewReceiver(phy.HardDecoder{})
+	want := len(rx.Receive(buf)) // grow the arenas once
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := rx.Receive(buf); len(got) != want {
+			b.Fatal("reception count changed")
 		}
 	}
 }

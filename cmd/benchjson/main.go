@@ -1,0 +1,191 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// small, schema'd JSON document, and compares two such documents for
+// regressions. It is the tooling behind the repo's persistent bench
+// trajectory: CI regenerates BENCH_<pr>.json on every run, uploads it as an
+// artifact, and fails when a hot-path benchmark regresses by more than the
+// threshold against the previous PR's committed snapshot.
+//
+// Emit mode (default) reads bench output from stdin:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -pr 6 > BENCH_6.json
+//
+// Check mode compares two snapshots and exits nonzero on regression:
+//
+//	benchjson -check -threshold 0.20 BENCH_5.json BENCH_6.json
+//
+// Benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix so snapshots compare across machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the persisted benchmark document (schema ppr-bench/v1).
+type Snapshot struct {
+	// Schema identifies the document format.
+	Schema string `json:"schema"`
+	// PR is the pull-request ordinal the snapshot belongs to.
+	PR int `json:"pr"`
+	// Benchmarks maps normalized benchmark names to their measurements.
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+// Measurement is one benchmark's result triple.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+const schemaID = "ppr-bench/v1"
+
+// benchLine matches one result line of `go test -bench` output.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// procSuffix is the trailing -GOMAXPROCS decoration on benchmark names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	pr := flag.Int("pr", 0, "PR ordinal stamped into the emitted snapshot")
+	check := flag.Bool("check", false, "compare two snapshots: benchjson -check PREV CUR")
+	threshold := flag.Float64("threshold", 0.20, "max allowed ns/op regression fraction in -check mode")
+	flag.Parse()
+
+	if *check {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -check [-threshold F] PREV.json CUR.json")
+			os.Exit(2)
+		}
+		os.Exit(checkSnapshots(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+	if err := emit(os.Stdin, os.Stdout, *pr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// emit parses bench output from r and writes the snapshot JSON to w.
+func emit(r *os.File, w *os.File, pr int) error {
+	snap := Snapshot{Schema: schemaID, PR: pr, Benchmarks: map[string]Measurement{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		meas, ok := parseMeasurement(m[2])
+		if !ok {
+			continue
+		}
+		snap.Benchmarks[name] = meas
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// parseMeasurement extracts the ns/op, B/op and allocs/op value-unit pairs
+// from the tail of a bench line, ignoring MB/s and custom metrics.
+func parseMeasurement(tail string) (Measurement, bool) {
+	fields := strings.Fields(tail)
+	var meas Measurement
+	seenNs := false
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			meas.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			meas.BytesPerOp = v
+		case "allocs/op":
+			meas.AllocsPerOp = v
+		}
+	}
+	return meas, seenNs
+}
+
+// checkSnapshots compares CUR against PREV, printing a delta table and
+// returning 1 when any shared benchmark's ns/op regressed past threshold.
+func checkSnapshots(prevPath, curPath string, threshold float64) int {
+	prev, err := load(prevPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	var names []string
+	for name := range cur.Benchmarks {
+		if _, ok := prev.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Printf("no shared benchmarks between %s and %s; nothing to check\n", prevPath, curPath)
+		return 0
+	}
+	failed := false
+	for _, name := range names {
+		p, c := prev.Benchmarks[name], cur.Benchmarks[name]
+		if p.NsPerOp <= 0 {
+			continue
+		}
+		delta := c.NsPerOp/p.NsPerOp - 1
+		status := "ok"
+		if delta > threshold {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-50s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n",
+			name, p.NsPerOp, c.NsPerOp, delta*100, status)
+	}
+	if failed {
+		fmt.Printf("FAIL: ns/op regression beyond %.0f%% (PR %d -> PR %d)\n",
+			threshold*100, prev.PR, cur.PR)
+		return 1
+	}
+	fmt.Printf("all %d shared benchmarks within %.0f%% (PR %d -> PR %d)\n",
+		len(names), threshold*100, prev.PR, cur.PR)
+	return 0
+}
+
+// load reads and validates one snapshot file.
+func load(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return Snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if snap.Schema != schemaID {
+		return Snapshot{}, fmt.Errorf("%s: schema %q, want %q", path, snap.Schema, schemaID)
+	}
+	return snap, nil
+}

@@ -106,6 +106,32 @@ func (w *ChipWords) Word32(off int) uint32 {
 	return uint32(v >> 32)
 }
 
+// Word64 extracts the 64 chips starting at chip offset off, chip off at bit
+// 63 — the word-parallel sibling of Word32. The sync scan streams the
+// 320-chip preamble/postamble correlation over it 64 chips at a time, so a
+// candidate offset costs a handful of XOR+popcounts instead of a per-chip
+// walk. It panics when the window runs past the stream.
+func (w *ChipWords) Word64(off int) uint64 {
+	if off < 0 || off+64 > w.n {
+		panic(fmt.Sprintf("bitutil: Word64(%d) out of range for %d chips", off, w.n))
+	}
+	wi := off / 64
+	sh := uint(off % 64)
+	v := w.words[wi] << sh
+	if sh > 0 {
+		v |= w.words[wi+1] >> (64 - sh)
+	}
+	return v
+}
+
+// Words exposes the packed backing words read-only: word i holds chips
+// [64i, 64i+64), chip 64i at bit 63. Bits at or past Len() are unspecified.
+// It exists for offset-sweeping hot loops (the sync scan) that hoist word
+// loads out of their inner loop instead of paying a Word64 call per offset;
+// everything else should use the bounds-checked accessors. Callers must not
+// modify the returned slice.
+func (w *ChipWords) Words() []uint64 { return w.words }
+
 // run64 extracts width (≤ 64) chips starting at off, left-aligned: the
 // first chip of the run at bit 63. Bits past the run are unspecified;
 // depositors mask them.

@@ -98,15 +98,44 @@ func Signed(s byte) *[ChipsPerSymbol]float64 {
 // returns the decoded symbol together with the Hamming distance to it —
 // exactly the SoftPHY hint of Sec. 3.2. Ties resolve to the lowest symbol,
 // which is deterministic and unbiased with respect to correctness labelling.
+//
+// This is the despreader's innermost loop — one call per received symbol —
+// so it is fully unrolled over the 16 codewords and branch-free: each
+// candidate packs (distance, symbol) into one word and a compare-move
+// tournament keeps the minimum, which the compiler lowers to CMOVs rather
+// than data-dependent branches. Packing the symbol in the low bits makes
+// the tie-break to the lowest symbol fall out of the numeric minimum.
 func NearestHard(received uint32) (sym byte, dist int) {
-	best, bestDist := byte(0), ChipsPerSymbol+1
-	for s := 0; s < NumSymbols; s++ {
-		d := bits.OnesCount32(received ^ codebook[s])
-		if d < bestDist {
-			best, bestDist = byte(s), d
-		}
+	m := minU32(packDS(received, 0), packDS(received, 1))
+	m = minU32(m, packDS(received, 2))
+	m = minU32(m, packDS(received, 3))
+	m = minU32(m, packDS(received, 4))
+	m = minU32(m, packDS(received, 5))
+	m = minU32(m, packDS(received, 6))
+	m = minU32(m, packDS(received, 7))
+	m = minU32(m, packDS(received, 8))
+	m = minU32(m, packDS(received, 9))
+	m = minU32(m, packDS(received, 10))
+	m = minU32(m, packDS(received, 11))
+	m = minU32(m, packDS(received, 12))
+	m = minU32(m, packDS(received, 13))
+	m = minU32(m, packDS(received, 14))
+	m = minU32(m, packDS(received, 15))
+	return byte(m & (NumSymbols - 1)), int(m >> 4)
+}
+
+// packDS packs symbol s's Hamming distance above the symbol value, so the
+// minimum over all 16 packed words is the minimum distance with ties going
+// to the lowest symbol.
+func packDS(received uint32, s int) uint32 {
+	return uint32(bits.OnesCount32(received^codebook[s]))<<4 | uint32(s)
+}
+
+func minU32(a, b uint32) uint32 {
+	if b < a {
+		return b
 	}
-	return best, bestDist
+	return a
 }
 
 // Correlate computes the soft-decision correlation metric of Eq. 1 between

@@ -23,6 +23,15 @@ func Sum32(data []byte) uint32 {
 	return crc32.Checksum(data, ieeeTable)
 }
 
+// Update32 extends a running CRC-32 with more data: feeding parts
+// a, b, ... through successive Update32 calls (starting from 0) equals
+// Sum32 of their concatenation. The receive path uses it to verify the
+// whole-packet checksum over header fields and payload without
+// materializing the concatenated buffer.
+func Update32(crc uint32, data []byte) uint32 {
+	return crc32.Update(crc, ieeeTable, data)
+}
+
 // Append32 appends the big-endian CRC-32 of data to dst and returns dst.
 func Append32(dst, data []byte) []byte {
 	c := Sum32(data)

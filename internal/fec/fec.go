@@ -93,9 +93,54 @@ type Result struct {
 	Reliability []float64
 }
 
+// branchMetrics[rx][o] is the Hamming distance between a received 2-bit
+// branch symbol rx and a candidate output symbol o, precomputed so the ACS
+// recursion is pure table lookups.
+var branchMetrics [4][4]int32
+
+func init() {
+	for rx := 0; rx < 4; rx++ {
+		for o := 0; o < 4; o++ {
+			branchMetrics[rx][o] = int32(bits.OnesCount8(byte(rx^o) & 0b11))
+		}
+	}
+}
+
+// butterflyOut[j] is the coded output for the transition predecessor-2j →
+// successor-j (input bit 0). Both generators have their input-bit and
+// oldest-bit taps set (g0, g1 are odd and ≥ 2^(K-1)), so flipping either
+// the input bit or the predecessor's low bit complements BOTH coded bits:
+// the other three branch metrics of the butterfly {2j, 2j+1} → {j, j+32}
+// are bm[o^0b11] = 2 − bm[o]. One table lookup serves all four branches.
+var butterflyOut [numStates / 2]byte
+
+// butterflyBM[rx][j] = branchMetrics[rx][butterflyOut[j]], flattening the
+// two dependent lookups of the steady-state ACS into one.
+var butterflyBM [4][numStates / 2]int32
+
+func init() {
+	for j := 0; j < numStates/2; j++ {
+		butterflyOut[j] = outputs[2*j][0]
+	}
+	for rx := 0; rx < 4; rx++ {
+		for j := 0; j < numStates/2; j++ {
+			butterflyBM[rx][j] = branchMetrics[rx][butterflyOut[j]]
+		}
+	}
+}
+
 // Decode runs hard-decision Viterbi over coded bits (0/1 per byte) with
 // SOVA-style reliability tracking. The coded stream must be a whole number
 // of Rate-bit branches; decoding assumes the encoder's zero tail.
+//
+// The trellis state is flat: survivor decisions bit-pack into one uint64
+// per step (64 states, one bit each), ACS margins live in a single backing
+// array sized once, and the recursion walks successor states directly —
+// each of the 64 next-states has exactly two predecessors, so one compare
+// per state replaces the seed's per-transition bookkeeping. The
+// reliability window is a monotonic-deque sliding minimum, O(n) instead of
+// O(n·5K). Outputs are bit-identical to the frozen reference
+// (internal/fec/sovaref); the parity tests pin that.
 func Decode(coded []byte) (Result, error) {
 	if len(coded)%Rate != 0 {
 		return Result{}, fmt.Errorf("fec: coded length %d not a multiple of %d", len(coded), Rate)
@@ -106,47 +151,99 @@ func Decode(coded []byte) (Result, error) {
 	}
 	const inf = math.MaxInt32 / 2
 
-	metric := make([]int32, numStates)
-	next := make([]int32, numStates)
+	var ma, mb [numStates]int32
+	metric, next := &ma, &mb
 	for s := 1; s < numStates; s++ {
 		metric[s] = inf // trellis starts in state 0
 	}
-	// survivors[t][s] records the predecessor decision bit for state s at
-	// step t; deltas[t][s] the ACS margin at that decision.
-	survivors := make([][]byte, nBranches)
-	deltas := make([][]int32, nBranches)
+	// survivors[t] bit s records the predecessor decision bit for state s
+	// at step t; deltas[t*numStates+s] the ACS margin at that decision.
+	survivors := make([]uint64, nBranches)
+	deltas := make([]int32, nBranches*numStates)
 
-	for t := 0; t < nBranches; t++ {
+	// Warm-up steps: until the trellis fans out from state 0 to all 64
+	// states (K−1 steps), unreachable predecessors need the full
+	// reachability switch of the reference recursion.
+	warm := K - 1
+	if warm > nBranches {
+		warm = nBranches
+	}
+	for t := 0; t < warm; t++ {
 		rx := coded[t*Rate]<<1 | coded[t*Rate+1]
-		survivors[t] = make([]byte, numStates)
-		deltas[t] = make([]int32, numStates)
-		for s := 0; s < numStates; s++ {
-			next[s] = inf
-		}
-		for s := 0; s < numStates; s++ {
-			if metric[s] >= inf {
-				continue
-			}
-			for b := 0; b < 2; b++ {
-				ns := (s >> 1) | b<<(K-2)
-				bm := int32(bits.OnesCount8((outputs[s][byte(b)] ^ rx) & 0b11))
-				m := metric[s] + bm
-				if m < next[ns] {
-					// Record how decisively the new survivor beats the
-					// incumbent; if the incumbent later improves this is
-					// refreshed below.
-					deltas[t][ns] = next[ns] - m
-					next[ns] = m
-					// The decision bit that distinguishes the two
-					// predecessors of ns is the *oldest* register bit of
-					// the predecessor (s & 1); store the surviving
-					// predecessor's low bit.
-					survivors[t][ns] = byte(s & 1)
-				} else if d := m - next[ns]; d < deltas[t][ns] {
-					deltas[t][ns] = d
+		bm := &branchMetrics[rx&0b11]
+		dl := deltas[t*numStates : (t+1)*numStates : (t+1)*numStates]
+		var sur uint64
+		for ns := 0; ns < numStates; ns++ {
+			// ns's two predecessors differ only in their oldest register
+			// bit: p0 (low bit 0, processed first in the seed's state
+			// order) and p1. The branch input bit is ns's top bit.
+			b := ns >> (K - 2)
+			p0 := (ns << 1) & (numStates - 1)
+			p1 := p0 | 1
+			m0, m1 := metric[p0], metric[p1]
+			reach0, reach1 := m0 < inf, m1 < inf
+			m0 += bm[outputs[p0][b]]
+			m1 += bm[outputs[p1][b]]
+			switch {
+			case reach0 && reach1:
+				if m1 < m0 {
+					next[ns] = m1
+					dl[ns] = m0 - m1
+					sur |= 1 << uint(ns)
+				} else {
+					next[ns] = m0
+					dl[ns] = m1 - m0
 				}
+			case reach0:
+				next[ns] = m0
+				dl[ns] = inf - m0
+			case reach1:
+				next[ns] = m1
+				dl[ns] = inf - m1
+				sur |= 1 << uint(ns)
+			default:
+				next[ns] = inf
 			}
 		}
+		survivors[t] = sur
+		metric, next = next, metric
+	}
+
+	// Steady state: every state is reachable, so the ACS collapses to pure
+	// butterflies. Successors j and j+32 share predecessors {2j, 2j+1}, and
+	// their four branch metrics are a and 2−a for a single table value a
+	// (see butterflyOut) — one lookup, two metric loads, two compares per
+	// butterfly.
+	for t := warm; t < nBranches; t++ {
+		rx := coded[t*Rate]<<1 | coded[t*Rate+1]
+		bm := &butterflyBM[rx&0b11]
+		dl := (*[numStates]int32)(deltas[t*numStates:])
+		var sur uint64
+		for j := 0; j < numStates/2; j++ {
+			m0, m1 := metric[2*j], metric[2*j+1]
+			a := bm[j]
+			c := 2 - a
+			// Branchless compare-select: on noisy input the ACS winner is
+			// essentially random, so data-dependent branches mispredict half
+			// the time; sign-mask arithmetic keeps the pipeline full. With
+			// d = loser − winner candidate, mask = d>>31 is −1 when the
+			// p1 path wins; then min = t0+(d&mask), |d| = (d^mask)−mask,
+			// and the survivor bit is mask&1. Ties (d == 0) select the p0
+			// path with delta 0, exactly the reference semantics.
+			t0, t1 := m0+a, m1+c
+			d := t1 - t0
+			mask := d >> 31
+			next[j] = t0 + d&mask
+			dl[j] = (d ^ mask) - mask
+			sur |= uint64(mask&1) << uint(j)
+			t2, t3 := m0+c, m1+a
+			d = t3 - t2
+			mask = d >> 31
+			next[j+numStates/2] = t2 + d&mask
+			dl[j+numStates/2] = (d ^ mask) - mask
+			sur |= uint64(mask&1) << uint(j+numStates/2)
+		}
+		survivors[t] = sur
 		metric, next = next, metric
 	}
 
@@ -157,9 +254,9 @@ func Decode(coded []byte) (Result, error) {
 	for t := nBranches - 1; t >= 0; t-- {
 		// The input bit at step t is the top bit of the state at t+1.
 		decided[t] = byte(state >> (K - 2) & 1)
-		margins[t] = deltas[t][state]
-		prevLow := survivors[t][state]
-		state = (state<<1 | int(prevLow)) & (numStates - 1)
+		margins[t] = deltas[t*numStates+state]
+		prevLow := int(survivors[t] >> uint(state) & 1)
+		state = (state<<1 | prevLow) & (numStates - 1)
 	}
 
 	nData := nBranches - (K - 1)
@@ -170,31 +267,40 @@ func Decode(coded []byte) (Result, error) {
 	// SOVA-lite reliability: a decision at step t is protected by the ACS
 	// margins along the surviving path in a window after t (a competing
 	// path that would flip bit t must diverge at t and re-merge within
-	// roughly 5K branches). Take the minimum margin over that window.
+	// roughly 5K branches). Take the minimum margin over that window,
+	// computed right to left with a monotonic deque: indices in the deque
+	// carry strictly increasing margins front to back, the front is the
+	// window minimum, and each index enters and leaves at most once, so
+	// the whole post-processing pass is O(n).
 	const window = 5 * K
-	for i := 0; i < nData; i++ {
-		min := int32(math.MaxInt32)
-		end := i + window
-		if end > nBranches {
-			end = nBranches
+	deque := make([]int32, 0, window) // margin values; indices tracked below
+	idx := make([]int, 0, window)
+	head := 0
+	for i := nBranches - 1; i >= 0; i-- {
+		for len(deque) > head && deque[len(deque)-1] >= margins[i] {
+			deque = deque[:len(deque)-1]
+			idx = idx[:len(idx)-1]
 		}
-		for t := i; t < end; t++ {
-			if margins[t] < min {
-				min = margins[t]
-			}
+		deque = append(deque, margins[i])
+		idx = append(idx, i)
+		if idx[head] >= i+window {
+			head++
 		}
-		res.Reliability[i] = float64(min)
+		if i < nData {
+			res.Reliability[i] = float64(deque[head])
+		}
 	}
 	return res, nil
 }
 
 // BitsFromBytes explodes bytes into bits, LSB first per byte (matching the
-// symbol ordering of the rest of the stack).
+// symbol ordering of the rest of the stack). The output is allocated at its
+// final length and written by index — one allocation, no append churn.
 func BitsFromBytes(data []byte) []byte {
-	out := make([]byte, 0, len(data)*8)
-	for _, b := range data {
-		for i := 0; i < 8; i++ {
-			out = append(out, b>>uint(i)&1)
+	out := make([]byte, len(data)*8)
+	for i, b := range data {
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = b >> uint(j) & 1
 		}
 	}
 	return out
@@ -229,10 +335,12 @@ func DecisionsFromResult(res Result) []phy.Decision {
 	n := len(res.Bits) / 4
 	out := make([]phy.Decision, n)
 	for i := 0; i < n; i++ {
-		var sym byte
-		minRel := math.MaxFloat64
-		for j := 0; j < 4; j++ {
-			sym |= res.Bits[i*4+j] & 1 << uint(j)
+		sym := res.Bits[i*4]&1 |
+			res.Bits[i*4+1]&1<<1 |
+			res.Bits[i*4+2]&1<<2 |
+			res.Bits[i*4+3]&1<<3
+		minRel := res.Reliability[i*4]
+		for j := 1; j < 4; j++ {
 			if r := res.Reliability[i*4+j]; r < minRel {
 				minRel = r
 			}

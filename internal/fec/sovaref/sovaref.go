@@ -1,0 +1,122 @@
+// Package sovaref freezes the seed's SOVA decoder — two slice allocations
+// per trellis branch and an O(n·5K) reliability-window scan — as the
+// behavioral reference for the flattened fec.Decode. It exists so exactly
+// one copy of the reference is shared by the bit-identical parity tests
+// (internal/fec) and the BenchmarkFECDecode baseline (package ppr): the
+// ≥3× speedup gate and the parity guard both measure against this
+// function. Do not optimize or "fix" it; its value is that it does not
+// change.
+package sovaref
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"ppr/internal/fec"
+)
+
+const (
+	k         = 7
+	numStates = 1 << (k - 1)
+	rate      = 2
+	g0        = 0o171
+	g1        = 0o133
+)
+
+func parity(v uint32) byte {
+	return byte(bits.OnesCount32(v) & 1)
+}
+
+var outputs [numStates][2]byte
+
+func init() {
+	for s := 0; s < numStates; s++ {
+		for b := 0; b < 2; b++ {
+			reg := uint32(b)<<(k-1) | uint32(s)
+			o0 := parity(reg & g0)
+			o1 := parity(reg & g1)
+			outputs[s][b] = o0<<1 | o1
+		}
+	}
+}
+
+// Decode is the seed implementation of fec.Decode, verbatim: per-branch
+// survivor/delta slice allocation, add-compare-select over predecessor
+// states, and a quadratic reliability-window minimum.
+func Decode(coded []byte) (fec.Result, error) {
+	if len(coded)%rate != 0 {
+		return fec.Result{}, fmt.Errorf("sovaref: coded length %d not a multiple of %d", len(coded), rate)
+	}
+	nBranches := len(coded) / rate
+	if nBranches < k-1 {
+		return fec.Result{}, fmt.Errorf("sovaref: %d branches shorter than the %d-bit tail", nBranches, k-1)
+	}
+	const inf = math.MaxInt32 / 2
+
+	metric := make([]int32, numStates)
+	next := make([]int32, numStates)
+	for s := 1; s < numStates; s++ {
+		metric[s] = inf
+	}
+	survivors := make([][]byte, nBranches)
+	deltas := make([][]int32, nBranches)
+
+	for t := 0; t < nBranches; t++ {
+		rx := coded[t*rate]<<1 | coded[t*rate+1]
+		survivors[t] = make([]byte, numStates)
+		deltas[t] = make([]int32, numStates)
+		for s := 0; s < numStates; s++ {
+			next[s] = inf
+		}
+		for s := 0; s < numStates; s++ {
+			if metric[s] >= inf {
+				continue
+			}
+			for b := 0; b < 2; b++ {
+				ns := (s >> 1) | b<<(k-2)
+				bm := int32(bits.OnesCount8((outputs[s][byte(b)] ^ rx) & 0b11))
+				m := metric[s] + bm
+				if m < next[ns] {
+					deltas[t][ns] = next[ns] - m
+					next[ns] = m
+					survivors[t][ns] = byte(s & 1)
+				} else if d := m - next[ns]; d < deltas[t][ns] {
+					deltas[t][ns] = d
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	state := 0
+	decided := make([]byte, nBranches)
+	margins := make([]int32, nBranches)
+	for t := nBranches - 1; t >= 0; t-- {
+		decided[t] = byte(state >> (k - 2) & 1)
+		margins[t] = deltas[t][state]
+		prevLow := survivors[t][state]
+		state = (state<<1 | int(prevLow)) & (numStates - 1)
+	}
+
+	nData := nBranches - (k - 1)
+	res := fec.Result{
+		Bits:        decided[:nData],
+		Reliability: make([]float64, nData),
+	}
+	const window = 5 * k
+	for i := 0; i < nData; i++ {
+		min := int32(math.MaxInt32)
+		end := i + window
+		if end > nBranches {
+			end = nBranches
+		}
+		for t := i; t < end; t++ {
+			if margins[t] < min {
+				min = margins[t]
+			}
+		}
+		res.Reliability[i] = float64(min)
+	}
+	return res, nil
+}

@@ -195,14 +195,10 @@ func (f Frame) AirChips() *bitutil.ChipWords {
 }
 
 // PacketCRC32OK recomputes the whole-packet CRC over decoded header fields
-// and payload bytes.
+// and payload bytes. It streams the CRC across both parts — no concatenated
+// buffer is materialized, so the receive path stays allocation-free.
 func PacketCRC32OK(hdrFields, payload, crc []byte) bool {
-	covered := make([]byte, 0, len(hdrFields)+len(payload))
-	covered = append(covered, hdrFields...)
-	covered = append(covered, payload...)
-	buf := append(covered, crc...)
-	_, ok := crcutil.Verify32(buf)
-	return ok
+	return packetCRC32OK(hdrFields, payload, crc)
 }
 
 // symbolsOfBytes is a convenience wrapper used by the synchronizers.

@@ -1,9 +1,7 @@
 package frame
 
 import (
-	"sort"
-
-	"ppr/internal/bitutil"
+	"ppr/internal/crcutil"
 	"ppr/internal/phy"
 )
 
@@ -11,6 +9,15 @@ import (
 // the chip stream, what the header said, the per-symbol payload decisions
 // with their SoftPHY hints, and the whole-packet CRC verdict. This is the
 // "partial packets + SoftPHY hints" interface of Fig. 1.
+//
+// Ownership: Decisions and PayloadBytes are views into scratch buffers
+// owned by the Receiver that produced the Reception, and are valid only
+// until that Receiver's next Receive or ReceiveSynced call. Callers that
+// hand receptions to a longer-lived structure copy the slices they keep
+// (the simulator's Outcome does exactly this); callers that consume a
+// reception before transmitting again — the PP-ARQ state machines, the
+// closed-loop link layers — use them in place. This is what makes the
+// steady-state receive path allocation-free.
 type Reception struct {
 	// Kind records whether acquisition happened on the preamble or — after
 	// the preamble was lost to a collision — on the postamble.
@@ -44,8 +51,84 @@ type Reception struct {
 	CRCOK bool
 }
 
+// decodeScratch holds the Receiver's reusable buffers. Spans for decisions
+// and reassembled bytes are carved off arena chunks that are re-sliced to
+// zero length at the start of every Receive/ReceiveSynced call; once the
+// chunks have grown to the caller's working-set size, the receive path
+// performs no allocations at all (pinned by TestReceiveSteadyStateAllocs).
+type decodeScratch struct {
+	// syncs backs the detection list of Receive's sync scan.
+	syncs []Sync
+	// recs backs the returned Reception slice.
+	recs []Reception
+	// dec is the decision arena; each decoded region is a span of it.
+	dec []phy.Decision
+	// bytes is the byte arena for headers, payloads and CRC fields.
+	bytes []byte
+	// syms is the per-payload symbol scratch; it never escapes.
+	syms []byte
+}
+
+// decisionSpan returns an uninitialized span of n decisions from the
+// arena. When the current chunk is too small a larger one replaces it;
+// spans already handed out keep the old chunk alive, so they stay valid
+// for the rest of the call.
+func (s *decodeScratch) decisionSpan(n int) []phy.Decision {
+	if cap(s.dec)-len(s.dec) < n {
+		c := 2 * cap(s.dec)
+		if c < n {
+			c = n
+		}
+		if c < 1024 {
+			c = 1024
+		}
+		s.dec = make([]phy.Decision, 0, c)
+	}
+	span := s.dec[len(s.dec) : len(s.dec)+n]
+	s.dec = s.dec[:len(s.dec)+n]
+	return span
+}
+
+// byteSpan is decisionSpan for the byte arena.
+func (s *decodeScratch) byteSpan(n int) []byte {
+	if cap(s.bytes)-len(s.bytes) < n {
+		c := 2 * cap(s.bytes)
+		if c < n {
+			c = n
+		}
+		if c < 1024 {
+			c = 1024
+		}
+		s.bytes = make([]byte, 0, c)
+	}
+	span := s.bytes[len(s.bytes) : len(s.bytes)+n]
+	s.bytes = s.bytes[:len(s.bytes)+n]
+	return span
+}
+
+// symbolScratch returns the zeroed n-symbol scratch slice.
+func (s *decodeScratch) symbolScratch(n int) []byte {
+	if cap(s.syms) < n {
+		s.syms = make([]byte, n)
+	}
+	sy := s.syms[:n]
+	clear(sy)
+	return sy
+}
+
+// reset recycles the arenas for a new receive call. Chunks are kept at
+// their high-water capacity; only the lengths rewind.
+func (s *decodeScratch) reset() {
+	s.recs = s.recs[:0]
+	s.dec = s.dec[:0]
+	s.bytes = s.bytes[:0]
+}
+
 // Receiver turns raw chip streams into Receptions. The zero value is not
-// usable; construct with NewReceiver.
+// usable; construct with NewReceiver. A Receiver owns scratch buffers that
+// back the Receptions it returns (see Reception's ownership note), so it
+// must not be copied and is not safe for concurrent use; the simulator
+// keeps one per worker.
 type Receiver struct {
 	// Dec despreads codewords and attaches SoftPHY hints.
 	Dec phy.Decoder
@@ -59,6 +142,8 @@ type Receiver struct {
 	// roll: the size of its circular sample buffer. Defaults to
 	// MaxAirChips, "one maximally-sized packet".
 	BufferChips int
+
+	scratch decodeScratch
 }
 
 // NewReceiver returns a Receiver with the paper's configuration: the given
@@ -76,8 +161,12 @@ func NewReceiver(dec phy.Decoder) *Receiver {
 // decodeRegion despreads nSymbols starting at chipOff, clipping to the
 // buffer. It returns the decisions, the number of symbols skipped before the
 // region start (clip at front), and whether the region was fully inside.
+// The decisions are pre-sized to nSymbols from the arena and clipped to the
+// decoded count — no append churn on the hot path.
 func (r *Receiver) decodeRegion(buf *ChipBuffer, chipOff, nSymbols int) (ds []phy.Decision, skipped int, complete bool) {
+	ds = r.scratch.decisionSpan(nSymbols)
 	complete = true
+	n := 0
 	for i := 0; i < nSymbols; i++ {
 		off := chipOff + i*32
 		if off < 0 {
@@ -89,36 +178,45 @@ func (r *Receiver) decodeRegion(buf *ChipBuffer, chipOff, nSymbols int) (ds []ph
 			complete = false
 			break
 		}
-		ds = append(ds, r.Dec.Decode(phy.Observation{Hard: buf.Word32(off)}))
+		ds[n] = r.Dec.Decode(phy.Observation{Hard: buf.Word32(off)})
+		n++
 	}
-	return ds, skipped, complete
+	return ds[:n], skipped, complete
 }
 
-// decodeBytes despreads exactly nBytes at chipOff and packs them; ok is
-// false if the region is not fully inside the buffer.
+// decodeBytes despreads exactly nBytes at chipOff and packs them into a
+// byte-arena span; ok is false if the region is not fully inside the
+// buffer.
 func (r *Receiver) decodeBytes(buf *ChipBuffer, chipOff, nBytes int) (b []byte, ok bool) {
 	ds, skipped, complete := r.decodeRegion(buf, chipOff, nBytes*SymbolsPerByte)
 	if skipped > 0 || !complete {
 		return nil, false
 	}
-	return bitutil.BytesFromNibbles(phy.SymbolsOf(ds)), true
+	b = r.scratch.byteSpan(nBytes)
+	for i := range b {
+		b[i] = ds[2*i].Symbol&0x0f | ds[2*i+1].Symbol<<4
+	}
+	return b, true
 }
 
 // Receive scans one packed chip stream and returns every distinct packet
 // reception, ordered by payload position. Packets acquired via both their
 // preamble and postamble are deduplicated, preferring the reception that
 // recovered more. The stream is consumed as-is — byte-per-chip callers at
-// the modem boundary pack once with NewChipBuffer.
+// the modem boundary pack once with NewChipBuffer. The returned slice and
+// the Reception payload views are valid until the next Receive or
+// ReceiveSynced call on this Receiver.
 func (r *Receiver) Receive(buf *ChipBuffer) []Reception {
-	return r.ReceiveSynced(buf, FindSyncs(buf, r.SyncMaxDist))
+	r.scratch.syncs = AppendSyncs(r.scratch.syncs[:0], buf, r.SyncMaxDist)
+	return r.ReceiveSynced(buf, r.scratch.syncs)
 }
 
 // ReceiveSynced decodes receptions from pre-computed sync detections. The
 // sync scan depends only on the chips, so callers evaluating several
 // receiver variants over one stream (the simulator) scan once and decode
-// per variant.
+// per variant. The same ownership rule as Receive applies.
 func (r *Receiver) ReceiveSynced(buf *ChipBuffer, syncs []Sync) []Reception {
-	var recs []Reception
+	r.scratch.reset()
 	for _, s := range syncs {
 		var rec Reception
 		var ok bool
@@ -132,10 +230,10 @@ func (r *Receiver) ReceiveSynced(buf *ChipBuffer, syncs []Sync) []Reception {
 			rec, ok = r.receiveFromPostamble(buf, s)
 		}
 		if ok {
-			recs = append(recs, rec)
+			r.scratch.recs = append(r.scratch.recs, rec)
 		}
 	}
-	return dedupe(recs)
+	return dedupe(r.scratch.recs)
 }
 
 // receiveFromPreamble is the status-quo acquisition path: header follows the
@@ -217,49 +315,76 @@ func (r *Receiver) fillPayloadFrom(buf *ChipBuffer, rec *Reception, hdrFields []
 	rec.Decisions = ds
 	// Reassemble payload bytes: zero-fill the missing prefix, then decoded
 	// symbols; if the tail is truncated, zero-fill that too.
-	syms := make([]byte, nSym)
+	syms := r.scratch.symbolScratch(nSym)
 	for i, d := range ds {
 		syms[rec.MissingPrefix+i] = d.Symbol
 	}
-	rec.PayloadBytes = bitutil.BytesFromNibbles(syms)
+	pb := r.scratch.byteSpan(int(rec.Hdr.Length))
+	for i := range pb {
+		pb[i] = syms[2*i]&0x0f | syms[2*i+1]<<4
+	}
+	rec.PayloadBytes = pb
 	// Verify the packet CRC over decoded header fields + payload.
 	crcStart := start + nSym*32
 	if crcBytes, ok := r.decodeBytes(buf, crcStart, CRC32Bytes); ok && rec.MissingPrefix == 0 && len(ds) == nSym {
-		rec.CRCOK = PacketCRC32OK(hdrFields, rec.PayloadBytes, crcBytes)
+		rec.CRCOK = packetCRC32OK(hdrFields, rec.PayloadBytes, crcBytes)
 	}
+}
+
+// packetCRC32OK streams the whole-packet CRC over decoded header fields and
+// payload without materializing their concatenation.
+func packetCRC32OK(hdrFields, payload, crc []byte) bool {
+	if len(crc) != CRC32Bytes {
+		return false
+	}
+	want := uint32(crc[0])<<24 | uint32(crc[1])<<16 | uint32(crc[2])<<8 | uint32(crc[3])
+	return crcutil.Update32(crcutil.Update32(0, hdrFields), payload) == want
 }
 
 // dedupe collapses receptions that refer to the same packet (identified by
 // payload start offset), preferring header-verified receptions, then those
 // with more decoded symbols, then preamble over postamble (preamble
 // reception needs no rollback and is what the status quo would deliver).
+// It compacts in place and finishes with an allocation-free insertion sort
+// — the reception count per stream is tiny.
 func dedupe(recs []Reception) []Reception {
-	best := map[int]Reception{}
-	var failedAcqs []Reception
-	for _, rec := range recs {
-		if !rec.HeaderOK {
-			// Failed acquisitions have no reliable identity; keep them all
-			// (experiments count them separately).
-			failedAcqs = append(failedAcqs, rec)
-			continue
+	n := 0
+	for i := range recs {
+		rec := recs[i]
+		if rec.HeaderOK {
+			dup := false
+			for j := 0; j < n; j++ {
+				if recs[j].HeaderOK && recs[j].PayloadStartChip == rec.PayloadStartChip {
+					if betterReception(rec, recs[j]) {
+						recs[j] = rec
+					}
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
 		}
-		cur, exists := best[rec.PayloadStartChip]
-		if !exists || betterReception(rec, cur) {
-			best[rec.PayloadStartChip] = rec
+		// Failed acquisitions have no reliable identity; keep them all
+		// (experiments count them separately).
+		recs[n] = rec
+		n++
+	}
+	recs = recs[:n]
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && lessReception(&recs[j], &recs[j-1]); j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
 		}
 	}
-	out := make([]Reception, 0, len(best)+len(failedAcqs))
-	for _, rec := range best {
-		out = append(out, rec)
+	return recs
+}
+
+func lessReception(a, b *Reception) bool {
+	if a.PayloadStartChip != b.PayloadStartChip {
+		return a.PayloadStartChip < b.PayloadStartChip
 	}
-	out = append(out, failedAcqs...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].PayloadStartChip != out[j].PayloadStartChip {
-			return out[i].PayloadStartChip < out[j].PayloadStartChip
-		}
-		return out[i].Kind < out[j].Kind
-	})
-	return out
+	return a.Kind < b.Kind
 }
 
 func betterReception(a, b Reception) bool {

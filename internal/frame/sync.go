@@ -61,14 +61,36 @@ type Sync struct {
 // error rates up to ~5% on a genuine pattern.
 const DefaultSyncMaxDist = 20
 
-// patternWords returns the sync pattern's codewords as packed 32-chip words.
-func patternWords(pattern []byte) []uint32 {
-	return phy.SpreadSymbols(symbolsOfBytes(pattern))
+// The sync scan works 64 chips — one machine word — at a time. Both sync
+// patterns are 5 bytes = 320 chips = exactly five 64-chip blocks, and they
+// share their first four blocks (the zero-byte pad, codeword 0 repeated);
+// only the fifth block, the delimiter byte, differs between preamble and
+// postamble. So the scan accumulates the shared pad distance block by
+// block with the seed's early-bailout semantics (once the pad distance
+// alone exceeds the threshold, both patterns are rejected), and only on
+// surviving candidates pays for the two delimiter correlations. The first
+// pad block doubles as the cheap prefilter: against uncorrelated noise its
+// expected distance is 32 chips, so a noise offset is rejected after a
+// single XOR+popcount with probability ~0.998 at the default threshold.
+const (
+	syncBlocks = SyncChips / 64
+	padBlocks  = syncBlocks - 1
+)
+
+// delimWord packs a sync pattern's delimiter byte (two codewords) into the
+// 64-chip block the scan compares against.
+func delimWord(delim byte) uint64 {
+	cws := phy.SpreadSymbols(symbolsOfBytes([]byte{delim}))
+	return uint64(cws[0])<<32 | uint64(cws[1])
 }
 
 var (
-	preambleWords  = patternWords(preamblePattern())
-	postambleWords = patternWords(postamblePattern())
+	// padWord is one 64-chip block of the shared sync pad: the zero byte's
+	// two codeword-0 repetitions. All four pad blocks are identical.
+	padWord = uint64(chipseq.Codeword(0))<<32 | uint64(chipseq.Codeword(0))
+	// preDelimWord and postDelimWord are the fifth, distinguishing blocks.
+	preDelimWord  = delimWord(SFD)
+	postDelimWord = delimWord(PSFD)
 )
 
 // FindSyncs scans the buffer for preamble and postamble patterns, returning
@@ -76,39 +98,79 @@ var (
 // codeword apart are collapsed to the strongest, which handles the cluster
 // of near-hits around the true alignment.
 func FindSyncs(buf *ChipBuffer, maxDist int) []Sync {
+	return AppendSyncs(nil, buf, maxDist)
+}
+
+// AppendSyncs is FindSyncs appending into dst, the allocation-free form for
+// callers that scan repeatedly (the receiver reuses one detection buffer
+// across Receive calls).
+func AppendSyncs(dst []Sync, buf *ChipBuffer, maxDist int) []Sync {
 	if maxDist <= 0 {
 		maxDist = DefaultSyncMaxDist
 	}
 	limit := buf.Len() - SyncChips
-	var out []Sync
-	for off := 0; off <= limit; off++ {
-		dPre, dPost := 0, 0
-		for k := 0; k < len(preambleWords); k++ {
-			w := buf.Word32(off + k*chipseq.ChipsPerSymbol)
-			dPre += bits.OnesCount32(w ^ preambleWords[k])
-			dPost += bits.OnesCount32(w ^ postambleWords[k])
-			// The pads are identical, so the running distances only diverge
-			// on the delimiter codewords; bail out early once both exceed
-			// the threshold to keep the scan cheap on noise.
-			if dPre > maxDist && dPost > maxDist {
-				break
+	base := len(dst)
+	words := buf.Words()
+	// Offset sweep, structured as (word, shift) so the two backing words of
+	// the prefilter block load once per 64 offsets and the inner loop is
+	// pure register arithmetic: two shifts, an OR, an XOR, a popcount and a
+	// compare per offset. Go defines w1>>64 as 0, so the sh==0 case needs no
+	// branch.
+	for wi := 0; wi*64 <= limit; wi++ {
+		w0 := words[wi]
+		var w1 uint64
+		if wi+1 < len(words) {
+			w1 = words[wi+1]
+		}
+		shEnd := limit - wi*64
+		if shEnd > 63 {
+			shEnd = 63
+		}
+		for sh := 0; sh <= shEnd; sh++ {
+			// Prefilter: first pad block. Against uncorrelated noise the
+			// expected distance is 32 chips, so a noise offset dies here
+			// with probability ~0.998 at the default threshold.
+			d := bits.OnesCount64((w0<<uint(sh) | w1>>(64-uint(sh))) ^ padWord)
+			if d > maxDist {
+				continue
 			}
-		}
-		kind, d := SyncPreamble, dPre
-		if dPost < dPre {
-			kind, d = SyncPostamble, dPost
-		}
-		if d > maxDist {
-			continue
-		}
-		// Collapse candidates within one codeword of the previous detection.
-		if n := len(out); n > 0 && off-out[n-1].ChipOffset < chipseq.ChipsPerSymbol {
-			if d < out[n-1].Dist {
-				out[n-1] = Sync{Kind: kind, ChipOffset: off, Dist: d}
+			off := wi*64 + sh
+			// Remaining shared pad blocks with the seed's early-bailout
+			// semantics: once the pad distance alone exceeds the threshold,
+			// both patterns are rejected.
+			d += bits.OnesCount64(buf.Word64(off+64) ^ padWord)
+			if d > maxDist {
+				continue
 			}
-			continue
+			d += bits.OnesCount64(buf.Word64(off+128) ^ padWord)
+			if d > maxDist {
+				continue
+			}
+			d += bits.OnesCount64(buf.Word64(off+192) ^ padWord)
+			if d > maxDist {
+				continue
+			}
+			// Delimiter block: the only place the two patterns diverge.
+			last := buf.Word64(off + padBlocks*64)
+			dPre := d + bits.OnesCount64(last^preDelimWord)
+			dPost := d + bits.OnesCount64(last^postDelimWord)
+			kind, dist := SyncPreamble, dPre
+			if dPost < dPre {
+				kind, dist = SyncPostamble, dPost
+			}
+			if dist > maxDist {
+				continue
+			}
+			// Collapse candidates within one codeword of the previous
+			// detection.
+			if n := len(dst); n > base && off-dst[n-1].ChipOffset < chipseq.ChipsPerSymbol {
+				if dist < dst[n-1].Dist {
+					dst[n-1] = Sync{Kind: kind, ChipOffset: off, Dist: dist}
+				}
+				continue
+			}
+			dst = append(dst, Sync{Kind: kind, ChipOffset: off, Dist: dist})
 		}
-		out = append(out, Sync{Kind: kind, ChipOffset: off, Dist: d})
 	}
-	return out
+	return dst
 }

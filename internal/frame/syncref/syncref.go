@@ -1,0 +1,68 @@
+// Package syncref freezes the seed's per-offset sync correlation scan —
+// ten Word32 extractions and twenty popcounts per chip offset — as the
+// behavioral reference for the word-parallel frame.FindSyncs. It exists so
+// exactly one copy of the reference is shared by the bit-identical parity
+// tests (internal/frame) and the BenchmarkFindSyncs baseline (package ppr):
+// the ≥3× speedup gate and the parity guard both measure against this
+// function. Do not optimize or "fix" it; its value is that it does not
+// change.
+package syncref
+
+import (
+	"math/bits"
+
+	"ppr/internal/bitutil"
+	"ppr/internal/chipseq"
+	"ppr/internal/frame"
+	"ppr/internal/phy"
+)
+
+// patternWords rebuilds a sync pattern's codewords the way the seed did:
+// pad of zero bytes followed by the delimiter, spread to 32-chip words.
+func patternWords(delim byte) []uint32 {
+	pattern := append(make([]byte, frame.SyncPadBytes), delim)
+	return phy.SpreadSymbols(bitutil.NibblesFromBytes(pattern))
+}
+
+var (
+	preambleWords  = patternWords(frame.SFD)
+	postambleWords = patternWords(frame.PSFD)
+)
+
+// FindSyncs is the seed implementation of frame.FindSyncs, verbatim: a
+// sliding per-offset scan that extracts each candidate window one 32-chip
+// codeword at a time and accumulates both pattern distances with the
+// early bailout once both exceed the threshold.
+func FindSyncs(buf *bitutil.ChipWords, maxDist int) []frame.Sync {
+	if maxDist <= 0 {
+		maxDist = frame.DefaultSyncMaxDist
+	}
+	limit := buf.Len() - frame.SyncChips
+	var out []frame.Sync
+	for off := 0; off <= limit; off++ {
+		dPre, dPost := 0, 0
+		for k := 0; k < len(preambleWords); k++ {
+			w := buf.Word32(off + k*chipseq.ChipsPerSymbol)
+			dPre += bits.OnesCount32(w ^ preambleWords[k])
+			dPost += bits.OnesCount32(w ^ postambleWords[k])
+			if dPre > maxDist && dPost > maxDist {
+				break
+			}
+		}
+		kind, d := frame.SyncPreamble, dPre
+		if dPost < dPre {
+			kind, d = frame.SyncPostamble, dPost
+		}
+		if d > maxDist {
+			continue
+		}
+		if n := len(out); n > 0 && off-out[n-1].ChipOffset < chipseq.ChipsPerSymbol {
+			if d < out[n-1].Dist {
+				out[n-1] = frame.Sync{Kind: kind, ChipOffset: off, Dist: d}
+			}
+			continue
+		}
+		out = append(out, frame.Sync{Kind: kind, ChipOffset: off, Dist: d})
+	}
+	return out
+}

@@ -17,6 +17,7 @@ package phy
 
 import (
 	"fmt"
+	"slices"
 
 	"ppr/internal/bitutil"
 	"ppr/internal/chipseq"
@@ -156,12 +157,20 @@ func PackChips(chips []byte, off int) uint32 {
 // of a full codeword are ignored. Codewords are extracted directly from the
 // packed words — no byte-per-chip intermediate exists on this path.
 func DecodeStream(dec Decoder, chips *bitutil.ChipWords) []Decision {
+	return AppendDecodeStream(nil, dec, chips)
+}
+
+// AppendDecodeStream is DecodeStream appending into dst — the
+// allocation-free form for callers despreading many streams in a loop,
+// who pass a reused buffer re-sliced to zero length.
+func AppendDecodeStream(dst []Decision, dec Decoder, chips *bitutil.ChipWords) []Decision {
 	n := chips.Len() / chipseq.ChipsPerSymbol
-	out := make([]Decision, n)
+	base := len(dst)
+	dst = slices.Grow(dst, n)[:base+n]
 	for i := 0; i < n; i++ {
-		out[i] = dec.Decode(Observation{Hard: chips.Word32(i * chipseq.ChipsPerSymbol)})
+		dst[base+i] = dec.Decode(Observation{Hard: chips.Word32(i * chipseq.ChipsPerSymbol)})
 	}
-	return out
+	return dst
 }
 
 // SymbolsOf extracts just the decoded symbols from decisions.

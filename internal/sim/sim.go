@@ -367,15 +367,44 @@ func buildWindows(cfg Config, txs []*Transmission) []window {
 	return windows
 }
 
+// deliverState is one worker's reusable receiver machinery: a configured
+// Receiver per variant plus scratch slices, all recycled across the
+// windows the worker processes. frame.Receiver owns arena buffers that
+// back the Receptions it returns, so reusing receivers makes the whole
+// per-window decode allocation-free — the price is that deliverWindow must
+// copy the Decisions it keeps into each Outcome before the next window
+// overwrites the arena.
+type deliverState struct {
+	rxs      []*frame.Receiver
+	syncs    []frame.Sync
+	overlaps []radio.Overlap
+}
+
+// newDeliverState builds one worker's receivers from the variant list.
+func newDeliverState(variants []Variant) *deliverState {
+	st := &deliverState{rxs: make([]*frame.Receiver, len(variants))}
+	for vi, v := range variants {
+		dec := v.Decoder
+		if dec == nil {
+			dec = phy.HardDecoder{}
+		}
+		rx := frame.NewReceiver(dec)
+		rx.UsePostamble = v.UsePostamble
+		st.rxs[vi] = rx
+	}
+	return st
+}
+
 // deliverWindow synthesizes one window's chip stream and runs every variant's
-// receiver over it. rng must be dedicated to this window.
-func deliverWindow(cfg Config, w window, variants []Variant, rng *stats.RNG) []Outcome {
+// receiver over it. rng must be dedicated to this window; st must be
+// dedicated to the calling worker.
+func deliverWindow(cfg Config, w window, st *deliverState, rng *stats.RNG) []Outcome {
 	tb := cfg.Testbed
 	noiseMW := radio.DBmToMW(tb.Params.NoiseFloorDBm)
 
-	overlaps := make([]radio.Overlap, 0, len(w.members))
+	st.overlaps = st.overlaps[:0]
 	for _, m := range w.members {
-		overlaps = append(overlaps, radio.Overlap{
+		st.overlaps = append(st.overlaps, radio.Overlap{
 			Start:   int(m.tx.StartChip - w.origin),
 			Chips:   m.tx.ChipStream(),
 			PowerMW: m.powerMW,
@@ -384,29 +413,12 @@ func deliverWindow(cfg Config, w window, variants []Variant, rng *stats.RNG) []O
 	// The synthesizer's packed output is the receiver's buffer directly —
 	// no repack between channel and sync scan. The scan is variant-
 	// independent: do it once per window.
-	buf := radio.SynthesizeFading(rng, w.length, overlaps, noiseMW, radio.DefaultCoherenceChips)
-	syncs := frame.FindSyncs(buf, frame.DefaultSyncMaxDist)
+	buf := radio.SynthesizeFading(rng, w.length, st.overlaps, noiseMW, radio.DefaultCoherenceChips)
+	st.syncs = frame.AppendSyncs(st.syncs[:0], buf, frame.DefaultSyncMaxDist)
 
 	var outcomes []Outcome
-	for vi, v := range variants {
-		dec := v.Decoder
-		if dec == nil {
-			dec = phy.HardDecoder{}
-		}
-		rx := frame.NewReceiver(dec)
-		rx.UsePostamble = v.UsePostamble
-		recs := rx.ReceiveSynced(buf, syncs)
-		// Match receptions to transmissions by payload start chip.
-		recByStart := map[int64]*frame.Reception{}
-		for ri := range recs {
-			if !recs[ri].HeaderOK {
-				continue
-			}
-			abs := w.origin + int64(recs[ri].PayloadStartChip)
-			if cur, dup := recByStart[abs]; !dup || len(recs[ri].Decisions) > len(cur.Decisions) {
-				recByStart[abs] = &recs[ri]
-			}
-		}
+	for vi, rx := range st.rxs {
+		recs := rx.ReceiveSynced(buf, st.syncs)
 		for _, m := range w.members {
 			tx := m.tx
 			if tb.GainDBm[tx.Src][w.receiver] < tb.Params.NoiseFloorDBm+ScoringMarginDB {
@@ -416,13 +428,28 @@ func deliverWindow(cfg Config, w window, variants []Variant, rng *stats.RNG) []O
 				TxID: tx.ID, Src: tx.Src, Receiver: w.receiver, Variant: vi,
 				TruthSyms: tx.TruthSyms,
 			}
-			if rec := recByStart[tx.PayloadStartChip()]; rec != nil &&
-				rec.Hdr.Src == tx.Frame.Hdr.Src && rec.Hdr.Seq == tx.Frame.Hdr.Seq {
+			// Match the reception to this transmission by payload start chip
+			// and header identity; among duplicates keep the one that
+			// recovered the most. The reception count per window is tiny, so
+			// a linear scan beats building a map.
+			var best *frame.Reception
+			for ri := range recs {
+				rec := &recs[ri]
+				if !rec.HeaderOK || w.origin+int64(rec.PayloadStartChip) != tx.PayloadStartChip() {
+					continue
+				}
+				if best == nil || len(rec.Decisions) > len(best.Decisions) {
+					best = rec
+				}
+			}
+			if best != nil && best.Hdr.Src == tx.Frame.Hdr.Src && best.Hdr.Seq == tx.Frame.Hdr.Seq {
 				o.Acquired = true
-				o.Kind = rec.Kind
-				o.CRCOK = rec.CRCOK
-				o.MissingPrefix = rec.MissingPrefix
-				o.Decisions = rec.Decisions
+				o.Kind = best.Kind
+				o.CRCOK = best.CRCOK
+				o.MissingPrefix = best.MissingPrefix
+				// The reception's Decisions live in rx's arena and die at its
+				// next ReceiveSynced; the Outcome outlives that, so copy.
+				o.Decisions = append([]phy.Decision(nil), best.Decisions...)
 			}
 			outcomes = append(outcomes, o)
 		}
@@ -473,11 +500,12 @@ func DeliverContext(ctx context.Context, cfg Config, txs []*Transmission, varian
 		workers = len(windows)
 	}
 	if workers <= 1 {
+		st := newDeliverState(variants)
 		for _, w := range windows {
 			if cancelled() {
 				return nil, ctx.Err()
 			}
-			outcomes = append(outcomes, deliverWindow(cfg, w, variants, windowRNG(w))...)
+			outcomes = append(outcomes, deliverWindow(cfg, w, st, windowRNG(w))...)
 		}
 	} else {
 		jobs := make(chan window)
@@ -487,8 +515,9 @@ func DeliverContext(ctx context.Context, cfg Config, txs []*Transmission, varian
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				st := newDeliverState(variants)
 				for w := range jobs {
-					results <- deliverWindow(cfg, w, variants, windowRNG(w))
+					results <- deliverWindow(cfg, w, st, windowRNG(w))
 				}
 			}()
 		}
