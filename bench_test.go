@@ -25,6 +25,7 @@ import (
 	"ppr/internal/frame"
 	"ppr/internal/frame/syncref"
 	"ppr/internal/modem"
+	"ppr/internal/netsim"
 	"ppr/internal/phy"
 	"ppr/internal/radio"
 	"ppr/internal/radio/synthref"
@@ -137,6 +138,54 @@ func BenchmarkNetsimFig17Quick(b *testing.B) {
 	}
 }
 
+// BenchmarkMesh regenerates the city-scale mesh experiment: 1000 nodes in
+// 100 mutually inaudible cells, 500 closed-loop flows per link layer, run
+// by the spatially sharded engine.
+func BenchmarkMesh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Mesh(benchOpts(i))
+		if res.Domains != 100 || len(res.Layers) == 0 || res.Layers[0].Transfers == 0 {
+			b.Fatal("mesh run degenerate")
+		}
+	}
+}
+
+// BenchmarkMeshScaling runs one sharded netsim configuration — a
+// multi-domain cell grid with contending flows in every cell — under 1 and
+// 8 workers. Results are bit-identical (TestShardWorkerInvariance); the
+// ns/op ratio is the wall-clock speedup spatial sharding buys, visible on
+// multicore hardware (the sub-benches coincide on a single-CPU machine).
+// Sub-bench names avoid a trailing -<digits> so benchjson's GOMAXPROCS
+// normalization keeps them distinct.
+func BenchmarkMeshScaling(b *testing.B) {
+	tp, err := experiments.MeshTopology(experiments.Options{Seed: 1, Quick: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows := experiments.MeshFlows(tp.NumNodes())
+	for _, workers := range []int{1, 8} {
+		b.Run(map[int]string{1: "w1", 8: "w8"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := netsim.Run(netsim.Config{
+					Topo:         tp,
+					Flows:        flows,
+					PacketBytes:  250,
+					DurationSec:  0.02,
+					CarrierSense: true,
+					Seed:         uint64(i%4 + 1),
+					Workers:      workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Domains != 100 {
+					b.Fatalf("%d domains, want 100", res.Domains)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSummary(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Summary(benchOpts(i))
@@ -146,7 +195,7 @@ func BenchmarkSummary(b *testing.B) {
 	}
 }
 
-// BenchmarkRunnerAllQuick regenerates the full 15-experiment suite through
+// BenchmarkRunnerAllQuick regenerates the full 16-experiment suite through
 // the registry-backed Runner with a fresh trace cache per iteration —
 // exactly what `pprsim -exp all -quick` does — serially vs concurrently.
 // TestRunnerMatchesSerial proves both produce identical datasets, so the

@@ -5,9 +5,10 @@
 // artifact, and fails when a hot-path benchmark regresses by more than the
 // threshold against the previous PR's committed snapshot.
 //
-// Emit mode (default) reads bench output from stdin:
+// Emit mode (default) reads bench output from stdin, keeping the fastest
+// sample per benchmark when `-count N` repeats them:
 //
-//	go test -run '^$' -bench . -benchmem . | benchjson -pr 6 > BENCH_6.json
+//	go test -run '^$' -bench . -benchmem -count 3 . | benchjson -pr 6 > BENCH_6.json
 //
 // Check mode compares two snapshots and exits nonzero on regression:
 //
@@ -88,7 +89,14 @@ func emit(r *os.File, w *os.File, pr int) error {
 		if !ok {
 			continue
 		}
-		snap.Benchmarks[name] = meas
+		// With `-count N` input the same benchmark appears N times; keep
+		// the fastest sample. Minimum-of-N is the standard noise-robust
+		// statistic for benchmarks — interference only ever slows a run
+		// down — and it is what makes the regression gate usable on busy
+		// shared runners.
+		if prev, dup := snap.Benchmarks[name]; !dup || meas.NsPerOp < prev.NsPerOp {
+			snap.Benchmarks[name] = meas
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return err
@@ -161,17 +169,31 @@ func checkSnapshots(prevPath, curPath string, threshold float64) int {
 			status = "REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-50s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n",
-			name, p.NsPerOp, c.NsPerOp, delta*100, status)
+		if allocsRegressed(p, c, threshold) {
+			status = "ALLOC REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-50s %14.0f -> %14.0f ns/op  %+6.1f%%  %6.1f -> %6.1f allocs/op  %s\n",
+			name, p.NsPerOp, c.NsPerOp, delta*100, p.AllocsPerOp, c.AllocsPerOp, status)
 	}
 	if failed {
-		fmt.Printf("FAIL: ns/op regression beyond %.0f%% (PR %d -> PR %d)\n",
+		fmt.Printf("FAIL: ns/op or allocs/op regression beyond %.0f%% (PR %d -> PR %d)\n",
 			threshold*100, prev.PR, cur.PR)
 		return 1
 	}
 	fmt.Printf("all %d shared benchmarks within %.0f%% (PR %d -> PR %d)\n",
 		len(names), threshold*100, prev.PR, cur.PR)
 	return 0
+}
+
+// allocsRegressed reports whether cur's allocs/op meaningfully regressed
+// against prev: past the relative threshold AND by more than half an
+// allocation, so counting noise around tiny or zero baselines (a 0→0.4
+// flicker from amortized growth) never fails the gate while a genuine new
+// per-op allocation (0→1, 3→4) always does.
+func allocsRegressed(prev, cur Measurement, threshold float64) bool {
+	return cur.AllocsPerOp > prev.AllocsPerOp*(1+threshold) &&
+		cur.AllocsPerOp-prev.AllocsPerOp > 0.5
 }
 
 // load reads and validates one snapshot file.

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestParseMeasurement(t *testing.T) {
+	m, ok := parseMeasurement("123.4 ns/op  55 B/op  3 allocs/op")
+	if !ok || m.NsPerOp != 123.4 || m.BytesPerOp != 55 || m.AllocsPerOp != 3 {
+		t.Fatalf("parsed %+v, %v", m, ok)
+	}
+	m, ok = parseMeasurement("987 ns/op  250.5 MB/s")
+	if !ok || m.NsPerOp != 987 || m.AllocsPerOp != 0 {
+		t.Fatalf("parsed %+v, %v", m, ok)
+	}
+	if _, ok := parseMeasurement("55 B/op"); ok {
+		t.Fatal("accepted a line without ns/op")
+	}
+}
+
+func TestProcSuffixNormalization(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":          "BenchmarkFoo",
+		"BenchmarkFoo/w8-16":      "BenchmarkFoo/w8",
+		"BenchmarkMeshScaling/w1": "BenchmarkMeshScaling/w1",
+	}
+	for in, want := range cases {
+		if got := procSuffix.ReplaceAllString(in, ""); got != want {
+			t.Errorf("normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAllocsRegressed(t *testing.T) {
+	cases := []struct {
+		name       string
+		prev, cur  float64
+		regression bool
+	}{
+		{"zero to zero", 0, 0, false},
+		{"amortized flicker", 0, 0.4, false},
+		{"new allocation", 0, 1, true},
+		{"steady", 3, 3, false},
+		{"one more per op", 3, 4, true},
+		{"within threshold", 100, 110, false},
+		{"past threshold", 100, 130, true},
+		{"large base, tiny bump", 1000, 1000.4, false},
+		{"improvement", 5, 2, false},
+	}
+	for _, c := range cases {
+		got := allocsRegressed(Measurement{AllocsPerOp: c.prev}, Measurement{AllocsPerOp: c.cur}, 0.20)
+		if got != c.regression {
+			t.Errorf("%s (%g -> %g): regressed = %v, want %v", c.name, c.prev, c.cur, got, c.regression)
+		}
+	}
+}
+
+func TestEmitKeepsFastestSample(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.CreateTemp(t.TempDir(), "snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		fmt.Fprintln(w, "BenchmarkFoo-8   100   200 ns/op   16 B/op   2 allocs/op")
+		fmt.Fprintln(w, "BenchmarkFoo-8   100   150 ns/op   16 B/op   1 allocs/op")
+		fmt.Fprintln(w, "BenchmarkFoo-8   100   180 ns/op   16 B/op   2 allocs/op")
+		w.Close()
+	}()
+	if err := emit(r, out, 9); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := load(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := snap.Benchmarks["BenchmarkFoo"]
+	if m.NsPerOp != 150 || m.AllocsPerOp != 1 {
+		t.Errorf("kept %+v, want the fastest (150 ns/op) sample", m)
+	}
+	if snap.PR != 9 {
+		t.Errorf("pr = %d", snap.PR)
+	}
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"ppr/internal/netsim"
+	"ppr/internal/radio"
+	"ppr/internal/stats"
+	"ppr/internal/topo"
+)
+
+// The mesh experiment's city-scale deployment: a 10×10 grid of dense
+// 10-node cells, 2000 ft apart — ≈21 dB past the audibility floor at the
+// default path-loss exponent, over 5σ of shadowing — so the engine
+// decomposes the 1000 nodes into 100 independent interference domains and
+// the spatially sharded event queues carry the run.
+const (
+	meshCellsX          = 10
+	meshCellsY          = 10
+	meshNodesPerCell    = 10
+	meshCellSpacingFeet = 2000
+	meshCellRadiusFeet  = 25
+)
+
+// MeshLayerResult is one link layer's outcome over the whole mesh.
+type MeshLayerResult struct {
+	// Layer is the link layer's registry slug ("pp-arq", ...).
+	Layer string
+	// FlowKbps is each flow's delivered application throughput, in flow
+	// order (cell-major, as meshFlows lays them out).
+	FlowKbps []float64
+	// CDF is the per-flow throughput distribution.
+	CDF []stats.CDFPoint
+	// MedianKbps and MeanKbps summarize it; AggregateKbps totals it.
+	MedianKbps, MeanKbps, AggregateKbps float64
+	// Fairness is Jain's index over FlowKbps: how evenly the contending
+	// flows of each cell share their domain's airtime.
+	Fairness float64
+	// Air sums the byte accounting over every flow — where the airtime
+	// went (data vs retransmissions vs feedback).
+	Air netsim.LinkStats
+	// Transfers and Failures total the per-flow transfer counts.
+	Transfers, Failures int
+}
+
+// MeshResult is the city-scale mesh experiment: every link layer run over
+// the same 1000-node, multi-domain topology with intra-cell closed-loop
+// flows, reported as per-flow throughput distributions and fairness.
+type MeshResult struct {
+	// Nodes, Flows and Domains describe the deployment the engine ran:
+	// Domains is what the audibility-graph partition found, and the whole
+	// point of the layout is Domains = number of cells.
+	Nodes, Flows, Domains int
+	// PacketBytes and DurationSec record the operating point.
+	PacketBytes int
+	DurationSec float64
+	// Layers holds one entry per link layer, in netsim.LinkLayers order.
+	Layers []MeshLayerResult
+}
+
+// meshDuration is the simulated airtime; each of the ~100 domains runs the
+// full window, so the wall-clock cost scales with cells × duration.
+func meshDuration(o Options) float64 {
+	if o.Quick {
+		return 0.02
+	}
+	return 0.5
+}
+
+// MeshTopology builds the experiment's deployment. The seed keys both
+// placement and shadowing, so one Options value names one reproducible
+// city. Exported so the scaling benchmark drives the identical topology
+// through raw netsim configurations.
+func MeshTopology(o Options) (*topo.Topology, error) {
+	return topo.CellGrid(meshCellsX, meshCellsY, meshNodesPerCell,
+		meshCellSpacingFeet, meshCellRadiusFeet, radio.DefaultParams(), o.Seed)
+}
+
+// meshFlowsPerCell bounds the saturated flows contending in each cell.
+// Three is past the knee where CSMA losses and hidden-backoff collisions
+// bite (the regime PP-ARQ targets) but short of wholesale starvation —
+// five saturated 1500-byte flows per cell drive most medians to zero.
+const meshFlowsPerCell = 3
+
+// MeshFlows pairs adjacent nodes inside every cell — node 2k streams to
+// node 2k+1, up to meshFlowsPerCell flows per cell; remaining nodes are
+// silent bystanders. No flow crosses (and therefore merges) cells.
+func MeshFlows(nodes int) []netsim.Flow {
+	flows := make([]netsim.Flow, 0, nodes/2)
+	for base := 0; base < nodes; base += meshNodesPerCell {
+		for k := 0; k+1 < meshNodesPerCell && k/2 < meshFlowsPerCell; k += 2 {
+			flows = append(flows, netsim.Flow{Sender: base + k, Receiver: base + k + 1})
+		}
+	}
+	return flows
+}
+
+// Mesh runs the city-scale mesh experiment: all link layers over the same
+// 1000-node cell-grid topology, each flow closed-loop inside its cell.
+// One netsim run per layer; the engine shards each run by interference
+// domain and executes domains concurrently under Options.Workers, with
+// results bit-identical for every worker count.
+func Mesh(o Options) MeshResult {
+	res, err := meshCtx(context.Background(), o)
+	must(err)
+	return res
+}
+
+func meshCtx(ctx context.Context, o Options) (MeshResult, error) {
+	if err := ctx.Err(); err != nil {
+		return MeshResult{}, err
+	}
+	tp, err := MeshTopology(o)
+	if err != nil {
+		return MeshResult{}, fmt.Errorf("mesh: %w", err)
+	}
+	flows := MeshFlows(tp.NumNodes())
+	res := MeshResult{
+		Nodes:       tp.NumNodes(),
+		Flows:       len(flows),
+		PacketBytes: o.PacketBytes(),
+		DurationSec: meshDuration(o),
+	}
+	for _, layer := range netsim.LinkLayers() {
+		if err := ctx.Err(); err != nil {
+			return MeshResult{}, err
+		}
+		run, err := netsim.RunContext(ctx, netsim.Config{
+			Topo:         tp,
+			Flows:        flows,
+			LinkLayer:    layer,
+			PacketBytes:  res.PacketBytes,
+			DurationSec:  res.DurationSec,
+			CarrierSense: true,
+			// The seed is layer-independent: every layer faces the same
+			// traffic phases and channel draws, so the comparison isolates
+			// the protocols.
+			Seed:    o.Seed ^ 0x3e511,
+			Workers: o.Workers,
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return MeshResult{}, ctx.Err()
+			}
+			return MeshResult{}, fmt.Errorf("mesh: %w", err)
+		}
+		res.Domains = run.Domains
+		lr := MeshLayerResult{Layer: layer}
+		for _, fr := range run.Flows {
+			lr.FlowKbps = append(lr.FlowKbps, float64(fr.DeliveredAppBytes)*8/res.DurationSec/1000)
+			lr.Air.Merge(fr.Air)
+			lr.Transfers += fr.Transfers
+			lr.Failures += fr.Failures
+		}
+		lr.CDF = stats.CDF(lr.FlowKbps)
+		lr.MedianKbps = stats.MedianOrZero(lr.FlowKbps)
+		lr.MeanKbps = stats.Mean(lr.FlowKbps)
+		lr.AggregateKbps = run.AggregateKbps()
+		lr.Fairness = stats.JainFairness(lr.FlowKbps)
+		res.Layers = append(res.Layers, lr)
+	}
+	return res, nil
+}
+
+// Dataset converts the mesh result to the uniform model: one per-flow
+// throughput CDF series per link layer, with aggregate throughput and
+// Jain fairness as series scalars.
+func (r MeshResult) Dataset() Dataset {
+	d := Dataset{
+		Experiment: "mesh",
+		Title:      "Mesh: city-scale throughput and fairness across interference domains",
+		Meta: map[string]string{
+			"nodes":           fmt.Sprintf("%d", r.Nodes),
+			"flows":           fmt.Sprintf("%d", r.Flows),
+			"domains":         fmt.Sprintf("%d", r.Domains),
+			"cells":           fmt.Sprintf("%dx%d x %d nodes", meshCellsX, meshCellsY, meshNodesPerCell),
+			"cell_spacing_ft": fmt.Sprintf("%d", meshCellSpacingFeet),
+			"packet_bytes":    fmt.Sprintf("%d", r.PacketBytes),
+			"duration_sec":    fmt.Sprintf("%g", r.DurationSec),
+		},
+	}
+	for _, lr := range r.Layers {
+		s := Series{
+			Label:  lr.Layer,
+			Unit:   "P[X<=x]",
+			XUnit:  "Kbit/s",
+			Points: cdfPoints(lr.CDF),
+			Bands:  cdfBands(lr.CDF, lr.MedianKbps),
+		}
+		s.Bands["mean"] = lr.MeanKbps
+		s.Bands["aggregate_kbps"] = lr.AggregateKbps
+		s.Bands["fairness"] = lr.Fairness
+		s.Bands["transfers"] = float64(lr.Transfers)
+		s.Bands["failures"] = float64(lr.Failures)
+		s.Bands["air_bytes"] = float64(lr.Air.TotalAirBytes())
+		d.Series = append(d.Series, s)
+	}
+	return d
+}

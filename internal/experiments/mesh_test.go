@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"ppr/internal/netsim"
+)
+
+// TestMeshShape pins the experiment's deployment contract: 1000 nodes in
+// 100 cells, every cell its own interference domain, 3 contending flows
+// per cell, one curve per registered link layer, and a non-trivial amount
+// of traffic actually delivered.
+func TestMeshShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("city-scale run")
+	}
+	res := Mesh(Options{Seed: 5, Quick: true})
+	wantFlows := meshCellsX * meshCellsY * meshFlowsPerCell
+	if res.Nodes != 1000 || res.Flows != wantFlows {
+		t.Fatalf("deployment is %d nodes / %d flows, want 1000 / %d", res.Nodes, res.Flows, wantFlows)
+	}
+	if res.Domains != meshCellsX*meshCellsY {
+		t.Errorf("engine found %d interference domains, want %d", res.Domains, meshCellsX*meshCellsY)
+	}
+	layers := netsim.LinkLayers()
+	if len(res.Layers) != len(layers) {
+		t.Fatalf("%d layer curves, want %d", len(res.Layers), len(layers))
+	}
+	for i, lr := range res.Layers {
+		if lr.Layer != layers[i] {
+			t.Errorf("curve %d is %q, want %q", i, lr.Layer, layers[i])
+		}
+		if len(lr.FlowKbps) != res.Flows {
+			t.Errorf("%s: %d flow samples, want %d", lr.Layer, len(lr.FlowKbps), res.Flows)
+		}
+		if lr.AggregateKbps <= 0 {
+			t.Errorf("%s: nothing delivered", lr.Layer)
+		}
+		if lr.Fairness <= 0 || lr.Fairness > 1 {
+			t.Errorf("%s: fairness %v outside (0, 1]", lr.Layer, lr.Fairness)
+		}
+		if lr.Transfers == 0 {
+			t.Errorf("%s: no transfers attempted", lr.Layer)
+		}
+	}
+}
+
+// TestMeshWorkerInvariance is the experiment-level face of the engine's
+// determinism contract: the full mesh result must be bit-identical
+// whether the 100 domains run serially or on 8 workers.
+func TestMeshWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("city-scale run")
+	}
+	serial := Mesh(Options{Seed: 8, Quick: true, Workers: 1})
+	wide := Mesh(Options{Seed: 8, Quick: true, Workers: 8})
+	if !reflect.DeepEqual(serial, wide) {
+		t.Error("mesh result depends on the worker count")
+	}
+}
+
+// TestMeshDatasetParity checks the registry face against the typed entry
+// point: Run("mesh") must be a pure re-encoding of Mesh.
+func TestMeshDatasetParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("city-scale run")
+	}
+	o := Options{Seed: 5, Quick: true}
+	want := Mesh(o).Dataset()
+	e, err := ByName("mesh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("registry dataset diverges from the typed result")
+	}
+	if len(got.Series) != len(netsim.LinkLayers()) {
+		t.Fatalf("%d series, want %d", len(got.Series), len(netsim.LinkLayers()))
+	}
+	for _, s := range got.Series {
+		for _, key := range []string{"median", "mean", "aggregate_kbps", "fairness"} {
+			if _, ok := s.Bands[key]; !ok {
+				t.Errorf("series %q lacks %q band", s.Label, key)
+			}
+		}
+	}
+}
+
+// TestMeshCancellation: a cancelled context aborts the city-scale run
+// promptly and surfaces the context error.
+func TestMeshCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := meshCtx(ctx, Options{Seed: 1, Quick: true}); err == nil {
+		t.Fatal("cancelled mesh run reported success")
+	}
+}

@@ -170,6 +170,13 @@ func init() {
 		}
 		return res.Dataset(), nil
 	}})
+	Register(expFunc{"mesh", "city-scale mesh: per-flow throughput and fairness over sharded interference domains", func(ctx context.Context, o Options) (Dataset, error) {
+		res, err := meshCtx(ctx, o)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return res.Dataset(), nil
+	}})
 	Register(expFunc{"summary", "headline measured-vs-paper ratios (Table 1)", func(ctx context.Context, o Options) (Dataset, error) {
 		rows, err := summaryCtx(ctx, o)
 		if err != nil {

@@ -17,61 +17,94 @@
 //
 // # Execution model
 //
-// The engine owns a virtual clock in chips and a priority queue of events.
-// Each flow runs its LinkLayer (PP-ARQ via internal/core/pparq, or one of
-// the status-quo ARQ baselines) as a coroutine: the link layer's blocking
-// Link.Transmit call yields to the engine, which queues the transmission,
-// applies carrier sense at the transmitting node against everything
-// currently on the air, commits the frame to the shared timeline, and — once
-// the virtual clock passes the frame's end — synthesizes the destination's
-// chip stream (interference from every concurrently committed transmission
-// included, via internal/radio) and resumes the flow with the reception.
-// Exactly one goroutine runs at any instant, and events at equal times order
+// A run executes on a Topology — the paper's fixed 27-node testbed or a
+// declarative internal/topo layout of up to tens of thousands of nodes. At
+// startup the engine prunes the audibility graph: for every node it
+// precomputes the set of nodes that receive it above the synthesis floor
+// (noise floor − 10 dB). A transmission only ever touches those neighbors —
+// carrier sense, interference and delivery below the floor are exactly the
+// contributions synthesis would have discarded anyway.
+//
+// The connected components of that graph (unioned with each flow's
+// endpoint pair) are independent interference domains: no transmission in
+// one can affect any reception, carrier-sense query or half-duplex conflict
+// in another. The engine therefore shards its event queue by domain and
+// runs the shards concurrently on a bounded worker pool (Config.Workers).
+// Each shard owns a virtual clock in chips and a priority queue of events;
+// each flow runs its LinkLayer (PP-ARQ via internal/core/pparq, or one of
+// the status-quo ARQ baselines) as a coroutine of its shard: the link
+// layer's blocking Link.Transmit call yields to the engine, which queues
+// the transmission, applies carrier sense at the transmitting node against
+// everything currently on the air, commits the frame to the shared
+// timeline, and — once the virtual clock passes the frame's end —
+// synthesizes the destination's chip stream (interference from every
+// concurrently committed audible transmission included, via internal/radio)
+// and resumes the flow with the reception. Exactly one goroutine runs at
+// any instant *per shard*, and events at equal times order
 // deterministically, so a run is a pure function of its Config.
 //
-// Randomness is drawn from generators derived with stats.RNG.Derive keyed on
-// stable (node, chip-time) coordinates: channel noise and fading from the
-// receiving node and the transmission's start chip, CSMA backoff from the
-// sensing node and the arrival chip. Results therefore do not depend on how
-// many engine runs execute in parallel elsewhere (the Fig. 17 experiment
-// fans independent operating points over a worker pool).
+// Randomness is drawn from generators derived with stats.RNG.Derive keyed
+// on stable (node, chip-time) or (flow, tag) coordinates: channel noise and
+// fading from the receiving node and the transmission's start chip, CSMA
+// backoff from the sensing node and the arrival chip, payloads from the
+// global flow index. Derive reads its parent's state without advancing it,
+// so concurrent shards draw from the shared base generator race-free, and
+// results are bit-identical for every worker count — and to the single
+// merged event queue (Config.SingleQueue), which exists as the reference
+// engine for that equivalence.
 //
 // Jammer nodes from internal/scenario integrate as pure event sources: their
 // arrival models fire jam frames onto the timeline (reactive ones sense
-// first), which interfere with — and trigger recovery in — every flow.
+// first), which interfere with — and trigger recovery in — every flow in
+// their domain.
 package netsim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
-	"ppr/internal/bitutil"
-	"ppr/internal/frame"
 	"ppr/internal/mac"
-	"ppr/internal/phy"
 	"ppr/internal/radio"
 	"ppr/internal/scenario"
 	"ppr/internal/stats"
 	"ppr/internal/testbed"
 )
 
+// Topology abstracts the deployment a run executes on: a node count, the
+// static link budget between every ordered node pair, and the propagation
+// environment. *testbed.Testbed (the paper's 27-node office) and
+// *topo.Topology (declarative grids/meshes/cell layouts) both satisfy it.
+type Topology interface {
+	// NumNodes returns the deployment size; node IDs are 0..NumNodes-1.
+	NumNodes() int
+	// NodeGainDBm returns the received power at node `to` of node `from`'s
+	// transmissions, transmit power and static shadowing folded in.
+	NodeGainDBm(from, to int) float64
+	// RadioParams returns the propagation environment.
+	RadioParams() radio.Params
+}
+
 // Flow is one closed-loop traffic flow: a sender streaming packets to a
 // receiver through a LinkLayer.
 type Flow struct {
-	// Sender is the testbed sender index (global node ID Sender).
+	// Sender is the sending node. On the testbed it is the sender index
+	// (global node ID Sender); on a Topology it is the global node ID.
 	Sender int
-	// Receiver is the testbed receiver index (global node ID
-	// testbed.NumSenders+Receiver).
+	// Receiver is the receiving node. On the testbed it is the receiver
+	// index (global node ID testbed.NumSenders+Receiver); on a Topology it
+	// is the global node ID.
 	Receiver int
 }
 
 // JammerNode overlays an adversarial event source on the shared channel: a
-// sender position transmitting jam bursts under a scenario traffic model,
+// node position transmitting jam bursts under a scenario traffic model,
 // with the scenario's MAC flags (carrier-sense-ignoring, reactive).
 type JammerNode struct {
-	// Sender is the testbed sender index whose position and link budget the
-	// jammer transmits from. It must not also carry a Flow.
+	// Sender is the node the jammer transmits from: a testbed sender index,
+	// or a global node ID on a Topology. It must not also carry a Flow.
 	Sender int
 	// Node is the scenario behaviour: Model generates jam arrivals,
 	// PacketBytes sizes the bursts, IgnoreCarrierSense/Reactive set the MAC
@@ -81,8 +114,13 @@ type JammerNode struct {
 
 // Config describes one closed-loop run.
 type Config struct {
-	// Testbed is the deployment to run on.
+	// Testbed is the paper's deployment to run on. Exactly one of Testbed
+	// and Topo must be set.
 	Testbed *testbed.Testbed
+	// Topo is a declarative deployment (internal/topo, or anything
+	// satisfying Topology). When set, Flow and JammerNode node fields are
+	// global node IDs.
+	Topo Topology
 	// Flows are the concurrent closed-loop flows sharing the channel.
 	Flows []Flow
 	// LinkLayer names the registered link layer every flow runs (see
@@ -114,6 +152,15 @@ type Config struct {
 	// MaxRounds and MaxAttempts bound every link layer's persistence per
 	// transfer; 0 means the PP-ARQ defaults (8 rounds, 16 attempts).
 	MaxRounds, MaxAttempts int
+	// Workers bounds how many interference-domain shards execute
+	// concurrently; 0 means one per CPU. Results are bit-identical for
+	// every value — parallelism is pure mechanism.
+	Workers int
+	// SingleQueue forces all domains through one merged event queue — the
+	// pre-sharding reference engine. Results are bit-identical to the
+	// sharded runs; it exists for the worker-invariance proof and as a
+	// debugging reference.
+	SingleQueue bool
 }
 
 // FlowResult is one flow's accounting over a run.
@@ -134,14 +181,21 @@ type Result struct {
 	Flows []FlowResult
 	// DurationSec echoes the configured duration.
 	DurationSec float64
-	// BusyChips is the union channel occupancy: chips during which at least
-	// one node was transmitting.
+	// BusyChips sums, over interference domains, the union channel
+	// occupancy within the domain: chips during which at least one node of
+	// the domain was transmitting. On a single-domain deployment (the
+	// testbed) this is the plain union occupancy; on a sharded mesh it can
+	// exceed the run duration, because disjoint domains carry traffic
+	// simultaneously.
 	BusyChips int64
 	// TxChips is the sum of all transmission lengths (exceeds BusyChips
 	// exactly when transmissions overlapped — collisions happened).
 	TxChips int64
 	// JamFrames counts jam bursts committed to the channel.
 	JamFrames int
+	// Domains is the number of interference domains in the deployment
+	// (audibility components unioned with flow endpoints).
+	Domains int
 }
 
 // AggregateAppBytes sums delivered application bytes across flows.
@@ -167,295 +221,365 @@ const (
 )
 
 // interferenceFloorDB mirrors internal/sim: transmissions weaker than this
-// below the noise floor are dropped from synthesis.
+// below the noise floor are dropped from synthesis — and, since PR 7, from
+// carrier sense and the audibility graph, which is what makes domains
+// separable at all.
 const interferenceFloorDB = 10
+
+// AudibilityFloorDBm returns the engine's audibility floor under the given
+// environment: links below it neither interfere nor carrier-sense, and the
+// interference-domain partition is the connectivity of the remaining links.
+func AudibilityFloorDBm(p radio.Params) float64 {
+	return p.NoiseFloorDBm - interferenceFloorDB
+}
 
 // windowMarginChips pads synthesis windows on both sides of a transmission.
 const windowMarginChips = 64
 
-// event kinds, in tie-break order: at equal times, deliveries resolve before
-// new transmissions start (a frame beginning exactly at another's end does
-// not overlap it).
-const (
-	evDeliver = iota
-	evTx
-	evJam
-)
+// maxTopologyNodes bounds deployments to what frame addressing carries:
+// node IDs are uint16 and 0xffff is the jam broadcast address.
+const maxTopologyNodes = 0xffff
 
-type event struct {
-	t    int64
-	kind int
-	seq  int // FIFO tie-break within (t, kind); assigned at push
-	fl   *flowProc
-	jam  *jamProc
-	tx   int // committed transmission index (evDeliver)
-	try  int // CSMA defer count (evTx, evJam)
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(a, b int) bool {
-	if q[a].t != q[b].t {
-		return q[a].t < q[b].t
-	}
-	if q[a].kind != q[b].kind {
-		return q[a].kind < q[b].kind
-	}
-	return q[a].seq < q[b].seq
-}
-func (q eventQueue) Swap(a, b int)       { q[a], q[b] = q[b], q[a] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
-}
-
-// airTx is one committed transmission on the shared timeline. chips is
-// released once the prune frontier passes the transmission (length carries
-// the duration from then on), so a run's memory does not grow with
-// simulated airtime.
-type airTx struct {
-	node   int // global node ID
-	start  int64
-	length int64 // airtime in chips
-	chips  *bitutil.ChipWords
-}
-
-func (t *airTx) end() int64 { return t.start + t.length }
-
-// txRequest is what a yielded flow asks the engine to do next.
-type txRequest struct {
-	from, to int // global node IDs
-	frame    frame.Frame
-}
-
-// flowMsg is a coroutine yield: either the flow's next transmit request or
-// its completion.
-type flowMsg struct {
-	fl   *flowProc
-	done bool
-	req  txRequest
-}
-
-// flowProc is one flow coroutine and its engine-side state.
-type flowProc struct {
-	id     int
-	cfg    Flow
-	eng    *engine
-	ll     LinkLayer
-	resume chan *frame.Reception
-	now    int64 // the flow's local clock
-	req    txRequest
-	res    FlowResult
-}
-
-// engineLink adapts one direction of a flow's hop to pparq.Link: Transmit
-// yields the frame to the engine and blocks until the engine has carried it
-// across the shared channel.
-type engineLink struct {
-	fl       *flowProc
-	from, to int
-}
-
-// Transmit implements pparq.Link (the Link type every LinkLayer builds on).
-func (l *engineLink) Transmit(f frame.Frame) *frame.Reception {
-	l.fl.req = txRequest{from: l.from, to: l.to, frame: f}
-	l.fl.eng.msgs <- flowMsg{fl: l.fl}
-	return <-l.fl.resume
-}
-
-// jamProc is one jammer event source.
-type jamProc struct {
+// flowSpec is a validated flow: its global index (the Derive payload key)
+// and endpoint global node IDs.
+type flowSpec struct {
 	id       int
-	node     int // global node ID
-	spec     JammerNode
-	arrivals scenario.Arrivals
-	rng      *stats.RNG
-	seq      uint16
+	cfg      Flow
+	src, dst int
 }
 
-// engine is the discrete-event core.
-type engine struct {
-	cfg      Config
-	tb       *testbed.Testbed
-	base     *stats.RNG
-	queue    eventQueue
-	seq      int
-	msgs     chan flowMsg
-	txs      []airTx // committed transmissions, nondecreasing start
-	prune    int     // txs[:prune] can no longer overlap the current time
-	maxAir   int64   // longest committed transmission, for pruning
-	nodeFree []int64 // per-node radio busy-until (one radio per node)
-	csma     mac.CSMA
-	noiseMW  float64
-	floorMW  float64
-	endChip  int64
-	rx       *frame.Receiver
-	live     int
+// jamSpec is a validated jammer: its global index and node ID.
+type jamSpec struct {
+	id   int
+	node int
+	spec JammerNode
+}
 
-	busyChips   int64
-	lastBusyEnd int64
-	txChips     int64
-	jamFrames   int
+// runState is everything shared across shards: the deployment, the pruned
+// audibility graph, the domain partition, and per-node/per-domain
+// accumulators. Shards touch disjoint node and domain indices, so no locks
+// are involved; the base RNG is only read through Derive, which does not
+// advance it.
+type runState struct {
+	cfg     Config
+	top     Topology
+	nn      int
+	base    *stats.RNG
+	csma    mac.CSMA
+	noiseMW float64
+	floorMW float64
+	endChip int64
 
-	// cancelled flips once the run's context is done: the event loop stops
-	// committing work and drains every flow coroutine instead.
-	cancelled bool
+	// Pruned audibility graph: heardBy[u] lists the nodes that receive u at
+	// or above the synthesis floor (u excluded), heardByPw the received
+	// power at each in mW, and hearsPw[v] the reverse index for synthesis.
+	heardBy   [][]int32
+	heardByPw [][]float64
+	hearsPw   []map[int32]float64
+
+	domainOf []int32
+	nDomains int
+
+	// Per-node engine state, disjoint across shards (a node belongs to
+	// exactly one domain):
+	nodeFree []int64   // radio busy-until (one radio per node)
+	busyAcc  []float64 // accumulated audible interference, mW
+	contrib  []int32   // active transmissions contributing to busyAcc
+
+	// Per-domain union-occupancy accounting:
+	domBusy []int64
+	domLast []int64
 }
 
 // Run executes one closed-loop simulation. It is a pure function of cfg:
-// the same configuration always produces the identical Result.
+// the same configuration always produces the identical Result, whatever
+// Workers and SingleQueue say.
 func Run(cfg Config) (Result, error) {
 	return RunContext(context.Background(), cfg)
 }
 
-// RunContext is Run under a context: the event loop checks ctx at every
-// event, and on cancellation stops committing transmissions, resumes each
-// blocked flow coroutine with nil receptions and a clock past the end of
-// the run so its link layer fails fast, and returns ctx.Err() with no
+// RunContext is Run under a context: every shard's event loop checks ctx at
+// every event, and on cancellation stops committing transmissions, resumes
+// each blocked flow coroutine with nil receptions and a clock past the end
+// of the run so its link layer fails fast, and returns ctx.Err() with no
 // goroutine left behind. A nil error means the Result is complete and
 // bit-identical to Run's.
 func RunContext(ctx context.Context, cfg Config) (Result, error) {
-	if cfg.Testbed == nil {
-		return Result{}, fmt.Errorf("netsim: nil testbed")
-	}
-	if len(cfg.Flows) == 0 {
-		return Result{}, fmt.Errorf("netsim: no flows")
-	}
-	if cfg.PacketBytes <= 0 || cfg.DurationSec <= 0 {
-		return Result{}, fmt.Errorf("netsim: bad packet size %d or duration %v", cfg.PacketBytes, cfg.DurationSec)
+	top, flows, jams, err := normalize(cfg)
+	if err != nil {
+		return Result{}, err
 	}
 	maker, err := linkLayerMaker(cfg.LinkLayer)
 	if err != nil {
 		return Result{}, err
 	}
-	seen := map[int]bool{}
-	for _, f := range cfg.Flows {
-		if f.Sender < 0 || f.Sender >= testbed.NumSenders || f.Receiver < 0 || f.Receiver >= testbed.NumReceivers {
-			return Result{}, fmt.Errorf("netsim: flow %v out of deployment bounds", f)
-		}
-		if seen[f.Sender] {
-			return Result{}, fmt.Errorf("netsim: sender %d carries two flows (one radio per node)", f.Sender)
-		}
-		seen[f.Sender] = true
-	}
-	for _, j := range cfg.Jammers {
-		if j.Sender < 0 || j.Sender >= testbed.NumSenders || seen[j.Sender] {
-			return Result{}, fmt.Errorf("netsim: jammer node %d invalid or already a flow sender", j.Sender)
-		}
-		if j.Node.Model == nil {
-			return Result{}, fmt.Errorf("netsim: jammer node %d has no traffic model", j.Sender)
-		}
-		seen[j.Sender] = true
-	}
-
-	e := &engine{
-		cfg:      cfg,
-		tb:       cfg.Testbed,
-		base:     stats.NewRNG(cfg.Seed ^ 0xc105ed100f),
-		msgs:     make(chan flowMsg),
-		nodeFree: make([]int64, testbed.NumNodes),
-		noiseMW:  radio.DBmToMW(cfg.Testbed.Params.NoiseFloorDBm),
-		floorMW:  radio.DBmToMW(cfg.Testbed.Params.NoiseFloorDBm - interferenceFloorDB),
-		endChip:  mac.ChipsPerSecond(cfg.DurationSec),
-		rx:       frame.NewReceiver(phy.HardDecoder{}),
-	}
-	e.csma = mac.DefaultCSMA(radio.DBmToMW(cfg.Testbed.Params.CSThresholdDBm))
-	e.csma.Enabled = cfg.CarrierSense
-	heap.Init(&e.queue)
-
-	// Start each flow coroutine in turn, waiting for its first yield before
-	// starting the next so startup order is deterministic.
-	flows := make([]*flowProc, len(cfg.Flows))
-	for i, f := range cfg.Flows {
-		fl := &flowProc{
-			id:     i,
-			cfg:    f,
-			eng:    e,
-			resume: make(chan *frame.Reception),
-			res:    FlowResult{Flow: f},
-		}
-		src := uint16(f.Sender)
-		dst := uint16(testbed.NumSenders + f.Receiver)
-		fwd := &engineLink{fl: fl, from: int(src), to: int(dst)}
-		rev := &engineLink{fl: fl, from: int(dst), to: int(src)}
-		fl.ll = maker(fwd, rev, src, dst, layerConfig(cfg))
-		flows[i] = fl
-		e.live++
-		go fl.main()
-		if !e.handleMsg(<-e.msgs) {
-			e.live--
-		}
-	}
-	// Seed the jammers.
-	for i, j := range cfg.Jammers {
-		node := j.Sender
-		jp := &jamProc{
-			id:   i,
-			node: node,
-			spec: j,
-			rng:  e.base.Derive(uint64(node), tagJammer),
-		}
-		jp.arrivals = j.Node.Model.Arrivals(scenario.Params{
-			OfferedBps:    cfg.OfferedBps,
-			PacketBytes:   jamBytes(j),
-			DurationChips: e.endChip,
-		}, jp.rng.Split())
-		e.scheduleJam(jp)
-	}
-
-	// Event loop: runs until every flow has completed its final transfer and
-	// every jammer arrival inside the duration has fired.
-	done := ctx.Done()
-	for e.queue.Len() > 0 {
-		if !e.cancelled && done != nil {
-			select {
-			case <-done:
-				e.cancelled = true
-			default:
-			}
-		}
-		ev := heap.Pop(&e.queue).(*event)
-		if e.cancelled {
-			switch ev.kind {
-			case evTx, evDeliver:
-				e.abortFlow(ev.fl)
-			case evJam:
-				// Dropped: jammers are pure event sources, nothing to drain.
-			}
-			continue
-		}
-		switch ev.kind {
-		case evTx:
-			e.processTx(ev)
-		case evDeliver:
-			e.processDeliver(ev)
-		case evJam:
-			e.processJam(ev)
-		}
-	}
-	if e.live != 0 {
-		panic(fmt.Sprintf("netsim: event queue drained with %d flows still live", e.live))
-	}
-	if e.cancelled {
-		return Result{}, ctx.Err()
+	rs := newRunState(cfg, top, flows)
+	shards := buildShards(rs, flows, jams, maker)
+	if err := runShards(ctx, shards, cfg.Workers); err != nil {
+		return Result{}, err
 	}
 
 	res := Result{
 		DurationSec: cfg.DurationSec,
-		BusyChips:   e.busyChips,
-		TxChips:     e.txChips,
-		JamFrames:   e.jamFrames,
+		Domains:     rs.nDomains,
+		Flows:       make([]FlowResult, len(flows)),
 	}
-	for _, fl := range flows {
-		res.Flows = append(res.Flows, fl.res)
+	for _, b := range rs.domBusy {
+		res.BusyChips += b
+	}
+	for _, s := range shards {
+		res.TxChips += s.txChips
+		res.JamFrames += s.jamFrames
+		for _, fl := range s.flows {
+			res.Flows[fl.spec.id] = fl.res
+		}
 	}
 	return res, nil
+}
+
+// normalize validates the configuration and resolves flows and jammers to
+// global node IDs under either deployment model.
+func normalize(cfg Config) (Topology, []flowSpec, []jamSpec, error) {
+	var top Topology
+	switch {
+	case cfg.Testbed == nil && cfg.Topo == nil:
+		return nil, nil, nil, fmt.Errorf("netsim: nil testbed")
+	case cfg.Testbed != nil && cfg.Topo != nil:
+		return nil, nil, nil, fmt.Errorf("netsim: both Testbed and Topo set")
+	case cfg.Testbed != nil:
+		top = cfg.Testbed
+	default:
+		top = cfg.Topo
+	}
+	if len(cfg.Flows) == 0 {
+		return nil, nil, nil, fmt.Errorf("netsim: no flows")
+	}
+	if cfg.PacketBytes <= 0 || cfg.DurationSec <= 0 {
+		return nil, nil, nil, fmt.Errorf("netsim: bad packet size %d or duration %v", cfg.PacketBytes, cfg.DurationSec)
+	}
+	nn := top.NumNodes()
+	if nn > maxTopologyNodes {
+		return nil, nil, nil, fmt.Errorf("netsim: %d nodes exceed the %d frame addressing allows", nn, maxTopologyNodes)
+	}
+
+	onTestbed := cfg.Testbed != nil
+	flows := make([]flowSpec, len(cfg.Flows))
+	endpoint := make(map[int]bool) // any flow endpoint
+	sender := make(map[int]bool)   // flow senders (one radio per node)
+	for i, f := range cfg.Flows {
+		var src, dst int
+		if onTestbed {
+			if f.Sender < 0 || f.Sender >= testbed.NumSenders || f.Receiver < 0 || f.Receiver >= testbed.NumReceivers {
+				return nil, nil, nil, fmt.Errorf("netsim: flow %v out of deployment bounds", f)
+			}
+			src, dst = f.Sender, testbed.NumSenders+f.Receiver
+		} else {
+			if f.Sender < 0 || f.Sender >= nn || f.Receiver < 0 || f.Receiver >= nn {
+				return nil, nil, nil, fmt.Errorf("netsim: flow %v out of deployment bounds", f)
+			}
+			if f.Sender == f.Receiver {
+				return nil, nil, nil, fmt.Errorf("netsim: flow %v sends to itself", f)
+			}
+			src, dst = f.Sender, f.Receiver
+		}
+		if sender[src] {
+			return nil, nil, nil, fmt.Errorf("netsim: sender %d carries two flows (one radio per node)", src)
+		}
+		sender[src] = true
+		endpoint[src], endpoint[dst] = true, true
+		flows[i] = flowSpec{id: i, cfg: f, src: src, dst: dst}
+	}
+
+	jams := make([]jamSpec, len(cfg.Jammers))
+	jammed := make(map[int]bool)
+	for i, j := range cfg.Jammers {
+		node := j.Sender
+		if onTestbed {
+			if node < 0 || node >= testbed.NumSenders || sender[node] {
+				return nil, nil, nil, fmt.Errorf("netsim: jammer node %d invalid or already a flow sender", node)
+			}
+		} else if node < 0 || node >= nn || endpoint[node] {
+			return nil, nil, nil, fmt.Errorf("netsim: jammer node %d invalid or already a flow endpoint", node)
+		}
+		if jammed[node] {
+			return nil, nil, nil, fmt.Errorf("netsim: jammer node %d used twice (one radio per node)", node)
+		}
+		jammed[node] = true
+		sender[node] = true
+		if j.Node.Model == nil {
+			return nil, nil, nil, fmt.Errorf("netsim: jammer node %d has no traffic model", node)
+		}
+		jams[i] = jamSpec{id: i, node: node, spec: j}
+	}
+	return top, flows, jams, nil
+}
+
+// newRunState precomputes the pruned audibility graph and the interference
+// domains. The pairwise sweep filters in dB first (cheap) and only converts
+// near- or above-floor budgets to milliwatts, comparing those against the
+// floor in linear units — the exact comparison synthesis used before
+// sharding, so pruning changes which work happens, never what it computes.
+func newRunState(cfg Config, top Topology, flows []flowSpec) *runState {
+	params := top.RadioParams()
+	nn := top.NumNodes()
+	rs := &runState{
+		cfg:      cfg,
+		top:      top,
+		nn:       nn,
+		base:     stats.NewRNG(cfg.Seed ^ 0xc105ed100f),
+		noiseMW:  radio.DBmToMW(params.NoiseFloorDBm),
+		floorMW:  radio.DBmToMW(AudibilityFloorDBm(params)),
+		endChip:  mac.ChipsPerSecond(cfg.DurationSec),
+		nodeFree: make([]int64, nn),
+		busyAcc:  make([]float64, nn),
+		contrib:  make([]int32, nn),
+		hearsPw:  make([]map[int32]float64, nn),
+		heardBy:  make([][]int32, nn),
+		heardByPw: make([][]float64, nn),
+	}
+	rs.csma = mac.DefaultCSMA(radio.DBmToMW(params.CSThresholdDBm))
+	rs.csma.Enabled = cfg.CarrierSense
+
+	// floorDBm-0.1 is a conservative dB prefilter: DBmToMW is monotone up
+	// to rounding, so anything more than a tenth of a dB under the floor is
+	// certainly under it in mW too, and the exact mW comparison only runs
+	// near the boundary.
+	floorDBm := AudibilityFloorDBm(params)
+	parent := make([]int32, nn)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for u := 0; u < nn; u++ {
+		for v := 0; v < nn; v++ {
+			if u == v {
+				continue
+			}
+			g := top.NodeGainDBm(u, v)
+			if g < floorDBm-0.1 {
+				continue
+			}
+			p := radio.DBmToMW(g)
+			if p < rs.floorMW {
+				continue
+			}
+			rs.heardBy[u] = append(rs.heardBy[u], int32(v))
+			rs.heardByPw[u] = append(rs.heardByPw[u], p)
+			if rs.hearsPw[v] == nil {
+				rs.hearsPw[v] = make(map[int32]float64)
+			}
+			rs.hearsPw[v][int32(u)] = p
+			union(int32(u), int32(v))
+		}
+	}
+	// A flow's endpoints always share a domain, audible or not, so the
+	// flow's events live on one queue.
+	for _, f := range flows {
+		union(int32(f.src), int32(f.dst))
+	}
+	rs.domainOf = make([]int32, nn)
+	label := make(map[int32]int32, 8)
+	for i := 0; i < nn; i++ {
+		r := find(int32(i))
+		id, ok := label[r]
+		if !ok {
+			id = int32(rs.nDomains)
+			label[r] = id
+			rs.nDomains++
+		}
+		rs.domainOf[i] = id
+	}
+	rs.domBusy = make([]int64, rs.nDomains)
+	rs.domLast = make([]int64, rs.nDomains)
+	return rs
+}
+
+// buildShards groups flows and jammers into one shard per interference
+// domain — or one shard total under SingleQueue. Domains with no event
+// sources get no shard: nothing would ever happen there.
+func buildShards(rs *runState, flows []flowSpec, jams []jamSpec, maker Maker) []*shard {
+	byDomain := make(map[int32]*shard)
+	var shards []*shard
+	shardFor := func(node int) *shard {
+		d := rs.domainOf[node]
+		if rs.cfg.SingleQueue {
+			d = 0 // one merged queue
+		}
+		s, ok := byDomain[d]
+		if !ok {
+			s = newShard(rs)
+			byDomain[d] = s
+			shards = append(shards, s)
+		}
+		return s
+	}
+	for _, f := range flows {
+		s := shardFor(f.src)
+		s.addFlow(f, maker)
+	}
+	for _, j := range jams {
+		s := shardFor(j.node)
+		s.addJam(j)
+	}
+	return shards
+}
+
+// runShards executes the shards on a bounded worker pool. Shards share no
+// mutable state (see runState), so execution order and interleaving cannot
+// affect results; the pool exists purely for wall-clock. Cancelled shards
+// still run — each must drain its own flow coroutines.
+func runShards(ctx context.Context, shards []*shard, workers int) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers <= 1 {
+		var firstErr error
+		for _, s := range shards {
+			if err := s.run(ctx); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, len(shards))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				errs[i] = shards[i].run(ctx)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // layerConfig assembles the per-flow link layer knobs.
@@ -474,262 +598,4 @@ func jamBytes(j JammerNode) int {
 		return j.Node.PacketBytes
 	}
 	return 40
-}
-
-// push enqueues an event, stamping the FIFO tie-break sequence.
-func (e *engine) push(ev *event) {
-	ev.seq = e.seq
-	e.seq++
-	heap.Push(&e.queue, ev)
-}
-
-// handleMsg absorbs one coroutine yield, enqueueing the flow's transmit
-// request. It returns false when the flow announced completion.
-func (e *engine) handleMsg(m flowMsg) bool {
-	if m.done {
-		return false
-	}
-	e.push(&event{t: m.fl.now, kind: evTx, fl: m.fl})
-	return true
-}
-
-// abortFlow winds one flow down after cancellation: the coroutine is
-// blocked in Transmit (evTx: nothing committed yet; evDeliver: the frame is
-// on the timeline but synthesis is skipped), so resume it with a nil
-// reception and a clock past the end of the run. Its link layer treats the
-// nil as a loss and fails the transfer after its bounded attempts — each
-// retry is one more event through this same path — and the main loop then
-// sees the clock expired and exits. No flow goroutine outlives RunContext.
-func (e *engine) abortFlow(fl *flowProc) {
-	if fl.now < e.endChip {
-		fl.now = e.endChip
-	}
-	fl.resume <- nil
-	if !e.handleMsg(<-e.msgs) {
-		e.live--
-	}
-}
-
-// scheduleJam enqueues a jammer's next arrival, dropping arrivals past the
-// end of the run.
-func (e *engine) scheduleJam(jp *jamProc) {
-	t := jp.arrivals.Next()
-	if t >= e.endChip {
-		return
-	}
-	e.push(&event{t: t, kind: evJam, jam: jp})
-}
-
-// busyMW returns the total received power (noise included) at a node from
-// every committed transmission active at time t, excluding the node's own.
-func (e *engine) busyMW(node int, t int64) float64 {
-	total := e.noiseMW
-	for i := e.prune; i < len(e.txs); i++ {
-		tx := &e.txs[i]
-		if tx.start > t {
-			break
-		}
-		if tx.end() <= t || tx.node == node {
-			continue
-		}
-		total += radio.DBmToMW(e.tb.NodeGainDBm(tx.node, node))
-	}
-	return total
-}
-
-// advancePrune moves the pruning frontier. Queries are issued at
-// nondecreasing event times, and the widest look-back any query performs is
-// a delivery's synthesis window — at most maxAir+margin chips before now —
-// so a transmission whose end (bounded by start+maxAir) precedes that
-// horizon can never be consulted again.
-func (e *engine) advancePrune(now int64) {
-	for e.prune < len(e.txs) && e.txs[e.prune].start+e.maxAir < now-e.maxAir-windowMarginChips {
-		e.txs[e.prune].chips = nil // never consulted again; release the buffer
-		e.prune++
-	}
-}
-
-// processTx handles a flow's transmit request: radio availability, carrier
-// sense, then commit + delivery scheduling.
-func (e *engine) processTx(ev *event) {
-	fl := ev.fl
-	t := ev.t
-	e.advancePrune(t)
-	// One radio per node: wait out the node's own in-flight transmission
-	// (several flows can share a receiver node, whose feedback frames queue).
-	if free := e.nodeFree[fl.req.from]; free > t {
-		e.push(&event{t: free, kind: evTx, fl: fl, try: ev.try})
-		return
-	}
-	if e.csma.Enabled && ev.try < e.csma.MaxDefers {
-		if e.busyMW(fl.req.from, t) >= e.csma.ThresholdMW {
-			rng := e.base.Derive(uint64(fl.req.from), uint64(t), tagCSMA)
-			backoff := 1 + int64(rng.Float64()*float64(e.csma.MaxBackoffChips))
-			e.push(&event{t: t + backoff, kind: evTx, fl: fl, try: ev.try + 1})
-			return
-		}
-	}
-	idx := e.commit(fl.req.from, t, fl.req.frame.AirChips())
-	e.push(&event{t: e.txs[idx].end(), kind: evDeliver, fl: fl, tx: idx})
-}
-
-// processJam handles a jammer arrival: reactive jammers fire only into a
-// busy channel; none of them back off.
-func (e *engine) processJam(ev *event) {
-	jp := ev.jam
-	t := ev.t
-	e.advancePrune(t)
-	if free := e.nodeFree[jp.node]; free > t {
-		// The jammer's own previous burst is still on the air; this arrival
-		// is absorbed (its poll found the radio busy).
-		e.scheduleJam(jp)
-		return
-	}
-	fire := true
-	if jp.spec.Node.Reactive {
-		fire = e.busyMW(jp.node, t) >= e.csma.ThresholdMW
-	} else if !jp.spec.Node.IgnoreCarrierSense && e.csma.Enabled && e.busyMW(jp.node, t) >= e.csma.ThresholdMW {
-		fire = false // a polite "jammer" (hostile workload) defers like anyone
-	}
-	if fire {
-		payload := make([]byte, jamBytes(jp.spec))
-		for i := range payload {
-			payload[i] = byte(jp.rng.Intn(256))
-		}
-		f := frame.New(0xffff, uint16(jp.node), jp.seq, payload)
-		jp.seq++
-		e.commit(jp.node, t, f.AirChips())
-		e.jamFrames++
-	}
-	e.scheduleJam(jp)
-}
-
-// commit places a transmission on the shared timeline and updates the
-// airtime accounting. Commits happen in nondecreasing start order because a
-// transmission always starts at the current event time.
-func (e *engine) commit(node int, start int64, chips *bitutil.ChipWords) int {
-	air := int64(chips.Len())
-	e.txs = append(e.txs, airTx{node: node, start: start, length: air, chips: chips})
-	e.nodeFree[node] = start + air
-	if air > e.maxAir {
-		e.maxAir = air
-	}
-	e.txChips += air
-	busyFrom := start
-	if e.lastBusyEnd > busyFrom {
-		busyFrom = e.lastBusyEnd
-	}
-	if end := start + air; end > busyFrom {
-		e.busyChips += end - busyFrom
-		e.lastBusyEnd = end
-	}
-	return len(e.txs) - 1
-}
-
-// processDeliver synthesizes the destination's chip stream for one
-// completed transmission and resumes the waiting flow with its reception.
-// Every transmission overlapping this one is already committed: it must
-// start before this one's end, and all earlier events have been processed.
-func (e *engine) processDeliver(ev *event) {
-	fl := ev.fl
-	tx := &e.txs[ev.tx]
-	rec := e.receive(tx, fl.req.to, fl.req.frame)
-	// The node turns around before its next frame in the exchange.
-	fl.now = tx.end() + mac.TurnaroundChips
-	fl.resume <- rec
-	if !e.handleMsg(<-e.msgs) {
-		e.live--
-	}
-}
-
-// receive runs the destination's receiver pipeline over the synthesis
-// window of one transmission, returning the best header-verified reception
-// of that frame, or nil.
-func (e *engine) receive(tx *airTx, to int, sent frame.Frame) *frame.Reception {
-	// Half duplex: a node transmitting during any part of the frame's
-	// airtime hears none of it.
-	for i := e.prune; i < len(e.txs); i++ {
-		other := &e.txs[i]
-		if other.start >= tx.end() {
-			break
-		}
-		if other.node == to && other.end() > tx.start {
-			return nil
-		}
-	}
-	origin := tx.start - windowMarginChips
-	n := tx.chips.Len() + 2*windowMarginChips
-	var overlaps []radio.Overlap
-	for i := e.prune; i < len(e.txs); i++ {
-		other := &e.txs[i]
-		if other.start >= origin+int64(n) {
-			break
-		}
-		if other.end() <= origin || other.node == to {
-			continue
-		}
-		p := radio.DBmToMW(e.tb.NodeGainDBm(other.node, to))
-		if p < e.floorMW {
-			continue
-		}
-		overlaps = append(overlaps, radio.Overlap{
-			Start:   int(other.start - origin),
-			Chips:   other.chips,
-			PowerMW: p,
-		})
-	}
-	rng := e.base.Derive(uint64(to), uint64(tx.start), tagChannel)
-	// The synthesizer's packed stream feeds the receiver directly — no
-	// per-reception repack on the closed-loop path either.
-	chips := radio.SynthesizeFading(rng, n, overlaps, e.noiseMW, radio.DefaultCoherenceChips)
-	recs := e.rx.Receive(chips)
-	// On a shared channel the window can contain other packets: keep only
-	// receptions of the transmitted frame before picking the best.
-	matched := recs[:0]
-	for _, rec := range recs {
-		if rec.HeaderOK && rec.Hdr.Src == sent.Hdr.Src && rec.Hdr.Seq == sent.Hdr.Seq &&
-			rec.Hdr.Dst == sent.Hdr.Dst {
-			matched = append(matched, rec)
-		}
-	}
-	return frame.BestReception(matched)
-}
-
-// main is the flow coroutine body: open transfers until the clock runs out,
-// driving the link layer which in turn yields every frame to the engine.
-func (fl *flowProc) main() {
-	e := fl.eng
-	payloadRng := e.base.Derive(uint64(fl.id), tagPayload)
-	var arrivals scenario.Arrivals
-	if e.cfg.Traffic != nil {
-		arrivals = e.cfg.Traffic.Arrivals(scenario.Params{
-			OfferedBps:    e.cfg.OfferedBps,
-			PacketBytes:   e.cfg.PacketBytes,
-			DurationChips: e.endChip,
-		}, payloadRng.Split())
-	}
-	appBytes := fl.ll.AppBytesPerPacket(e.cfg.PacketBytes)
-	for {
-		if arrivals != nil {
-			t := arrivals.Next()
-			if t > fl.now {
-				fl.now = t // idle until the next packet arrives
-			}
-		}
-		if fl.now >= e.endChip {
-			break
-		}
-		payload := make([]byte, appBytes)
-		for i := range payload {
-			payload[i] = byte(payloadRng.Intn(256))
-		}
-		delivered, st, err := fl.ll.Transfer(payload)
-		fl.res.Transfers++
-		if err != nil {
-			fl.res.Failures++
-		}
-		fl.res.DeliveredAppBytes += delivered
-		fl.res.Air.add(st)
-	}
-	e.msgs <- flowMsg{fl: fl, done: true}
 }

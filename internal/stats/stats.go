@@ -265,3 +265,21 @@ func Histogram(samples []float64, lo, hi float64, nbins int) []int {
 	}
 	return bins
 }
+
+// JainFairness returns Jain's fairness index (Σx)² / (n·Σx²) of the
+// samples: 1 when every sample is equal, 1/n when one sample holds
+// everything. Zero-valued sample sets (and empty input) return 0.
+func JainFairness(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range samples {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(samples)) * sumSq)
+}

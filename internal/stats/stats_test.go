@@ -275,3 +275,21 @@ func TestBoolProbability(t *testing.T) {
 		t.Errorf("Bool(0.3) frequency %v", frac)
 	}
 }
+
+func TestJainFairness(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{0, 0, 0}, 0},
+		{[]float64{5, 5, 5, 5}, 1},
+		{[]float64{1, 0, 0, 0}, 0.25},
+		{[]float64{4, 2}, (6.0 * 6.0) / (2 * (16 + 4))},
+	}
+	for _, c := range cases {
+		if got := JainFairness(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("JainFairness(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

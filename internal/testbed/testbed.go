@@ -161,6 +161,15 @@ func (tb *Testbed) NodeGainDBm(from, to int) float64 {
 	}
 }
 
+// NumNodes returns the deployment size. Together with NodeGainDBm and
+// RadioParams it satisfies netsim's Topology interface, so the paper's
+// testbed runs on the same engine as the declarative internal/topo layouts.
+func (tb *Testbed) NumNodes() int { return NumNodes }
+
+// RadioParams returns the propagation environment (netsim's Topology
+// interface).
+func (tb *Testbed) RadioParams() radio.Params { return tb.Params }
+
 // NodePosition returns the floor-plan position of global node ID n.
 func (tb *Testbed) NodePosition(n int) radio.Position {
 	if IsSender(n) {

@@ -1,0 +1,286 @@
+// Package topo builds declarative radio topologies for the closed-loop
+// simulator: named nodes at floor-plan positions, a full node×node link-gain
+// matrix derived from the internal/radio propagation model, and per-link
+// budget overrides for hand-crafted scenarios. It generalizes the paper's
+// fixed 27-node testbed (internal/testbed) to city-scale deployments —
+// grids, random scatters and multi-cell layouts of hundreds to thousands of
+// nodes — which the sharded netsim engine partitions into independent
+// interference domains.
+//
+// Everything is deterministic: the same seed and layout spec always produce
+// the identical gain matrix. Positions are drawn from a seeded generator in
+// node order, and each link's lognormal shadowing deviate comes from
+// stats.RNG.Derive keyed on the unordered node pair, so a link's budget does
+// not depend on how many other nodes exist or in what order links are
+// queried. Shadowing is symmetric (channel reciprocity, as in testbed).
+package topo
+
+import (
+	"fmt"
+	"math"
+
+	"ppr/internal/radio"
+	"ppr/internal/stats"
+)
+
+// Derive-key tags separating the package's independent random streams.
+const (
+	tagShadow = iota + 1
+	tagLayout
+)
+
+// Node is one named radio in a topology.
+type Node struct {
+	// Name is the node's unique label ("a", "c3.1/n2", ...).
+	Name string
+	// Pos is the node's floor-plan position in feet.
+	Pos radio.Position
+}
+
+// Topology is an instantiated deployment: nodes and the link budget between
+// every ordered pair. It implements netsim's Topology interface, so a
+// Config can run on it directly; node indices are the simulator's global
+// node IDs.
+type Topology struct {
+	// Params is the propagation environment.
+	Params radio.Params
+	// Nodes lists the deployment in node-ID order.
+	Nodes []Node
+	// GainDBm[i][j] is the received power at node j of node i's
+	// transmissions (transmit power, path loss and static shadowing folded
+	// in). GainDBm[i][i] is the transmit power — a node's own transmission
+	// saturates its front end.
+	GainDBm [][]float64
+
+	index map[string]int
+}
+
+// NumNodes returns the deployment size.
+func (t *Topology) NumNodes() int { return len(t.Nodes) }
+
+// NodeGainDBm returns the received power at node `to` of node `from`'s
+// transmissions.
+func (t *Topology) NodeGainDBm(from, to int) float64 { return t.GainDBm[from][to] }
+
+// RadioParams returns the propagation environment.
+func (t *Topology) RadioParams() radio.Params { return t.Params }
+
+// NodeID resolves a node name to its global node ID.
+func (t *Topology) NodeID(name string) (int, bool) {
+	id, ok := t.index[name]
+	return id, ok
+}
+
+// Name returns node i's label.
+func (t *Topology) Name(i int) string { return t.Nodes[i].Name }
+
+// Position returns node i's floor-plan position.
+func (t *Topology) Position(i int) radio.Position { return t.Nodes[i].Pos }
+
+// Domains partitions the nodes into connected components of the audibility
+// graph: nodes u and v share a domain iff a chain of links with gain (in
+// either direction) at or above floorDBm connects them. The result maps each
+// node to a dense domain ID; domains are numbered in order of their
+// smallest member, so the partition is a pure function of the topology.
+// netsim shards its event queue by exactly this partition (unioned with
+// flow endpoints) at its synthesis floor.
+func (t *Topology) Domains(floorDBm float64) (domainOf []int, n int) {
+	parent := make([]int, len(t.Nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := range t.Nodes {
+		for j := i + 1; j < len(t.Nodes); j++ {
+			if t.GainDBm[i][j] >= floorDBm || t.GainDBm[j][i] >= floorDBm {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[ri] = rj
+				}
+			}
+		}
+	}
+	domainOf = make([]int, len(t.Nodes))
+	label := make(map[int]int)
+	for i := range t.Nodes {
+		r := find(i)
+		id, ok := label[r]
+		if !ok {
+			id = n
+			label[r] = id
+			n++
+		}
+		domainOf[i] = id
+	}
+	return domainOf, n
+}
+
+// override is one recorded link-budget override, applied in order at Build.
+type override struct {
+	from, to  string
+	dbm       float64
+	symmetric bool
+}
+
+// Builder assembles a Topology declaratively: add named nodes, optionally
+// pin individual link budgets, then Build. Errors (duplicate names, unknown
+// override endpoints) are sticky and reported by Build, so call sites can
+// chain without per-call checks — the ExampleNetwork idiom.
+type Builder struct {
+	params    radio.Params
+	seed      uint64
+	nodes     []Node
+	index     map[string]int
+	overrides []override
+	err       error
+}
+
+// NewBuilder starts a topology under the given propagation environment. The
+// seed fixes every link's shadowing deviate.
+func NewBuilder(params radio.Params, seed uint64) *Builder {
+	return &Builder{params: params, seed: seed, index: map[string]int{}}
+}
+
+// Node adds a named node at (x, y) feet and returns the builder for
+// chaining.
+func (b *Builder) Node(name string, x, y float64) *Builder {
+	if b.err == nil {
+		if name == "" {
+			b.err = fmt.Errorf("topo: empty node name")
+		} else if _, dup := b.index[name]; dup {
+			b.err = fmt.Errorf("topo: duplicate node %q", name)
+		} else {
+			b.index[name] = len(b.nodes)
+			b.nodes = append(b.nodes, Node{Name: name, Pos: radio.Position{X: x, Y: y}})
+		}
+	}
+	return b
+}
+
+// GainDBm pins the directional link budget from → to, overriding the
+// propagation model (an asymmetric obstruction, a directional antenna).
+func (b *Builder) GainDBm(from, to string, dbm float64) *Builder {
+	b.overrides = append(b.overrides, override{from: from, to: to, dbm: dbm})
+	return b
+}
+
+// LinkDBm pins the link budget between a and b in both directions — the
+// common "these two nodes hear each other at exactly this level" case.
+func (b *Builder) LinkDBm(a, bn string, dbm float64) *Builder {
+	b.overrides = append(b.overrides, override{from: a, to: bn, dbm: dbm, symmetric: true})
+	return b
+}
+
+// Build instantiates the topology: pairwise budgets from the propagation
+// model with Derive-keyed symmetric shadowing, then overrides applied in
+// recording order.
+func (b *Builder) Build() (*Topology, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.nodes) == 0 {
+		return nil, fmt.Errorf("topo: no nodes")
+	}
+	n := len(b.nodes)
+	t := &Topology{Params: b.params, Nodes: b.nodes, index: b.index}
+	shadowRoot := stats.NewRNG(b.seed ^ 0x70b0109e5)
+	t.GainDBm = make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := range t.GainDBm {
+		t.GainDBm[i] = backing[i*n : (i+1)*n : (i+1)*n]
+		t.GainDBm[i][i] = b.params.TxPowerDBm
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			// One deviate per unordered pair, keyed on the pair itself:
+			// adding node k never reshuffles the budget between i and j.
+			shadow := shadowRoot.Derive(uint64(i), uint64(j), tagShadow).NormFloat64() * b.params.ShadowSigmaDB
+			g := b.params.RxPowerDBm(b.nodes[i].Pos.Dist(b.nodes[j].Pos), shadow)
+			t.GainDBm[i][j] = g
+			t.GainDBm[j][i] = g
+		}
+	}
+	for _, ov := range b.overrides {
+		fi, ok := t.index[ov.from]
+		if !ok {
+			return nil, fmt.Errorf("topo: override references unknown node %q", ov.from)
+		}
+		ti, ok := t.index[ov.to]
+		if !ok {
+			return nil, fmt.Errorf("topo: override references unknown node %q", ov.to)
+		}
+		if fi == ti {
+			return nil, fmt.Errorf("topo: override on self-link %q", ov.from)
+		}
+		t.GainDBm[fi][ti] = ov.dbm
+		if ov.symmetric {
+			t.GainDBm[ti][fi] = ov.dbm
+		}
+	}
+	return t, nil
+}
+
+// Grid lays nodes on a cols×rows lattice with the given spacing, named
+// "g<col>.<row>". With spacing well above the audibility radius every node
+// is its own interference domain; well below it the grid is one domain.
+func Grid(cols, rows int, spacingFeet float64, params radio.Params, seed uint64) (*Topology, error) {
+	if cols <= 0 || rows <= 0 {
+		return nil, fmt.Errorf("topo: bad grid %dx%d", cols, rows)
+	}
+	b := NewBuilder(params, seed)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.Node(fmt.Sprintf("g%d.%d", c, r), float64(c)*spacingFeet, float64(r)*spacingFeet)
+		}
+	}
+	return b.Build()
+}
+
+// Random scatters n nodes uniformly over a width×height field, named
+// "r<i>". Positions come from the seed; the same (n, extent, seed) spec
+// always yields the same scatter.
+func Random(n int, widthFeet, heightFeet float64, params radio.Params, seed uint64) (*Topology, error) {
+	if n <= 0 || widthFeet <= 0 || heightFeet <= 0 {
+		return nil, fmt.Errorf("topo: bad random layout n=%d extent=%gx%g", n, widthFeet, heightFeet)
+	}
+	rng := stats.NewRNG(seed).Derive(tagLayout)
+	b := NewBuilder(params, seed)
+	for i := 0; i < n; i++ {
+		b.Node(fmt.Sprintf("r%d", i), rng.Float64()*widthFeet, rng.Float64()*heightFeet)
+	}
+	return b.Build()
+}
+
+// CellGrid is the city-scale layout: cellsX×cellsY dense cells of
+// nodesPerCell nodes each, cell centres cellSpacing feet apart, nodes
+// scattered uniformly within cellRadius of their centre. Nodes are named
+// "c<cx>.<cy>/n<k>". With cell spacing well beyond the audibility radius
+// and cell radius well inside it, each cell is one interference domain —
+// the regime the sharded engine parallelizes.
+func CellGrid(cellsX, cellsY, nodesPerCell int, cellSpacingFeet, cellRadiusFeet float64, params radio.Params, seed uint64) (*Topology, error) {
+	if cellsX <= 0 || cellsY <= 0 || nodesPerCell <= 0 {
+		return nil, fmt.Errorf("topo: bad cell grid %dx%d x%d", cellsX, cellsY, nodesPerCell)
+	}
+	rng := stats.NewRNG(seed).Derive(tagLayout)
+	b := NewBuilder(params, seed)
+	for cy := 0; cy < cellsY; cy++ {
+		for cx := 0; cx < cellsX; cx++ {
+			ox := float64(cx) * cellSpacingFeet
+			oy := float64(cy) * cellSpacingFeet
+			for k := 0; k < nodesPerCell; k++ {
+				// Uniform in the disc of cellRadius, via sqrt-radius.
+				r := cellRadiusFeet * math.Sqrt(rng.Float64())
+				theta := 2 * math.Pi * rng.Float64()
+				b.Node(fmt.Sprintf("c%d.%d/n%d", cx, cy, k), ox+r*math.Cos(theta), oy+r*math.Sin(theta))
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,225 @@
+package topo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ppr/internal/radio"
+)
+
+// Same seed + layout spec must produce bit-identical topologies; a
+// different seed must not.
+func TestLayoutDeterminism(t *testing.T) {
+	build := map[string]func(seed uint64) (*Topology, error){
+		"grid": func(seed uint64) (*Topology, error) {
+			return Grid(5, 4, 30, radio.DefaultParams(), seed)
+		},
+		"random": func(seed uint64) (*Topology, error) {
+			return Random(40, 500, 300, radio.DefaultParams(), seed)
+		},
+		"cellgrid": func(seed uint64) (*Topology, error) {
+			return CellGrid(3, 2, 6, 2000, 25, radio.DefaultParams(), seed)
+		},
+	}
+	for name, fn := range build {
+		a, err := fn(7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := fn(7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(a.GainDBm, b.GainDBm) || !reflect.DeepEqual(a.Nodes, b.Nodes) {
+			t.Errorf("%s: same seed built different topologies", name)
+		}
+		c, err := fn(8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if reflect.DeepEqual(a.GainDBm, c.GainDBm) {
+			t.Errorf("%s: different seeds built identical gain matrices", name)
+		}
+		// Domain partition is a pure function of the topology.
+		d1, n1 := a.Domains(-105)
+		d2, n2 := b.Domains(-105)
+		if n1 != n2 || !reflect.DeepEqual(d1, d2) {
+			t.Errorf("%s: same topology partitioned differently", name)
+		}
+	}
+}
+
+// A link's shadowing is keyed on the node pair, so adding nodes to a
+// builder never changes budgets between earlier nodes.
+func TestPairwiseShadowingStable(t *testing.T) {
+	p := radio.DefaultParams()
+	small, err := NewBuilder(p, 3).Node("a", 0, 0).Node("b", 40, 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewBuilder(p, 3).Node("a", 0, 0).Node("b", 40, 0).Node("c", 10, 90).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.GainDBm[0][1] != big.GainDBm[0][1] {
+		t.Errorf("a-b budget changed when c was added: %v vs %v", small.GainDBm[0][1], big.GainDBm[0][1])
+	}
+}
+
+func TestBuilderNamesAndSymmetry(t *testing.T) {
+	tp, err := NewBuilder(radio.DefaultParams(), 1).
+		Node("a", 0, 0).Node("b", 50, 0).Node("c", 0, 50).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", tp.NumNodes())
+	}
+	id, ok := tp.NodeID("b")
+	if !ok || id != 1 {
+		t.Errorf("NodeID(b) = %d, %v", id, ok)
+	}
+	if _, ok := tp.NodeID("zz"); ok {
+		t.Error("NodeID(zz) resolved")
+	}
+	if tp.Name(2) != "c" || tp.Position(2).Y != 50 {
+		t.Errorf("node 2 = %q at %v", tp.Name(2), tp.Position(2))
+	}
+	for i := 0; i < 3; i++ {
+		if tp.NodeGainDBm(i, i) != tp.Params.TxPowerDBm {
+			t.Errorf("self gain of %d = %v", i, tp.NodeGainDBm(i, i))
+		}
+		for j := 0; j < 3; j++ {
+			if tp.NodeGainDBm(i, j) != tp.NodeGainDBm(j, i) {
+				t.Errorf("gain %d->%d asymmetric without overrides", i, j)
+			}
+		}
+	}
+}
+
+func TestBuilderOverrides(t *testing.T) {
+	tp, err := NewBuilder(radio.DefaultParams(), 1).
+		Node("a", 0, 0).Node("b", 50, 0).
+		GainDBm("a", "b", -60).
+		LinkDBm("a", "b", -72).
+		GainDBm("b", "a", -66).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overrides apply in recording order: the directional one lands last on
+	// b->a, the symmetric one last on a->b.
+	if g := tp.NodeGainDBm(0, 1); g != -72 {
+		t.Errorf("a->b = %v, want -72", g)
+	}
+	if g := tp.NodeGainDBm(1, 0); g != -66 {
+		t.Errorf("b->a = %v, want -66", g)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := map[string]*Builder{
+		"empty name":     NewBuilder(radio.DefaultParams(), 1).Node("", 0, 0),
+		"duplicate name": NewBuilder(radio.DefaultParams(), 1).Node("a", 0, 0).Node("a", 1, 1),
+		"no nodes":       NewBuilder(radio.DefaultParams(), 1),
+		"unknown from":   NewBuilder(radio.DefaultParams(), 1).Node("a", 0, 0).Node("b", 9, 9).GainDBm("x", "b", -50),
+		"unknown to":     NewBuilder(radio.DefaultParams(), 1).Node("a", 0, 0).Node("b", 9, 9).LinkDBm("a", "y", -50),
+		"self override":  NewBuilder(radio.DefaultParams(), 1).Node("a", 0, 0).Node("b", 9, 9).GainDBm("a", "a", -50),
+	}
+	for name, b := range cases {
+		if _, err := b.Build(); err == nil {
+			t.Errorf("%s: Build succeeded", name)
+		}
+	}
+	if _, err := Grid(0, 3, 10, radio.DefaultParams(), 1); err == nil {
+		t.Error("zero-column grid built")
+	}
+	if _, err := Random(-1, 10, 10, radio.DefaultParams(), 1); err == nil {
+		t.Error("negative random layout built")
+	}
+	if _, err := CellGrid(2, 2, 0, 100, 10, radio.DefaultParams(), 1); err == nil {
+		t.Error("empty cells built")
+	}
+}
+
+// Domains follows audibility in either direction, numbers components by
+// smallest member, and merges exactly the linked nodes.
+func TestDomainsExplicitGraph(t *testing.T) {
+	mute := -300.0
+	b := NewBuilder(radio.DefaultParams(), 1).
+		Node("a", 0, 0).Node("b", 0, 0).Node("c", 0, 0).Node("d", 0, 0).Node("e", 0, 0)
+	for _, pair := range [][2]string{{"a", "b"}, {"a", "c"}, {"a", "d"}, {"a", "e"}, {"b", "c"}, {"b", "d"}, {"b", "e"}, {"c", "d"}, {"c", "e"}, {"d", "e"}} {
+		b.LinkDBm(pair[0], pair[1], mute)
+	}
+	// a-b audible one way only (directional override), d-e audible both.
+	b.GainDBm("b", "a", -80)
+	b.LinkDBm("d", "e", -90)
+	tp, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	domainOf, n := tp.Domains(-105)
+	want := []int{0, 0, 1, 2, 2} // {a,b}, {c}, {d,e}
+	if n != 3 || !reflect.DeepEqual(domainOf, want) {
+		t.Errorf("Domains = %v (%d), want %v (3)", domainOf, n, want)
+	}
+	// At a floor below the muted links everything is one domain.
+	if _, n := tp.Domains(mute - 1); n != 1 {
+		t.Errorf("everything audible still split into %d domains", n)
+	}
+}
+
+// The city-scale layout decomposes into one domain per cell when cells are
+// far apart, and one total domain when they are packed.
+func TestCellGridDomains(t *testing.T) {
+	p := radio.DefaultParams()
+	floor := p.NoiseFloorDBm - 10
+	far, err := CellGrid(3, 2, 5, 2000, 25, p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domainOf, n := far.Domains(floor)
+	if n != 6 {
+		t.Fatalf("far cells: %d domains, want 6", n)
+	}
+	for i := range far.Nodes {
+		if domainOf[i] != domainOf[(i/5)*5] {
+			t.Errorf("node %d (%s) not in its cell's domain", i, far.Name(i))
+		}
+	}
+	near, err := CellGrid(3, 2, 5, 10, 25, p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, n := near.Domains(floor); n != 1 {
+		t.Errorf("packed cells: %d domains, want 1", n)
+	}
+}
+
+// Node positions stay inside the declared extents.
+func TestLayoutExtents(t *testing.T) {
+	tp, err := Random(60, 400, 200, radio.DefaultParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tp.Nodes {
+		p := tp.Position(i)
+		if p.X < 0 || p.X > 400 || p.Y < 0 || p.Y > 200 {
+			t.Errorf("node %d out of field: %v", i, p)
+		}
+	}
+	cg, err := CellGrid(2, 2, 8, 1000, 30, radio.DefaultParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cg.Nodes {
+		cx := float64(((i / 8) % 2) * 1000)
+		cy := float64(((i / 8) / 2) * 1000)
+		p := cg.Position(i)
+		if d := math.Hypot(p.X-cx, p.Y-cy); d > 30 {
+			t.Errorf("node %d %s is %g ft from its cell centre", i, cg.Name(i), d)
+		}
+	}
+}

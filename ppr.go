@@ -108,6 +108,7 @@ import (
 	"ppr/internal/schemes"
 	"ppr/internal/sim"
 	"ppr/internal/testbed"
+	"ppr/internal/topo"
 )
 
 // ---- Framing & postamble decoding (Sec. 4) ----
@@ -349,6 +350,52 @@ func LinkLayerNames() []string { return netsim.LinkLayerNames() }
 // (PP-ARQ first, then the status-quo baselines).
 func LinkLayers() []string { return netsim.LinkLayers() }
 
+// ---- Declarative topologies (internal/topo) ----
+
+type (
+	// NetworkTopology is the deployment interface the closed-loop engine
+	// runs on: node count, pairwise link budgets, propagation environment.
+	// Both the paper's Testbed and the declarative Topology satisfy it.
+	NetworkTopology = netsim.Topology
+	// Topology is a declarative deployment: named nodes at positions with
+	// a symmetric (unless overridden) link-budget matrix.
+	Topology = topo.Topology
+	// TopologyNode is one named node of a Topology.
+	TopologyNode = topo.Node
+	// TopologyBuilder accumulates named nodes and link-budget overrides
+	// into a Topology.
+	TopologyBuilder = topo.Builder
+)
+
+// NewTopologyBuilder starts a declarative topology; the seed keys every
+// link's shadowing on the node pair, so budgets are stable as nodes are
+// added.
+func NewTopologyBuilder(params ChannelParams, seed uint64) *TopologyBuilder {
+	return topo.NewBuilder(params, seed)
+}
+
+// GridTopology lays out cols×rows nodes on a uniform grid.
+func GridTopology(cols, rows int, spacingFeet float64, params ChannelParams, seed uint64) (*Topology, error) {
+	return topo.Grid(cols, rows, spacingFeet, params, seed)
+}
+
+// RandomTopology scatters n nodes uniformly over a field.
+func RandomTopology(n int, widthFeet, heightFeet float64, params ChannelParams, seed uint64) (*Topology, error) {
+	return topo.Random(n, widthFeet, heightFeet, params, seed)
+}
+
+// CellGridTopology builds the city-scale layout: a grid of dense node
+// clusters ("cells") whose spacing controls whether the engine sees one
+// interference domain or many.
+func CellGridTopology(cellsX, cellsY, nodesPerCell int, cellSpacingFeet, cellRadiusFeet float64, params ChannelParams, seed uint64) (*Topology, error) {
+	return topo.CellGrid(cellsX, cellsY, nodesPerCell, cellSpacingFeet, cellRadiusFeet, params, seed)
+}
+
+// AudibilityFloorDBm returns the received-power floor below which the
+// engine prunes a link entirely — the edge threshold of the audibility
+// graph that Topology.Domains partitions.
+func AudibilityFloorDBm(p ChannelParams) float64 { return netsim.AudibilityFloorDBm(p) }
+
 // ---- Traffic scenarios ----
 
 type (
@@ -435,6 +482,11 @@ type (
 	// DiversityResult compares single-receiver delivery against
 	// multi-receiver min-hint combining (the Sec. 8.4 extension).
 	DiversityResult = experiments.DiversityResult
+	// MeshResult is the city-scale mesh experiment over the spatially
+	// sharded engine: per-flow throughput and fairness per link layer.
+	MeshResult = experiments.MeshResult
+	// MeshLayerResult is one link layer's curve within a MeshResult.
+	MeshLayerResult = experiments.MeshLayerResult
 )
 
 // ---- Recovery schemes (post-processing layer) ----
