@@ -10,6 +10,7 @@ package ppr
 import (
 	"context"
 	"math"
+	"os"
 	"runtime"
 	"testing"
 
@@ -26,6 +27,7 @@ import (
 	"ppr/internal/frame/syncref"
 	"ppr/internal/modem"
 	"ppr/internal/netsim"
+	"ppr/internal/obs"
 	"ppr/internal/phy"
 	"ppr/internal/radio"
 	"ppr/internal/radio/synthref"
@@ -34,6 +36,16 @@ import (
 	"ppr/internal/stats"
 	"ppr/internal/testbed"
 )
+
+// TestMain lets CI measure the metrics-enabled cost of the hot paths: with
+// PPR_METRICS set, the whole bench run executes against a live registry, so
+// `benchjson -check` can gate the enabled-vs-disabled overhead.
+func TestMain(m *testing.M) {
+	if os.Getenv("PPR_METRICS") != "" {
+		obs.Enable()
+	}
+	os.Exit(m.Run())
+}
 
 func benchOpts(i int) experiments.Options {
 	return experiments.Options{Seed: uint64(i%4 + 1), Quick: true}

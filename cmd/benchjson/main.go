@@ -59,14 +59,16 @@ func main() {
 	pr := flag.Int("pr", 0, "PR ordinal stamped into the emitted snapshot")
 	check := flag.Bool("check", false, "compare two snapshots: benchjson -check PREV CUR")
 	threshold := flag.Float64("threshold", 0.20, "max allowed ns/op regression fraction in -check mode")
+	allowMissing := flag.Bool("allow-missing", false,
+		"in -check mode, warn instead of fail when benchmarks in PREV are missing from CUR")
 	flag.Parse()
 
 	if *check {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -check [-threshold F] PREV.json CUR.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -check [-threshold F] [-allow-missing] PREV.json CUR.json")
 			os.Exit(2)
 		}
-		os.Exit(checkSnapshots(flag.Arg(0), flag.Arg(1), *threshold))
+		os.Exit(checkSnapshots(flag.Arg(0), flag.Arg(1), *threshold, *allowMissing))
 	}
 	if err := emit(os.Stdin, os.Stdout, *pr); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -134,8 +136,11 @@ func parseMeasurement(tail string) (Measurement, bool) {
 }
 
 // checkSnapshots compares CUR against PREV, printing a delta table and
-// returning 1 when any shared benchmark's ns/op regressed past threshold.
-func checkSnapshots(prevPath, curPath string, threshold float64) int {
+// returning 1 when any shared benchmark's ns/op regressed past threshold —
+// or when a benchmark present in PREV has vanished from CUR (a deleted or
+// renamed benchmark silently escaping the gate), unless allowMissing
+// downgrades that to a warning.
+func checkSnapshots(prevPath, curPath string, threshold float64, allowMissing bool) int {
 	prev, err := load(prevPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -146,6 +151,24 @@ func checkSnapshots(prevPath, curPath string, threshold float64) int {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 2
 	}
+	var missing []string
+	for name := range prev.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	failed := false
+	for _, name := range missing {
+		status := "MISSING"
+		if allowMissing {
+			status = "missing (allowed)"
+		} else {
+			failed = true
+		}
+		fmt.Printf("%-50s %14.0f -> %14s ns/op  %s\n",
+			name, prev.Benchmarks[name].NsPerOp, "gone", status)
+	}
 	var names []string
 	for name := range cur.Benchmarks {
 		if _, ok := prev.Benchmarks[name]; ok {
@@ -153,11 +176,10 @@ func checkSnapshots(prevPath, curPath string, threshold float64) int {
 		}
 	}
 	sort.Strings(names)
-	if len(names) == 0 {
+	if len(names) == 0 && !failed {
 		fmt.Printf("no shared benchmarks between %s and %s; nothing to check\n", prevPath, curPath)
 		return 0
 	}
-	failed := false
 	for _, name := range names {
 		p, c := prev.Benchmarks[name], cur.Benchmarks[name]
 		if p.NsPerOp <= 0 {
@@ -177,7 +199,7 @@ func checkSnapshots(prevPath, curPath string, threshold float64) int {
 			name, p.NsPerOp, c.NsPerOp, delta*100, p.AllocsPerOp, c.AllocsPerOp, status)
 	}
 	if failed {
-		fmt.Printf("FAIL: ns/op or allocs/op regression beyond %.0f%% (PR %d -> PR %d)\n",
+		fmt.Printf("FAIL: ns/op or allocs/op regression beyond %.0f%%, or missing benchmarks (PR %d -> PR %d)\n",
 			threshold*100, prev.PR, cur.PR)
 		return 1
 	}

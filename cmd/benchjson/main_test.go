@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"testing"
@@ -54,6 +55,65 @@ func TestAllocsRegressed(t *testing.T) {
 		if got != c.regression {
 			t.Errorf("%s (%g -> %g): regressed = %v, want %v", c.name, c.prev, c.cur, got, c.regression)
 		}
+	}
+}
+
+// writeSnap persists a snapshot for the check-mode tests.
+func writeSnap(t *testing.T, benchmarks map[string]Measurement) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "snap*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap := Snapshot{Schema: schemaID, PR: 1, Benchmarks: benchmarks}
+	if err := json.NewEncoder(f).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	return f.Name()
+}
+
+// TestCheckFailsOnMissingBenchmark pins the gate hole: a benchmark present
+// in the previous snapshot but gone from the current one must fail the
+// check (a deleted benchmark is an unmeasured regression), unless
+// -allow-missing downgrades it to a warning.
+func TestCheckFailsOnMissingBenchmark(t *testing.T) {
+	prev := writeSnap(t, map[string]Measurement{
+		"BenchmarkKept": {NsPerOp: 100},
+		"BenchmarkGone": {NsPerOp: 200},
+	})
+	cur := writeSnap(t, map[string]Measurement{
+		"BenchmarkKept": {NsPerOp: 100},
+	})
+	if got := checkSnapshots(prev, cur, 0.20, false); got != 1 {
+		t.Errorf("missing benchmark: checkSnapshots = %d, want 1", got)
+	}
+	if got := checkSnapshots(prev, cur, 0.20, true); got != 0 {
+		t.Errorf("missing benchmark with -allow-missing: checkSnapshots = %d, want 0", got)
+	}
+}
+
+// TestCheckMissingFailsEvenWithoutSharedNames covers the early-return path:
+// nothing shared AND something missing is still a failure.
+func TestCheckMissingFailsEvenWithoutSharedNames(t *testing.T) {
+	prev := writeSnap(t, map[string]Measurement{"BenchmarkGone": {NsPerOp: 200}})
+	cur := writeSnap(t, map[string]Measurement{"BenchmarkNew": {NsPerOp: 50}})
+	if got := checkSnapshots(prev, cur, 0.20, false); got != 1 {
+		t.Errorf("checkSnapshots = %d, want 1", got)
+	}
+	if got := checkSnapshots(prev, cur, 0.20, true); got != 0 {
+		t.Errorf("with -allow-missing: checkSnapshots = %d, want 0", got)
+	}
+}
+
+func TestCheckPassesWhenAllShared(t *testing.T) {
+	prev := writeSnap(t, map[string]Measurement{"BenchmarkKept": {NsPerOp: 100}})
+	cur := writeSnap(t, map[string]Measurement{
+		"BenchmarkKept": {NsPerOp: 105},
+		"BenchmarkNew":  {NsPerOp: 50}, // new benchmarks are fine
+	})
+	if got := checkSnapshots(prev, cur, 0.20, false); got != 0 {
+		t.Errorf("checkSnapshots = %d, want 0", got)
 	}
 }
 

@@ -30,10 +30,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof: profiling handlers on DefaultServeMux
 	"os"
 	"strings"
 
 	"ppr/internal/experiments"
+	"ppr/internal/obs"
 	"ppr/internal/scenario"
 	"ppr/internal/schemes"
 )
@@ -54,6 +57,12 @@ func main() {
 	schemesFlag := flag.String("schemes", "",
 		"comma-separated recovery schemes for the delivery figures (default all registered: "+
 			strings.Join(schemes.Names(), ", ")+")")
+	metricsOut := flag.String("metrics", "",
+		"write a ppr-metrics/v1 JSON snapshot of the run's metrics to this file (\"-\" = stdout)")
+	traceOut := flag.String("trace", "",
+		"record a Chrome trace-format timeline of the network simulations to this file (load in Perfetto)")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof and expvar (with live metrics under \"ppr-metrics\") on this address, e.g. localhost:6060")
 	listExps := flag.Bool("list-exps", false, "print registered experiment names and exit")
 	listScenarios := flag.Bool("list-scenarios", false, "print registered scenario names and exit")
 	listSchemes := flag.Bool("list-schemes", false, "print registered recovery scheme names and exit")
@@ -111,12 +120,33 @@ func main() {
 	}
 	names := resolveExperiments(*exp)
 
+	// Observability: metrics collection is enabled for the whole process as
+	// soon as any consumer asks for it; tracing is enabled by handing the
+	// experiments a tracer. Neither changes any result.
+	if *metricsOut != "" || *pprofAddr != "" {
+		obs.Enable()
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	if *pprofAddr != "" {
+		obs.PublishExpvar()
+		go func() {
+			// DefaultServeMux carries net/http/pprof's and expvar's handlers.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprsim: pprof server: %v\n", err)
+			}
+		}()
+	}
+
 	o := experiments.Options{
 		Seed:     *seed,
 		Quick:    *quick,
 		Workers:  *workers,
 		Scenario: *scen,
 		Schemes:  schemeNames,
+		Tracer:   tracer,
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -133,8 +163,9 @@ func main() {
 				if p.Err != nil {
 					status = "failed: " + p.Err.Error()
 				}
-				fmt.Fprintf(os.Stderr, "[%d/%d] %-10s %s (%.2fs)\n",
-					p.Index+1, p.Total, p.Experiment, status, p.Elapsed.Seconds())
+				fmt.Fprintf(os.Stderr, "[%d/%d] %-10s %s (%.2fs, cache %dh/%dm)\n",
+					p.Index+1, p.Total, p.Experiment, status, p.Elapsed.Seconds(),
+					p.CacheHits, p.CacheMisses)
 				return
 			}
 			fmt.Fprintf(os.Stderr, "[%d/%d] %-10s running\n", p.Index+1, p.Total, p.Experiment)
@@ -144,6 +175,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pprsim: %v\n", err)
 		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "pprsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "pprsim: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	switch *out {
@@ -167,6 +210,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pprsim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// writeMetrics dumps the default registry's snapshot as ppr-metrics/v1 JSON
+// to path ("-" = stdout).
+func writeMetrics(path string) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return obs.Default().Snapshot().WriteJSON(w)
+}
+
+// writeTrace dumps the run's timeline as Chrome trace-format JSON.
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tracer.WriteJSON(f)
 }
 
 // resolveExperiments expands the -exp flag into registry names, rejecting

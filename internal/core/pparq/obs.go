@@ -1,0 +1,30 @@
+package pparq
+
+import "ppr/internal/obs"
+
+// Package-level metric handles (obs Vars: no map lookup, re-resolved only
+// when the default registry changes). Recorded once per Transfer — far off
+// the chip-level hot paths — they expose the protocol's feedback economy:
+// how many chunks receivers asked for and how many bytes the reverse link
+// cost, the quantities Figs. 11 and 16 measure.
+var (
+	mTransfers       = &obs.CounterVar{Name: "pparq.transfers"}
+	mChunksRequested = &obs.CounterVar{Name: "pparq.chunks_requested"}
+	mFeedbackBytes   = &obs.CounterVar{Name: "pparq.feedback_air_bytes"}
+	mRetxBytes       = &obs.CounterVar{Name: "pparq.retx_air_bytes"}
+	mRounds          = &obs.CounterVar{Name: "pparq.rounds"}
+	mMisses          = &obs.CounterVar{Name: "pparq.softphy_misses"}
+)
+
+// recordTransfer flushes one transfer's accounting to the registry.
+func recordTransfer(st *Stats, chunksRequested int64) {
+	if obs.Default() == nil {
+		return
+	}
+	mTransfers.Get().Inc()
+	mChunksRequested.Get().Add(chunksRequested)
+	mFeedbackBytes.Get().Add(int64(st.FeedbackAirBytes))
+	mRetxBytes.Get().Add(int64(st.RetxAirBytes))
+	mRounds.Get().Add(int64(st.Rounds))
+	mMisses.Get().Add(int64(st.Misses))
+}

@@ -140,6 +140,8 @@ func NewSender(fwd, rev Link, src, dst uint16, cfg Config) *Sender {
 // payload as verified by the receiver and the byte accounting. It drives
 // both ends of the exchange against the configured links.
 func (s *Sender) Transfer(payload []byte) (delivered []byte, st Stats, err error) {
+	var chunksRequested int64
+	defer func() { recordTransfer(&st, chunksRequested) }()
 	cfg := s.cfg
 	seq := s.seq
 	s.seq++
@@ -181,6 +183,7 @@ func (s *Sender) Transfer(payload []byte) (delivered []byte, st Stats, err error
 		// sender works from the copy that actually crossed the reverse
 		// link, exercising the codec end to end.
 		req := ClampRequest(asm.BuildRequest(seq, cfg.LambdaC), cfg.LambdaC)
+		chunksRequested += int64(len(req.Chunks))
 		fbBody := append([]byte{TypeFeedback}, req.Encode(cfg.LambdaC)...)
 		fbRec, err := s.sendControl(s.rev, fbBody, &st.FeedbackAirBytes, nil)
 		if err != nil {

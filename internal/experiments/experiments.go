@@ -30,7 +30,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"ppr/internal/obs"
 	"ppr/internal/radio"
 	"ppr/internal/scenario"
 	"ppr/internal/schemes"
@@ -73,6 +75,12 @@ type Options struct {
 	// experiment the same cache, so concurrent figures sharing an operating
 	// point collapse to one simulation.
 	Cache *TraceCache
+	// Tracer, when non-nil, records a discrete-event timeline of the network
+	// simulations the experiment runs (one trace process per netsim run, one
+	// lane per interference domain; see internal/obs). Purely observational:
+	// results are bit-identical with or without it. Not part of the trace
+	// cache key.
+	Tracer *obs.Tracer
 }
 
 // cache resolves the configured trace cache.
@@ -440,8 +448,10 @@ func (c *TraceCache) GetContext(ctx context.Context, o Options, load float64, ca
 		e = &traceEntry{}
 		c.entries[key] = e
 		c.misses++
+		mCacheMisses.Get().Inc()
 	} else {
 		c.hits++
+		mCacheHits.Get().Inc()
 	}
 	c.mu.Unlock()
 
@@ -449,6 +459,7 @@ func (c *TraceCache) GetContext(ctx context.Context, o Options, load float64, ca
 	defer e.mu.Unlock()
 	if e.tr == nil {
 		cfg := o.simConfig(o.Bed(), load, carrierSense)
+		fillStart := time.Now()
 		txs, outs, err := sim.RunContext(ctx, cfg, StandardVariants())
 		if err != nil {
 			// Drop the unfilled entry (unless Reset already replaced the
@@ -461,6 +472,7 @@ func (c *TraceCache) GetContext(ctx context.Context, o Options, load float64, ca
 			return nil, err
 		}
 		e.tr = &Trace{Cfg: cfg, Txs: txs, Outs: outs}
+		mCacheFillNs.Get().Observe(time.Since(fillStart).Nanoseconds())
 		// A joiner re-filling an entry a cancelled filler dropped from the
 		// map must re-insert it, or every later Get of this point would
 		// miss and re-simulate. The normal path (entry still mapped) and a

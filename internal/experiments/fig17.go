@@ -221,7 +221,8 @@ func fig17Ctx(ctx context.Context, o Options) (Fig17Result, error) {
 				// Every cell is its own operating point: the seed depends on
 				// the pair but not the layer, so the three layers face the
 				// same traffic phase and channel draws per pair.
-				Seed: o.Seed ^ (uint64(c.pair+1) << 16),
+				Seed:   o.Seed ^ (uint64(c.pair+1) << 16),
+				Tracer: o.Tracer,
 			}
 			r, err := netsim.RunContext(ctx, cfg)
 			if err != nil {

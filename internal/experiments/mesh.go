@@ -138,6 +138,7 @@ func meshCtx(ctx context.Context, o Options) (MeshResult, error) {
 			// the protocols.
 			Seed:    o.Seed ^ 0x3e511,
 			Workers: o.Workers,
+			Tracer:  o.Tracer,
 		})
 		if err != nil {
 			if ctx.Err() != nil {

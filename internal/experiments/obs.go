@@ -1,0 +1,21 @@
+package experiments
+
+import "ppr/internal/obs"
+
+// Metric handles for the experiment layer. These sites fire at most a few
+// times per experiment — cache lookups and experiment completions — so the
+// Var indirection (two atomic loads per use) is free relative to the work
+// they bracket.
+var (
+	// mCacheHits / mCacheMisses mirror TraceCache.Stats in the registry so a
+	// -metrics dump shows how well the suite shared its simulations.
+	mCacheHits   = &obs.CounterVar{Name: "tracecache.hits"}
+	mCacheMisses = &obs.CounterVar{Name: "tracecache.misses"}
+	// mCacheFillNs is the distribution of cache-miss fill times (one full
+	// simulation of an operating point) in nanoseconds.
+	mCacheFillNs = &obs.HistogramVar{Name: "tracecache.fill_ns"}
+	// mExperimentNs is the wall-time distribution of completed experiments.
+	mExperimentNs = &obs.HistogramVar{Name: "runner.experiment_ns"}
+	// mExperimentsRun counts experiments a Runner completed.
+	mExperimentsRun = &obs.CounterVar{Name: "runner.experiments_run"}
+)

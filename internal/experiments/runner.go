@@ -22,6 +22,11 @@ type Progress struct {
 	Err error
 	// Elapsed is the experiment's wall-clock time, set on completion.
 	Elapsed time.Duration
+	// CacheHits and CacheMisses snapshot the trace cache's cumulative
+	// counters at completion (Done true). The cache is shared across
+	// concurrent experiments, so these are running totals for the sweep,
+	// not per-experiment deltas.
+	CacheHits, CacheMisses int
 }
 
 // Runner executes a set of experiments concurrently on a bounded worker
@@ -112,7 +117,12 @@ func (r *Runner) Run(ctx context.Context, names []string) ([]Dataset, error) {
 				emit(Progress{Experiment: e.Name(), Index: i, Total: len(exps)})
 				start := time.Now()
 				ds, err := e.Run(ctx, r.Options)
-				emit(Progress{Experiment: e.Name(), Index: i, Total: len(exps), Done: true, Err: err, Elapsed: time.Since(start)})
+				elapsed := time.Since(start)
+				mExperimentNs.Get().Observe(elapsed.Nanoseconds())
+				mExperimentsRun.Get().Inc()
+				hits, misses := r.Options.cache().Stats()
+				emit(Progress{Experiment: e.Name(), Index: i, Total: len(exps), Done: true, Err: err, Elapsed: elapsed,
+					CacheHits: hits, CacheMisses: misses})
 				if err != nil {
 					fail(err)
 					continue

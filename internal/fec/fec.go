@@ -149,6 +149,8 @@ func Decode(coded []byte) (Result, error) {
 	if nBranches < K-1 {
 		return Result{}, fmt.Errorf("fec: %d branches shorter than the %d-bit tail", nBranches, K-1)
 	}
+	mSOVAInvocations.Get().Inc()
+	mSOVABits.Get().Add(int64(nBranches - (K - 1)))
 	const inf = math.MaxInt32 / 2
 
 	var ma, mb [numStates]int32

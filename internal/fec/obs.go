@@ -1,0 +1,15 @@
+package fec
+
+import "ppr/internal/obs"
+
+// Package-level metric handles. Decode is a free function with no
+// construction moment, so the sites go through obs Vars: two atomic loads
+// and a pointer compare per call, re-resolving only when the default
+// registry changes — negligible against a SOVA pass over a packet.
+var (
+	// mSOVAInvocations counts Decode calls — every SOVA trellis pass the
+	// FEC recovery schemes run.
+	mSOVAInvocations = &obs.CounterVar{Name: "fec.sova_invocations"}
+	// mSOVABits counts decoded information bits across those passes.
+	mSOVABits = &obs.CounterVar{Name: "fec.sova_bits"}
+)

@@ -1,0 +1,42 @@
+package frame
+
+import (
+	"sync/atomic"
+
+	"ppr/internal/obs"
+)
+
+// rxShardSeq spreads Receivers across registry cells: the simulators keep
+// one Receiver per worker (or per netsim shard), so successive receivers
+// land on distinct cells and the hot receive path never contends.
+var rxShardSeq atomic.Int64
+
+// rxMetrics is a Receiver's pre-resolved metric cells, bound at
+// construction from the default registry. All-nil (one branch per receive
+// call, zero allocations) when metrics are disabled — the contract
+// TestMetricsDisabledAllocs pins.
+type rxMetrics struct {
+	// syncs counts sync detections of Receiver-owned scans (Receive);
+	// callers that scan once and decode per variant (internal/sim) count
+	// their shared scan themselves.
+	syncs *obs.CounterCell
+	// receptions counts header-verified receptions after deduplication.
+	receptions *obs.CounterCell
+	// crcFail counts header-verified receptions whose whole-packet CRC
+	// failed — the partial packets PPR exists to recover.
+	crcFail *obs.CounterCell
+}
+
+// newRxMetrics resolves a fresh receiver's cells.
+func newRxMetrics() rxMetrics {
+	r := obs.Default()
+	if r == nil {
+		return rxMetrics{}
+	}
+	shard := int(rxShardSeq.Add(1))
+	return rxMetrics{
+		syncs:      r.Counter("frame.syncs_found").Cell(shard),
+		receptions: r.Counter("frame.receptions").Cell(shard),
+		crcFail:    r.Counter("frame.crc_failures").Cell(shard),
+	}
+}

@@ -144,17 +144,20 @@ type Receiver struct {
 	BufferChips int
 
 	scratch decodeScratch
+	m       rxMetrics
 }
 
 // NewReceiver returns a Receiver with the paper's configuration: the given
 // decoder, default sync tolerance, postamble decoding enabled, and a
-// circular buffer of one maximum packet.
+// circular buffer of one maximum packet. Metric cells are resolved here —
+// enable the obs registry before constructing receivers that should report.
 func NewReceiver(dec phy.Decoder) *Receiver {
 	return &Receiver{
 		Dec:          dec,
 		SyncMaxDist:  DefaultSyncMaxDist,
 		UsePostamble: true,
 		BufferChips:  MaxAirChips,
+		m:            newRxMetrics(),
 	}
 }
 
@@ -208,6 +211,7 @@ func (r *Receiver) decodeBytes(buf *ChipBuffer, chipOff, nBytes int) (b []byte, 
 // ReceiveSynced call on this Receiver.
 func (r *Receiver) Receive(buf *ChipBuffer) []Reception {
 	r.scratch.syncs = AppendSyncs(r.scratch.syncs[:0], buf, r.SyncMaxDist)
+	r.m.syncs.Add(int64(len(r.scratch.syncs)))
 	return r.ReceiveSynced(buf, r.scratch.syncs)
 }
 
@@ -233,7 +237,21 @@ func (r *Receiver) ReceiveSynced(buf *ChipBuffer, syncs []Sync) []Reception {
 			r.scratch.recs = append(r.scratch.recs, rec)
 		}
 	}
-	return dedupe(r.scratch.recs)
+	recs := dedupe(r.scratch.recs)
+	if r.m.receptions != nil {
+		var hdrOK, crcFail int64
+		for i := range recs {
+			if recs[i].HeaderOK {
+				hdrOK++
+				if !recs[i].CRCOK {
+					crcFail++
+				}
+			}
+		}
+		r.m.receptions.Add(hdrOK)
+		r.m.crcFail.Add(crcFail)
+	}
+	return recs
 }
 
 // receiveFromPreamble is the status-quo acquisition path: header follows the

@@ -67,6 +67,7 @@ import (
 	"sync/atomic"
 
 	"ppr/internal/mac"
+	"ppr/internal/obs"
 	"ppr/internal/radio"
 	"ppr/internal/scenario"
 	"ppr/internal/stats"
@@ -161,6 +162,11 @@ type Config struct {
 	// sharded runs; it exists for the worker-invariance proof and as a
 	// debugging reference.
 	SingleQueue bool
+	// Tracer, when non-nil, records the run's discrete-event timeline in
+	// Chrome trace format (one lane per interference domain; transmissions
+	// and backoffs as spans, receptions as instants — see internal/obs).
+	// Purely observational: the Result is bit-identical with or without it.
+	Tracer *obs.Tracer
 }
 
 // FlowResult is one flow's accounting over a run.
@@ -289,6 +295,10 @@ type runState struct {
 	// Per-domain union-occupancy accounting:
 	domBusy []int64
 	domLast []int64
+
+	// Observability (nil when disabled; see internal/netsim/obs.go):
+	m     *netsimMetrics
+	lanes []*obs.TraceLane // timeline lane per domain, nil without a Tracer
 }
 
 // Run executes one closed-loop simulation. It is a pure function of cfg:
@@ -314,6 +324,20 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	rs := newRunState(cfg, top, flows)
+	rs.m = newNetsimMetrics(flows)
+	if cfg.Tracer != nil {
+		layer := cfg.LinkLayer
+		if layer == "" {
+			layer = "pp-arq"
+		}
+		proc := cfg.Tracer.Process(
+			fmt.Sprintf("netsim %s seed=%#x", layer, cfg.Seed),
+			1e6/float64(mac.ChipRateHz))
+		rs.lanes = make([]*obs.TraceLane, rs.nDomains)
+		for d := 0; d < rs.nDomains; d++ {
+			rs.lanes[d] = proc.Lane(int64(d), fmt.Sprintf("domain %d", d))
+		}
+	}
 	shards := buildShards(rs, flows, jams, maker)
 	if err := runShards(ctx, shards, cfg.Workers); err != nil {
 		return Result{}, err
@@ -520,7 +544,7 @@ func buildShards(rs *runState, flows []flowSpec, jams []jamSpec, maker Maker) []
 		}
 		s, ok := byDomain[d]
 		if !ok {
-			s = newShard(rs)
+			s = newShard(rs, len(shards))
 			byDomain[d] = s
 			shards = append(shards, s)
 		}

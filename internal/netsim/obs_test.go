@@ -1,0 +1,166 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ppr/internal/obs"
+)
+
+// TestMetricsDoNotChangeResults pins the observability contract: enabling
+// the registry and the tracer is purely observational — the Result is
+// bit-identical to a disabled run.
+func TestMetricsDoNotChangeResults(t *testing.T) {
+	tb := bed()
+	cfg := baseConfig(tb)
+	cfg.Flows = []Flow{bestFlow(tb, 0), bestFlow(tb, 1)}
+
+	obs.SetDefault(nil)
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old := obs.Default()
+	defer obs.SetDefault(old)
+	obs.SetDefault(obs.New())
+	cfg.Tracer = obs.NewTracer()
+	instrumented, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracer = nil
+
+	if !reflect.DeepEqual(plain, instrumented) {
+		t.Error("enabling metrics+tracing changed the simulation result")
+	}
+}
+
+// TestMetricsCounters sanity-checks the counters a metrics-enabled run
+// reports against the Result's own accounting.
+func TestMetricsCounters(t *testing.T) {
+	old := obs.Default()
+	defer obs.SetDefault(old)
+	r := obs.New()
+	obs.SetDefault(r)
+
+	tb := bed()
+	cfg := baseConfig(tb)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := r.Snapshot()
+	c := snap.Counters
+	if c["netsim.events"] <= 0 {
+		t.Errorf("netsim.events = %d, want > 0", c["netsim.events"])
+	}
+	if c["netsim.commits"] <= 0 {
+		t.Errorf("netsim.commits = %d, want > 0", c["netsim.commits"])
+	}
+	if got, want := c["netsim.transfers"], int64(res.Flows[0].Transfers); got != want {
+		t.Errorf("netsim.transfers = %d, want %d", got, want)
+	}
+	if got, want := c["netsim.delivered_bytes"], int64(res.AggregateAppBytes()); got != want {
+		t.Errorf("netsim.delivered_bytes = %d, want %d", got, want)
+	}
+	flowName := fmt.Sprintf("netsim.flow.s0_r%d.delivered_bytes", cfg.Flows[0].Receiver)
+	if got, want := c[flowName], int64(res.Flows[0].DeliveredAppBytes); got != want {
+		t.Errorf("%s = %d, want %d", flowName, got, want)
+	}
+	// Carrier sense ran: every commit was preceded by an idle verdict.
+	if c["netsim.cs_idle"] < c["netsim.commits"]-int64(res.JamFrames) {
+		t.Errorf("cs_idle = %d < commits-jams = %d", c["netsim.cs_idle"], c["netsim.commits"]-int64(res.JamFrames))
+	}
+	if g := snap.Gauges["netsim.queue_peak"]; g <= 0 {
+		t.Errorf("netsim.queue_peak = %d, want > 0", g)
+	}
+	h, ok := snap.Histograms["netsim.domain_events"]
+	if !ok || h.Count <= 0 || h.Sum != c["netsim.events"] {
+		t.Errorf("netsim.domain_events = %+v, want count>0 and sum == events (%d)", h, c["netsim.events"])
+	}
+}
+
+// TestTracerRecordsTimeline checks a traced run emits a Perfetto-loadable
+// document with the expected lane structure.
+func TestTracerRecordsTimeline(t *testing.T) {
+	old := obs.Default()
+	defer obs.SetDefault(old)
+	obs.SetDefault(nil) // tracing is independent of the metrics registry
+
+	tb := bed()
+	cfg := baseConfig(tb)
+	tr := obs.NewTracer()
+	cfg.Tracer = tr
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []obs.TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	var spans, instants, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	if spans == 0 || instants == 0 || meta == 0 {
+		t.Errorf("trace missing event kinds: %d spans, %d instants, %d metadata", spans, instants, meta)
+	}
+}
+
+// TestMetricsDisabledAllocs pins the disabled-path cost contract on the
+// netsim hot loop shape: heap churn plus every shardObs site, with nil
+// cells, allocates nothing.
+func TestMetricsDisabledAllocs(t *testing.T) {
+	obs.SetDefault(nil)
+	var o shardObs // zero value = disabled instrumentation
+	q := make([]event, 0, 256)
+	act := make([]activeTx, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 128; i++ {
+			heapPush(&q, event{t: int64((i * 31) % 64), seq: int64(i)})
+			heapPush(&act, activeTx{end: int64((i * 17) % 64), idx: int32(i)})
+			if len(q) > o.maxQueue {
+				o.maxQueue = len(q)
+			}
+		}
+		for len(q) > 0 {
+			heapPop(&q)
+			o.events.Inc()
+			o.localEvents++
+			o.commits.Inc()
+			o.csBusy.Inc()
+			o.csIdle.Inc()
+			o.rxOK.Inc()
+			o.rxLost.Inc()
+			o.jams.Inc()
+		}
+		for len(act) > 0 {
+			heapPop(&act)
+		}
+		o.finish()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled instrumented loop allocates %v per run, want 0", allocs)
+	}
+}

@@ -198,6 +198,10 @@ type shard struct {
 	txChips   int64
 	jamFrames int
 
+	// obs holds the shard's pre-resolved metric cells; the zero value (all
+	// nil cells) is the disabled path — a nil check per site, 0 allocs.
+	obs shardObs
+
 	overlaps []radio.Overlap // receive() scratch, reused across windows
 
 	// cancelled flips once the run's context is done: the event loop stops
@@ -205,11 +209,12 @@ type shard struct {
 	cancelled bool
 }
 
-func newShard(rs *runState) *shard {
+func newShard(rs *runState, idx int) *shard {
 	return &shard{
 		rs:   rs,
 		msgs: make(chan flowMsg),
 		rx:   frame.NewReceiver(phy.HardDecoder{}),
+		obs:  shardObsFor(rs.m, idx),
 	}
 }
 
@@ -270,6 +275,8 @@ func (s *shard) run(ctx context.Context) error {
 			}
 		}
 		ev := heapPop(&s.queue)
+		s.obs.events.Inc()
+		s.obs.localEvents++
 		if s.cancelled {
 			switch ev.kind {
 			case evTx, evDeliver:
@@ -291,6 +298,7 @@ func (s *shard) run(ctx context.Context) error {
 	if s.live != 0 {
 		panic(fmt.Sprintf("netsim: event queue drained with %d flows still live", s.live))
 	}
+	s.obs.finish()
 	if s.cancelled {
 		return ctx.Err()
 	}
@@ -302,6 +310,9 @@ func (s *shard) push(ev event) {
 	ev.seq = s.seq
 	s.seq++
 	heapPush(&s.queue, ev)
+	if len(s.queue) > s.obs.maxQueue {
+		s.obs.maxQueue = len(s.queue)
+	}
 }
 
 // handleMsg absorbs one coroutine yield, enqueueing the flow's transmit
@@ -426,11 +437,20 @@ func (s *shard) processTx(ev event) {
 		if s.busyMW(fl.req.from, t) >= s.rs.csma.ThresholdMW {
 			rng := s.rs.base.Derive(uint64(fl.req.from), uint64(t), tagCSMA)
 			backoff := 1 + int64(rng.Float64()*float64(s.rs.csma.MaxBackoffChips))
+			s.obs.csBusy.Inc()
+			if lane := s.lane(fl.req.from); lane != nil {
+				lane.Span("backoff", "csma", t, backoff, nil)
+			}
 			s.push(event{t: t + backoff, kind: evTx, fl: ev.fl, try: ev.try + 1, jam: -1, tx: -1})
 			return
 		}
+		s.obs.csIdle.Inc()
 	}
 	idx := s.commit(fl.req.from, t, fl.req.frame.AirChips())
+	if lane := s.lane(fl.req.from); lane != nil {
+		lane.Span(fmt.Sprintf("tx f%d %d→%d", fl.spec.id, fl.req.from, fl.req.to),
+			"tx", t, s.txs[idx].length, nil)
+	}
 	s.push(event{t: s.txs[idx].end(), kind: evDeliver, fl: ev.fl, jam: -1, tx: int32(idx)})
 }
 
@@ -459,8 +479,12 @@ func (s *shard) processJam(ev event) {
 		}
 		f := frame.New(0xffff, uint16(jp.spec.node), jp.seq, payload)
 		jp.seq++
-		s.commit(jp.spec.node, t, f.AirChips())
+		idx := s.commit(jp.spec.node, t, f.AirChips())
 		s.jamFrames++
+		s.obs.jams.Inc()
+		if lane := s.lane(jp.spec.node); lane != nil {
+			lane.Span("jam", "jam", t, s.txs[idx].length, nil)
+		}
 	}
 	s.scheduleJam(jp)
 }
@@ -499,6 +523,20 @@ func (s *shard) commit(node int, start int64, chips *bitutil.ChipWords) int {
 		rs.domBusy[d] += end - busyFrom
 		rs.domLast[d] = end
 	}
+	s.obs.commits.Inc()
+	if s.obs.collisions != nil {
+		// Retrospective collision check: does this commit overlap any other
+		// transmission still on the air? The scan is non-destructive —
+		// draining s.active here would reorder the interference
+		// accumulator's float operations and break the bit-identical parity
+		// between sharded and single-queue runs.
+		for _, a := range s.active {
+			if a.idx != int32(idx) && a.end > start {
+				s.obs.collisions.Inc()
+				break
+			}
+		}
+	}
 	return idx
 }
 
@@ -510,6 +548,18 @@ func (s *shard) processDeliver(ev event) {
 	fl := s.flows[ev.fl]
 	tx := &s.txs[ev.tx]
 	rec := s.receive(tx, fl.req.to, fl.req.frame)
+	if rec != nil {
+		s.obs.rxOK.Inc()
+	} else {
+		s.obs.rxLost.Inc()
+	}
+	if lane := s.lane(fl.req.to); lane != nil {
+		if rec != nil {
+			lane.Instant(fmt.Sprintf("rx ok f%d @%d", fl.spec.id, fl.req.to), "rx", tx.end(), nil)
+		} else {
+			lane.Instant(fmt.Sprintf("rx lost f%d @%d", fl.spec.id, fl.req.to), "rx", tx.end(), nil)
+		}
+	}
 	// The node turns around before its next frame in the exchange.
 	fl.now = tx.end() + mac.TurnaroundChips
 	fl.resume <- rec
@@ -610,6 +660,7 @@ func (fl *flowProc) main() {
 		}
 		fl.res.DeliveredAppBytes += delivered
 		fl.res.Air.add(st)
+		fl.sh.obs.recordTransfer(rs.m, fl, delivered, st, err != nil)
 	}
 	fl.sh.msgs <- flowMsg{fl: fl, done: true}
 }

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrentMergeExact pins the tentpole's determinism claim:
+// concurrent sharded increments — through per-shard cells and through the
+// default cell — merge to the exact total, under -race.
+func TestCounterConcurrentMergeExact(t *testing.T) {
+	r := NewSharded(8)
+	c := r.Counter("test.concurrent")
+	const (
+		goroutines = 16
+		perG       = 10000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cell := c.Cell(g)
+			for i := 0; i < perG; i++ {
+				if i%2 == 0 {
+					cell.Inc()
+				} else {
+					c.Add(1) // contended default cell, same total
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := c.Value(), int64(goroutines*perG); got != want {
+		t.Fatalf("merged counter = %d, want %d", got, want)
+	}
+}
+
+// TestHistogramConcurrentMergeExact is the same pin for histograms: count,
+// sum and per-bucket totals all merge exactly.
+func TestHistogramConcurrentMergeExact(t *testing.T) {
+	r := NewSharded(4)
+	h := r.Histogram("test.hist")
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cell := h.Cell(g)
+			for i := 0; i < perG; i++ {
+				cell.Observe(int64(i % 100))
+			}
+		}(g)
+	}
+	wg.Wait()
+	hs := r.Snapshot().Histograms["test.hist"]
+	if got, want := hs.Count, int64(goroutines*perG); got != want {
+		t.Fatalf("merged count = %d, want %d", got, want)
+	}
+	var wantSum int64
+	for i := 0; i < perG; i++ {
+		wantSum += int64(i % 100)
+	}
+	wantSum *= goroutines
+	if hs.Sum != wantSum {
+		t.Fatalf("merged sum = %d, want %d", hs.Sum, wantSum)
+	}
+	var bucketTotal int64
+	for _, b := range hs.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != hs.Count {
+		t.Fatalf("bucket totals sum to %d, want count %d", bucketTotal, hs.Count)
+	}
+}
+
+// TestHistogramBucketBoundaries golden-tests the log2 bucket layout: the
+// exact index every boundary value lands in, and the exact upper bounds the
+// snapshot reports.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	golden := []struct {
+		value  int64
+		bucket int
+	}{
+		{math.MinInt64, 0},
+		{-1, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{1 << 46, 47},
+		{1<<47 - 1, 47},
+		{1 << 47, 47}, // clamped into the overflow bucket
+		{math.MaxInt64, 47},
+	}
+	for _, g := range golden {
+		if got := bucketIndex(g.value); got != g.bucket {
+			t.Errorf("bucketIndex(%d) = %d, want %d", g.value, got, g.bucket)
+		}
+	}
+	bounds := []struct {
+		bucket int
+		le     int64
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 3},
+		{3, 7},
+		{10, 1023},
+		{46, 1<<46 - 1},
+		{47, math.MaxInt64},
+	}
+	for _, b := range bounds {
+		if got := BucketUpperBound(b.bucket); got != b.le {
+			t.Errorf("BucketUpperBound(%d) = %d, want %d", b.bucket, got, b.le)
+		}
+	}
+	// Consistency: every value's bucket bound is >= the value (except the
+	// clamped overflow bucket, whose bound is MaxInt64 anyway).
+	for _, v := range []int64{0, 1, 5, 100, 4096, 1 << 40} {
+		if le := BucketUpperBound(bucketIndex(v)); le < v {
+			t.Errorf("value %d lands in bucket with upper bound %d", v, le)
+		}
+	}
+}
+
+// TestGaugeMergesByMax pins the gauge merge rule.
+func TestGaugeMergesByMax(t *testing.T) {
+	r := NewSharded(4)
+	g := r.Gauge("test.peak")
+	g.Cell(0).Max(7)
+	g.Cell(1).Max(42)
+	g.Cell(2).Max(3)
+	g.Cell(1).Max(5) // lower than the cell's current value: ignored
+	if got := g.Value(); got != 42 {
+		t.Fatalf("gauge value = %d, want 42", got)
+	}
+}
+
+// TestSnapshotJSONShape checks the schema'd document end to end: schema id,
+// deterministic marshalling, and histogram bucket encoding.
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewSharded(2)
+	r.Counter("a.count").Add(5)
+	r.Gauge("a.peak").Max(9)
+	r.Histogram("a.dist").Observe(3)
+	r.Histogram("a.dist").Observe(100)
+
+	var buf1, buf2 bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("two snapshots of identical state marshalled differently")
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(buf1.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["schema"] != SchemaID {
+		t.Fatalf("schema = %v, want %q", doc["schema"], SchemaID)
+	}
+	snap := r.Snapshot()
+	if snap.Counters["a.count"] != 5 || snap.Gauges["a.peak"] != 9 {
+		t.Fatalf("snapshot values wrong: %+v", snap)
+	}
+	hs := snap.Histograms["a.dist"]
+	if hs.Count != 2 || hs.Sum != 103 || len(hs.Buckets) != 2 {
+		t.Fatalf("histogram snapshot wrong: %+v", hs)
+	}
+	if hs.Buckets[0].Le != 3 || hs.Buckets[1].Le != 127 {
+		t.Fatalf("bucket bounds wrong: %+v", hs.Buckets)
+	}
+}
+
+// TestNilSafety drives every operation through nil registry, handles and
+// cells — the disabled path instrumented code relies on.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Add(1)
+	c.Inc()
+	c.Cell(3).Inc()
+	c.Cell(3).Add(2)
+	g.Max(5)
+	g.Set(5)
+	g.Cell(1).Max(5)
+	h.Observe(7)
+	h.Cell(2).Observe(7)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	snap := r.Snapshot()
+	if snap.Schema != SchemaID || len(snap.Counters) != 0 {
+		t.Fatalf("nil registry snapshot = %+v", snap)
+	}
+}
+
+// TestCounterVarRebinds checks the Var fast path follows registry swaps.
+func TestCounterVarRebinds(t *testing.T) {
+	old := Default()
+	defer SetDefault(old)
+
+	v := &CounterVar{Name: "var.count"}
+	SetDefault(nil)
+	if v.Get() != nil {
+		t.Fatal("disabled registry must resolve to a nil counter")
+	}
+	r := New()
+	SetDefault(r)
+	v.Get().Inc()
+	v.Get().Inc()
+	if got := r.Counter("var.count").Value(); got != 2 {
+		t.Fatalf("var counter = %d, want 2", got)
+	}
+	SetDefault(nil)
+	v.Get().Inc() // no-op again after disable
+	if got := r.Counter("var.count").Value(); got != 2 {
+		t.Fatalf("var wrote to a disabled registry: %d", got)
+	}
+}
+
+// TestEnableIdempotent checks Enable's create-once contract.
+func TestEnableIdempotent(t *testing.T) {
+	old := Default()
+	defer SetDefault(old)
+	SetDefault(nil)
+	r1 := Enable()
+	r2 := Enable()
+	if r1 == nil || r1 != r2 {
+		t.Fatalf("Enable not idempotent: %p vs %p", r1, r2)
+	}
+	if Default() != r1 {
+		t.Fatal("Default does not return the enabled registry")
+	}
+}
+
+// TestDisabledHandleAllocs pins the disabled-path cost contract at the obs
+// layer itself: operations on nil handles and Var gets allocate nothing.
+func TestDisabledHandleAllocs(t *testing.T) {
+	old := Default()
+	defer SetDefault(old)
+	SetDefault(nil)
+	var c *Counter
+	var cell *CounterCell
+	var g *GaugeCell
+	var h *HistCell
+	v := &CounterVar{Name: "x"}
+	v.Get() // bind once
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		cell.Inc()
+		g.Max(3)
+		h.Observe(9)
+		v.Get().Inc()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-path ops allocate %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// SchemaID identifies the snapshot document format.
+const SchemaID = "ppr-metrics/v1"
+
+// Snapshot is a deterministic point-in-time merge of a registry: counters
+// and histograms as exact int64 sums over their shards, gauges as the max.
+// encoding/json emits map keys sorted, so two snapshots of identical state
+// marshal byte-identically.
+type Snapshot struct {
+	// Schema is always SchemaID ("ppr-metrics/v1").
+	Schema string `json:"schema"`
+	// Counters maps metric names to merged totals.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges maps metric names to merged high-water values.
+	Gauges map[string]int64 `json:"gauges"`
+	// Histograms maps metric names to merged distributions.
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// HistSnapshot is one histogram's merged state.
+type HistSnapshot struct {
+	// Count and Sum are the exact totals over every observation.
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	// Buckets lists the non-empty log2 buckets in ascending Le order.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket: Count values were <= Le (and
+// greater than the previous bucket's Le).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Snapshot merges the registry's shards into a schema'd document. Nil-safe:
+// the disabled registry snapshots to an empty (but valid) document.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Schema:     SchemaID,
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range hists {
+		var hs HistSnapshot
+		var bucketTotals [HistBuckets]int64
+		for i := range h.cells {
+			cell := &h.cells[i]
+			hs.Count += cell.count.Load()
+			hs.Sum += cell.sum.Load()
+			for b := range cell.buckets {
+				bucketTotals[b] += cell.buckets[b].Load()
+			}
+		}
+		for b, n := range bucketTotals {
+			if n > 0 {
+				hs.Buckets = append(hs.Buckets, Bucket{Le: BucketUpperBound(b), Count: n})
+			}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Names returns the snapshot's metric names, sorted — convenient for tests
+// and text renderings.
+func (s Snapshot) Names() []string {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// TraceEvent is one Chrome trace-format event (the JSON array format
+// Perfetto and chrome://tracing load). Ts and Dur are microseconds.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer accumulates a timeline and writes it as Chrome trace-format JSON.
+// It is opt-in and may allocate per event — the cost contract of the
+// metrics registry does not apply; a run that wants zero overhead simply
+// passes no tracer. The nil *Tracer is a valid no-op, and so are the nil
+// *TraceProcess and *TraceLane it hands out, so instrumentation sites hold
+// lane handles unconditionally.
+//
+// Concurrent emitters (netsim's domain shards) append under a mutex;
+// WriteJSON sorts events into a canonical order, so the output is
+// deterministic whenever the set of emitted events is.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []TraceEvent
+	nextPid int64
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+func (t *Tracer) emit(ev TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events. Nil-safe (zero).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Process opens a new trace process (one lane group — e.g. one netsim run),
+// emitting its process_name metadata. microsPerTick converts the caller's
+// native time unit to trace microseconds: a chip-clocked caller passes
+// 1e6 / mac.ChipRateHz. Nil-safe.
+func (t *Tracer) Process(name string, microsPerTick float64) *TraceProcess {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	pid := t.nextPid
+	t.nextPid++
+	t.events = append(t.events, TraceEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name},
+	})
+	t.mu.Unlock()
+	return &TraceProcess{t: t, pid: pid, scale: microsPerTick}
+}
+
+// TraceProcess is one process's lane group.
+type TraceProcess struct {
+	t     *Tracer
+	pid   int64
+	scale float64
+}
+
+// Lane opens a named lane (trace thread) in the process — netsim uses one
+// per interference domain. Nil-safe.
+func (p *TraceProcess) Lane(tid int64, name string) *TraceLane {
+	if p == nil {
+		return nil
+	}
+	p.t.emit(TraceEvent{
+		Name: "thread_name", Ph: "M", Pid: p.pid, Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+	return &TraceLane{p: p, tid: tid}
+}
+
+// TraceLane is one lane; spans and instants land on it.
+type TraceLane struct {
+	p   *TraceProcess
+	tid int64
+}
+
+// Span records a complete ("X") event of dur ticks starting at start ticks.
+// Nil-safe.
+func (l *TraceLane) Span(name, cat string, start, dur int64, args map[string]any) {
+	if l == nil {
+		return
+	}
+	l.p.t.emit(TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		Ts: float64(start) * l.p.scale, Dur: float64(dur) * l.p.scale,
+		Pid: l.p.pid, Tid: l.tid, Args: args,
+	})
+}
+
+// Instant records a thread-scoped instant ("i") event at ts ticks. Nil-safe.
+func (l *TraceLane) Instant(name, cat string, ts int64, args map[string]any) {
+	if l == nil {
+		return
+	}
+	l.p.t.emit(TraceEvent{
+		Name: name, Cat: cat, Ph: "i", S: "t",
+		Ts:  float64(ts) * l.p.scale,
+		Pid: l.p.pid, Tid: l.tid, Args: args,
+	})
+}
+
+// traceDoc is the JSON object format Perfetto loads.
+type traceDoc struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON writes the timeline as a Chrome trace-format JSON object.
+// Events are sorted canonically — metadata first, then (pid, tid, ts, name)
+// — so concurrent emitters produce byte-identical files for identical event
+// sets. Nil-safe (writes an empty, still loadable, document).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	var events []TraceEvent
+	if t != nil {
+		t.mu.Lock()
+		events = append(events, t.events...)
+		t.mu.Unlock()
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		ea, eb := &events[a], &events[b]
+		am, bm := ea.Ph == "M", eb.Ph == "M"
+		if am != bm {
+			return am
+		}
+		if ea.Pid != eb.Pid {
+			return ea.Pid < eb.Pid
+		}
+		if ea.Tid != eb.Tid {
+			return ea.Tid < eb.Tid
+		}
+		if ea.Ts != eb.Ts {
+			return ea.Ts < eb.Ts
+		}
+		return ea.Name < eb.Name
+	})
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceDoc{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestTracerWritesLoadableJSON checks the Chrome trace-format shape
+// Perfetto requires: a traceEvents array whose entries carry ph/ts/pid/tid,
+// with metadata naming processes and lanes.
+func TestTracerWritesLoadableJSON(t *testing.T) {
+	tr := NewTracer()
+	// 2 Mchip/s: one chip is half a microsecond.
+	proc := tr.Process("netsim pp-arq", 0.5)
+	lane0 := proc.Lane(0, "domain 0")
+	lane1 := proc.Lane(1, "domain 1")
+	lane0.Span("tx f0", "tx", 1000, 2000, map[string]any{"node": 3})
+	lane1.Span("backoff", "csma", 500, 128, nil)
+	lane0.Instant("rx ok", "rx", 3000, nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) != 6 { // 3 metadata + 2 spans + 1 instant
+		t.Fatalf("got %d events, want 6", len(doc.TraceEvents))
+	}
+	// Metadata sorts first.
+	for i := 0; i < 3; i++ {
+		if doc.TraceEvents[i].Ph != "M" {
+			t.Fatalf("event %d is %q, want metadata first", i, doc.TraceEvents[i].Ph)
+		}
+	}
+	var span *TraceEvent
+	for i := range doc.TraceEvents {
+		if doc.TraceEvents[i].Name == "tx f0" {
+			span = &doc.TraceEvents[i]
+		}
+	}
+	if span == nil {
+		t.Fatal("tx span missing")
+	}
+	if span.Ph != "X" || span.Ts != 500 || span.Dur != 1000 || span.Tid != 0 {
+		t.Fatalf("span fields wrong: %+v", span)
+	}
+}
+
+// TestTracerDeterministicOutput: identical event sets emitted in different
+// orders write byte-identical files.
+func TestTracerDeterministicOutput(t *testing.T) {
+	build := func(reversed bool) []byte {
+		tr := NewTracer()
+		proc := tr.Process("run", 1)
+		lanes := []*TraceLane{proc.Lane(0, "domain 0"), proc.Lane(1, "domain 1")}
+		type ev struct {
+			lane  int
+			start int64
+		}
+		evs := []ev{{0, 10}, {1, 5}, {0, 20}, {1, 15}}
+		if reversed {
+			for i, j := 0, len(evs)-1; i < j; i, j = i+1, j-1 {
+				evs[i], evs[j] = evs[j], evs[i]
+			}
+		}
+		for _, e := range evs {
+			lanes[e.lane].Span("tx", "tx", e.start, 3, nil)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(false), build(true)) {
+		t.Fatal("emission order leaked into the trace file")
+	}
+}
+
+// TestTracerNilSafety: the nil tracer, process and lane are full no-ops and
+// still write a loadable (empty) document.
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	proc := tr.Process("x", 1)
+	lane := proc.Lane(0, "x")
+	lane.Span("a", "b", 0, 1, nil)
+	lane.Instant("a", "b", 0, nil)
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer recorded events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil || len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil tracer document wrong: %v %v", err, doc)
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"ppr/internal/obs"
+)
+
+// deliverMetrics carries the per-delivery metric handles. Resolved once at
+// DeliverContext entry; every field is nil when metrics are disabled, so the
+// per-window cost collapses to a nil check.
+type deliverMetrics struct {
+	// windows counts simulated (receiver, transmission) windows.
+	windows *obs.Counter
+	// outcomes counts produced Outcome records (windows × variants, roughly).
+	outcomes *obs.Counter
+	// busyPeak tracks the high-water mark of concurrently busy workers.
+	busyPeak *obs.Gauge
+}
+
+func newDeliverMetrics() deliverMetrics {
+	r := obs.Default()
+	return deliverMetrics{
+		windows:  r.Counter("sim.windows_simulated"),
+		outcomes: r.Counter("sim.outcomes"),
+		busyPeak: r.Gauge("sim.deliver_workers_busy_peak"),
+	}
+}
+
+// workerObs is the per-worker view: pre-resolved shard cells, so the hot
+// loop does plain atomic adds with no sharding arithmetic.
+type workerObs struct {
+	windows  *obs.CounterCell
+	outcomes *obs.CounterCell
+	peak     *obs.GaugeCell
+	busy     *atomic.Int64
+}
+
+func (m deliverMetrics) worker(shard int, busy *atomic.Int64) workerObs {
+	w := workerObs{busy: busy}
+	if m.windows != nil {
+		w.windows = m.windows.Cell(shard)
+	}
+	if m.outcomes != nil {
+		w.outcomes = m.outcomes.Cell(shard)
+	}
+	if m.busyPeak != nil {
+		w.peak = m.busyPeak.Cell(shard)
+	}
+	return w
+}
+
+// begin marks one window's work started on this worker; n is the number of
+// outcomes it produced, recorded by done.
+func (w workerObs) begin() {
+	if w.peak != nil && w.busy != nil {
+		w.peak.Max(w.busy.Add(1))
+	}
+}
+
+func (w workerObs) done(n int) {
+	if w.busy != nil && w.peak != nil {
+		w.busy.Add(-1)
+	}
+	w.windows.Inc()
+	w.outcomes.Add(int64(n))
+}

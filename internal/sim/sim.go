@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ppr/internal/bitutil"
 	"ppr/internal/frame"
@@ -495,17 +496,23 @@ func DeliverContext(ctx context.Context, cfg Config, txs []*Transmission, varian
 	}
 
 	var outcomes []Outcome
+	m := newDeliverMetrics()
+	var busy atomic.Int64
 	workers := cfg.workers()
 	if workers > len(windows) {
 		workers = len(windows)
 	}
 	if workers <= 1 {
 		st := newDeliverState(variants)
+		wo := m.worker(0, &busy)
 		for _, w := range windows {
 			if cancelled() {
 				return nil, ctx.Err()
 			}
-			outcomes = append(outcomes, deliverWindow(cfg, w, st, windowRNG(w))...)
+			wo.begin()
+			batch := deliverWindow(cfg, w, st, windowRNG(w))
+			wo.done(len(batch))
+			outcomes = append(outcomes, batch...)
 		}
 	} else {
 		jobs := make(chan window)
@@ -513,11 +520,15 @@ func DeliverContext(ctx context.Context, cfg Config, txs []*Transmission, varian
 		var wg sync.WaitGroup
 		for i := 0; i < workers; i++ {
 			wg.Add(1)
+			wo := m.worker(i, &busy)
 			go func() {
 				defer wg.Done()
 				st := newDeliverState(variants)
 				for w := range jobs {
-					results <- deliverWindow(cfg, w, st, windowRNG(w))
+					wo.begin()
+					batch := deliverWindow(cfg, w, st, windowRNG(w))
+					wo.done(len(batch))
+					results <- batch
 				}
 			}()
 		}

@@ -102,6 +102,7 @@ import (
 	"ppr/internal/frame"
 	"ppr/internal/modem"
 	"ppr/internal/netsim"
+	"ppr/internal/obs"
 	"ppr/internal/phy"
 	"ppr/internal/radio"
 	"ppr/internal/scenario"
@@ -569,4 +570,33 @@ var (
 	Summary = experiments.Summary
 	// Diversity evaluates the multi-receiver combining extension.
 	Diversity = experiments.Diversity
+)
+
+// ---- Observability (internal/obs) ----
+
+type (
+	// MetricsRegistry is the process metrics registry: per-worker-sharded
+	// atomic counters, max-merged gauges and log-bucketed histograms. The
+	// nil registry is the disabled state — every handle it returns no-ops
+	// at the cost of a nil check.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a deterministic point-in-time merge of a registry,
+	// serializable as schema'd ppr-metrics/v1 JSON.
+	MetricsSnapshot = obs.Snapshot
+	// TimelineTracer records a discrete-event timeline in Chrome trace
+	// format, loadable in Perfetto. Hand one to ClosedLoopConfig.Tracer (or
+	// experiments.Options.Tracer) to see transmissions, backoffs and
+	// receptions laid out per interference domain.
+	TimelineTracer = obs.Tracer
+)
+
+var (
+	// EnableMetrics turns on process-wide metrics collection (idempotent)
+	// and returns the default registry. Instrumented hot paths stay
+	// allocation-free either way; disabled they cost only a nil check.
+	EnableMetrics = obs.Enable
+	// DefaultMetrics returns the current default registry (nil = disabled).
+	DefaultMetrics = obs.Default
+	// NewTimelineTracer returns an empty timeline tracer.
+	NewTimelineTracer = obs.NewTracer
 )
