@@ -13,11 +13,13 @@
 //	pprsim -exp fig10 -scenario bursty    # on/off traffic instead of Poisson
 //	pprsim -exp all -timeout 30s          # cancel the sweep at a deadline
 //	pprsim -exp fig8 -schemes ppr,fec     # pick the delivery-figure curves
+//	pprsim -exp resilience -jammer learner,sweep  # pick the adversary panel
 //	pprsim -list-exps                     # registered experiments
 //
-// Experiments, traffic scenarios and recovery schemes are all
-// registry-backed: -list-exps, -list-scenarios and -list-schemes print the
-// names, and unknown names exit non-zero with a suggestion. Every
+// Experiments, traffic scenarios, recovery schemes and jam strategies are
+// all registry-backed: -list-exps, -list-scenarios, -list-schemes and
+// -list-jammers print the names, and unknown names exit non-zero with a
+// suggestion. Every
 // experiment produces the same typed Dataset, so one generic text renderer
 // and one generic JSON/CSV encoder replace per-figure printers; "-exp all"
 // runs the suite concurrently on experiments.Runner, sharing one trace
@@ -36,10 +38,40 @@ import (
 	"strings"
 
 	"ppr/internal/experiments"
+	"ppr/internal/jam"
 	"ppr/internal/obs"
 	"ppr/internal/scenario"
 	"ppr/internal/schemes"
 )
+
+// nameAxis is one registry-backed name namespace the CLI validates against:
+// every axis rejects unknown values the same way — non-zero exit, a
+// did-you-mean hint when something is close, and a pointer to the matching
+// -list-* flag.
+type nameAxis struct {
+	kind     string
+	listFlag string
+	names    func() []string
+}
+
+var (
+	expAxis      = nameAxis{"experiment", "-list-exps", experiments.Names}
+	scenarioAxis = nameAxis{"scenario", "-list-scenarios", scenario.Names}
+	schemeAxis   = nameAxis{"recovery scheme", "-list-schemes", schemes.Names}
+	jammerAxis   = nameAxis{"jam strategy", "-list-jammers", jam.Names}
+)
+
+// require exits with the axis's unified did-you-mean diagnostic unless ok.
+func (a nameAxis) require(name string, ok bool) {
+	if ok {
+		return
+	}
+	hint := ""
+	if s := suggest(name, a.names()); s != "" {
+		hint = fmt.Sprintf(" — did you mean %q?", s)
+	}
+	fatalf("unknown %s %q%s (use %s to see registered names)", a.kind, name, hint, a.listFlag)
+}
 
 func main() {
 	exp := flag.String("exp", "summary",
@@ -57,6 +89,9 @@ func main() {
 	schemesFlag := flag.String("schemes", "",
 		"comma-separated recovery schemes for the delivery figures (default all registered: "+
 			strings.Join(schemes.Names(), ", ")+")")
+	jammerFlag := flag.String("jammer", "",
+		"comma-separated jam strategies for the resilience experiment (default panel: "+
+			strings.Join(jam.Names(), ", ")+")")
 	metricsOut := flag.String("metrics", "",
 		"write a ppr-metrics/v1 JSON snapshot of the run's metrics to this file (\"-\" = stdout)")
 	traceOut := flag.String("trace", "",
@@ -66,6 +101,7 @@ func main() {
 	listExps := flag.Bool("list-exps", false, "print registered experiment names and exit")
 	listScenarios := flag.Bool("list-scenarios", false, "print registered scenario names and exit")
 	listSchemes := flag.Bool("list-schemes", false, "print registered recovery scheme names and exit")
+	listJammers := flag.Bool("list-jammers", false, "print registered jam strategy names and exit")
 	flag.Parse()
 
 	if *listExps {
@@ -87,6 +123,13 @@ func main() {
 		}
 		return
 	}
+	if *listJammers {
+		for _, n := range jam.Names() {
+			s, _ := jam.ByName(n)
+			fmt.Printf("%-12s %T\n", n, s)
+		}
+		return
+	}
 
 	outSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -105,18 +148,22 @@ func main() {
 		fatalf("unknown output format %q; use -out text, json or csv", *out)
 	}
 
-	// The three name axes reject unknown values the same way: non-zero
-	// exit, a did-you-mean hint when something is close, and the matching
-	// -list-* flag.
-	if _, err := scenario.ByName(*scen); err != nil {
-		fatalUnknown("scenario", *scen, scenario.Names(), "-list-scenarios")
-	}
+	// Every name axis rejects unknown values through the same nameAxis
+	// helper: non-zero exit, a did-you-mean hint when something is close,
+	// and the matching -list-* flag.
+	_, err := scenario.ByName(*scen)
+	scenarioAxis.require(*scen, err == nil)
 	var schemeNames []string
 	for _, name := range splitList(*schemesFlag) {
-		if _, err := schemes.ByName(name); err != nil {
-			fatalUnknown("recovery scheme", name, schemes.Names(), "-list-schemes")
-		}
+		_, err := schemes.ByName(name)
+		schemeAxis.require(name, err == nil)
 		schemeNames = append(schemeNames, name)
+	}
+	var jammerNames []string
+	for _, name := range splitList(*jammerFlag) {
+		_, err := jam.ByName(name)
+		jammerAxis.require(name, err == nil)
+		jammerNames = append(jammerNames, name)
 	}
 	names := resolveExperiments(*exp)
 
@@ -146,6 +193,7 @@ func main() {
 		Workers:  *workers,
 		Scenario: *scen,
 		Schemes:  schemeNames,
+		Jammers:  jammerNames,
 		Tracer:   tracer,
 	}
 	ctx := context.Background()
@@ -249,9 +297,7 @@ func resolveExperiments(spec string) []string {
 			continue
 		}
 		e, err := experiments.ByName(name)
-		if err != nil {
-			fatalUnknown("experiment", name, experiments.Names(), "-list-exps")
-		}
+		expAxis.require(name, err == nil)
 		names = append(names, e.Name())
 	}
 	if len(names) == 0 {
@@ -269,15 +315,6 @@ func splitList(spec string) []string {
 		}
 	}
 	return out
-}
-
-// fatalUnknown reports an unrecognized registry name and exits non-zero.
-func fatalUnknown(kind, name string, avail []string, listFlag string) {
-	hint := ""
-	if s := suggest(name, avail); s != "" {
-		hint = fmt.Sprintf(" — did you mean %q?", s)
-	}
-	fatalf("unknown %s %q%s (use %s to see registered names)", kind, name, hint, listFlag)
 }
 
 func fatalf(format string, args ...any) {

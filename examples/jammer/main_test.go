@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ppr"
+)
+
+// quickSim runs one small simulation of sc over the shared testbed and
+// returns its full transmission schedule and receive outcomes.
+func quickSim(t *testing.T, sc ppr.Scenario) ([]*ppr.Transmission, []ppr.Outcome) {
+	t.Helper()
+	cfg := ppr.SimConfig{
+		Testbed:      ppr.NewTestbed(ppr.DefaultChannelParams(), 1),
+		OfferedBps:   6_900,
+		PacketBytes:  100,
+		DurationSec:  0.3,
+		CarrierSense: true,
+		Seed:         1,
+		Scenario:     sc,
+	}
+	return ppr.RunSim(cfg, []ppr.SimVariant{{Name: "postamble", UsePostamble: true}})
+}
+
+// TestRegistryJammersMatchLegacy pins the port: the registry-built jam
+// scenarios the example now runs drive the simulation bit-identically to
+// the legacy jammer-model constructions the example used before.
+func TestRegistryJammersMatchLegacy(t *testing.T) {
+	cases := []struct {
+		strategy string
+		legacy   ppr.JammerModel
+	}{
+		{"periodic", ppr.DefaultJammerModel()},
+		{"reactive", ppr.DefaultReactiveJammerModel()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.strategy, func(t *testing.T) {
+			reg, err := ppr.ScenarioByName("jam-" + tc.strategy)
+			if err != nil {
+				t.Fatalf("ScenarioByName(jam-%s): %v", tc.strategy, err)
+			}
+			legacy := ppr.WithJammerScenario(ppr.PoissonScenario(), tc.legacy)
+
+			wantTxs, wantOuts := quickSim(t, legacy)
+			gotTxs, gotOuts := quickSim(t, reg)
+			if !reflect.DeepEqual(wantTxs, gotTxs) {
+				t.Errorf("registry scenario jam-%s schedules %d transmissions, legacy %d (or contents differ)",
+					tc.strategy, len(gotTxs), len(wantTxs))
+			}
+			if !reflect.DeepEqual(wantOuts, gotOuts) {
+				t.Errorf("registry scenario jam-%s receive outcomes differ from the legacy construction", tc.strategy)
+			}
+		})
+	}
+}
+
+// TestExportedStrategyPathMatchesRegistry checks the example's other API
+// surface: building the overlay by hand through ppr.JamStrategyByName +
+// ppr.WithJamStrategyScenario matches the prebuilt "jam-<name>" scenario.
+func TestExportedStrategyPathMatchesRegistry(t *testing.T) {
+	strat, err := ppr.JamStrategyByName("periodic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := ppr.WithJamStrategyScenario("jam-periodic", ppr.PoissonScenario(), strat, 0)
+	reg, err := ppr.ScenarioByName("jam-periodic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTxs, wantOuts := quickSim(t, reg)
+	gotTxs, gotOuts := quickSim(t, manual)
+	if !reflect.DeepEqual(wantTxs, gotTxs) || !reflect.DeepEqual(wantOuts, gotOuts) {
+		t.Error("WithJamStrategyScenario(periodic) differs from the registered jam-periodic scenario")
+	}
+}
+
+// TestReportRuns runs the example end to end at a small operating point and
+// checks the table shape: a header plus one row per scenario.
+func TestReportRuns(t *testing.T) {
+	r := jamReport{
+		LoadKbps:    6.9,
+		DurationSec: 0.3,
+		PacketBytes: 100,
+		Seed:        1,
+		Strategies:  []string{"periodic", "reactive"},
+	}
+	var buf bytes.Buffer
+	if err := r.run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"scenario", "clean (poisson)", "periodic jammer", "reactive jammer", "PPR/CRC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+	r2 := jamReport{Strategies: []string{"nonesuch"}}
+	if r2.run(&buf) == nil {
+		t.Error("unknown strategy name did not error")
+	}
+}

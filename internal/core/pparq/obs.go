@@ -14,6 +14,7 @@ var (
 	mRetxBytes       = &obs.CounterVar{Name: "pparq.retx_air_bytes"}
 	mRounds          = &obs.CounterVar{Name: "pparq.rounds"}
 	mMisses          = &obs.CounterVar{Name: "pparq.softphy_misses"}
+	mChunkCaps       = &obs.CounterVar{Name: "pparq.chunk_caps"}
 )
 
 // recordTransfer flushes one transfer's accounting to the registry.
@@ -27,4 +28,5 @@ func recordTransfer(st *Stats, chunksRequested int64) {
 	mRetxBytes.Get().Add(int64(st.RetxAirBytes))
 	mRounds.Get().Add(int64(st.Rounds))
 	mMisses.Get().Add(int64(st.Misses))
+	mChunkCaps.Get().Add(int64(st.ChunkCaps))
 }

@@ -61,6 +61,12 @@ type Config struct {
 	// MaxAttempts bounds transmissions of any single frame (data retries
 	// when the receiver never acquires it, and control-frame retries).
 	MaxAttempts int
+	// MaxChunks caps the number of chunks per feedback request; 0 means the
+	// DP-optimal (unbounded) plan. Capping coalesces adjacent chunks —
+	// retransmitting a few good symbols in exchange for a shorter feedback
+	// frame, which survives adversarial jamming of the reverse link better
+	// (see recovery.BuildRequestCapped and the netsim countermeasure layers).
+	MaxChunks int
 }
 
 // fill returns cfg with defaults applied.
@@ -100,6 +106,9 @@ type Stats struct {
 	// Misses counts good segments whose checksums failed sender-side
 	// verification (SoftPHY misses caught by the protocol).
 	Misses int
+	// ChunkCaps counts feedback rounds whose request hit Config.MaxChunks
+	// and was coalesced.
+	ChunkCaps int
 	// VerifiedSymbols is how many payload symbols ended checksum-verified —
 	// all of them on success, and on give-up the partial content PPR's
 	// philosophy still lets the receiver hand to higher layers (the
@@ -182,7 +191,11 @@ func (s *Sender) Transfer(payload []byte) (delivered []byte, st Stats, err error
 		// Phase 2: receiver sends feedback (reliably, with retries). The
 		// sender works from the copy that actually crossed the reverse
 		// link, exercising the codec end to end.
-		req := ClampRequest(asm.BuildRequest(seq, cfg.LambdaC), cfg.LambdaC)
+		req, capped := asm.BuildRequestCapped(seq, cfg.LambdaC, cfg.MaxChunks)
+		req = ClampRequest(req, cfg.LambdaC)
+		if capped {
+			st.ChunkCaps++
+		}
 		chunksRequested += int64(len(req.Chunks))
 		fbBody := append([]byte{TypeFeedback}, req.Encode(cfg.LambdaC)...)
 		fbRec, err := s.sendControl(s.rev, fbBody, &st.FeedbackAirBytes, nil)

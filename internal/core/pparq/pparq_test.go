@@ -588,3 +588,49 @@ func TestTransferWindowEmpty(t *testing.T) {
 		t.Errorf("empty window: %v, %d", err, len(got))
 	}
 }
+
+func TestTransferChunkCapCompletes(t *testing.T) {
+	// Five scattered burst errors want five retransmission chunks; a
+	// MaxChunks budget of 2 forces coalesced requests. The transfer must
+	// still complete exactly, just with a few extra forward-link symbols.
+	mk := func(cap int) (got []byte, payload []byte, st Stats, err error) {
+		rng := stats.NewRNG(31)
+		var corrupters []func([]byte) []byte
+		for _, lo := range []int{20, 60, 100, 140, 180} {
+			corrupters = append(corrupters, burstCorruptor(rng, lo, lo+4))
+		}
+		all := func(chips []byte) []byte {
+			for _, c := range corrupters {
+				chips = c(chips)
+			}
+			return chips
+		}
+		fwd := &chipLink{
+			rx:      frame.NewReceiver(phy.HardDecoder{}),
+			corrupt: onceCorruptor(1, all),
+		}
+		s := NewSender(fwd, cleanLink(), 1, 2, Config{MaxChunks: cap})
+		payload = payloadOf(rng, 250)
+		got, st, err = s.Transfer(payload)
+		return
+	}
+
+	got, payload, st, err := mk(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch under chunk cap")
+	}
+	if st.ChunkCaps == 0 {
+		t.Error("cap never engaged despite scattered losses")
+	}
+
+	_, _, free, err := mk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.ChunkCaps != 0 {
+		t.Errorf("uncapped transfer counted %d chunk caps", free.ChunkCaps)
+	}
+}

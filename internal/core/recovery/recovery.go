@@ -184,6 +184,38 @@ func (a *Assembler) BuildRequest(seq uint16, lambdaC int) feedback.Request {
 	return req
 }
 
+// BuildRequestCapped is BuildRequest under a chunk budget: when the optimal
+// plan asks for more than maxChunks chunks, adjacent chunks are coalesced —
+// smallest gap first, so the fewest good symbols get needlessly
+// retransmitted — until the request fits. The capped request trades forward-
+// link bytes for a shorter, more burst-survivable feedback frame, which is
+// the trade a jammed reverse link wants. maxChunks <= 0 means uncapped. The
+// second return reports whether capping changed the plan.
+func (a *Assembler) BuildRequestCapped(seq uint16, lambdaC, maxChunks int) (feedback.Request, bool) {
+	req := a.BuildRequest(seq, lambdaC)
+	if maxChunks <= 0 || len(req.Chunks) <= maxChunks {
+		return req, false
+	}
+	chunks := append([]chunkdp.Chunk(nil), req.Chunks...)
+	for len(chunks) > maxChunks {
+		best := 1
+		bestGap := chunks[1].StartSym - chunks[0].EndSym
+		for i := 2; i < len(chunks); i++ {
+			if g := chunks[i].StartSym - chunks[i-1].EndSym; g < bestGap {
+				best, bestGap = i, g
+			}
+		}
+		chunks[best-1].EndSym = chunks[best].EndSym
+		chunks = append(chunks[:best], chunks[best+1:]...)
+	}
+	req.Chunks = chunks
+	req.SegChecksums = req.SegChecksums[:0]
+	for _, s := range feedback.Segments(a.numSymbols, chunks) {
+		req.SegChecksums = append(req.SegChecksums, a.SegmentChecksum(s, lambdaC))
+	}
+	return req, true
+}
+
 // ApplyResponse patches every retransmitted chunk and verifies every
 // non-retransmitted segment from a decoded response. It returns the number
 // of segments whose verification failed (symbols left for the next round).

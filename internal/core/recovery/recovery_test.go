@@ -242,3 +242,75 @@ func TestSymbolRange(t *testing.T) {
 		t.Error("SymbolRange aliases internal state")
 	}
 }
+
+func TestBuildRequestCappedCoalesces(t *testing.T) {
+	// Ten suspect runs scattered across a 400-symbol packet: the optimal
+	// plan wants one chunk per run, far over a small budget.
+	syms := make([]byte, 400)
+	bad := map[int]byte{}
+	for run := 0; run < 10; run++ {
+		for i := run * 40; i < run*40+3; i++ {
+			bad[i] = 0xf
+		}
+	}
+	a := New(400)
+	if err := a.Init(0, mkDecisions(syms, bad), labeler()); err != nil {
+		t.Fatal(err)
+	}
+	free := a.BuildRequest(7, 32)
+	if len(free.Chunks) <= 4 {
+		t.Fatalf("scenario too easy: optimal plan has only %d chunks", len(free.Chunks))
+	}
+
+	req, capped := a.BuildRequestCapped(7, 32, 4)
+	if !capped {
+		t.Fatal("capping reported as no-op")
+	}
+	if len(req.Chunks) > 4 {
+		t.Fatalf("capped plan has %d chunks, budget 4", len(req.Chunks))
+	}
+	// Every suspect symbol must still be requested.
+	covered := map[int]bool{}
+	for _, c := range req.Chunks {
+		if c.StartSym >= c.EndSym {
+			t.Fatalf("degenerate chunk [%d,%d)", c.StartSym, c.EndSym)
+		}
+		for i := c.StartSym; i < c.EndSym; i++ {
+			covered[i] = true
+		}
+	}
+	for i := range bad {
+		if !covered[i] {
+			t.Errorf("suspect symbol %d dropped by capping", i)
+		}
+	}
+	// Checksums must describe the capped plan's segments, not the free one's.
+	segs := feedback.Segments(400, req.Chunks)
+	if len(req.SegChecksums) != len(segs) {
+		t.Fatalf("%d checksums for %d segments", len(req.SegChecksums), len(segs))
+	}
+	for i, s := range segs {
+		if req.SegChecksums[i] != a.SegmentChecksum(s, 32) {
+			t.Errorf("segment %d checksum stale after capping", i)
+		}
+	}
+}
+
+func TestBuildRequestCappedPassthrough(t *testing.T) {
+	syms := make([]byte, 100)
+	bad := map[int]byte{10: 1, 50: 2}
+	a := New(100)
+	if err := a.Init(0, mkDecisions(syms, bad), labeler()); err != nil {
+		t.Fatal(err)
+	}
+	free := a.BuildRequest(1, 32)
+	for _, max := range []int{0, -1, len(free.Chunks), 100} {
+		req, capped := a.BuildRequestCapped(1, 32, max)
+		if capped {
+			t.Errorf("maxChunks=%d reported capping", max)
+		}
+		if len(req.Chunks) != len(free.Chunks) || len(req.SegChecksums) != len(free.SegChecksums) {
+			t.Errorf("maxChunks=%d changed the plan", max)
+		}
+	}
+}

@@ -70,6 +70,9 @@ type Options struct {
 	// Schemes names the recovery schemes the delivery figures post-process
 	// (see schemes.Names()); empty means every registered scheme.
 	Schemes []string
+	// Jammers names the jam strategies the resilience experiment sweeps
+	// (see jam.Names()); empty means the default adversary panel.
+	Jammers []string
 	// Cache is the trace cache the experiments draw from; nil means the
 	// process-wide SharedTraces. A Runner regenerating a suite hands every
 	// experiment the same cache, so concurrent figures sharing an operating

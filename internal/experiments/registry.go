@@ -177,6 +177,13 @@ func init() {
 		}
 		return res.Dataset(), nil
 	}})
+	Register(expFunc{"resilience", "link layers vs composable jammers: throughput under adversarial strategies and powers", func(ctx context.Context, o Options) (Dataset, error) {
+		res, err := resilienceCtx(ctx, o)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return res.Dataset(), nil
+	}})
 	Register(expFunc{"summary", "headline measured-vs-paper ratios (Table 1)", func(ctx context.Context, o Options) (Dataset, error) {
 		rows, err := summaryCtx(ctx, o)
 		if err != nil {

@@ -6,14 +6,14 @@ import (
 )
 
 // seedArtifacts is the frozen set of registered artifacts: the 14
-// figure/table entry points the seed shipped plus the diversity and mesh
-// extensions. The registry must carry each exactly once — a registration
-// typo (duplicate Register panics at init; a missing or renamed figure
-// fails here) would silently shrink `-exp all`.
+// figure/table entry points the seed shipped plus the diversity, mesh and
+// resilience extensions. The registry must carry each exactly once — a
+// registration typo (duplicate Register panics at init; a missing or
+// renamed figure fails here) would silently shrink `-exp all`.
 var seedArtifacts = []string{
 	"diversity", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-	"fig16", "fig17", "fig3", "fig7", "fig8", "fig9", "mesh", "summary",
-	"table2",
+	"fig16", "fig17", "fig3", "fig7", "fig8", "fig9", "mesh", "resilience",
+	"summary", "table2",
 }
 
 func TestRegistryCompleteness(t *testing.T) {

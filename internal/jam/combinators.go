@@ -1,0 +1,229 @@
+package jam
+
+import (
+	"fmt"
+
+	"ppr/internal/stats"
+)
+
+// Combinators wrap a Strategy without knowing what it wraps. Every
+// combinator keeps the inner emitter's timeline and state intact — the
+// inner Poll runs on every observation so adaptive strategies keep
+// learning — and gates only the Fire bit of the result. That makes
+// composition associative and fuzz-friendly: any stack of combinators
+// over any strategy is still a valid strategy.
+
+// ---- Duty cycle ----
+
+// DutyCycle lets the inner strategy fire only during the ON phase of a
+// fixed on/off cycle anchored at chip 0. It is RNG-free.
+func DutyCycle(inner Strategy, onChips, offChips int64) Strategy {
+	if onChips <= 0 {
+		onChips = 1
+	}
+	if offChips < 0 {
+		offChips = 0
+	}
+	return dutyCycle{inner: inner, on: onChips, off: offChips}
+}
+
+type dutyCycle struct {
+	inner   Strategy
+	on, off int64
+}
+
+func (d dutyCycle) Name() string { return fmt.Sprintf("duty(%s)", d.inner.Name()) }
+
+func (d dutyCycle) Emitter(p Params, rng *stats.RNG) Emitter {
+	return &dutyEmitter{inner: d.inner.Emitter(p, rng), on: d.on, cycle: d.on + d.off}
+}
+
+type dutyEmitter struct {
+	inner     Emitter
+	on, cycle int64
+}
+
+func (e *dutyEmitter) NextPoll() int64 { return e.inner.NextPoll() }
+
+func (e *dutyEmitter) Poll(o Observation) Burst {
+	b := e.inner.Poll(o)
+	if o.Chip%e.cycle >= e.on {
+		b.Fire = false
+	}
+	return b
+}
+
+// ---- Markov on/off schedule ----
+
+// Markov gates the inner strategy with a three-state burst chain — the
+// adversarial on/off schedule from the AntiJam model. Per poll: a quiet
+// jammer starts a burst with probability PStart; a bursting jammer keeps
+// going with probability PStay, otherwise it falls into a refractory
+// "recovering" state it leaves with probability PRecover. The chain draws
+// exactly one RNG value per poll, independent of the observation, so the
+// timeline is reproducible for any worker count. Probabilities are
+// clamped to [0, 1].
+func Markov(inner Strategy, pStart, pStay, pRecover float64) Strategy {
+	return markov{inner: inner,
+		pStart: clamp01(pStart), pStay: clamp01(pStay), pRecover: clamp01(pRecover)}
+}
+
+func clamp01(p float64) float64 {
+	switch {
+	case p < 0, p != p: // NaN gates closed
+		return 0
+	case p > 1:
+		return 1
+	}
+	return p
+}
+
+type markov struct {
+	inner                   Strategy
+	pStart, pStay, pRecover float64
+}
+
+func (m markov) Name() string { return fmt.Sprintf("markov(%s)", m.inner.Name()) }
+
+// Probs returns the clamped chain probabilities (always in [0, 1]); the
+// combinator fuzz asserts on them.
+func (m markov) Probs() (pStart, pStay, pRecover float64) {
+	return m.pStart, m.pStay, m.pRecover
+}
+
+func (m markov) Emitter(p Params, rng *stats.RNG) Emitter {
+	// The gate's RNG is derived (not split) from the shared stream:
+	// Derive does not advance the parent, so adding or removing the
+	// combinator never perturbs the inner strategy's own draws.
+	gate := rng.Derive('m', 'k', 'v')
+	return &markovEmitter{inner: m.inner.Emitter(p, rng), m: m, rng: gate}
+}
+
+type markovEmitter struct {
+	inner Emitter
+	m     markov
+	rng   *stats.RNG
+	state uint8 // 0 quiet, 1 bursting, 2 recovering
+}
+
+func (e *markovEmitter) NextPoll() int64 { return e.inner.NextPoll() }
+
+func (e *markovEmitter) Poll(o Observation) Burst {
+	// Advance the chain first, with one unconditional draw, so the RNG
+	// stream never depends on what the jammer observed.
+	u := e.rng.Float64()
+	switch e.state {
+	case 0:
+		if u < e.m.pStart {
+			e.state = 1
+		}
+	case 1:
+		if u >= e.m.pStay {
+			e.state = 2
+		}
+	default:
+		if u < e.m.pRecover {
+			e.state = 0
+		}
+	}
+	b := e.inner.Poll(o)
+	if e.state != 1 {
+		b.Fire = false
+	}
+	return b
+}
+
+// ---- Spatial zones ----
+
+// Zone is a region of the deployment plane in internal/topo coordinates.
+type Zone interface {
+	Contains(x, y float64) bool
+}
+
+// Rect is the axis-aligned rectangle [X0,X1] × [Y0,Y1].
+type Rect struct{ X0, Y0, X1, Y1 float64 }
+
+// Contains implements Zone.
+func (r Rect) Contains(x, y float64) bool {
+	return x >= r.X0 && x <= r.X1 && y >= r.Y0 && y <= r.Y1
+}
+
+// Circle is the disc of radius R around (X, Y).
+type Circle struct{ X, Y, R float64 }
+
+// Contains implements Zone.
+func (c Circle) Contains(x, y float64) bool {
+	dx, dy := x-c.X, y-c.Y
+	return dx*dx+dy*dy <= c.R*c.R
+}
+
+// InZone activates the inner strategy only for jammers positioned inside
+// the zone: outside it the emitter is silent for the whole run. Engines
+// that do not know the jammer's position (Params.HasPos false, e.g. the
+// open-loop testbed sim) treat every jammer as in-zone.
+func InZone(inner Strategy, z Zone) Strategy { return inZone{inner: inner, z: z} }
+
+type inZone struct {
+	inner Strategy
+	z     Zone
+}
+
+func (i inZone) Name() string { return fmt.Sprintf("zone(%s)", i.inner.Name()) }
+
+func (i inZone) Emitter(p Params, rng *stats.RNG) Emitter {
+	if p.HasPos && !i.z.Contains(p.X, p.Y) {
+		return silentEmitter{end: p.DurationChips}
+	}
+	return i.inner.Emitter(p, rng)
+}
+
+// ---- Targeted victims ----
+
+// Target lets the inner strategy fire only while one of the victim nodes
+// is on the air, turning any strategy into a victim-selective one. An
+// empty victim list means any transmission qualifies. It is RNG-free.
+func Target(inner Strategy, victims ...int) Strategy {
+	set := make(map[int]bool, len(victims))
+	for _, v := range victims {
+		set[v] = true
+	}
+	return target{inner: inner, victims: set}
+}
+
+type target struct {
+	inner   Strategy
+	victims map[int]bool
+}
+
+func (t target) Name() string { return fmt.Sprintf("target(%s)", t.inner.Name()) }
+
+func (t target) Emitter(p Params, rng *stats.RNG) Emitter {
+	return &targetEmitter{inner: t.inner.Emitter(p, rng), victims: t.victims}
+}
+
+type targetEmitter struct {
+	inner   Emitter
+	victims map[int]bool
+}
+
+func (e *targetEmitter) NextPoll() int64 { return e.inner.NextPoll() }
+
+func (e *targetEmitter) Poll(o Observation) Burst {
+	b := e.inner.Poll(o)
+	if !b.Fire {
+		return b
+	}
+	if len(e.victims) == 0 {
+		b.Fire = len(o.Txs) > 0
+		return b
+	}
+	hit := false
+	for _, tx := range o.Txs {
+		if e.victims[tx.Src] {
+			hit = true
+			break
+		}
+	}
+	b.Fire = hit
+	return b
+}

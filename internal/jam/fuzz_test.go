@@ -1,0 +1,94 @@
+package jam
+
+import (
+	"testing"
+
+	"ppr/internal/stats"
+)
+
+// FuzzCombinators composes schedule ∘ zone ∘ target stacks over arbitrary
+// inner strategies with arbitrary (unclamped) parameters and drives the
+// result over a synthetic observation stream. The invariants: composition
+// never panics, Markov probabilities stay in [0, 1], NextPoll is
+// non-decreasing, and every burst is well-formed (non-negative size).
+func FuzzCombinators(f *testing.F) {
+	f.Add(uint8(0), uint64(1), 0.1, 0.8, 0.3, int64(300_000), int64(300_000), 50.0, true)
+	f.Add(uint8(1), uint64(2), -5.0, 99.0, 0.0, int64(0), int64(-7), -1.0, false)
+	f.Add(uint8(4), uint64(3), 0.5, 0.5, 0.5, int64(1), int64(0), 1e9, true)
+	f.Fuzz(func(t *testing.T, pick uint8, seed uint64,
+		pStart, pStay, pRecover float64, onChips, offChips int64, radius float64, insideZone bool) {
+
+		names := Names()
+		inner, err := ByName(names[int(pick)%len(names)])
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// schedule ∘ schedule ∘ zone ∘ target, all over the picked inner.
+		s := Target(InZone(Markov(DutyCycle(inner, onChips, offChips), pStart, pStay, pRecover),
+			Circle{X: 0, Y: 0, R: radius}), 1, 3)
+
+		var mk Strategy = s
+		for {
+			// Walk the wrappers down to the Markov layer to check clamping.
+			switch w := mk.(type) {
+			case target:
+				mk = w.inner
+			case inZone:
+				mk = w.inner
+			case markov:
+				a, b, c := w.Probs()
+				for _, p := range []float64{a, b, c} {
+					if !(p >= 0 && p <= 1) {
+						t.Fatalf("Markov probability %v outside [0,1]", p)
+					}
+				}
+				mk = nil
+			default:
+				mk = nil
+			}
+			if mk == nil {
+				break
+			}
+		}
+
+		p := testParams()
+		p.HasPos = true
+		if insideZone {
+			p.X, p.Y = 0, 0
+		} else {
+			p.X, p.Y = radius+1e6, 0
+		}
+		em := s.Emitter(p, stats.NewRNG(seed))
+
+		last := int64(-1 << 62)
+		for i := 0; i < 200; i++ {
+			at := em.NextPoll()
+			if at < last {
+				t.Fatalf("NextPoll decreased: %d after %d", at, last)
+			}
+			last = at
+			if at >= p.DurationChips {
+				break
+			}
+			obs := Observation{Chip: at, Busy: []float64{p.NoiseMW, 10 * p.ThresholdMW}}
+			if at%70_000 < 30_000 {
+				start := at - at%70_000
+				obs.Txs = []ActiveTx{
+					{Src: 1, Start: start, End: start + 30_000, Channel: 1},
+					{Src: 2, Start: start + 5, End: start + 20_000},
+				}
+			}
+			b := em.Poll(obs)
+			if b.Bytes < 0 {
+				t.Fatalf("burst with negative size %d", b.Bytes)
+			}
+			if int(b.Channel) >= p.NumChannels {
+				// Channels are taken modulo NumChannels by the engines, so
+				// out-of-range values are tolerated, but the stock
+				// strategies should stay in range on their own.
+				t.Logf("burst channel %d >= NumChannels %d (engine clamps)", b.Channel, p.NumChannels)
+			}
+		}
+	})
+}

@@ -1,0 +1,156 @@
+// Package jam is the composable adversary model: named jamming strategies
+// behind a registry (like schemes and scenarios), combinators that shape
+// them in time (duty cycles, Markov on/off), space (zones over topology
+// coordinates) and target selection, and adaptive strategies that observe
+// the shared chip-time line — reacting to sensed energy, to preambles, or
+// to learned sender timing.
+//
+// The decomposition mirrors the AdversarialJammingModel shape from the
+// anti-jamming literature (Richa et al.'s AntiJam adversary that learns the
+// senders' timing; Pelechrinis et al.'s measurement-driven countermeasure
+// selection): a Strategy is a pure description, an Emitter is its stateful
+// per-run instantiation, and combinators wrap strategies without knowing
+// what they wrap.
+//
+// Determinism contract: an Emitter's only randomness source is the RNG it
+// was constructed with, handed to the Strategy by the engine (derived per
+// jammer node in netsim, split from the traffic RNG in the open-loop sim).
+// NextPoll returns non-decreasing chip times and may consume RNG; Poll
+// decides whether the pending poll fires and must draw RNG in a fixed
+// order independent of the observation so identical runs replay
+// bit-identically for any worker count. The Observation's slices are
+// engine-owned scratch, valid only during the Poll call — emitters must
+// copy anything they keep.
+package jam
+
+import (
+	"fmt"
+	"sort"
+
+	"ppr/internal/stats"
+)
+
+// Params carries the run-level facts a strategy scales itself by.
+type Params struct {
+	// DurationChips bounds the run; an emitter whose NextPoll reaches it
+	// is never polled again.
+	DurationChips int64
+	// BurstBytes is the default jam frame payload size (Burst.Bytes == 0).
+	BurstBytes int
+	// ThresholdMW is the carrier-sense threshold in milliwatts — the
+	// "channel is busy" line reactive strategies test against.
+	ThresholdMW float64
+	// NoiseMW is the noise floor in milliwatts (the Busy baseline).
+	NoiseMW float64
+	// NumChannels is the number of orthogonal channels (>= 1); Burst
+	// channels are taken modulo this.
+	NumChannels int
+	// X, Y locate the jammer when the engine knows its position
+	// (HasPos); zone combinators gate on it.
+	X, Y   float64
+	HasPos bool
+}
+
+// ActiveTx is one transmission on the air at the observation instant, as
+// heard by the jammer (inaudible transmissions are filtered out by the
+// engine before the observation is built).
+type ActiveTx struct {
+	// Src is the transmitting node's index.
+	Src int
+	// Start and End bound the transmission in absolute chips.
+	Start, End int64
+	// Channel is the transmission's channel.
+	Channel uint8
+}
+
+// Observation is what the jammer senses at a poll instant. Busy and Txs
+// are engine scratch: valid only for the duration of the Poll call.
+type Observation struct {
+	// Chip is the poll instant.
+	Chip int64
+	// Busy is the sensed power per channel in milliwatts, excluding the
+	// jammer's own emissions, indexed by channel; always >= 1 entry.
+	Busy []float64
+	// Txs are the transmissions audible to the jammer that are on the air
+	// at Chip.
+	Txs []ActiveTx
+}
+
+// BusiestChannel returns the channel with the most sensed power.
+func (o Observation) BusiestChannel() (ch uint8, powerMW float64) {
+	for i, p := range o.Busy {
+		if p > powerMW {
+			ch, powerMW = uint8(i), p
+		}
+	}
+	return ch, powerMW
+}
+
+// Burst is an emitter's decision at a poll instant.
+type Burst struct {
+	// Fire reports whether to transmit a jam frame now.
+	Fire bool
+	// Bytes sizes the jam payload; 0 means Params.BurstBytes.
+	Bytes int
+	// Channel selects the channel to jam (modulo Params.NumChannels).
+	Channel uint8
+}
+
+// Emitter is a strategy instantiated for one run: a stream of poll
+// instants plus the fire decision at each. The engine calls NextPoll to
+// learn when the jammer next wants to look at the channel, builds an
+// Observation for that instant, and calls Poll exactly once for it.
+// NextPoll values must be non-decreasing; a value at or past
+// Params.DurationChips ends the jammer's timeline.
+type Emitter interface {
+	NextPoll() int64
+	Poll(Observation) Burst
+}
+
+// Strategy is a named, immutable description of adversarial behaviour.
+type Strategy interface {
+	// Name labels the strategy in registries and composed names.
+	Name() string
+	// Emitter instantiates the strategy for one run. rng is dedicated to
+	// this emitter and must be its only randomness source.
+	Emitter(p Params, rng *stats.RNG) Emitter
+}
+
+// ---- Registry ----
+
+var registry = map[string]func() Strategy{}
+
+// Register adds a named strategy constructor; it panics on duplicates so
+// collisions surface at init time.
+func Register(name string, mk func() Strategy) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("jam: duplicate strategy %q", name))
+	}
+	registry[name] = mk
+}
+
+// ByName resolves a strategy by registry name.
+func ByName(name string) (Strategy, error) {
+	mk, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("jam: unknown strategy %q (available: %v)", name, Names())
+	}
+	return mk(), nil
+}
+
+// Names lists the registered strategy names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// silentEmitter never polls: the strategy is inert for this run (e.g. the
+// jammer sits outside its zone).
+type silentEmitter struct{ end int64 }
+
+func (s silentEmitter) NextPoll() int64        { return s.end }
+func (s silentEmitter) Poll(Observation) Burst { return Burst{} }

@@ -1,0 +1,246 @@
+// SoftPHY-driven jamming countermeasures: auxiliary link layers that wrap
+// PP-ARQ and react to the distress its per-transfer accounting exposes —
+// acquisition failures (the preamble was stomped), round inflation (feedback
+// keeps dying), give-ups. Each takes one classical anti-jamming move and
+// pays for it honestly on the shared channel:
+//
+//   - "PP-ARQ Hop": channel hopping. After sustained distress the flow
+//     retunes both directions of its hop to the next orthogonal channel
+//     (ChannelSetter), forcing an adaptive jammer to find it again.
+//   - "PP-ARQ Fallback": rate fallback. Under distress the transfer unit
+//     shrinks — the payload is split into progressively smaller frames, so a
+//     jam burst costs a fraction of a packet instead of all of it — and
+//     recovers when the channel clears.
+//   - "PP-ARQ Chunk": feedback hardening. Under distress the sender switches
+//     to capped-chunk feedback requests (pparq.Config.MaxChunks), trading a
+//     few needlessly retransmitted symbols for short feedback frames that
+//     fit between jam bursts.
+//
+// All three are registered as auxiliary layers: resolvable by name, absent
+// from the paper's Fig. 17 trio. Activation counts surface on the metrics
+// registry; like all metrics they are purely observational.
+package netsim
+
+import (
+	"ppr/internal/core/pparq"
+	"ppr/internal/obs"
+)
+
+func init() {
+	RegisterAuxLinkLayer("PP-ARQ Hop", newHopARQ)
+	RegisterAuxLinkLayer("PP-ARQ Fallback", newFallbackARQ)
+	RegisterAuxLinkLayer("PP-ARQ Chunk", newChunkARQ)
+}
+
+// Countermeasure activation counters (obs Vars, recorded per transfer — far
+// off the event loop's hot path).
+var (
+	mChannelHops   = &obs.CounterVar{Name: "netsim.channel_hops"}
+	mRateFallbacks = &obs.CounterVar{Name: "netsim.rate_fallbacks"}
+	mChunkSwitches = &obs.CounterVar{Name: "netsim.chunk_cap_switches"}
+)
+
+func countActivation(v *obs.CounterVar) {
+	if obs.Default() == nil {
+		return
+	}
+	v.Get().Inc()
+}
+
+// distressed classifies one transfer's outcome: a give-up, any full resend
+// (the receiver acquired nothing — a stomped preamble is the signature of a
+// jam burst), or round inflation beyond what ordinary fading costs.
+func distressed(st pparq.Stats, err error) bool {
+	return err != nil || st.FullResends > 0 || st.Rounds > 2
+}
+
+// distressAfter consecutive distressed transfers trip a countermeasure;
+// calmAfter consecutive clean ones release it.
+const (
+	distressAfter = 2
+	calmAfter     = 4
+)
+
+// creditTransfer runs one pparq transfer with the standard give-up credit:
+// the receiver hands its checksum-verified symbols to higher layers even
+// when the protocol gave up (see ppARQ.Transfer).
+func creditTransfer(s *pparq.Sender, app []byte) (int, pparq.Stats, error) {
+	delivered, st, err := s.Transfer(app)
+	if err != nil {
+		return st.VerifiedSymbols * 4 / 8, st, err
+	}
+	return len(delivered), st, nil
+}
+
+// mergeStats folds one sub-transfer's accounting into an aggregate.
+func mergeStats(a *pparq.Stats, b pparq.Stats) {
+	a.DataAirBytes += b.DataAirBytes
+	a.RetxAirBytes += b.RetxAirBytes
+	a.FeedbackAirBytes += b.FeedbackAirBytes
+	a.Rounds += b.Rounds
+	a.RetxPayloadSizes = append(a.RetxPayloadSizes, b.RetxPayloadSizes...)
+	a.FullResends += b.FullResends
+	a.Misses += b.Misses
+	a.VerifiedSymbols += b.VerifiedSymbols
+	a.ChunkCaps += b.ChunkCaps
+}
+
+// ---- PP-ARQ Hop ----
+
+type hopARQ struct {
+	inner    LinkLayer
+	fwd, rev pparq.Link
+	nCh, ch  int
+	streak   int
+	hops     int
+}
+
+func newHopARQ(fwd, rev pparq.Link, src, dst uint16, cfg LinkConfig) LinkLayer {
+	cfg = cfg.fill()
+	return &hopARQ{inner: newPPARQ(fwd, rev, src, dst, cfg), fwd: fwd, rev: rev, nCh: cfg.NumChannels}
+}
+
+func (l *hopARQ) Name() string { return "PP-ARQ Hop" }
+
+func (l *hopARQ) AppBytesPerPacket(n int) int { return l.inner.AppBytesPerPacket(n) }
+
+func (l *hopARQ) Transfer(app []byte) (int, pparq.Stats, error) {
+	n, st, err := l.inner.Transfer(app)
+	if !distressed(st, err) {
+		l.streak = 0
+		return n, st, err
+	}
+	l.streak++
+	if l.streak >= distressAfter && l.nCh > 1 {
+		l.streak = 0
+		l.ch = (l.ch + 1) % l.nCh
+		// Both directions retune: data and feedback stay on the same
+		// channel, as a rendezvous-keeping radio pair would.
+		if f, ok := l.fwd.(ChannelSetter); ok {
+			f.SetChannel(l.ch)
+		}
+		if r, ok := l.rev.(ChannelSetter); ok {
+			r.SetChannel(l.ch)
+		}
+		l.hops++
+		countActivation(mChannelHops)
+	}
+	return n, st, err
+}
+
+// ---- PP-ARQ Fallback ----
+
+// minFallbackBytes bounds how small a fallback frame may get: below this,
+// header and preamble overhead dominate and the fallback hurts.
+const minFallbackBytes = 32
+
+type fallbackARQ struct {
+	s            *pparq.Sender
+	level        int // payload is split into 1<<level frames
+	maxLevel     int
+	streak, calm int
+}
+
+func newFallbackARQ(fwd, rev pparq.Link, src, dst uint16, cfg LinkConfig) LinkLayer {
+	cfg = cfg.fill()
+	return &fallbackARQ{
+		s: pparq.NewSender(fwd, rev, src, dst, pparq.Config{
+			MaxRounds:   cfg.MaxRounds,
+			MaxAttempts: cfg.MaxAttempts,
+		}),
+		maxLevel: 2,
+	}
+}
+
+func (l *fallbackARQ) Name() string { return "PP-ARQ Fallback" }
+
+func (l *fallbackARQ) AppBytesPerPacket(n int) int { return n }
+
+func (l *fallbackARQ) Transfer(app []byte) (int, pparq.Stats, error) {
+	pieces := 1 << l.level
+	for pieces > 1 && len(app)/pieces < minFallbackBytes {
+		pieces /= 2
+	}
+	var st pparq.Stats
+	var firstErr error
+	delivered := 0
+	for i := 0; i < pieces; i++ {
+		lo := i * len(app) / pieces
+		hi := (i + 1) * len(app) / pieces
+		n, sub, err := creditTransfer(l.s, app[lo:hi])
+		delivered += n
+		mergeStats(&st, sub)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if distressed(st, firstErr) {
+		l.calm = 0
+		l.streak++
+		if l.streak >= distressAfter && l.level < l.maxLevel {
+			l.streak = 0
+			l.level++
+			countActivation(mRateFallbacks)
+		}
+	} else {
+		l.streak = 0
+		l.calm++
+		if l.calm >= calmAfter && l.level > 0 {
+			l.calm = 0
+			l.level--
+		}
+	}
+	return delivered, st, firstErr
+}
+
+// ---- PP-ARQ Chunk ----
+
+// cappedChunks is the hardened feedback budget: few enough chunks that the
+// request's gamma codes stay in one short frame even on a shredded packet.
+const cappedChunks = 6
+
+type chunkARQ struct {
+	relaxed, capped *pparq.Sender
+	useCapped       bool
+	streak, calm    int
+}
+
+func newChunkARQ(fwd, rev pparq.Link, src, dst uint16, cfg LinkConfig) LinkLayer {
+	cfg = cfg.fill()
+	base := pparq.Config{MaxRounds: cfg.MaxRounds, MaxAttempts: cfg.MaxAttempts}
+	hardened := base
+	hardened.MaxChunks = cappedChunks
+	return &chunkARQ{
+		relaxed: pparq.NewSender(fwd, rev, src, dst, base),
+		capped:  pparq.NewSender(fwd, rev, src, dst, hardened),
+	}
+}
+
+func (l *chunkARQ) Name() string { return "PP-ARQ Chunk" }
+
+func (l *chunkARQ) AppBytesPerPacket(n int) int { return n }
+
+func (l *chunkARQ) Transfer(app []byte) (int, pparq.Stats, error) {
+	s := l.relaxed
+	if l.useCapped {
+		s = l.capped
+	}
+	n, st, err := creditTransfer(s, app)
+	if distressed(st, err) {
+		l.calm = 0
+		l.streak++
+		if l.streak >= distressAfter && !l.useCapped {
+			l.streak = 0
+			l.useCapped = true
+			countActivation(mChunkSwitches)
+		}
+	} else {
+		l.streak = 0
+		l.calm++
+		if l.calm >= calmAfter && l.useCapped {
+			l.calm = 0
+			l.useCapped = false
+		}
+	}
+	return n, st, err
+}

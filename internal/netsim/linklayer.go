@@ -87,6 +87,9 @@ type LinkConfig struct {
 	// MaxRounds and MaxAttempts bound persistence; 0 means the PP-ARQ
 	// defaults.
 	MaxRounds, MaxAttempts int
+	// NumChannels is the deployment's orthogonal channel count (>= 1);
+	// channel-hopping layers cycle through it.
+	NumChannels int
 }
 
 func (c LinkConfig) fill() LinkConfig {
@@ -98,6 +101,9 @@ func (c LinkConfig) fill() LinkConfig {
 	}
 	if c.MaxAttempts == 0 {
 		c.MaxAttempts = 16
+	}
+	if c.NumChannels <= 0 {
+		c.NumChannels = 1
 	}
 	return c
 }
@@ -143,6 +149,20 @@ func init() {
 // RegisterLinkLayer adds a layer under schemes.Slug(name). Like the scheme
 // and scenario registries it is for init-time use, not concurrent callers.
 func RegisterLinkLayer(name string, mk Maker) {
+	registerLayer(name, mk)
+	layerOrdered = append(layerOrdered, layerEntry{name: name, maker: mk})
+}
+
+// RegisterAuxLinkLayer adds a layer that resolves by name but stays out of
+// LinkLayers(): the paper's Fig. 17 comparison is defined over exactly the
+// PP-ARQ/frag-CRC/packet-CRC trio, and auxiliary layers — the jamming
+// countermeasures — must not silently widen it. Experiments opt into aux
+// layers by naming them.
+func RegisterAuxLinkLayer(name string, mk Maker) {
+	registerLayer(name, mk)
+}
+
+func registerLayer(name string, mk Maker) {
 	key := schemes.Slug(name)
 	if key == "" {
 		panic("netsim: link layer with empty name")
@@ -151,7 +171,6 @@ func RegisterLinkLayer(name string, mk Maker) {
 		panic(fmt.Sprintf("netsim: duplicate link layer %q", key))
 	}
 	layerRegistry[key] = mk
-	layerOrdered = append(layerOrdered, layerEntry{name: name, maker: mk})
 }
 
 // linkLayerMaker resolves a registry name; "" means PP-ARQ.

@@ -66,6 +66,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ppr/internal/jam"
 	"ppr/internal/mac"
 	"ppr/internal/obs"
 	"ppr/internal/radio"
@@ -101,16 +102,29 @@ type Flow struct {
 }
 
 // JammerNode overlays an adversarial event source on the shared channel: a
-// node position transmitting jam bursts under a scenario traffic model,
-// with the scenario's MAC flags (carrier-sense-ignoring, reactive).
+// node position transmitting jam bursts either under a legacy scenario
+// traffic model or under a composable internal/jam strategy.
 type JammerNode struct {
 	// Sender is the node the jammer transmits from: a testbed sender index,
 	// or a global node ID on a Topology. It must not also carry a Flow.
 	Sender int
-	// Node is the scenario behaviour: Model generates jam arrivals,
+	// Node is the legacy scenario behaviour: Model generates jam arrivals,
 	// PacketBytes sizes the bursts, IgnoreCarrierSense/Reactive set the MAC
-	// discipline.
+	// discipline. Node.Jam, when set, counts as Strategy (scenario overlays
+	// carry strategies there).
 	Node scenario.Node
+	// Strategy, when set, drives the jammer through the composable adversary
+	// model: the engine polls the strategy's emitter at the instants it asks
+	// for, hands it a per-channel busy observation plus the audible active
+	// transmissions, and commits a burst when it fires. Exactly one of
+	// Strategy (or Node.Jam) and Node.Model must be set.
+	Strategy jam.Strategy
+	// BurstBytes sizes strategy bursts; 0 falls back to Node.PacketBytes,
+	// then to 40 bytes.
+	BurstBytes int
+	// PowerDeltaDBm shifts this jammer's link budget toward every other node
+	// — a stronger (or weaker) adversary without touching the topology.
+	PowerDeltaDBm float64
 }
 
 // Config describes one closed-loop run.
@@ -147,6 +161,13 @@ type Config struct {
 	OfferedBps float64
 	// Jammers are adversarial event sources overlaid on the channel.
 	Jammers []JammerNode
+	// NumChannels is the number of orthogonal channels sharing the
+	// deployment; 0 means 1. Flows start on channel 0 and retune through
+	// ChannelSetter (the channel-hopping countermeasure layers do); jam
+	// strategies pick their burst channel per poll. Transmissions interfere
+	// and carrier-sense only within a channel; half-duplex conflicts span
+	// all of them (one radio per node).
+	NumChannels int
 	// FragBytes is the fragmented-CRC layer's fragment size; 0 means the
 	// paper's 50 bytes.
 	FragBytes int
@@ -197,8 +218,10 @@ type Result struct {
 	// TxChips is the sum of all transmission lengths (exceeds BusyChips
 	// exactly when transmissions overlapped — collisions happened).
 	TxChips int64
-	// JamFrames counts jam bursts committed to the channel.
+	// JamFrames counts jam bursts committed to the channel; JamChips their
+	// total airtime — the network's jam exposure.
 	JamFrames int
+	JamChips  int64
 	// Domains is the number of interference domains in the deployment
 	// (audibility components unioned with flow endpoints).
 	Domains int
@@ -270,6 +293,7 @@ type runState struct {
 	cfg     Config
 	top     Topology
 	nn      int
+	nCh     int
 	base    *stats.RNG
 	csma    mac.CSMA
 	noiseMW float64
@@ -287,7 +311,9 @@ type runState struct {
 	nDomains int
 
 	// Per-node engine state, disjoint across shards (a node belongs to
-	// exactly one domain):
+	// exactly one domain). busyAcc and contrib are per (channel, node),
+	// indexed ch*nn+node — at one channel that is exactly the old per-node
+	// layout, float operation order included.
 	nodeFree []int64   // radio busy-until (one radio per node)
 	busyAcc  []float64 // accumulated audible interference, mW
 	contrib  []int32   // active transmissions contributing to busyAcc
@@ -323,7 +349,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rs := newRunState(cfg, top, flows)
+	rs := newRunState(cfg, top, flows, jams)
 	rs.m = newNetsimMetrics(flows)
 	if cfg.Tracer != nil {
 		layer := cfg.LinkLayer
@@ -354,6 +380,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	for _, s := range shards {
 		res.TxChips += s.txChips
 		res.JamFrames += s.jamFrames
+		res.JamChips += s.jamChips
 		for _, fl := range s.flows {
 			res.Flows[fl.spec.id] = fl.res
 		}
@@ -380,6 +407,9 @@ func normalize(cfg Config) (Topology, []flowSpec, []jamSpec, error) {
 	}
 	if cfg.PacketBytes <= 0 || cfg.DurationSec <= 0 {
 		return nil, nil, nil, fmt.Errorf("netsim: bad packet size %d or duration %v", cfg.PacketBytes, cfg.DurationSec)
+	}
+	if cfg.NumChannels < 0 || cfg.NumChannels > 256 {
+		return nil, nil, nil, fmt.Errorf("netsim: %d channels out of range (jam bursts address at most 256)", cfg.NumChannels)
 	}
 	nn := top.NumNodes()
 	if nn > maxTopologyNodes {
@@ -430,8 +460,8 @@ func normalize(cfg Config) (Topology, []flowSpec, []jamSpec, error) {
 		}
 		jammed[node] = true
 		sender[node] = true
-		if j.Node.Model == nil {
-			return nil, nil, nil, fmt.Errorf("netsim: jammer node %d has no traffic model", node)
+		if (jamStrategy(j) != nil) == (j.Node.Model != nil) {
+			return nil, nil, nil, fmt.Errorf("netsim: jammer node %d must set exactly one of a jam strategy and a traffic model", node)
 		}
 		jams[i] = jamSpec{id: i, node: node, spec: j}
 	}
@@ -443,26 +473,45 @@ func normalize(cfg Config) (Topology, []flowSpec, []jamSpec, error) {
 // near- or above-floor budgets to milliwatts, comparing those against the
 // floor in linear units — the exact comparison synthesis used before
 // sharding, so pruning changes which work happens, never what it computes.
-func newRunState(cfg Config, top Topology, flows []flowSpec) *runState {
+// Jammer power deltas fold into the sweep here: a boosted jammer is simply a
+// node whose outgoing link budget is higher everywhere.
+func newRunState(cfg Config, top Topology, flows []flowSpec, jams []jamSpec) *runState {
 	params := top.RadioParams()
 	nn := top.NumNodes()
+	nCh := cfg.NumChannels
+	if nCh <= 0 {
+		nCh = 1
+	}
 	rs := &runState{
-		cfg:      cfg,
-		top:      top,
-		nn:       nn,
-		base:     stats.NewRNG(cfg.Seed ^ 0xc105ed100f),
-		noiseMW:  radio.DBmToMW(params.NoiseFloorDBm),
-		floorMW:  radio.DBmToMW(AudibilityFloorDBm(params)),
-		endChip:  mac.ChipsPerSecond(cfg.DurationSec),
-		nodeFree: make([]int64, nn),
-		busyAcc:  make([]float64, nn),
-		contrib:  make([]int32, nn),
-		hearsPw:  make([]map[int32]float64, nn),
-		heardBy:  make([][]int32, nn),
+		cfg:       cfg,
+		top:       top,
+		nn:        nn,
+		nCh:       nCh,
+		base:      stats.NewRNG(cfg.Seed ^ 0xc105ed100f),
+		noiseMW:   radio.DBmToMW(params.NoiseFloorDBm),
+		floorMW:   radio.DBmToMW(AudibilityFloorDBm(params)),
+		endChip:   mac.ChipsPerSecond(cfg.DurationSec),
+		nodeFree:  make([]int64, nn),
+		busyAcc:   make([]float64, nn*nCh),
+		contrib:   make([]int32, nn*nCh),
+		hearsPw:   make([]map[int32]float64, nn),
+		heardBy:   make([][]int32, nn),
 		heardByPw: make([][]float64, nn),
 	}
 	rs.csma = mac.DefaultCSMA(radio.DBmToMW(params.CSThresholdDBm))
 	rs.csma.Enabled = cfg.CarrierSense
+
+	// Outgoing per-node gain shift, nil unless some jammer carries a delta —
+	// the nil path leaves the sweep's arithmetic untouched bit for bit.
+	var delta []float64
+	for _, j := range jams {
+		if j.spec.PowerDeltaDBm != 0 {
+			if delta == nil {
+				delta = make([]float64, nn)
+			}
+			delta[j.node] = j.spec.PowerDeltaDBm
+		}
+	}
 
 	// floorDBm-0.1 is a conservative dB prefilter: DBmToMW is monotone up
 	// to rounding, so anything more than a tenth of a dB under the floor is
@@ -493,6 +542,9 @@ func newRunState(cfg Config, top Topology, flows []flowSpec) *runState {
 				continue
 			}
 			g := top.NodeGainDBm(u, v)
+			if delta != nil {
+				g += delta[u]
+			}
 			if g < floorDBm-0.1 {
 				continue
 			}
@@ -608,16 +660,33 @@ func runShards(ctx context.Context, shards []*shard, workers int) error {
 
 // layerConfig assembles the per-flow link layer knobs.
 func layerConfig(cfg Config) LinkConfig {
+	nCh := cfg.NumChannels
+	if nCh <= 0 {
+		nCh = 1
+	}
 	return LinkConfig{
 		PacketBytes: cfg.PacketBytes,
 		FragBytes:   cfg.FragBytes,
 		MaxRounds:   cfg.MaxRounds,
 		MaxAttempts: cfg.MaxAttempts,
+		NumChannels: nCh,
 	}
+}
+
+// jamStrategy resolves a jammer's strategy: the explicit field, or the one a
+// scenario overlay put on its node.
+func jamStrategy(j JammerNode) jam.Strategy {
+	if j.Strategy != nil {
+		return j.Strategy
+	}
+	return j.Node.Jam
 }
 
 // jamBytes returns a jammer's burst payload size.
 func jamBytes(j JammerNode) int {
+	if j.BurstBytes > 0 {
+		return j.BurstBytes
+	}
 	if j.Node.PacketBytes > 0 {
 		return j.Node.PacketBytes
 	}

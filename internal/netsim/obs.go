@@ -27,6 +27,7 @@ type netsimMetrics struct {
 	// someone" view carrier sense exists to minimize.
 	collisions *obs.Counter // netsim.collisions
 	jams       *obs.Counter // netsim.jam_frames
+	jamChips   *obs.Counter // netsim.jam_chips: jam airtime — the network's jam exposure
 	// Delivery outcomes at receivers.
 	rxOK   *obs.Counter // netsim.receptions: frames acquired (header verified)
 	rxLost *obs.Counter // netsim.losses: frames synthesized but not acquired
@@ -59,6 +60,7 @@ func newNetsimMetrics(flows []flowSpec) *netsimMetrics {
 		csIdle:       r.Counter("netsim.cs_idle"),
 		collisions:   r.Counter("netsim.collisions"),
 		jams:         r.Counter("netsim.jam_frames"),
+		jamChips:     r.Counter("netsim.jam_chips"),
 		rxOK:         r.Counter("netsim.receptions"),
 		rxLost:       r.Counter("netsim.losses"),
 		transfers:    r.Counter("netsim.transfers"),
@@ -90,6 +92,7 @@ type shardObs struct {
 	csIdle     *obs.CounterCell
 	collisions *obs.CounterCell
 	jams       *obs.CounterCell
+	jamChips   *obs.CounterCell
 	rxOK       *obs.CounterCell
 	rxLost     *obs.CounterCell
 
@@ -122,6 +125,7 @@ func shardObsFor(m *netsimMetrics, idx int) shardObs {
 		csIdle:       m.csIdle.Cell(idx),
 		collisions:   m.collisions.Cell(idx),
 		jams:         m.jams.Cell(idx),
+		jamChips:     m.jamChips.Cell(idx),
 		rxOK:         m.rxOK.Cell(idx),
 		rxLost:       m.rxLost.Cell(idx),
 		transfers:    m.transfers.Cell(idx),

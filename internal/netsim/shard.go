@@ -6,6 +6,7 @@ import (
 
 	"ppr/internal/bitutil"
 	"ppr/internal/frame"
+	"ppr/internal/jam"
 	"ppr/internal/mac"
 	"ppr/internal/phy"
 	"ppr/internal/radio"
@@ -113,6 +114,7 @@ func heapPop[T interface{ before(T) bool }](h *[]T) T {
 // simulated airtime.
 type airTx struct {
 	node   int // global node ID
+	ch     uint8
 	start  int64
 	length int64 // airtime in chips
 	chips  *bitutil.ChipWords
@@ -123,6 +125,7 @@ func (t *airTx) end() int64 { return t.start + t.length }
 // txRequest is what a yielded flow asks the engine to do next.
 type txRequest struct {
 	from, to int // global node IDs
+	ch       uint8
 	frame    frame.Frame
 }
 
@@ -152,20 +155,44 @@ type flowProc struct {
 type engineLink struct {
 	fl       *flowProc
 	from, to int
+	ch       uint8
 }
 
 // Transmit implements pparq.Link (the Link type every LinkLayer builds on).
 func (l *engineLink) Transmit(f frame.Frame) *frame.Reception {
-	l.fl.req = txRequest{from: l.from, to: l.to, frame: f}
+	l.fl.req = txRequest{from: l.from, to: l.to, ch: l.ch, frame: f}
 	l.fl.sh.msgs <- flowMsg{fl: l.fl}
 	return <-l.fl.resume
 }
 
-// jamProc is one jammer event source.
+// ChannelSetter is the retuning seam countermeasure link layers use: both
+// engine links a Maker receives implement it, so a layer can hop a flow's
+// hop (data and feedback direction alike) to another channel between
+// transmissions. Channels wrap modulo the deployment's channel count.
+type ChannelSetter interface {
+	SetChannel(ch int)
+}
+
+// SetChannel implements ChannelSetter. It is called from the flow's own
+// coroutine, which runs exclusively while its shard's event loop is blocked,
+// so no synchronization is needed.
+func (l *engineLink) SetChannel(ch int) {
+	nCh := l.fl.sh.rs.nCh
+	ch %= nCh
+	if ch < 0 {
+		ch += nCh
+	}
+	l.ch = uint8(ch)
+}
+
+// jamProc is one jammer event source: either a legacy arrival-model jammer
+// (arrivals set) or a strategy emitter (em set).
 type jamProc struct {
 	spec     jamSpec
 	idx      int32 // shard-local index
 	arrivals scenario.Arrivals
+	em       jam.Emitter
+	spanName string
 	rng      *stats.RNG
 	seq      uint16
 	buf      []byte // burst payload buffer, refilled in place
@@ -196,6 +223,7 @@ type shard struct {
 	live   int
 
 	txChips   int64
+	jamChips  int64
 	jamFrames int
 
 	// obs holds the shard's pre-resolved metric cells; the zero value (all
@@ -203,6 +231,12 @@ type shard struct {
 	obs shardObs
 
 	overlaps []radio.Overlap // receive() scratch, reused across windows
+
+	// Strategy-jammer observation scratch, reused across polls (the
+	// Observation contract says so); obsBusy is sized to the channel count
+	// when the first strategy jammer binds.
+	obsBusy []float64
+	obsTxs  []jam.ActiveTx
 
 	// cancelled flips once the run's context is done: the event loop stops
 	// committing work and drains every flow coroutine instead.
@@ -234,7 +268,10 @@ func (s *shard) addFlow(spec flowSpec, maker Maker) {
 	s.flows = append(s.flows, fl)
 }
 
-// addJam binds one jammer event source to the shard.
+// addJam binds one jammer event source to the shard. Strategy jammers split
+// their emitter RNG from the same per-node derived stream the legacy path
+// splits its arrival model from, so a strategy that replicates an arrival
+// model's draw order replays its timeline bit for bit.
 func (s *shard) addJam(spec jamSpec) {
 	jp := &jamProc{
 		spec: spec,
@@ -242,11 +279,31 @@ func (s *shard) addJam(spec jamSpec) {
 		rng:  s.rs.base.Derive(uint64(spec.node), tagJammer),
 		buf:  make([]byte, jamBytes(spec.spec)),
 	}
-	jp.arrivals = spec.spec.Node.Model.Arrivals(scenario.Params{
-		OfferedBps:    s.rs.cfg.OfferedBps,
-		PacketBytes:   jamBytes(spec.spec),
-		DurationChips: s.rs.endChip,
-	}, jp.rng.Split())
+	if strat := jamStrategy(spec.spec); strat != nil {
+		p := jam.Params{
+			DurationChips: s.rs.endChip,
+			BurstBytes:    jamBytes(spec.spec),
+			ThresholdMW:   s.rs.csma.ThresholdMW,
+			NoiseMW:       s.rs.noiseMW,
+			NumChannels:   s.rs.nCh,
+		}
+		if pos, ok := s.rs.top.(interface{ Position(int) radio.Position }); ok {
+			pt := pos.Position(spec.node)
+			p.X, p.Y, p.HasPos = pt.X, pt.Y, true
+		}
+		jp.em = strat.Emitter(p, jp.rng.Split())
+		jp.spanName = "jam " + strat.Name()
+		if s.obsBusy == nil {
+			s.obsBusy = make([]float64, s.rs.nCh)
+		}
+	} else {
+		jp.spanName = "jam"
+		jp.arrivals = spec.spec.Node.Model.Arrivals(scenario.Params{
+			OfferedBps:    s.rs.cfg.OfferedBps,
+			PacketBytes:   jamBytes(spec.spec),
+			DurationChips: s.rs.endChip,
+		}, jp.rng.Split())
+	}
 	s.jams = append(s.jams, jp)
 }
 
@@ -342,10 +399,17 @@ func (s *shard) abortFlow(fl *flowProc) {
 	}
 }
 
-// scheduleJam enqueues a jammer's next arrival, dropping arrivals past the
-// end of the run.
+// scheduleJam enqueues a jammer's next arrival (or strategy poll), dropping
+// instants past the end of the run. Both sources advance their stream here
+// even when the resulting event is later absorbed, so the jammer's RNG
+// consumption is a pure function of time.
 func (s *shard) scheduleJam(jp *jamProc) {
-	t := jp.arrivals.Next()
+	var t int64
+	if jp.em != nil {
+		t = jp.em.NextPoll()
+	} else {
+		t = jp.arrivals.Next()
+	}
 	if t >= s.rs.endChip {
 		return
 	}
@@ -361,15 +425,17 @@ func (s *shard) drainExpired(t int64) {
 	rs := s.rs
 	for len(s.active) > 0 && s.active[0].end <= t {
 		at := heapPop(&s.active)
-		u := s.txs[at.idx].node
+		tx := &s.txs[at.idx]
+		u := tx.node
+		base := int(tx.ch) * rs.nn
 		nbrs := rs.heardBy[u]
 		pws := rs.heardByPw[u]
 		for i, v := range nbrs {
-			rs.contrib[v]--
-			if rs.contrib[v] == 0 {
-				rs.busyAcc[v] = 0
+			rs.contrib[base+int(v)]--
+			if rs.contrib[base+int(v)] == 0 {
+				rs.busyAcc[base+int(v)] = 0
 			} else {
-				rs.busyAcc[v] -= pws[i]
+				rs.busyAcc[base+int(v)] -= pws[i]
 			}
 		}
 	}
@@ -380,18 +446,18 @@ func (s *shard) drainExpired(t int64) {
 // node's own. It reads the per-node accumulator maintained by commit and
 // drainExpired — O(expired) amortized instead of the former
 // O(active transmissions) scan per query.
-func (s *shard) busyMW(node int, t int64) float64 {
+func (s *shard) busyMW(node int, ch uint8, t int64) float64 {
 	s.drainExpired(t)
-	total := s.rs.noiseMW + s.rs.busyAcc[node]
+	total := s.rs.noiseMW + s.rs.busyAcc[int(ch)*s.rs.nn+node]
 	if busyParityCheck != nil {
-		busyParityCheck(total, s.bruteBusyMW(node, t))
+		busyParityCheck(total, s.bruteBusyMW(node, ch, t))
 	}
 	return total
 }
 
 // bruteBusyMW is the replaced O(active) scan, kept as the parity reference
 // for busyParityCheck.
-func (s *shard) bruteBusyMW(node int, t int64) float64 {
+func (s *shard) bruteBusyMW(node int, ch uint8, t int64) float64 {
 	total := s.rs.noiseMW
 	hears := s.rs.hearsPw[node]
 	for i := s.prune; i < len(s.txs); i++ {
@@ -399,7 +465,7 @@ func (s *shard) bruteBusyMW(node int, t int64) float64 {
 		if tx.start > t {
 			break
 		}
-		if tx.end() <= t || tx.node == node {
+		if tx.end() <= t || tx.node == node || tx.ch != ch {
 			continue
 		}
 		if p, ok := hears[int32(tx.node)]; ok {
@@ -434,7 +500,7 @@ func (s *shard) processTx(ev event) {
 		return
 	}
 	if s.rs.csma.Enabled && int(ev.try) < s.rs.csma.MaxDefers {
-		if s.busyMW(fl.req.from, t) >= s.rs.csma.ThresholdMW {
+		if s.busyMW(fl.req.from, fl.req.ch, t) >= s.rs.csma.ThresholdMW {
 			rng := s.rs.base.Derive(uint64(fl.req.from), uint64(t), tagCSMA)
 			backoff := 1 + int64(rng.Float64()*float64(s.rs.csma.MaxBackoffChips))
 			s.obs.csBusy.Inc()
@@ -446,7 +512,7 @@ func (s *shard) processTx(ev event) {
 		}
 		s.obs.csIdle.Inc()
 	}
-	idx := s.commit(fl.req.from, t, fl.req.frame.AirChips())
+	idx := s.commit(fl.req.from, fl.req.ch, t, fl.req.frame.AirChips())
 	if lane := s.lane(fl.req.from); lane != nil {
 		lane.Span(fmt.Sprintf("tx f%d %d→%d", fl.spec.id, fl.req.from, fl.req.to),
 			"tx", t, s.txs[idx].length, nil)
@@ -462,31 +528,102 @@ func (s *shard) processJam(ev event) {
 	s.advancePrune(t)
 	if free := s.rs.nodeFree[jp.spec.node]; free > t {
 		// The jammer's own previous burst is still on the air; this arrival
-		// is absorbed (its poll found the radio busy).
+		// is absorbed (its poll found the radio busy). scheduleJam still
+		// advances the jammer's stream, so absorbed and fired polls consume
+		// RNG identically.
 		s.scheduleJam(jp)
 		return
 	}
-	fire := true
-	if jp.spec.spec.Node.Reactive {
-		fire = s.busyMW(jp.spec.node, t) >= s.rs.csma.ThresholdMW
-	} else if !jp.spec.spec.Node.IgnoreCarrierSense && s.rs.csma.Enabled && s.busyMW(jp.spec.node, t) >= s.rs.csma.ThresholdMW {
-		fire = false // a polite "jammer" (hostile workload) defers like anyone
+	var fire bool
+	var ch uint8
+	burstBytes := len(jp.buf)
+	if jp.em != nil {
+		// Strategy path: hand the emitter what it can sense and let it
+		// decide. The observation never draws RNG, and the emitter draws in
+		// observation-independent order, so the decision is reproducible for
+		// any partitioning.
+		b := jp.em.Poll(s.observe(jp.spec.node, t))
+		fire = b.Fire
+		ch = uint8(int(b.Channel) % s.rs.nCh)
+		if b.Bytes > 0 {
+			burstBytes = b.Bytes
+			if burstBytes > frame.MaxPayload {
+				burstBytes = frame.MaxPayload
+			}
+		}
+		if fire && !jp.spec.spec.Node.IgnoreCarrierSense && s.rs.csma.Enabled &&
+			s.obsBusy[ch] >= s.rs.csma.ThresholdMW {
+			fire = false // a polite adversary defers like anyone
+		}
+	} else {
+		fire = true
+		if jp.spec.spec.Node.Reactive {
+			fire = s.busyMW(jp.spec.node, 0, t) >= s.rs.csma.ThresholdMW
+		} else if !jp.spec.spec.Node.IgnoreCarrierSense && s.rs.csma.Enabled && s.busyMW(jp.spec.node, 0, t) >= s.rs.csma.ThresholdMW {
+			fire = false // a polite "jammer" (hostile workload) defers like anyone
+		}
 	}
 	if fire {
+		if burstBytes != len(jp.buf) {
+			if burstBytes <= cap(jp.buf) {
+				jp.buf = jp.buf[:burstBytes]
+			} else {
+				jp.buf = make([]byte, burstBytes)
+			}
+		}
 		payload := jp.buf
 		for i := range payload {
 			payload[i] = byte(jp.rng.Intn(256))
 		}
 		f := frame.New(0xffff, uint16(jp.spec.node), jp.seq, payload)
 		jp.seq++
-		idx := s.commit(jp.spec.node, t, f.AirChips())
+		idx := s.commit(jp.spec.node, ch, t, f.AirChips())
 		s.jamFrames++
+		s.jamChips += s.txs[idx].length
 		s.obs.jams.Inc()
+		if s.obs.jamChips != nil {
+			s.obs.jamChips.Add(s.txs[idx].length)
+		}
 		if lane := s.lane(jp.spec.node); lane != nil {
-			lane.Span("jam", "jam", t, s.txs[idx].length, nil)
+			lane.Span(jp.spanName, "jam", t, s.txs[idx].length, nil)
 		}
 	}
 	s.scheduleJam(jp)
+}
+
+// observe builds a strategy jammer's view of the channel at time t in the
+// shard's reusable scratch: per-channel busy power (noise included, own
+// emissions excluded — the radio-free check already ran) and the audible
+// transmissions on the air. The active heap's internal layout depends on the
+// domain partitioning, so the view is insertion-sorted into (start, src)
+// order before the strategy sees it — observations, like everything else,
+// must not depend on how the run was sharded.
+func (s *shard) observe(node int, t int64) jam.Observation {
+	rs := s.rs
+	s.drainExpired(t)
+	for ch := 0; ch < rs.nCh; ch++ {
+		s.obsBusy[ch] = rs.noiseMW + rs.busyAcc[ch*rs.nn+node]
+	}
+	txs := s.obsTxs[:0]
+	hears := rs.hearsPw[node]
+	for _, a := range s.active {
+		tx := &s.txs[a.idx]
+		if tx.start > t || tx.node == node {
+			continue
+		}
+		if _, ok := hears[int32(tx.node)]; !ok {
+			continue
+		}
+		txs = append(txs, jam.ActiveTx{Src: tx.node, Start: tx.start, End: tx.end(), Channel: tx.ch})
+	}
+	for i := 1; i < len(txs); i++ {
+		for j := i; j > 0 && (txs[j].Start < txs[j-1].Start ||
+			(txs[j].Start == txs[j-1].Start && txs[j].Src < txs[j-1].Src)); j-- {
+			txs[j], txs[j-1] = txs[j-1], txs[j]
+		}
+	}
+	s.obsTxs = txs // retain grown capacity for the next poll
+	return jam.Observation{Chip: t, Busy: s.obsBusy, Txs: txs}
 }
 
 // commit places a transmission on the shared timeline and updates the
@@ -495,21 +632,22 @@ func (s *shard) processJam(ev event) {
 // time. The transmission's power lands on exactly its precomputed audible
 // neighbors — the audibility-graph pruning: everything below the synthesis
 // floor is skipped here just as synthesis itself would skip it.
-func (s *shard) commit(node int, start int64, chips *bitutil.ChipWords) int {
+func (s *shard) commit(node int, ch uint8, start int64, chips *bitutil.ChipWords) int {
 	rs := s.rs
 	air := int64(chips.Len())
 	idx := len(s.txs)
-	s.txs = append(s.txs, airTx{node: node, start: start, length: air, chips: chips})
+	s.txs = append(s.txs, airTx{node: node, ch: ch, start: start, length: air, chips: chips})
 	rs.nodeFree[node] = start + air
 	if air > s.maxAir {
 		s.maxAir = air
 	}
 	s.txChips += air
+	base := int(ch) * rs.nn
 	nbrs := rs.heardBy[node]
 	pws := rs.heardByPw[node]
 	for i, v := range nbrs {
-		rs.busyAcc[v] += pws[i]
-		rs.contrib[v]++
+		rs.busyAcc[base+int(v)] += pws[i]
+		rs.contrib[base+int(v)]++
 	}
 	heapPush(&s.active, activeTx{end: start + air, idx: int32(idx)})
 	// Union channel occupancy, accounted per domain so SingleQueue and
@@ -593,7 +731,9 @@ func (s *shard) receive(tx *airTx, to int, sent frame.Frame) *frame.Reception {
 		if other.start >= origin+int64(n) {
 			break
 		}
-		if other.end() <= origin || other.node == to {
+		// A transmission on another orthogonal channel neither interferes
+		// nor delivers; half duplex above already spanned all channels.
+		if other.end() <= origin || other.node == to || other.ch != tx.ch {
 			continue
 		}
 		p, ok := hears[int32(other.node)]

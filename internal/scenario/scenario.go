@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ppr/internal/jam"
 	"ppr/internal/mac"
 	"ppr/internal/stats"
 )
@@ -66,6 +67,11 @@ type Node struct {
 	// is a dense sensing clock, and the scheduler drops arrivals that find
 	// the channel idle.
 	Reactive bool
+	// Jam, when non-nil, makes this node an adversary driven by the
+	// composable strategy model (internal/jam) instead of a TrafficModel:
+	// the scheduler polls the strategy's emitter on the shared chip-time
+	// line and transmits the bursts it fires. Model is ignored.
+	Jam jam.Strategy
 }
 
 // Scenario assigns behaviour to every sender in a deployment.
@@ -282,13 +288,62 @@ func WithJammer(base Scenario, j Jammer) Scenario {
 	return withJammer{name: j.Name(), base: base, jammer: j}
 }
 
+// withJamStrategy overlays a jam.Strategy adversary on sender 0 of a base
+// scenario — the strategy-model counterpart of withJammer.
+type withJamStrategy struct {
+	name       string
+	base       Scenario
+	strat      jam.Strategy
+	burstBytes int
+}
+
+func (w withJamStrategy) Name() string { return w.name }
+
+func (w withJamStrategy) Node(i, numSenders int) Node {
+	if i == 0 {
+		return Node{
+			Jam:                w.strat,
+			PacketBytes:        w.burstBytes,
+			IgnoreCarrierSense: true,
+		}
+	}
+	return w.base.Node(i, numSenders)
+}
+
+// WithJamStrategy overlays a jam.Strategy adversary on sender 0 of base,
+// jamming with burstBytes-sized frames (0 means 40 bytes); the remaining
+// senders keep base's behaviour. The scenario is listed under name.
+func WithJamStrategy(name string, base Scenario, strat jam.Strategy, burstBytes int) Scenario {
+	if burstBytes <= 0 {
+		burstBytes = 40
+	}
+	return withJamStrategy{name: name, base: base, strat: strat, burstBytes: burstBytes}
+}
+
+// mustJam resolves a registered jam strategy; the names used here are
+// registered by internal/jam's init, so failure is a programming error.
+func mustJam(name string) jam.Strategy {
+	s, err := jam.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // PeriodicJammer returns Poisson traffic with sender 0 replaced by the
-// default periodic jammer.
-func PeriodicJammer() Scenario { return WithJammer(Poisson(), DefaultJammer()) }
+// default periodic jammer, expressed through the jam strategy registry.
+// The timeline is bit-identical to the legacy WithJammer(Poisson(),
+// DefaultJammer()) construction — parity-tested in internal/sim.
+func PeriodicJammer() Scenario {
+	return WithJamStrategy("periodic-jammer", Poisson(), mustJam("periodic"), DefaultJammer().BurstBytes)
+}
 
 // ReactiveJammer returns Poisson traffic with sender 0 replaced by the
-// default reactive (sense-then-jam) jammer.
-func ReactiveJammer() Scenario { return WithJammer(Poisson(), DefaultReactiveJammer()) }
+// default reactive (sense-then-jam) jammer, expressed through the jam
+// strategy registry; bit-identical to the legacy construction.
+func ReactiveJammer() Scenario {
+	return WithJamStrategy("reactive-jammer", Poisson(), mustJam("reactive"), DefaultReactiveJammer().BurstBytes)
+}
 
 // registry maps CLI names to scenario constructors.
 var registry = map[string]func() Scenario{
@@ -296,6 +351,21 @@ var registry = map[string]func() Scenario{
 	"bursty":          BurstyTraffic,
 	"periodic-jammer": PeriodicJammer,
 	"reactive-jammer": ReactiveJammer,
+}
+
+// Every registered jam strategy is also selectable as a scenario:
+// "jam-<strategy>" overlays it on sender 0 of Poisson traffic.
+func init() {
+	for _, name := range jam.Names() {
+		name := name
+		burst := 40
+		if name == "reactive" {
+			burst = DefaultReactiveJammer().BurstBytes
+		}
+		registry["jam-"+name] = func() Scenario {
+			return WithJamStrategy("jam-"+name, Poisson(), mustJam(name), burst)
+		}
+	}
 }
 
 // ByName resolves a scenario by its registry name ("" means poisson).

@@ -3,6 +3,7 @@ package scenario
 import (
 	"testing"
 
+	"ppr/internal/jam"
 	"ppr/internal/stats"
 )
 
@@ -101,8 +102,9 @@ func TestScenarioRegistry(t *testing.T) {
 			t.Errorf("ByName(%q).Name() = %q", name, sc.Name())
 		}
 		for i := 0; i < 23; i++ {
-			if sc.Node(i, 23).Model == nil {
-				t.Fatalf("scenario %q: sender %d has no model", name, i)
+			n := sc.Node(i, 23)
+			if n.Model == nil && n.Jam == nil {
+				t.Fatalf("scenario %q: sender %d has neither model nor jam strategy", name, i)
 			}
 		}
 	}
@@ -120,18 +122,39 @@ func TestJammerScenarioShape(t *testing.T) {
 	if !j.IgnoreCarrierSense || j.PacketBytes != DefaultJammer().BurstBytes {
 		t.Errorf("jammer node misconfigured: %+v", j)
 	}
-	if j.Reactive {
-		t.Error("periodic jammer marked reactive")
+	if j.Jam == nil || j.Jam.Name() != "periodic" {
+		t.Errorf("periodic jammer node lacks the periodic strategy: %+v", j)
 	}
 	for i := 1; i < 23; i++ {
 		n := sc.Node(i, 23)
-		if n.IgnoreCarrierSense || n.PacketBytes != 0 {
+		if n.IgnoreCarrierSense || n.PacketBytes != 0 || n.Jam != nil {
 			t.Errorf("sender %d inherited jammer flags: %+v", i, n)
 		}
 	}
 	r := ReactiveJammer().Node(0, 23)
-	if !r.Reactive || !r.IgnoreCarrierSense {
+	if r.Jam == nil || r.Jam.Name() != "reactive" || !r.IgnoreCarrierSense {
 		t.Errorf("reactive jammer node misconfigured: %+v", r)
+	}
+	if r.PacketBytes != DefaultReactiveJammer().BurstBytes {
+		t.Errorf("reactive jammer burst size %d, want %d", r.PacketBytes, DefaultReactiveJammer().BurstBytes)
+	}
+}
+
+// TestJamScenariosRegistered checks every registered jam strategy is
+// selectable as a "jam-<name>" scenario overlaying sender 0.
+func TestJamScenariosRegistered(t *testing.T) {
+	for _, name := range jam.Names() {
+		sc, err := ByName("jam-" + name)
+		if err != nil {
+			t.Fatalf("jam-%s not registered: %v", name, err)
+		}
+		n := sc.Node(0, 23)
+		if n.Jam == nil || !n.IgnoreCarrierSense || n.PacketBytes <= 0 {
+			t.Errorf("jam-%s sender 0 misconfigured: %+v", name, n)
+		}
+		if sc.Node(1, 23).Jam != nil {
+			t.Errorf("jam-%s leaked the strategy onto sender 1", name)
+		}
 	}
 }
 

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"ppr/internal/jam"
+	"ppr/internal/radio"
+	"ppr/internal/scenario"
+	"ppr/internal/testbed"
+)
+
+// scheduleFingerprint reduces a schedule to its observable identity: who
+// transmitted what, when.
+type txFingerprint struct {
+	Src     int
+	Start   int64
+	Dst     uint16
+	Seq     uint16
+	Payload string
+}
+
+func fingerprints(txs []*Transmission) []txFingerprint {
+	out := make([]txFingerprint, len(txs))
+	for i, tx := range txs {
+		out[i] = txFingerprint{
+			Src:     tx.Src,
+			Start:   tx.StartChip,
+			Dst:     tx.Frame.Hdr.Dst,
+			Seq:     tx.Frame.Hdr.Seq,
+			Payload: string(tx.Frame.Payload),
+		}
+	}
+	return out
+}
+
+// TestJamStrategyParityWithLegacyJammers is the acceptance gate for the
+// strategy re-expression: the registry-backed periodic and reactive
+// jammer scenarios must reproduce the legacy scenario.Jammer schedules
+// bit-for-bit — same instants, same sequence numbers, same payload bytes.
+// Deliver depends only on (Testbed, Seed, txs), so schedule parity is
+// trace parity.
+func TestJamStrategyParityWithLegacyJammers(t *testing.T) {
+	cases := []struct {
+		name   string
+		legacy scenario.Scenario
+		strat  scenario.Scenario
+	}{
+		{"periodic", scenario.WithJammer(scenario.Poisson(), scenario.DefaultJammer()), scenario.PeriodicJammer()},
+		{"reactive", scenario.WithJammer(scenario.Poisson(), scenario.DefaultReactiveJammer()), scenario.ReactiveJammer()},
+	}
+	for _, tc := range cases {
+		for _, seed := range []uint64{1, 7, 42} {
+			cfgL := smallCfg(6900, true, seed)
+			cfgL.Scenario = tc.legacy
+			cfgS := smallCfg(6900, true, seed)
+			cfgS.Scenario = tc.strat
+			fpL := fingerprints(Schedule(cfgL))
+			fpS := fingerprints(Schedule(cfgS))
+			if !reflect.DeepEqual(fpL, fpS) {
+				n := len(fpL)
+				if len(fpS) < n {
+					n = len(fpS)
+				}
+				for i := 0; i < n; i++ {
+					if fpL[i] != fpS[i] {
+						t.Fatalf("%s seed %d: schedules diverge at tx %d:\nlegacy   %+v\nstrategy %+v",
+							tc.name, seed, i, fpL[i], fpS[i])
+					}
+				}
+				t.Fatalf("%s seed %d: schedule lengths differ: legacy %d, strategy %d",
+					tc.name, seed, len(fpL), len(fpS))
+			}
+		}
+	}
+}
+
+// TestJamScenariosDeterministicAndWorkerInvariant runs every registered
+// jam strategy as a scenario through the full open-loop engine twice —
+// once sequentially, once on 3 workers — and requires bit-identical
+// schedules and delivery traces.
+func TestJamScenariosDeterministicAndWorkerInvariant(t *testing.T) {
+	variants := []Variant{{Name: "pre"}, {Name: "prepost", UsePostamble: true}}
+	for _, name := range jam.Names() {
+		sc, err := scenario.ByName("jam-" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(workers int) ([]txFingerprint, []Outcome) {
+			cfg := Config{
+				Testbed:      testbed.New(radio.DefaultParams(), 7),
+				OfferedBps:   12_000,
+				PacketBytes:  200,
+				DurationSec:  0.5,
+				CarrierSense: true,
+				Seed:         11,
+				Scenario:     sc,
+				Workers:      workers,
+			}
+			txs, outs := Run(cfg, variants)
+			return fingerprints(txs), outs
+		}
+		fp1, out1 := run(1)
+		fp3, out3 := run(3)
+		if !reflect.DeepEqual(fp1, fp3) {
+			t.Fatalf("jam-%s: schedule differs across worker counts", name)
+		}
+		if !reflect.DeepEqual(out1, out3) {
+			t.Fatalf("jam-%s: delivery trace differs across worker counts", name)
+		}
+		if len(fp1) == 0 {
+			t.Fatalf("jam-%s: empty schedule", name)
+		}
+	}
+}
+
+// TestJamStrategyActuallyJams sanity-checks that strategy-driven bursts
+// appear in the schedule: sender 0 transmits under every jam scenario
+// whose strategy can fire against the stock Poisson victims.
+func TestJamStrategyActuallyJams(t *testing.T) {
+	for _, name := range []string{"periodic", "sweep", "preamble", "duty"} {
+		sc, err := scenario.ByName("jam-" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallCfg(12_000, true, 5)
+		cfg.Scenario = sc
+		jams := 0
+		for _, tx := range Schedule(cfg) {
+			if tx.Src == 0 {
+				jams++
+			}
+		}
+		if jams == 0 {
+			t.Errorf("jam-%s: sender 0 never jammed", name)
+		}
+	}
+}

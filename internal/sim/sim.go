@@ -34,6 +34,7 @@ import (
 
 	"ppr/internal/bitutil"
 	"ppr/internal/frame"
+	"ppr/internal/jam"
 	"ppr/internal/mac"
 	"ppr/internal/phy"
 	"ppr/internal/radio"
@@ -124,6 +125,15 @@ func (tx *Transmission) PayloadStartChip() int64 {
 // transmission timeline. Payloads are deterministic pseudo-random test
 // patterns (the paper's "known test pattern") so receivers can score
 // correctness.
+//
+// Nodes with a jam.Strategy (scenario.Node.Jam) are adversaries on the
+// shared chip-time line: their emitters are polled lazily, interleaved in
+// time order with the static arrival streams, and each poll observes the
+// channel as the jammer would sense it — total received power and the
+// transmissions currently on the air — before deciding whether to burst.
+// With no strategy nodes the loop degenerates to the legacy iteration, and
+// the stock periodic/reactive strategies replay the legacy scenario.Jammer
+// timelines bit-for-bit (parity-tested).
 func Schedule(cfg Config) []*Transmission {
 	rng := stats.NewRNG(cfg.Seed)
 	trafficRng := rng.Split()
@@ -147,17 +157,44 @@ func Schedule(cfg Config) []*Transmission {
 		}
 	}
 
+	csma := mac.DefaultCSMA(radio.DBmToMW(tb.Params.CSThresholdDBm))
+	csma.Enabled = cfg.CarrierSense
+	noiseMW := radio.DBmToMW(tb.Params.NoiseFloorDBm)
+	csThresholdMW := radio.DBmToMW(tb.Params.CSThresholdDBm)
+
 	type arrival struct {
 		chip int64
 		src  int
 	}
+	// jammer is one strategy-driven adversary's lazy poll cursor.
+	type jammer struct {
+		src  int
+		em   jam.Emitter
+		next int64
+	}
 	var arrivals []arrival
+	var jammers []*jammer
 	for i := 0; i < testbed.NumSenders; i++ {
+		// Every sender consumes one trafficRng.Split() in index order,
+		// strategy adversaries included, so adding a jammer never perturbs
+		// the other senders' arrival streams.
+		child := trafficRng.Split()
+		if st := nodes[i].Jam; st != nil {
+			em := st.Emitter(jam.Params{
+				DurationChips: endChip,
+				BurstBytes:    pktBytes[i],
+				ThresholdMW:   csThresholdMW,
+				NoiseMW:       noiseMW,
+				NumChannels:   1,
+			}, child)
+			jammers = append(jammers, &jammer{src: i, em: em, next: em.NextPoll()})
+			continue
+		}
 		src := nodes[i].Model.Arrivals(scenario.Params{
 			OfferedBps:    cfg.OfferedBps,
 			PacketBytes:   pktBytes[i],
 			DurationChips: endChip,
-		}, trafficRng.Split())
+		}, child)
 		for {
 			t := src.Next()
 			if t >= endChip {
@@ -168,76 +205,138 @@ func Schedule(cfg Config) []*Transmission {
 	}
 	sort.Slice(arrivals, func(a, b int) bool { return arrivals[a].chip < arrivals[b].chip })
 
-	csma := mac.DefaultCSMA(radio.DBmToMW(tb.Params.CSThresholdDBm))
-	csma.Enabled = cfg.CarrierSense
-	noiseMW := radio.DBmToMW(tb.Params.NoiseFloorDBm)
-	csThresholdMW := radio.DBmToMW(tb.Params.CSThresholdDBm)
-
 	var txs []*Transmission
 	seqs := make([]uint16, testbed.NumSenders)
-	for _, a := range arrivals {
-		node := nodes[a.src]
-		// Received power at this sender from transmissions already
-		// committed, optionally excluding its own (a node cannot sense the
-		// channel through its own ongoing transmission).
-		busyExcl := func(t int64, excludeSrc int) float64 {
-			total := noiseMW
-			for k := len(txs) - 1; k >= 0; k-- {
-				tx := txs[k]
-				if tx.EndChip() <= t {
-					// txs is appended in arrival order, so starts are only
-					// approximately sorted (CSMA deferrals shift them).
-					// Stop scanning once starts are so old that no frame —
-					// even maximally deferred — could still be active.
-					if t-tx.StartChip > 4*int64(frame.MaxAirChips) {
-						break
-					}
-					continue
+
+	// busyAt is the received power at sender `at` from transmissions
+	// already committed, optionally excluding its own (a node cannot sense
+	// the channel through its own ongoing transmission).
+	busyAt := func(t int64, at, excludeSrc int) float64 {
+		total := noiseMW
+		for k := len(txs) - 1; k >= 0; k-- {
+			tx := txs[k]
+			if tx.EndChip() <= t {
+				// txs is appended in arrival order, so starts are only
+				// approximately sorted (CSMA deferrals shift them).
+				// Stop scanning once starts are so old that no frame —
+				// even maximally deferred — could still be active.
+				if t-tx.StartChip > 4*int64(frame.MaxAirChips) {
+					break
 				}
-				if tx.StartChip <= t && tx.Src != excludeSrc {
-					total += radio.DBmToMW(tb.SenderGainDBm[tx.Src][a.src])
-				}
-			}
-			return total
-		}
-		// Carrier sense for CSMA keeps the seed behaviour: all committed
-		// transmissions count (a deferring sender is not yet on the air).
-		busy := func(t int64) float64 { return busyExcl(t, -1) }
-		var start int64
-		switch {
-		case node.Reactive:
-			// Sense-then-jam: fire only when the channel is audibly busy at
-			// the sensing instant; otherwise this arrival is just a poll.
-			// The jammer's own bursts are excluded from the sense, or a
-			// poll period shorter than the burst air time would make it
-			// self-sustaining on a silent channel.
-			if busyExcl(a.chip, a.src) < csThresholdMW {
 				continue
 			}
-			start = a.chip
-		case node.IgnoreCarrierSense:
-			start = a.chip
-		default:
-			start = csma.Decide(a.chip, busy, csmaRng)
+			if tx.StartChip <= t && tx.Src != excludeSrc {
+				total += radio.DBmToMW(tb.SenderGainDBm[tx.Src][at])
+			}
 		}
+		return total
+	}
 
-		payload := make([]byte, pktBytes[a.src])
+	// emit commits one transmission: payload bytes come from the shared
+	// payloadRng in commit order, which is what makes the schedule
+	// deterministic and the parity tests bit-exact.
+	emit := func(src int, start int64, bytes int) {
+		payload := make([]byte, bytes)
 		for bi := range payload {
 			payload[bi] = byte(payloadRng.Intn(256))
 		}
 		// Destination: the receiver with the strongest link from this
 		// sender (the routing layer would pick it).
-		bestJ := tb.BestReceiver(a.src)
-		f := frame.New(uint16(testbed.NumSenders+bestJ), uint16(a.src), seqs[a.src], payload)
-		seqs[a.src]++
-		tx := &Transmission{
+		bestJ := tb.BestReceiver(src)
+		f := frame.New(uint16(testbed.NumSenders+bestJ), uint16(src), seqs[src], payload)
+		seqs[src]++
+		txs = append(txs, &Transmission{
 			ID:        len(txs),
-			Src:       a.src,
+			Src:       src,
 			StartChip: start,
 			Frame:     f,
 			TruthSyms: phy.SymbolsOf(phy.DecodeStream(phy.HardDecoder{}, bitutil.PackWord32s(phy.SpreadBytes(payload)))),
+		})
+	}
+
+	// Observation scratch, reused across polls (the emitters must copy
+	// anything they keep — see jam.Observation).
+	obsBusy := make([]float64, 1)
+	var obsTxs []jam.ActiveTx
+	audFloorDBm := tb.Params.NoiseFloorDBm - interferenceFloorDB
+
+	ai := 0
+	for {
+		// Earliest pending strategy poll; ties go to the lower node index.
+		ji := -1
+		for k, j := range jammers {
+			if j.next >= endChip {
+				continue
+			}
+			if ji < 0 || j.next < jammers[ji].next ||
+				(j.next == jammers[ji].next && j.src < jammers[ji].src) {
+				ji = k
+			}
 		}
-		txs = append(txs, tx)
+		hasStatic := ai < len(arrivals)
+		if !hasStatic && ji < 0 {
+			break
+		}
+		// On chip ties the strategy poll goes first: legacy collected the
+		// jammer's (sender 0) arrivals ahead of the victims' in the sort
+		// input, which is where equal-chip arrivals ended up.
+		if hasStatic && (ji < 0 || arrivals[ai].chip < jammers[ji].next) {
+			a := arrivals[ai]
+			ai++
+			node := nodes[a.src]
+			// Carrier sense for CSMA keeps the seed behaviour: all
+			// committed transmissions count (a deferring sender is not yet
+			// on the air).
+			busy := func(t int64) float64 { return busyAt(t, a.src, -1) }
+			var start int64
+			switch {
+			case node.Reactive:
+				// Sense-then-jam: fire only when the channel is audibly
+				// busy at the sensing instant; otherwise this arrival is
+				// just a poll. The jammer's own bursts are excluded from
+				// the sense, or a poll period shorter than the burst air
+				// time would make it self-sustaining on a silent channel.
+				if busyAt(a.chip, a.src, a.src) < csThresholdMW {
+					continue
+				}
+				start = a.chip
+			case node.IgnoreCarrierSense:
+				start = a.chip
+			default:
+				start = csma.Decide(a.chip, busy, csmaRng)
+			}
+			emit(a.src, start, pktBytes[a.src])
+			continue
+		}
+
+		// Strategy poll: build the jammer's view of the channel at the
+		// poll instant and let the emitter decide.
+		j := jammers[ji]
+		t := j.next
+		obsBusy[0] = busyAt(t, j.src, j.src)
+		obsTxs = obsTxs[:0]
+		for k := len(txs) - 1; k >= 0; k-- {
+			tx := txs[k]
+			if tx.EndChip() <= t {
+				if t-tx.StartChip > 4*int64(frame.MaxAirChips) {
+					break
+				}
+				continue
+			}
+			if tx.StartChip <= t && tx.Src != j.src &&
+				tb.SenderGainDBm[tx.Src][j.src] >= audFloorDBm {
+				obsTxs = append(obsTxs, jam.ActiveTx{Src: tx.Src, Start: tx.StartChip, End: tx.EndChip()})
+			}
+		}
+		b := j.em.Poll(jam.Observation{Chip: t, Busy: obsBusy, Txs: obsTxs})
+		j.next = j.em.NextPoll()
+		if b.Fire {
+			bytes := pktBytes[j.src]
+			if b.Bytes > 0 {
+				bytes = b.Bytes
+			}
+			emit(j.src, t, bytes)
+		}
 	}
 	// CSMA deferrals can reorder starts slightly; restore time order.
 	sort.Slice(txs, func(a, b int) bool { return txs[a].StartChip < txs[b].StartChip })

@@ -100,6 +100,7 @@ import (
 	"ppr/internal/core/softphy"
 	"ppr/internal/experiments"
 	"ppr/internal/frame"
+	"ppr/internal/jam"
 	"ppr/internal/modem"
 	"ppr/internal/netsim"
 	"ppr/internal/obs"
@@ -437,11 +438,81 @@ func WithJammerScenario(base Scenario, j JammerModel) Scenario {
 	return scenario.WithJammer(base, j)
 }
 
+// DefaultJammerModel returns the legacy periodic jammer's parameters; the
+// registry strategy "periodic" reproduces its timeline bit-identically.
+func DefaultJammerModel() JammerModel { return scenario.DefaultJammer() }
+
+// DefaultReactiveJammerModel returns the legacy sense-then-jam jammer's
+// parameters; the registry strategy "reactive" reproduces its timeline.
+func DefaultReactiveJammerModel() JammerModel { return scenario.DefaultReactiveJammer() }
+
 // ScenarioByName resolves a scenario by CLI name; ScenarioNames lists them.
 func ScenarioByName(name string) (Scenario, error) { return scenario.ByName(name) }
 
 // ScenarioNames lists the registered scenario names.
 func ScenarioNames() []string { return scenario.Names() }
+
+// ---- Adversarial jamming (internal/jam) ----
+
+type (
+	// JamStrategy is one named, composable adversary: a factory for the
+	// per-run emitter that decides when and where to jam. Implement it and
+	// RegisterJamStrategy to add an adversary every scenario ("jam-<name>"),
+	// the resilience experiment and the pprsim -jammer flag can select.
+	JamStrategy = jam.Strategy
+	// JamEmitter is one run's live adversary instance.
+	JamEmitter = jam.Emitter
+	// JamParams fixes the air-interface constants an emitter plans against.
+	JamParams = jam.Params
+	// JamObservation is what the adversary senses at a poll: the current
+	// chip clock, carrier state and overheard transmissions.
+	JamObservation = jam.Observation
+	// JamBurst is an emitter's decision: whether to fire, how long, where.
+	JamBurst = jam.Burst
+	// JamZone bounds a geographic jamming region for the InZone combinator.
+	JamZone = jam.Zone
+	// JamRect and JamCircle are the built-in zone shapes.
+	JamRect   = jam.Rect
+	JamCircle = jam.Circle
+)
+
+// RegisterJamStrategy adds a jam strategy under name; like scheme and
+// scenario registration it is meant for init-time use.
+func RegisterJamStrategy(name string, mk func() JamStrategy) { jam.Register(name, mk) }
+
+// JamStrategyByName resolves a registered strategy; JamStrategyNames lists
+// the registered names.
+func JamStrategyByName(name string) (JamStrategy, error) { return jam.ByName(name) }
+
+// JamStrategyNames lists the registered jam strategy names, sorted.
+func JamStrategyNames() []string { return jam.Names() }
+
+// JamDutyCycle gates inner through a fixed on/off airtime cycle.
+func JamDutyCycle(inner JamStrategy, onChips, offChips int64) JamStrategy {
+	return jam.DutyCycle(inner, onChips, offChips)
+}
+
+// JamMarkov gates inner through a two-state Markov on/off process.
+func JamMarkov(inner JamStrategy, pStart, pStay, pRecover float64) JamStrategy {
+	return jam.Markov(inner, pStart, pStay, pRecover)
+}
+
+// JamInZone restricts inner to transmissions it overhears from inside z.
+func JamInZone(inner JamStrategy, z JamZone) JamStrategy { return jam.InZone(inner, z) }
+
+// JamTarget restricts inner to the listed victim senders.
+func JamTarget(inner JamStrategy, victims ...int) JamStrategy {
+	return jam.Target(inner, victims...)
+}
+
+// WithJamStrategyScenario overlays a registry-built jammer on sender 0 of
+// base: the strategy drives the jammer's open-loop timeline exactly as it
+// drives closed-loop jammer nodes. A zero burstBytes keeps the default
+// burst length. The registry also carries one prebuilt "jam-<name>"
+// scenario per registered strategy.
+func WithJamStrategyScenario(name string, base Scenario, s JamStrategy, burstBytes int) Scenario {
+	return scenario.WithJamStrategy(name, base, s, burstBytes)
+}
 
 // ---- Experiment entry points (Sec. 7) ----
 
@@ -488,7 +559,18 @@ type (
 	MeshResult = experiments.MeshResult
 	// MeshLayerResult is one link layer's curve within a MeshResult.
 	MeshLayerResult = experiments.MeshLayerResult
+	// ResilienceResult is the jamming-resilience sweep: link layers ×
+	// jam strategies × jammer powers over a pinned adversarial topology.
+	ResilienceResult = experiments.ResilienceResult
+	// ResilienceCell is one (layer, strategy, power) operating point.
+	ResilienceCell = experiments.ResilienceCell
 )
+
+// RunResilience runs the jamming-resilience sweep (see the resilience
+// experiment): every link layer — the paper trio plus the SoftPHY-driven
+// countermeasure layers — against every adversary of the panel
+// (ExperimentOptions.Jammers; empty means the default panel) at every power.
+func RunResilience(o ExperimentOptions) ResilienceResult { return experiments.Resilience(o) }
 
 // ---- Recovery schemes (post-processing layer) ----
 

@@ -142,7 +142,7 @@ func TestPublicExperimentEntryPoints(t *testing.T) {
 
 func TestPublicExperimentRegistry(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 16 {
+	if len(names) != 17 {
 		t.Fatalf("experiment registry carries %d names: %v", len(names), names)
 	}
 	for _, n := range names {
