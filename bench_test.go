@@ -8,11 +8,15 @@
 package ppr
 
 import (
+	"bytes"
 	"context"
 	"math"
+	"net"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"ppr/internal/bitutil"
 	"ppr/internal/chipseq"
@@ -25,6 +29,7 @@ import (
 	"ppr/internal/fec/sovaref"
 	"ppr/internal/frame"
 	"ppr/internal/frame/syncref"
+	"ppr/internal/linkserv"
 	"ppr/internal/modem"
 	"ppr/internal/netsim"
 	"ppr/internal/obs"
@@ -861,5 +866,61 @@ func BenchmarkPPARQTransferClean(b *testing.B) {
 		if _, _, err := s.Transfer(payload); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLinkFlows measures the link server's full-stack flow rate: each
+// flow is opened over an in-process loopback connection (wire codec, session
+// layer, and the PP-ARQ exchange all included), carries one verified
+// 256-byte transfer, and closes. Parallelism matches a server pushed by many
+// concurrent clients; the custom metric is the number every capacity
+// question asks for.
+func BenchmarkLinkFlows(b *testing.B) {
+	srv := linkserv.NewServer(linkserv.Config{
+		MaxFlows: 1 << 20,
+		QueueLen: 1024,
+	})
+	const conns = 8
+	clients := make([]*linkserv.Client, conns)
+	for i := range clients {
+		sc, cc := net.Pipe()
+		srv.AddConn(sc)
+		clients[i] = linkserv.NewClient(cc, linkserv.ClientConfig{QueueLen: 1024})
+	}
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var next atomic.Int64
+	b.SetBytes(256)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cl := clients[int(next.Add(1))%conns]
+		for pb.Next() {
+			f, err := cl.Open()
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, _, err := f.Transfer(payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				b.Fatal("delivered payload differs")
+			}
+			if err := f.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "flows/sec")
+	for _, cl := range clients {
+		cl.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		b.Fatal(err)
 	}
 }

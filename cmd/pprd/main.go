@@ -1,0 +1,303 @@
+// Command pprd serves PP-ARQ links over real sockets. In its default mode
+// it listens on TCP, runs one linkserv session per flow, and drains
+// gracefully on SIGTERM/SIGINT: it stops accepting, finishes (or
+// deadlines-out) in-flight transfers, flushes metrics, and exits 0 with no
+// leaked goroutines. With -drive it instead acts as the load client the CI
+// smoke test uses: connect to a server, open many concurrent flows, push
+// verified transfers through each, and exit non-zero if any payload comes
+// back damaged.
+//
+// Usage:
+//
+//	pprd -listen 127.0.0.1:9040                 # serve until SIGTERM
+//	pprd -listen :9040 -fault drop=0.1,dup=0.05 # serve through injected faults
+//	pprd -drive 127.0.0.1:9040 -flows 100       # smoke-drive a running server
+//
+// The -fault spec injects deterministic transport faults (internal/wire
+// FaultConn) into every accepted connection's write path, so a single
+// process pair exercises the chaos the test suite proves survivable.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof: profiling handlers on DefaultServeMux
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"ppr/internal/linkserv"
+	"ppr/internal/obs"
+	"ppr/internal/stats"
+	"ppr/internal/wire"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its exits turned into return codes so tests can drive
+// the binary in-process.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pprd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", "127.0.0.1:9040", "TCP address to serve PP-ARQ links on")
+	maxFlows := fs.Int("maxflows", 0, "shed new flows past this many concurrent sessions (0 = default)")
+	drainTimeout := fs.Duration("drain", 30*time.Second, "graceful-drain deadline after SIGTERM")
+	metricsOut := fs.String("metrics", "", "write a metrics snapshot (JSON) to this file on exit ('-' = stdout)")
+	pprofAddr := fs.String("pprof", "", "serve pprof/expvar handlers on this address")
+	faultFlag := fs.String("fault", "", "inject transport faults into every connection, e.g. drop=0.1,dup=0.05,corrupt=0.01,delay=0.8:3ms")
+	faultSeed := fs.Uint64("seed", 1, "fault injector seed (runs with equal seeds inject identically)")
+	verbose := fs.Bool("v", false, "log per-connection and per-flow lifecycle events")
+
+	drive := fs.String("drive", "", "drive mode: smoke-test the server at this address instead of serving")
+	flows := fs.Int("flows", 100, "drive: concurrent flows to hold open")
+	transfers := fs.Int("transfers", 1, "drive: transfers per flow")
+	size := fs.Int("size", 256, "drive: payload bytes per transfer")
+
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	spec, err := parseFaultSpec(*faultFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "pprd: %v\n", err)
+		return 2
+	}
+
+	if *drive != "" {
+		return runDrive(*drive, *flows, *transfers, *size, spec, *faultSeed, stdout, stderr)
+	}
+	return runServe(*listen, *maxFlows, *drainTimeout, *metricsOut, *pprofAddr,
+		spec, *faultSeed, *verbose, stdout, stderr)
+}
+
+func runServe(listen string, maxFlows int, drainTimeout time.Duration,
+	metricsOut, pprofAddr string, spec wire.FaultSpec, seed uint64,
+	verbose bool, stdout, stderr io.Writer) int {
+	obs.Enable()
+	if pprofAddr != "" {
+		obs.PublishExpvar()
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintf(stderr, "pprd: pprof server: %v\n", err)
+			}
+		}()
+	}
+
+	cfg := linkserv.Config{MaxFlows: maxFlows}
+	if verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, "pprd: "+format+"\n", args...)
+		}
+	}
+	srv := linkserv.NewServer(cfg)
+
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		fmt.Fprintf(stderr, "pprd: %v\n", err)
+		return 1
+	}
+	if spec.Any() {
+		l = &faultListener{Listener: l, spec: spec, rng: stats.NewRNG(seed)}
+	}
+	fmt.Fprintf(stdout, "pprd: serving PP-ARQ links on %s\n", l.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(stdout, "pprd: %v, draining (deadline %s)\n", s, drainTimeout)
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "pprd: serve: %v\n", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "pprd: drain deadline exceeded, connections torn down\n")
+		code = 1
+	}
+	if err := <-serveErr; err != nil && err != linkserv.ErrServerClosed {
+		fmt.Fprintf(stderr, "pprd: serve: %v\n", err)
+		code = 1
+	}
+	if metricsOut != "" {
+		if err := writeMetrics(metricsOut, stdout); err != nil {
+			fmt.Fprintf(stderr, "pprd: metrics: %v\n", err)
+			code = 1
+		}
+	}
+	reg := obs.Default()
+	fmt.Fprintf(stdout, "pprd: drained: %d flows served, %d transfers ok, %d gave up\n",
+		reg.Counter("linkserv.flows_opened").Value(),
+		reg.Counter("linkserv.transfers_ok").Value(),
+		reg.Counter("linkserv.transfers_giveup").Value())
+	return code
+}
+
+// runDrive is the smoke client: hold the requested number of flows open
+// concurrently, push verified transfers through each, close everything.
+func runDrive(addr string, flows, transfers, size int, spec wire.FaultSpec,
+	seed uint64, stdout, stderr io.Writer) int {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "pprd: %v\n", err)
+		return 1
+	}
+	if spec.Any() {
+		conn = wire.NewFaultConn(conn, spec, stats.NewRNG(seed))
+	}
+	client := linkserv.NewClient(conn, linkserv.ClientConfig{
+		OpenTimeout: 30 * time.Second,
+		RespTimeout: 60 * time.Second,
+		QueueLen:    1024,
+	})
+	defer client.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, flows)
+	for i := 0; i < flows; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := client.Open()
+			if err != nil {
+				errCh <- fmt.Errorf("flow %d open: %w", i, err)
+				return
+			}
+			defer f.Close()
+			for n := 0; n < transfers; n++ {
+				payload := make([]byte, size)
+				for b := range payload {
+					payload[b] = byte(i + n + b)
+				}
+				got, _, err := f.Transfer(payload)
+				if err != nil {
+					errCh <- fmt.Errorf("flow %d transfer %d: %w", i, n, err)
+					return
+				}
+				if string(got) != string(payload) {
+					errCh <- fmt.Errorf("flow %d transfer %d: delivered payload differs", i, n)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	failed := 0
+	for err := range errCh {
+		if failed < 10 {
+			fmt.Fprintf(stderr, "pprd: %v\n", err)
+		}
+		failed++
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "pprd: %d of %d flows failed\n", failed, flows)
+		return 1
+	}
+	fmt.Fprintf(stdout, "pprd: drove %d flows x %d transfers of %d bytes, all delivered intact\n",
+		flows, transfers, size)
+	return 0
+}
+
+// faultListener wraps every accepted connection in a FaultConn so the
+// server's writes toward each peer suffer the configured fault mix. Each
+// connection gets an independent RNG split so accept order does not change
+// any single connection's fault schedule.
+type faultListener struct {
+	net.Listener
+	spec wire.FaultSpec
+	mu   sync.Mutex
+	rng  *stats.RNG
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	rng := l.rng.Split()
+	l.mu.Unlock()
+	return wire.NewFaultConn(c, l.spec, rng), nil
+}
+
+// parseFaultSpec parses "key=value" pairs separated by commas. Keys are
+// drop, dup, corrupt, truncate, reorder, hardclose (probabilities) and
+// delay, which accepts either a probability or "prob:maxduration".
+func parseFaultSpec(s string) (wire.FaultSpec, error) {
+	var spec wire.FaultSpec
+	if s == "" {
+		return spec, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return spec, fmt.Errorf("fault spec %q: want key=value", part)
+		}
+		if key == "delay" {
+			probStr, durStr, hasDur := strings.Cut(val, ":")
+			p, err := strconv.ParseFloat(probStr, 64)
+			if err != nil {
+				return spec, fmt.Errorf("fault delay %q: %v", val, err)
+			}
+			spec.Delay = p
+			if hasDur {
+				d, err := time.ParseDuration(durStr)
+				if err != nil {
+					return spec, fmt.Errorf("fault delay %q: %v", val, err)
+				}
+				spec.MaxDelay = d
+			}
+			continue
+		}
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return spec, fmt.Errorf("fault %s=%q: %v", key, val, err)
+		}
+		switch key {
+		case "drop":
+			spec.Drop = p
+		case "dup":
+			spec.Duplicate = p
+		case "corrupt":
+			spec.Corrupt = p
+		case "truncate":
+			spec.Truncate = p
+		case "reorder":
+			spec.Reorder = p
+		case "hardclose":
+			spec.HardClose = p
+		default:
+			return spec, fmt.Errorf("unknown fault %q (want drop, dup, corrupt, truncate, reorder, delay, hardclose)", key)
+		}
+	}
+	return spec, nil
+}
+
+func writeMetrics(path string, stdout io.Writer) error {
+	w := stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return obs.Default().Snapshot().WriteJSON(w)
+}

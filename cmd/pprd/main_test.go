@@ -1,0 +1,58 @@
+package main
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"ppr/internal/wire"
+)
+
+func TestParseFaultSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    wire.FaultSpec
+		wantErr bool
+	}{
+		{in: "", want: wire.FaultSpec{}},
+		{in: "drop=0.1", want: wire.FaultSpec{Drop: 0.1}},
+		{
+			in: "drop=0.1,dup=0.05,corrupt=0.01,truncate=0.2,reorder=0.3,hardclose=0.001",
+			want: wire.FaultSpec{
+				Drop: 0.1, Duplicate: 0.05, Corrupt: 0.01,
+				Truncate: 0.2, Reorder: 0.3, HardClose: 0.001,
+			},
+		},
+		{in: "delay=0.8", want: wire.FaultSpec{Delay: 0.8}},
+		{in: "delay=0.8:3ms", want: wire.FaultSpec{Delay: 0.8, MaxDelay: 3 * time.Millisecond}},
+		{in: " drop=0.1 , dup=0.2 ", want: wire.FaultSpec{Drop: 0.1, Duplicate: 0.2}},
+		{in: "nope=0.1", wantErr: true},
+		{in: "drop", wantErr: true},
+		{in: "drop=x", wantErr: true},
+		{in: "delay=0.5:fast", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := parseFaultSpec(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseFaultSpec(%q): want error, got %+v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseFaultSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseFaultSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestDriveRefusesDeadServer checks the smoke client fails fast and
+// non-zero when nothing is listening.
+func TestDriveRefusesDeadServer(t *testing.T) {
+	if code := runDrive("127.0.0.1:1", 1, 1, 8, wire.FaultSpec{}, 1, io.Discard, io.Discard); code == 0 {
+		t.Fatal("drive against a dead address reported success")
+	}
+}

@@ -1,22 +1,36 @@
 // Command pprlink demonstrates the PP-ARQ protocol interactively on a
 // single lossy link: it streams packets from a sender to a receiver over a
-// simulated channel that suffers collision bursts, printing the recovery
-// behaviour of every transfer — how much of each packet survived, what the
-// receiver asked to have resent, and the byte savings over whole-packet
+// channel that suffers collision bursts, printing the recovery behaviour
+// of every transfer — how much of each packet survived, what the receiver
+// asked to have resent, and the byte savings over whole-packet
 // retransmission.
 //
 // Usage:
 //
 //	pprlink -packets 20 -size 500 -burst 0.7 -seed 3
+//	pprlink -net                # same demo over an in-process linkserv loopback
+//
+// By default the sender drives the simulated channel directly. With -net
+// the demo instead runs over the real transport stack: an in-memory
+// linkserv server owns the PP-ARQ sender, a linkserv client acts as the
+// remote radio head, and the same collision bursts are injected into the
+// chip stream at the client — every transfer crosses the wire codec, the
+// session layer, and the flow state machine on its way through the noise.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
+	"sync"
+	"time"
 
 	"ppr/internal/core/pparq"
 	"ppr/internal/frame"
+	"ppr/internal/linkserv"
 	"ppr/internal/phy"
 	"ppr/internal/stats"
 )
@@ -30,19 +44,25 @@ type burstChannel struct {
 	lastBurst int // bytes corrupted on the last transmission (for display)
 }
 
+// burst corrupts a random collision-sized span of the chip stream,
+// returning how many payload bytes it damaged.
+func burst(chips *frame.ChipBuffer, rng *stats.RNG, prob, meanBytes float64) int {
+	if !rng.Bool(prob) {
+		return 0
+	}
+	lenBytes := int(rng.ExpFloat64()*meanBytes) + 4
+	start := rng.Intn(chips.Len())
+	end := start + lenBytes*frame.ChipsPerByte
+	if end > chips.Len() {
+		end = chips.Len()
+	}
+	chips.FillUniform(start, end, rng.Uint64)
+	return (end - start) / frame.ChipsPerByte
+}
+
 func (c *burstChannel) Transmit(f frame.Frame) *frame.Reception {
 	chips := f.AirChips()
-	c.lastBurst = 0
-	if c.rng.Bool(c.burstProb) {
-		lenBytes := int(c.rng.ExpFloat64()*c.meanBytes) + 4
-		start := c.rng.Intn(chips.Len())
-		end := start + lenBytes*frame.ChipsPerByte
-		if end > chips.Len() {
-			end = chips.Len()
-		}
-		chips.FillUniform(start, end, c.rng.Uint64)
-		c.lastBurst = (end - start) / frame.ChipsPerByte
-	}
+	c.lastBurst = burst(chips, c.rng, c.burstProb, c.meanBytes)
 	return frame.BestReception(c.rx.Receive(chips))
 }
 
@@ -72,52 +92,126 @@ func naiveTransfer(fwd, rev *burstChannel, payload []byte, seq uint16) (airBytes
 	return airBytes, false
 }
 
+// transferFunc pushes one payload through whichever stack the demo runs on.
+type transferFunc func(payload []byte) ([]byte, pparq.Stats, error)
+
+// netStack is the -net transport: an in-process linkserv server reached
+// over a net.Pipe loopback, with the collision bursts applied to the chip
+// stream at the client radio head.
+type netStack struct {
+	srv    *linkserv.Server
+	client *linkserv.Client
+	flow   *linkserv.Flow
+}
+
+// newNetStack wires server, loopback client and one flow. Burst noise uses
+// the same forward/reverse asymmetry as the simulated channel: feedback
+// frames fly through a quieter channel than data frames.
+func newNetStack(rng *stats.RNG, burstProb, meanBytes float64) (*netStack, error) {
+	var mu sync.Mutex
+	fwdRNG, revRNG := rng.Split(), rng.Split()
+	srv := linkserv.NewServer(linkserv.Config{})
+	sc, cc := net.Pipe()
+	srv.AddConn(sc)
+	client := linkserv.NewClient(cc, linkserv.ClientConfig{
+		Impair: func(dir byte, _ uint32, chips *frame.ChipBuffer) {
+			mu.Lock()
+			defer mu.Unlock()
+			if dir == linkserv.DirForward {
+				burst(chips, fwdRNG, burstProb, meanBytes)
+			} else {
+				burst(chips, revRNG, burstProb/4, meanBytes/2)
+			}
+		},
+	})
+	flow, err := client.Open()
+	if err != nil {
+		client.Close()
+		srv.Shutdown(context.Background())
+		return nil, err
+	}
+	return &netStack{srv: srv, client: client, flow: flow}, nil
+}
+
+func (n *netStack) close() error {
+	n.flow.Close()
+	n.client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return n.srv.Shutdown(ctx)
+}
+
 func main() {
-	packets := flag.Int("packets", 10, "number of packets to transfer")
-	size := flag.Int("size", 500, "payload bytes per packet")
-	burst := flag.Float64("burst", 0.5, "per-transmission collision burst probability")
-	meanBurst := flag.Float64("meanburst", 80, "mean burst footprint in bytes")
-	seed := flag.Uint64("seed", 1, "channel seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its exits turned into return codes so tests can drive
+// the demo in-process.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pprlink", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	packets := fs.Int("packets", 10, "number of packets to transfer")
+	size := fs.Int("size", 500, "payload bytes per packet")
+	burstProb := fs.Float64("burst", 0.5, "per-transmission collision burst probability")
+	meanBurst := fs.Float64("meanburst", 80, "mean burst footprint in bytes")
+	seed := fs.Uint64("seed", 1, "channel seed")
+	netMode := fs.Bool("net", false, "run over an in-process linkserv loopback instead of the simulated channel")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	rng := stats.NewRNG(*seed)
-	fwd := &burstChannel{
-		rx: frame.NewReceiver(phy.HardDecoder{}), rng: rng.Split(),
-		burstProb: *burst, meanBytes: *meanBurst,
+	var transfer transferFunc
+	transport := "simulated burst channel"
+	if *netMode {
+		transport = "linkserv loopback (wire codec + sessions)"
+		stack, err := newNetStack(rng.Split(), *burstProb, *meanBurst)
+		if err != nil {
+			fmt.Fprintf(stderr, "pprlink: loopback server: %v\n", err)
+			return 1
+		}
+		defer stack.close()
+		transfer = stack.flow.Transfer
+	} else {
+		fwd := &burstChannel{
+			rx: frame.NewReceiver(phy.HardDecoder{}), rng: rng.Split(),
+			burstProb: *burstProb, meanBytes: *meanBurst,
+		}
+		rev := &burstChannel{
+			rx: frame.NewReceiver(phy.HardDecoder{}), rng: rng.Split(),
+			burstProb: *burstProb / 4, meanBytes: *meanBurst / 2,
+		}
+		sender := pparq.NewSender(fwd, rev, 1, 2, pparq.Config{})
+		transfer = sender.Transfer
 	}
-	rev := &burstChannel{
-		rx: frame.NewReceiver(phy.HardDecoder{}), rng: rng.Split(),
-		burstProb: *burst / 4, meanBytes: *meanBurst / 2,
-	}
-	sender := pparq.NewSender(fwd, rev, 1, 2, pparq.Config{})
 	// Whole-packet ARQ runs over statistically identical channels so the
 	// comparison pays both protocols' losses and acknowledgements.
 	nFwd := &burstChannel{
 		rx: frame.NewReceiver(phy.HardDecoder{}), rng: rng.Split(),
-		burstProb: *burst, meanBytes: *meanBurst,
+		burstProb: *burstProb, meanBytes: *meanBurst,
 	}
 	nRev := &burstChannel{
 		rx: frame.NewReceiver(phy.HardDecoder{}), rng: rng.Split(),
-		burstProb: *burst / 4, meanBytes: *meanBurst / 2,
+		burstProb: *burstProb / 4, meanBytes: *meanBurst / 2,
 	}
 
 	payloadRng := rng.Split()
-	fmt.Printf("PP-ARQ over a bursty link: %d packets x %d bytes, burst prob %.2f\n\n",
-		*packets, *size, *burst)
+	fmt.Fprintf(stdout, "PP-ARQ over a bursty link (%s): %d packets x %d bytes, burst prob %.2f\n\n",
+		transport, *packets, *size, *burstProb)
 	var totalAir, totalNaive, delivered int
 	for i := 0; i < *packets; i++ {
 		payload := make([]byte, *size)
 		for b := range payload {
 			payload[b] = byte(payloadRng.Intn(256))
 		}
-		got, st, err := sender.Transfer(payload)
+		got, st, err := transfer(payload)
 		if err != nil {
-			fmt.Printf("pkt %2d: FAILED: %v\n", i, err)
+			fmt.Fprintf(stdout, "pkt %2d: FAILED: %v\n", i, err)
 			continue
 		}
 		if len(got) != len(payload) {
-			fmt.Fprintf(os.Stderr, "pkt %2d: delivered %d bytes, want %d\n", i, len(got), len(payload))
-			os.Exit(1)
+			fmt.Fprintf(stderr, "pkt %2d: delivered %d bytes, want %d\n", i, len(got), len(payload))
+			return 1
 		}
 		delivered++
 		naive, naiveOK := naiveTransfer(nFwd, nRev, payload, uint16(i))
@@ -131,12 +225,13 @@ func main() {
 		if !naiveOK {
 			note = " (whole-packet ARQ gave up!)"
 		}
-		fmt.Printf("pkt %2d: rounds %d, air %5d B (whole-packet ARQ: %5d B)%s, partial retx: %s\n",
+		fmt.Fprintf(stdout, "pkt %2d: rounds %d, air %5d B (whole-packet ARQ: %5d B)%s, partial retx: %s\n",
 			i, st.Rounds, st.TotalAirBytes(), naive, note, retx)
 	}
-	fmt.Printf("\ndelivered %d/%d packets\n", delivered, *packets)
+	fmt.Fprintf(stdout, "\ndelivered %d/%d packets\n", delivered, *packets)
 	if totalNaive > 0 {
-		fmt.Printf("total air bytes: PP-ARQ %d vs whole-packet ARQ %d (%.0f%% saved)\n",
+		fmt.Fprintf(stdout, "total air bytes: PP-ARQ %d vs whole-packet ARQ %d (%.0f%% saved)\n",
 			totalAir, totalNaive, 100*(1-float64(totalAir)/float64(totalNaive)))
 	}
+	return 0
 }

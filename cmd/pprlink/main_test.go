@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ppr/internal/leakcheck"
+)
+
+// TestRunSimulatedDeterministic runs the simulated-channel demo twice with
+// the same seed: both runs must deliver every packet and print identical
+// output.
+func TestRunSimulatedDeterministic(t *testing.T) {
+	args := []string{"-packets", "6", "-size", "200", "-burst", "0.6", "-seed", "7"}
+	var out1, out2 bytes.Buffer
+	if code := run(args, &out1, &out1); code != 0 {
+		t.Fatalf("run: exit %d\n%s", code, out1.String())
+	}
+	if code := run(args, &out2, &out2); code != 0 {
+		t.Fatalf("second run: exit %d\n%s", code, out2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("same seed produced different output:\n--- first\n%s\n--- second\n%s",
+			out1.String(), out2.String())
+	}
+	if !strings.Contains(out1.String(), "delivered 6/6 packets") {
+		t.Errorf("demo did not deliver all packets:\n%s", out1.String())
+	}
+}
+
+// TestRunNetLoopback runs the demo over the in-process linkserv transport:
+// every packet must cross the wire codec and session layer intact despite
+// the injected bursts, and the whole stack must drain without leaking a
+// goroutine.
+func TestRunNetLoopback(t *testing.T) {
+	defer leakcheck.Check(t)()
+	var out bytes.Buffer
+	args := []string{"-net", "-packets", "4", "-size", "300", "-burst", "0.6", "-seed", "3"}
+	if code := run(args, &out, &out); code != 0 {
+		t.Fatalf("run -net: exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "delivered 4/4 packets") {
+		t.Errorf("-net demo did not deliver all packets:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "linkserv loopback") {
+		t.Errorf("-net demo did not report its transport:\n%s", out.String())
+	}
+}
+
+// TestRunQuietChannel checks the no-noise fast path: with burst probability
+// zero every transfer completes in one round with no partial
+// retransmissions.
+func TestRunQuietChannel(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-packets", "3", "-size", "100", "-burst", "0"}
+	if code := run(args, &out, &out); code != 0 {
+		t.Fatalf("run: exit %d\n%s", code, out.String())
+	}
+	if strings.Contains(out.String(), "partial retx: [") {
+		t.Errorf("quiet channel still retransmitted:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "delivered 3/3 packets") {
+		t.Errorf("quiet channel lost packets:\n%s", out.String())
+	}
+}
+
+// TestRunRejectsBadFlags makes sure flag errors exit non-zero instead of
+// os.Exit-ing the test binary.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &out); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}

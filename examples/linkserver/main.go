@@ -1,0 +1,120 @@
+// Linkserver: PP-ARQ served over a real byte stream, surviving a hostile
+// transport. Starts an in-process link server, connects two loopback
+// clients — one over a clean pipe, one through a fault injector that
+// drops, duplicates and corrupts wire frames — pushes verified transfers
+// through both, and prints what the server saw: every flow delivered
+// byte-identical payloads even though the faulty path lost and damaged
+// frames, because the protocol treats a mangled wire frame exactly like a
+// collision-damaged reception.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"ppr"
+	"ppr/internal/stats"
+)
+
+func main() {
+	flows := flag.Int("flows", 8, "concurrent flows per connection")
+	transfers := flag.Int("transfers", 4, "transfers per flow")
+	size := flag.Int("size", 400, "payload bytes per transfer")
+	drop := flag.Float64("drop", 0.15, "wire frame drop probability on the faulty path")
+	corrupt := flag.Float64("corrupt", 0.1, "wire frame bit-corruption probability on the faulty path")
+	seed := flag.Uint64("seed", 1, "fault injector seed")
+	flag.Parse()
+
+	reg := ppr.EnableMetrics()
+	srv := ppr.NewLinkServer(ppr.LinkServerConfig{
+		ExchangeTimeout: 500 * time.Millisecond,
+		BackoffBase:     2 * time.Millisecond,
+		BackoffCap:      50 * time.Millisecond,
+	})
+
+	// Path one: a clean in-memory pipe.
+	cleanSrv, cleanCli := net.Pipe()
+	srv.AddConn(cleanSrv)
+	clean := ppr.NewLinkClient(cleanCli, ppr.LinkClientConfig{})
+
+	// Path two: the same pipe, but every wire frame the client sends runs
+	// a gauntlet of deterministic transport faults.
+	faultySrv, faultyCli := net.Pipe()
+	spec := ppr.WireFaultSpec{Drop: *drop, Duplicate: *drop / 2, Corrupt: *corrupt}
+	srv.AddConn(faultySrv)
+	// RespTimeout only needs to cover one quiet round-trip gap (every
+	// MsgAir resets it), so keep it short: a transfer request the faults
+	// swallowed is re-sent quickly instead of stalling the flow.
+	faulty := ppr.NewLinkClient(
+		ppr.NewWireFaultConn(faultyCli, spec, stats.NewRNG(*seed)),
+		ppr.LinkClientConfig{RespTimeout: 3 * time.Second},
+	)
+
+	fmt.Printf("serving PP-ARQ over two loopback paths: clean, and drop=%.2f dup=%.2f corrupt=%.2f\n\n",
+		spec.Drop, spec.Duplicate, spec.Corrupt)
+
+	for _, path := range []struct {
+		name   string
+		client *ppr.LinkClient
+	}{{"clean", clean}, {"faulty", faulty}} {
+		done := make(chan error, *flows)
+		for i := 0; i < *flows; i++ {
+			go func(i int) {
+				f, err := path.client.Open()
+				if err != nil {
+					done <- err
+					return
+				}
+				defer f.Close()
+				for n := 0; n < *transfers; n++ {
+					payload := make([]byte, *size)
+					for b := range payload {
+						payload[b] = byte(i*31 + n*7 + b)
+					}
+					got, _, err := f.Transfer(payload)
+					if err != nil {
+						done <- fmt.Errorf("flow %d transfer %d: %w", i, n, err)
+						return
+					}
+					if string(got) != string(payload) {
+						done <- fmt.Errorf("flow %d transfer %d: payload differs", i, n)
+						return
+					}
+				}
+				done <- nil
+			}(i)
+		}
+		failed := 0
+		for i := 0; i < *flows; i++ {
+			if err := <-done; err != nil {
+				fmt.Fprintf(os.Stderr, "  %s path: %v\n", path.name, err)
+				failed++
+			}
+		}
+		fmt.Printf("%-6s path: %d/%d flows x %d transfers delivered byte-identical\n",
+			path.name, *flows-failed, *flows, *transfers)
+	}
+
+	clean.Close()
+	faulty.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nwhat the server saw (linkserv.* metrics):\n")
+	for _, name := range []string{
+		"linkserv.flows_opened", "linkserv.transfers_ok", "linkserv.transfers_giveup",
+		"linkserv.exch_timeouts", "linkserv.stale_rx",
+		"linkserv.wire_crc_errors", "linkserv.wire_resync_bytes",
+	} {
+		fmt.Printf("  %-26s %d\n", name, reg.Counter(name).Value())
+	}
+	fmt.Printf("\ndrained cleanly: flows_active=%d\n", reg.Gauge("linkserv.flows_active").Value())
+}

@@ -3,8 +3,8 @@ package experiments
 import (
 	"context"
 	"errors"
+	"ppr/internal/leakcheck"
 	"reflect"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -127,7 +127,7 @@ func TestRunnerPreCancelled(t *testing.T) {
 // gone afterwards. Run under -race in CI, this is also the
 // callback/cancellation race check.
 func TestRunnerCancellationPromptNoLeak(t *testing.T) {
-	before := runtime.NumGoroutine()
+	defer leakcheck.Check(t)()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	var once sync.Once
@@ -154,16 +154,4 @@ func TestRunnerCancellationPromptNoLeak(t *testing.T) {
 		t.Fatal("Run did not return within 60s of cancellation")
 	}
 	t.Logf("cancelled sweep returned in %v", time.Since(start))
-
-	// Every spawned goroutine must wind down; allow the runtime a moment.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= before {
-			break
-		} else if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d before, %d after cancellation", before, n)
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
 }

@@ -1,0 +1,173 @@
+// Package leakcheck is the shared goroutine-leak guard for tests of the
+// long-running machinery (linkserv sessions and servers, netsim's flow
+// coroutines). It snapshots the live goroutines at test start and fails
+// the test if, after a settling deadline, goroutines that did not exist
+// before are still alive — filtered by stack, so runtime and test-harness
+// goroutines never count.
+//
+// Usage:
+//
+//	func TestServer(t *testing.T) {
+//		defer leakcheck.Check(t)()
+//		...
+//	}
+//
+// or equivalently leakcheck.CheckCleanup(t) to hook t.Cleanup.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignoredSubstrings mark goroutines that belong to the runtime, the test
+// harness, or process-lifetime singletons: their appearance is not a leak.
+var ignoredSubstrings = []string{
+	"testing.RunTests",
+	"testing.(*T).Run",
+	"testing.(*M).",
+	"testing.runFuzzing",
+	"testing.tRunner.func",
+	"runtime.goexit0",
+	"runtime.MHeap_Scavenger",
+	"runtime.gc",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime/pprof.readProfile",
+	"runtime/trace.Start",
+	"net/http.(*persistConn)", // keep-alive pool, process-lifetime
+	"go.itab",
+}
+
+// goroutine is one parsed entry of a full runtime.Stack dump.
+type goroutine struct {
+	id    int64
+	stack string
+}
+
+// stacks captures and parses every goroutine's stack.
+func stacks() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []goroutine
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			continue
+		}
+		header, _, _ := strings.Cut(g, "\n")
+		// "goroutine 123 [running]:"
+		fields := strings.Fields(header)
+		if len(fields) < 2 || fields[0] != "goroutine" {
+			continue
+		}
+		id, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, goroutine{id: id, stack: g})
+	}
+	return out
+}
+
+// ignored reports whether the goroutine's stack marks it as harness or
+// runtime machinery.
+func ignored(g goroutine) bool {
+	for _, s := range ignoredSubstrings {
+		if strings.Contains(g.stack, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot records the identities of the currently live goroutines.
+type Snapshot struct {
+	ids map[int64]bool
+}
+
+// Take captures the current goroutine set.
+func Take() Snapshot {
+	ids := map[int64]bool{}
+	for _, g := range stacks() {
+		ids[g.id] = true
+	}
+	return Snapshot{ids: ids}
+}
+
+// Leaked returns the stack-filtered goroutines alive now that were not in
+// the snapshot.
+func (s Snapshot) Leaked() []goroutine {
+	var out []goroutine
+	for _, g := range stacks() {
+		if !s.ids[g.id] && !ignored(g) {
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Settle polls until no leaked goroutines remain or the deadline passes,
+// returning whatever is still alive. Goroutines legitimately winding down
+// (closed connections, exiting workers) get time to finish.
+func (s Snapshot) Settle(deadline time.Duration) []goroutine {
+	end := time.Now().Add(deadline)
+	for {
+		leaked := s.Leaked()
+		if len(leaked) == 0 || time.Now().After(end) {
+			return leaked
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// DefaultSettle is how long Check waits for goroutines to wind down before
+// declaring them leaked.
+const DefaultSettle = 5 * time.Second
+
+// Check snapshots now and returns a function that fails the test if new
+// goroutines survive the settling deadline. Use with defer:
+//
+//	defer leakcheck.Check(t)()
+func Check(t testing.TB) func() {
+	t.Helper()
+	snap := Take()
+	return func() {
+		t.Helper()
+		report(t, snap)
+	}
+}
+
+// CheckCleanup is Check wired through t.Cleanup, for tests whose teardown
+// itself is registered via Cleanup (the check runs last-registered-first,
+// so call CheckCleanup before registering teardowns that stop goroutines).
+func CheckCleanup(t testing.TB) {
+	t.Helper()
+	snap := Take()
+	t.Cleanup(func() { report(t, snap) })
+}
+
+func report(t testing.TB, snap Snapshot) {
+	t.Helper()
+	if leaked := snap.Settle(DefaultSettle); len(leaked) > 0 {
+		var b strings.Builder
+		for _, g := range leaked {
+			fmt.Fprintf(&b, "%s\n\n", g.stack)
+		}
+		t.Errorf("leaked %d goroutine(s):\n%s", len(leaked), b.String())
+	}
+}

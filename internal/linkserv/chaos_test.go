@@ -1,0 +1,220 @@
+package linkserv
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ppr/internal/leakcheck"
+	"ppr/internal/stats"
+	"ppr/internal/wire"
+)
+
+// cleanChaosErr reports whether an error is one of the clean per-flow
+// outcomes the API promises under transport faults — never a panic, never
+// a mystery.
+func cleanChaosErr(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrClosed) ||
+		errors.Is(err, ErrBusy) || errors.Is(err, ErrDraining) ||
+		errors.Is(err, ErrGiveUp)
+}
+
+// runChaos drives several flows' worth of transfers through FaultConns
+// injecting spec's faults into both directions, requiring every transfer to
+// either deliver byte-identical payload or fail with a clean error, and the
+// whole stack to drain without leaking a goroutine.
+func runChaos(t *testing.T, spec wire.FaultSpec, seed uint64) {
+	t.Helper()
+	defer leakcheck.Check(t)()
+
+	srv := NewServer(Config{
+		ExchangeTimeout: 150 * time.Millisecond,
+		EnqueueTimeout:  time.Second,
+		WriteTimeout:    2 * time.Second,
+		ReadIdleTimeout: 10 * time.Second,
+		FlowIdleTimeout: 10 * time.Second,
+		BackoffBase:     time.Millisecond,
+		BackoffCap:      20 * time.Millisecond,
+	})
+	sc, cc := net.Pipe()
+	// Faults on the write path of each end: server→client and
+	// client→server damage independently, deterministically per seed.
+	srv.AddConn(wire.NewFaultConn(sc, spec, stats.NewRNG(seed)))
+	cl := NewClient(wire.NewFaultConn(cc, spec, stats.NewRNG(seed+1000)), ClientConfig{
+		OpenTimeout: 500 * time.Millisecond,
+		RespTimeout: time.Second,
+		Retries:     4,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  20 * time.Millisecond,
+	})
+
+	const flows, per = 4, 3
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	delivered, failed := 0, 0
+	for i := 0; i < flows; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := cl.Open()
+			if err != nil {
+				if !cleanChaosErr(err) {
+					t.Errorf("flow %d: open failed uncleanly: %v", i, err)
+				}
+				return
+			}
+			for j := 0; j < per; j++ {
+				payload := testPayload(300+11*i, byte(i*per+j))
+				got, _, err := f.Transfer(payload)
+				mu.Lock()
+				if err != nil {
+					failed++
+					if !cleanChaosErr(err) {
+						t.Errorf("flow %d xfer %d: unclean error: %v", i, j, err)
+					}
+					mu.Unlock()
+					if errors.Is(err, ErrClosed) {
+						return // connection gone; nothing more to drive
+					}
+					continue
+				}
+				delivered++
+				mu.Unlock()
+				if !bytes.Equal(got, payload) {
+					t.Errorf("flow %d xfer %d: delivered payload differs", i, j)
+				}
+			}
+			f.Close()
+		}(i)
+	}
+	wg.Wait()
+	t.Logf("chaos %+v: %d delivered, %d clean failures", spec, delivered, failed)
+
+	cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown after chaos: %v", err)
+	}
+}
+
+// TestChaos exercises every fault class on its own and then all of them
+// composed. Run under -race in CI.
+func TestChaos(t *testing.T) {
+	cases := []struct {
+		name string
+		spec wire.FaultSpec
+	}{
+		{"Drop", wire.FaultSpec{Drop: 0.25}},
+		{"Duplicate", wire.FaultSpec{Duplicate: 0.5}},
+		{"Corrupt", wire.FaultSpec{Corrupt: 0.25}},
+		{"Truncate", wire.FaultSpec{Truncate: 0.15}},
+		{"Reorder", wire.FaultSpec{Reorder: 0.4}},
+		{"Delay", wire.FaultSpec{Delay: 0.8, MaxDelay: 3 * time.Millisecond}},
+		{"HardClose", wire.FaultSpec{HardClose: 0.01}},
+		{"Mix", wire.FaultSpec{
+			Drop: 0.08, Duplicate: 0.08, Corrupt: 0.08, Truncate: 0.05,
+			Reorder: 0.1, Delay: 0.2, MaxDelay: 2 * time.Millisecond,
+		}},
+	}
+	for ci, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			runChaos(t, c.spec, uint64(100+ci))
+		})
+	}
+}
+
+// TestChaosHeavyDropStillDelivers: even at heavy loss in both directions,
+// the retry towers (wire-level exchange timeouts feeding PP-ARQ's own
+// retransmissions, client transfer retries above them) deliver most
+// transfers intact — the stack degrades, it does not wedge.
+func TestChaosHeavyDropStillDelivers(t *testing.T) {
+	defer leakcheck.Check(t)()
+	spec := wire.FaultSpec{Drop: 0.4}
+	srv := NewServer(Config{
+		ExchangeTimeout: 100 * time.Millisecond,
+		BackoffBase:     time.Millisecond,
+		BackoffCap:      10 * time.Millisecond,
+	})
+	sc, cc := net.Pipe()
+	srv.AddConn(wire.NewFaultConn(sc, spec, stats.NewRNG(42)))
+	cl := NewClient(wire.NewFaultConn(cc, spec, stats.NewRNG(43)), ClientConfig{
+		OpenTimeout: 500 * time.Millisecond,
+		RespTimeout: 2 * time.Second,
+		Retries:     6,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  10 * time.Millisecond,
+	})
+
+	f, err := cl.Open()
+	if err != nil {
+		t.Fatalf("open under 40%% drop: %v", err)
+	}
+	ok := 0
+	const n = 5
+	for i := 0; i < n; i++ {
+		payload := testPayload(256, byte(i))
+		got, _, err := f.Transfer(payload)
+		if err != nil {
+			if !cleanChaosErr(err) {
+				t.Fatalf("transfer %d: unclean error: %v", i, err)
+			}
+			continue
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("transfer %d: delivered payload differs", i)
+		}
+		ok++
+	}
+	if ok == 0 {
+		t.Errorf("0/%d transfers delivered under 40%% drop; retry tower ineffective", n)
+	}
+	t.Logf("heavy drop: %d/%d delivered", ok, n)
+
+	cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// TestChaosDeterministicFaults pins that the fault decisions for a given
+// seed do not change run to run (timing may differ; the drop/corrupt
+// choices may not) — the property that makes chaos failures replayable.
+func TestChaosDeterministicFaults(t *testing.T) {
+	run := func() string {
+		spec := wire.FaultSpec{Drop: 0.3, Corrupt: 0.2}
+		a, b := net.Pipe()
+		fc := wire.NewFaultConn(a, spec, stats.NewRNG(99))
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			dec := wire.NewDecoder(b)
+			b.SetReadDeadline(time.Now().Add(2 * time.Second))
+			for {
+				if _, err := dec.Next(); err != nil {
+					return
+				}
+			}
+		}()
+		enc := wire.NewEncoder(fc)
+		for i := 0; i < 50; i++ {
+			enc.Encode(wire.Frame{Type: MsgAir, Flow: uint32(i), Payload: testPayload(64, byte(i))})
+		}
+		fc.Close()
+		b.Close()
+		<-done
+		drop, dup, corrupt, trunc, reorder, delay, hard := fc.Fired()
+		return fmt.Sprintf("%d %d %d %d %d %d %d", drop, dup, corrupt, trunc, reorder, delay, hard)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("fault decisions differ across runs:\n%s\n%s", a, b)
+	}
+}

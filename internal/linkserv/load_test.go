@@ -1,0 +1,158 @@
+package linkserv
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"errors"
+
+	"ppr/internal/leakcheck"
+	"ppr/internal/obs"
+)
+
+var errDeliveredDiffers = errors.New("delivered payload differs")
+
+// loadFlowTarget is the concurrency the load test must sustain: the
+// acceptance bar is 10,000 concurrent PP-ARQ flows. Under -race every
+// synchronization operation is instrumented, so the same topology runs at
+// reduced scale there (the full target runs in the regular CI lane).
+func loadFlowTarget() int {
+	if raceEnabled {
+		return 500
+	}
+	return 10000
+}
+
+// TestLoadTenThousandFlows opens the full flow target spread over several
+// connections, holds every flow open at once (gauge-asserted server-side),
+// pushes one verified transfer through each, and then drains everything to
+// zero goroutines. Memory is asserted bounded: the heap may not grow by
+// more than ~64KB per flow at peak.
+func TestLoadTenThousandFlows(t *testing.T) {
+	defer leakcheck.Check(t)()
+	total := loadFlowTarget()
+	const conns = 8
+
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+
+	reg := obs.New()
+	srv := NewServer(Config{
+		Metrics:         reg,
+		MaxFlows:        total + 100,
+		QueueLen:        1024,
+		ExchangeTimeout: 60 * time.Second,
+		EnqueueTimeout:  60 * time.Second,
+		ReadIdleTimeout: 120 * time.Second,
+		FlowIdleTimeout: 120 * time.Second,
+	})
+	clients := make([]*Client, conns)
+	for i := range clients {
+		sc, cc := net.Pipe()
+		srv.AddConn(sc)
+		clients[i] = NewClient(cc, ClientConfig{
+			OpenTimeout:  60 * time.Second,
+			RespTimeout:  120 * time.Second,
+			WriteTimeout: 60 * time.Second,
+			QueueLen:     1024,
+		})
+	}
+
+	// Phase 1: open every flow and hold it.
+	flows := make([]*Flow, total)
+	var wg sync.WaitGroup
+	errCh := make(chan error, total)
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := clients[i%conns].Open()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			flows[i] = f
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("open: %v", err)
+	}
+	if got := reg.Gauge("linkserv.flows_active").Value(); got != int64(total) {
+		t.Fatalf("server holds %d concurrent flows, want %d", got, total)
+	}
+
+	var peak runtime.MemStats
+	runtime.ReadMemStats(&peak)
+	perFlow := (int64(peak.HeapAlloc) - int64(base.HeapAlloc)) / int64(total)
+	t.Logf("%d concurrent flows: %.1f MB heap growth (%d B/flow)",
+		total, float64(int64(peak.HeapAlloc)-int64(base.HeapAlloc))/(1<<20), perFlow)
+	if perFlow > 64<<10 {
+		t.Errorf("per-flow heap footprint %d B exceeds 64KB bound", perFlow)
+	}
+
+	// Phase 2: one verified transfer on every flow, all concurrent.
+	errCh = make(chan error, total)
+	for i, f := range flows {
+		wg.Add(1)
+		go func(i int, f *Flow) {
+			defer wg.Done()
+			payload := testPayload(48, byte(i))
+			got, _, err := f.Transfer(payload)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if !bytes.Equal(got, payload) {
+				errCh <- errDeliveredDiffers
+			}
+		}(i, f)
+	}
+	wg.Wait()
+	close(errCh)
+	failures := 0
+	for err := range errCh {
+		if failures < 5 {
+			t.Errorf("transfer: %v", err)
+		}
+		failures++
+	}
+	if failures > 0 {
+		t.Fatalf("%d of %d transfers failed", failures, total)
+	}
+	if got := reg.Counter("linkserv.transfers_ok").Value(); got != int64(total) {
+		t.Errorf("server completed %d transfers, want %d", got, total)
+	}
+
+	// Phase 3: drain to zero. Close every flow, every client, then Shutdown
+	// — the deferred leak check asserts nothing survives.
+	for _, f := range flows {
+		wg.Add(1)
+		go func(f *Flow) {
+			defer wg.Done()
+			f.Close()
+		}(f)
+	}
+	wg.Wait()
+	for _, cl := range clients {
+		cl.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown after load: %v", err)
+	}
+	if got := reg.Gauge("linkserv.flows_active").Value(); got != 0 {
+		t.Errorf("flows_active = %d after drain, want 0", got)
+	}
+	if got := reg.Gauge("linkserv.flows_peak").Value(); got < int64(total) {
+		t.Errorf("flows_peak = %d, want >= %d", got, total)
+	}
+}

@@ -1,0 +1,111 @@
+package linkserv
+
+import "ppr/internal/obs"
+
+// metrics is the server's handle bundle, resolved once at construction —
+// the obs handles are nil-safe, so a server without a registry pays only
+// nil-method calls. Names live under linkserv.*.
+type metrics struct {
+	connsAccepted *obs.Counter
+	connsClosed   *obs.Counter
+	connsActive   *obs.Gauge
+	connsPeak     *obs.Gauge
+
+	flowsOpened   *obs.Counter
+	flowsClosed   *obs.Counter
+	flowsShed     *obs.Counter
+	flowsRefused  *obs.Counter // refused while draining
+	flowsActive   *obs.Gauge
+	flowsPeak     *obs.Gauge
+	flowsReopened *obs.Counter // idempotent re-acks of an open flow
+
+	transfersOK     *obs.Counter
+	transfersGiveUp *obs.Counter
+	doneReplays     *obs.Counter // duplicate MsgTransfer answered from cache
+	dupTransfers    *obs.Counter // duplicate MsgTransfer dropped mid-transfer
+
+	exchTimeouts    *obs.Counter
+	staleRx         *obs.Counter
+	malformed       *obs.Counter
+	inboxDrops      *obs.Counter
+	enqueueTimeouts *obs.Counter
+	writeErrors     *obs.Counter
+
+	framesIn        *obs.Counter
+	framesOut       *obs.Counter
+	wireCRCErrors   *obs.Counter
+	wireResyncBytes *obs.Counter
+	wireOversize    *obs.Counter
+
+	transferRounds *obs.Histogram
+	transferMicros *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &metrics{
+		connsAccepted: reg.Counter("linkserv.conns_accepted"),
+		connsClosed:   reg.Counter("linkserv.conns_closed"),
+		connsActive:   reg.Gauge("linkserv.conns_active"),
+		connsPeak:     reg.Gauge("linkserv.conns_peak"),
+
+		flowsOpened:   reg.Counter("linkserv.flows_opened"),
+		flowsClosed:   reg.Counter("linkserv.flows_closed"),
+		flowsShed:     reg.Counter("linkserv.flows_shed"),
+		flowsRefused:  reg.Counter("linkserv.flows_refused_draining"),
+		flowsActive:   reg.Gauge("linkserv.flows_active"),
+		flowsPeak:     reg.Gauge("linkserv.flows_peak"),
+		flowsReopened: reg.Counter("linkserv.flows_reopened"),
+
+		transfersOK:     reg.Counter("linkserv.transfers_ok"),
+		transfersGiveUp: reg.Counter("linkserv.transfers_giveup"),
+		doneReplays:     reg.Counter("linkserv.done_replays"),
+		dupTransfers:    reg.Counter("linkserv.dup_transfers"),
+
+		exchTimeouts:    reg.Counter("linkserv.exch_timeouts"),
+		staleRx:         reg.Counter("linkserv.stale_rx"),
+		malformed:       reg.Counter("linkserv.malformed_msgs"),
+		inboxDrops:      reg.Counter("linkserv.inbox_drops"),
+		enqueueTimeouts: reg.Counter("linkserv.enqueue_timeouts"),
+		writeErrors:     reg.Counter("linkserv.write_errors"),
+
+		framesIn:        reg.Counter("linkserv.wire_frames_in"),
+		framesOut:       reg.Counter("linkserv.wire_frames_out"),
+		wireCRCErrors:   reg.Counter("linkserv.wire_crc_errors"),
+		wireResyncBytes: reg.Counter("linkserv.wire_resync_bytes"),
+		wireOversize:    reg.Counter("linkserv.wire_oversize"),
+
+		transferRounds: reg.Histogram("linkserv.transfer_rounds"),
+		transferMicros: reg.Histogram("linkserv.transfer_micros"),
+	}
+}
+
+// clientMetrics is the client-side bundle, under linkserv.client.*.
+type clientMetrics struct {
+	opens       *obs.Counter
+	transfers   *obs.Counter
+	retries     *obs.Counter
+	timeouts    *obs.Counter
+	airs        *obs.Counter
+	inboxDrops  *obs.Counter
+	unknownFlow *obs.Counter
+	malformed   *obs.Counter
+}
+
+func newClientMetrics(reg *obs.Registry) *clientMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &clientMetrics{
+		opens:       reg.Counter("linkserv.client.opens"),
+		transfers:   reg.Counter("linkserv.client.transfers"),
+		retries:     reg.Counter("linkserv.client.retries"),
+		timeouts:    reg.Counter("linkserv.client.timeouts"),
+		airs:        reg.Counter("linkserv.client.airs"),
+		inboxDrops:  reg.Counter("linkserv.client.inbox_drops"),
+		unknownFlow: reg.Counter("linkserv.client.unknown_flow"),
+		malformed:   reg.Counter("linkserv.client.malformed_msgs"),
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package linkserv
+
+// raceEnabled reports whether the race detector is compiled in; the load
+// test scales its flow count down under -race, where every channel
+// operation costs an order of magnitude more.
+const raceEnabled = false

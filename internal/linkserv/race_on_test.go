@@ -1,0 +1,5 @@
+//go:build race
+
+package linkserv
+
+const raceEnabled = true

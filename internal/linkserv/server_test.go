@@ -1,0 +1,512 @@
+package linkserv
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ppr/internal/frame"
+	"ppr/internal/leakcheck"
+	"ppr/internal/obs"
+	"ppr/internal/stats"
+	"ppr/internal/wire"
+)
+
+// newPair starts a server and a client joined by an in-memory pipe, with
+// teardown (client close, then a bounded drain) registered on t.
+func newPair(t *testing.T, cfg Config, ccfg ClientConfig) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(cfg)
+	sc, cc := net.Pipe()
+	srv.AddConn(sc)
+	cl := NewClient(cc, ccfg)
+	t.Cleanup(func() {
+		cl.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv, cl
+}
+
+// testPayload builds a deterministic payload of n bytes.
+func testPayload(n int, seed byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i)*7 + seed
+	}
+	return p
+}
+
+// impairer is a deterministic bursty channel for the client radio head,
+// locked because flows impair concurrently.
+type impairer struct {
+	mu   sync.Mutex
+	rng  *stats.RNG
+	prob float64
+	mean float64
+}
+
+func (im *impairer) impair(dir byte, flow uint32, chips *frame.ChipBuffer) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	p := im.prob
+	if dir == DirReverse {
+		p /= 4
+	}
+	if !im.rng.Bool(p) {
+		return
+	}
+	n := int(im.rng.ExpFloat64()*im.mean) + 4
+	start := im.rng.Intn(chips.Len())
+	end := start + n*frame.ChipsPerByte
+	if end > chips.Len() {
+		end = chips.Len()
+	}
+	chips.FillUniform(start, end, im.rng.Uint64)
+}
+
+// TestTransferRoundTrip moves payloads of assorted sizes over a clean pipe
+// and requires byte-identical delivery with sane accounting.
+func TestTransferRoundTrip(t *testing.T) {
+	leakcheck.CheckCleanup(t)
+	_, cl := newPair(t, Config{}, ClientConfig{})
+	f, err := cl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range []int{1, 17, 250, 1000, frame.MaxPayload} {
+		payload := testPayload(n, byte(i))
+		got, st, err := f.Transfer(payload)
+		if err != nil {
+			t.Fatalf("transfer %d bytes: %v", n, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("transfer %d bytes: delivered payload differs", n)
+		}
+		if st.DataAirBytes <= n {
+			t.Errorf("transfer %d bytes: DataAirBytes = %d, want > payload", n, st.DataAirBytes)
+		}
+		if st.Rounds < 1 {
+			t.Errorf("transfer %d bytes: %d rounds", n, st.Rounds)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestTransferRejectsBadSizes: the client refuses payloads the link layer
+// cannot carry, without touching the wire.
+func TestTransferRejectsBadSizes(t *testing.T) {
+	_, cl := newPair(t, Config{}, ClientConfig{})
+	f, err := cl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Transfer(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, _, err := f.Transfer(make([]byte, frame.MaxPayload+1)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+// TestTransferImpaired runs the full PP-ARQ recovery over a bursty
+// simulated channel: every payload still arrives byte-identical, and the
+// bursts are heavy enough that at least one transfer needs a partial
+// retransmission.
+func TestTransferImpaired(t *testing.T) {
+	leakcheck.CheckCleanup(t)
+	im := &impairer{rng: stats.NewRNG(7), prob: 0.7, mean: 80}
+	_, cl := newPair(t, Config{}, ClientConfig{Impair: im.impair})
+	f, err := cl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	retx := 0
+	for i := 0; i < 10; i++ {
+		payload := testPayload(500, byte(i))
+		got, st, err := f.Transfer(payload)
+		if err != nil {
+			t.Fatalf("transfer %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("transfer %d: delivered payload differs", i)
+		}
+		retx += st.RetxAirBytes
+	}
+	if retx == 0 {
+		t.Error("no partial retransmissions over a 0.7-burst channel; impairment not exercised")
+	}
+}
+
+// TestConcurrentFlowsOneConn multiplexes many flows over one connection,
+// transferring on all of them at once.
+func TestConcurrentFlowsOneConn(t *testing.T) {
+	leakcheck.CheckCleanup(t)
+	_, cl := newPair(t, Config{}, ClientConfig{})
+	const flows, per = 16, 3
+	var wg sync.WaitGroup
+	errs := make(chan error, flows)
+	for i := 0; i < flows; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := cl.Open()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer f.Close()
+			for j := 0; j < per; j++ {
+				payload := testPayload(200+i, byte(i*per+j))
+				got, _, err := f.Transfer(payload)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					errs <- errors.New("delivered payload differs")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestFlowLimitSheds: the circuit refuses opens past MaxFlows with ErrBusy
+// and admits again once a flow closes.
+func TestFlowLimitSheds(t *testing.T) {
+	_, cl := newPair(t, Config{MaxFlows: 2}, ClientConfig{})
+	f1, err := cl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Open(); !errors.Is(err, ErrBusy) {
+		t.Fatalf("third open: err = %v, want ErrBusy", err)
+	}
+	if err := f1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := cl.Open(); err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+}
+
+// TestGracefulDrainFinishesInFlight: Shutdown called mid-transfer lets the
+// transfer complete, then refuses new flows.
+func TestGracefulDrainFinishesInFlight(t *testing.T) {
+	defer leakcheck.Check(t)()
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	srv := NewServer(Config{})
+	sc, cc := net.Pipe()
+	srv.AddConn(sc)
+	cl := NewClient(cc, ClientConfig{
+		Impair: func(dir byte, flow uint32, chips *frame.ChipBuffer) {
+			once.Do(func() { close(started) })
+			<-gate
+		},
+	})
+	defer cl.Close()
+
+	f, err := cl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := testPayload(400, 9)
+	type result struct {
+		got []byte
+		err error
+	}
+	xfer := make(chan result, 1)
+	go func() {
+		got, _, err := f.Transfer(payload)
+		xfer <- result{got, err}
+	}()
+	<-started
+
+	shutdown := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		shutdown <- srv.Shutdown(ctx)
+	}()
+	time.Sleep(100 * time.Millisecond) // drain announced while the transfer is in flight
+	close(gate)
+
+	r := <-xfer
+	if r.err != nil {
+		t.Fatalf("in-flight transfer during drain: %v", r.err)
+	}
+	if !bytes.Equal(r.got, payload) {
+		t.Fatal("in-flight transfer delivered different bytes")
+	}
+	if err := <-shutdown; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := cl.Open(); !errors.Is(err, ErrDraining) && !errors.Is(err, ErrClosed) && !errors.Is(err, ErrTimeout) {
+		t.Fatalf("open after drain: err = %v, want draining/closed", err)
+	}
+}
+
+// TestForcedShutdownTearsDown: when the drain context expires with a
+// transfer still wedged, Shutdown force-closes the connections, still
+// returns, and still leaks nothing.
+func TestForcedShutdownTearsDown(t *testing.T) {
+	defer leakcheck.Check(t)()
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	srv := NewServer(Config{ExchangeTimeout: 30 * time.Second})
+	sc, cc := net.Pipe()
+	srv.AddConn(sc)
+	cl := NewClient(cc, ClientConfig{
+		RespTimeout: 2 * time.Second,
+		Impair: func(dir byte, flow uint32, chips *frame.ChipBuffer) {
+			once.Do(func() { close(started) })
+			<-gate
+		},
+	})
+	defer cl.Close()
+
+	f, err := cl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xferErr := make(chan error, 1)
+	go func() {
+		_, _, err := f.Transfer(testPayload(300, 1))
+		xferErr <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced shutdown: err = %v, want DeadlineExceeded", err)
+	}
+	close(gate)
+	if err := <-xferErr; err == nil {
+		t.Error("wedged transfer reported success after forced shutdown")
+	}
+}
+
+// TestSlowReaderLosesConn: a peer that opens flows and never reads stalls
+// against the bounded queue and the write deadline, loses its connection,
+// and the server's flow accounting returns to zero — it never accumulates
+// unbounded state on the peer's behalf.
+func TestSlowReaderLosesConn(t *testing.T) {
+	defer leakcheck.Check(t)()
+	reg := obs.New()
+	srv := NewServer(Config{
+		Metrics:      reg,
+		WriteTimeout: 200 * time.Millisecond,
+		QueueLen:     4,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	sc, cc := net.Pipe()
+	srv.AddConn(sc)
+	defer cc.Close()
+
+	// Raw peer: open a flow and request a transfer, then go silent without
+	// ever reading a byte.
+	enc := wire.NewEncoder(cc)
+	if err := enc.Encode(wire.Frame{Type: MsgOpen, Flow: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(wire.Frame{Type: MsgTransfer, Flow: 1,
+		Payload: append([]byte{0, 0, 0, 1}, testPayload(100, 2)...)}); err != nil {
+		t.Fatal(err)
+	}
+
+	active := reg.Gauge("linkserv.flows_active")
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.Counter("linkserv.conns_closed").Value() == 1 && active.Value() == 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("slow reader still holds server state: conns_closed=%d flows_active=%d",
+		reg.Counter("linkserv.conns_closed").Value(), active.Value())
+}
+
+// TestGarbageThenValidFrame: leading stream garbage is resynchronized away
+// by the wire decoder and the connection still serves the flow opened
+// right after it.
+func TestGarbageThenValidFrame(t *testing.T) {
+	defer leakcheck.Check(t)()
+	srv := NewServer(Config{})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	sc, cc := net.Pipe()
+	srv.AddConn(sc)
+	defer cc.Close()
+
+	garbage := make([]byte, 97)
+	for i := range garbage {
+		garbage[i] = byte(i*13 + 1)
+	}
+	if _, err := cc.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	enc := wire.NewEncoder(cc)
+	if err := enc.Encode(wire.Frame{Type: MsgOpen, Flow: 7}); err != nil {
+		t.Fatal(err)
+	}
+	cc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	dec := wire.NewDecoder(cc)
+	f, err := dec.Next()
+	if err != nil {
+		t.Fatalf("no reply after garbage: %v", err)
+	}
+	if f.Type != MsgOpenOK || f.Flow != 7 {
+		t.Fatalf("reply = type %#x flow %d, want MsgOpenOK flow 7", f.Type, f.Flow)
+	}
+}
+
+// TestIdleFlowTimesOut: a flow whose client goes quiet is closed by the
+// server and its slot is released.
+func TestIdleFlowTimesOut(t *testing.T) {
+	leakcheck.CheckCleanup(t)
+	reg := obs.New()
+	_, cl := newPair(t, Config{Metrics: reg, FlowIdleTimeout: 100 * time.Millisecond}, ClientConfig{})
+	if _, err := cl.Open(); err != nil {
+		t.Fatal(err)
+	}
+	active := reg.Gauge("linkserv.flows_active")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if active.Value() == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("idle flow still active after %v", time.Since(deadline.Add(-5*time.Second)))
+}
+
+// TestTransferReopensAfterIdleClose drives a flow past the server's idle
+// deadline — the server reaps the session and notifies the client with
+// MsgClosed{ClosedIdle} — then asserts the next Transfer transparently
+// reopens the flow and delivers instead of failing with ErrClosed. This is
+// the lost-request chaos scenario: when the transport eats every frame of
+// a transfer attempt, the server sees only silence and reaps the flow, but
+// the conn is still healthy and opens are idempotent.
+func TestTransferReopensAfterIdleClose(t *testing.T) {
+	leakcheck.CheckCleanup(t)
+	reg := obs.New()
+	_, cl := newPair(t, Config{Metrics: reg, FlowIdleTimeout: 80 * time.Millisecond}, ClientConfig{})
+	f, err := cl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := reg.Gauge("linkserv.flows_active")
+	deadline := time.Now().Add(5 * time.Second)
+	for active.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never idled the flow out")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	want := testPayload(300, 3)
+	got, _, err := f.Transfer(want)
+	if err != nil {
+		t.Fatalf("transfer after idle close: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("delivered payload differs from sent payload")
+	}
+	if n := reg.Counter("linkserv.flows_opened").Value(); n != 2 {
+		t.Fatalf("flows_opened = %d, want 2 (original open + idle reopen)", n)
+	}
+}
+
+// TestServeTCP runs the server over a real TCP listener: Serve accepts,
+// flows transfer, Shutdown closes the listener and Serve returns
+// ErrServerClosed.
+func TestServeTCP(t *testing.T) {
+	defer leakcheck.Check(t)()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("tcp listen unavailable: %v", err)
+	}
+	srv := NewServer(Config{})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	cl, err := Dial(l.Addr().String(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	f, err := cl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := testPayload(300, 5)
+	got, _, err := f.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("delivered payload differs over TCP")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, ErrServerClosed) {
+			t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+}
+
+// TestBackoffSchedule pins the capped-exponential shape.
+func TestBackoffSchedule(t *testing.T) {
+	b := newBackoff(10*time.Millisecond, 80*time.Millisecond)
+	want := []time.Duration{10, 20, 40, 80, 80}
+	for i, w := range want {
+		if got := b.Next(); got != w*time.Millisecond {
+			t.Fatalf("Next #%d = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Fatalf("Next after Reset = %v, want 10ms", got)
+	}
+}

@@ -4,10 +4,10 @@ import (
 	"context"
 	"errors"
 	"reflect"
-	"runtime"
 	"testing"
 	"time"
 
+	"ppr/internal/leakcheck"
 	"ppr/internal/radio"
 	"ppr/internal/testbed"
 )
@@ -43,9 +43,10 @@ func TestRunContextMatchesRun(t *testing.T) {
 // TestRunContextCancelDrainsFlows cancels a run mid-flight and requires a
 // prompt ctx.Err() return with every flow coroutine gone — the engine must
 // resume each blocked link layer with nil receptions until it gives up
-// rather than abandoning it on a channel send.
+// rather than abandoning it on a channel send. The shared leak guard
+// (stack-filtered, not a raw goroutine count) asserts the drain.
 func TestRunContextCancelDrainsFlows(t *testing.T) {
-	before := runtime.NumGoroutine()
+	defer leakcheck.Check(t)()
 
 	cfg := ctxTestConfig()
 	cfg.DurationSec = 30 // long enough that cancellation lands mid-run
@@ -65,22 +66,12 @@ func TestRunContextCancelDrainsFlows(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("RunContext did not return after cancellation")
 	}
-
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= before {
-			break
-		} else if time.Now().After(deadline) {
-			t.Fatalf("flow goroutines leaked: %d before, %d after", before, n)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
 }
 
 // TestRunContextPreCancelled: cancellation before the first event still
 // winds the already-started flow coroutines down cleanly.
 func TestRunContextPreCancelled(t *testing.T) {
+	defer leakcheck.Check(t)()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := RunContext(ctx, ctxTestConfig()); !errors.Is(err, context.Canceled) {

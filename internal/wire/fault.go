@@ -1,0 +1,234 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"ppr/internal/stats"
+)
+
+// FaultSpec composes per-frame transport faults. Each field is an
+// independent per-frame probability; several can fire on the same frame
+// (a frame can be both delayed and corrupted). All randomness is drawn
+// from one stats.RNG, so for a fixed seed and frame sequence the fault
+// decisions are deterministic — timing effects (delays, reorder flushes)
+// depend on the scheduler, but which frames are dropped, duplicated,
+// corrupted, truncated or reordered does not.
+type FaultSpec struct {
+	// Drop discards the frame entirely.
+	Drop float64
+	// Duplicate emits the frame twice back to back.
+	Duplicate float64
+	// Corrupt flips one random bit of the frame.
+	Corrupt float64
+	// Truncate emits only a random non-empty prefix of the frame, tearing
+	// the stream's framing (the decoder resynchronizes on the next magic).
+	Truncate float64
+	// Reorder holds the frame and emits it after the next one (or after
+	// HoldDelay if no successor arrives).
+	Reorder float64
+	// Delay sleeps a random duration up to MaxDelay before emitting,
+	// stalling the writer like a congested path.
+	Delay float64
+	// HardClose closes the underlying connection instead of emitting,
+	// modelling a peer torn mid-stream.
+	HardClose float64
+	// MaxDelay bounds Delay sleeps; zero means 5ms.
+	MaxDelay time.Duration
+	// HoldDelay bounds how long a reordered frame is held when no
+	// successor arrives; zero means 10ms.
+	HoldDelay time.Duration
+}
+
+// Any reports whether the spec can fire at all.
+func (s FaultSpec) Any() bool {
+	return s.Drop > 0 || s.Duplicate > 0 || s.Corrupt > 0 || s.Truncate > 0 ||
+		s.Reorder > 0 || s.Delay > 0 || s.HardClose > 0
+}
+
+// FaultConn wraps a net.Conn and injects transport faults into the frames
+// written through it. It is frame-aware: writes are reassembled into wire
+// frames (our encoders always write whole well-formed frames) and faults
+// are applied per frame, so a "drop" loses exactly one protocol message
+// while keeping the byte stream's framing intact — like a lossy datagram
+// path — while "truncate" and "corrupt" damage the stream itself and
+// exercise the decoder's resynchronization. Bytes that do not parse as
+// frames pass through unmodified. The read side is transparent; wrap the
+// peer's conn to fault the other direction.
+type FaultConn struct {
+	inner net.Conn
+	spec  FaultSpec
+	rng   *stats.RNG
+
+	mu     sync.Mutex
+	pend   []byte // written bytes not yet assembled into a frame
+	held   []byte // frame held back by a reorder fault
+	timer  *time.Timer
+	closed bool
+
+	// Counts of fired faults, for test assertions.
+	fired struct {
+		drop, dup, corrupt, truncate, reorder, delay, hardClose int
+	}
+}
+
+// NewFaultConn wraps inner with the given fault spec. The RNG is owned by
+// the FaultConn afterwards.
+func NewFaultConn(inner net.Conn, spec FaultSpec, rng *stats.RNG) *FaultConn {
+	if spec.MaxDelay <= 0 {
+		spec.MaxDelay = 5 * time.Millisecond
+	}
+	if spec.HoldDelay <= 0 {
+		spec.HoldDelay = 10 * time.Millisecond
+	}
+	return &FaultConn{inner: inner, spec: spec, rng: rng}
+}
+
+// Fired returns how many times each fault has fired, for assertions.
+func (c *FaultConn) Fired() (drop, dup, corrupt, truncate, reorder, delay, hardClose int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := c.fired
+	return f.drop, f.dup, f.corrupt, f.truncate, f.reorder, f.delay, f.hardClose
+}
+
+func (c *FaultConn) Read(p []byte) (int, error) { return c.inner.Read(p) }
+
+// Write buffers p, extracts complete wire frames, and forwards each
+// through the fault pipeline. It reports p fully written even when frames
+// are dropped: to the writer, a lossy transport looks like success.
+func (c *FaultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, net.ErrClosed
+	}
+	c.pend = append(c.pend, p...)
+	for {
+		if len(c.pend) < HeaderSize {
+			return len(p), nil
+		}
+		payloadLen, ok := headerOK(c.pend)
+		if !ok {
+			// Not one of our frames: pass the byte through untouched.
+			if _, err := c.inner.Write(c.pend[:1]); err != nil {
+				return len(p), err
+			}
+			c.pend = c.pend[1:]
+			continue
+		}
+		total := FrameSize(payloadLen)
+		if len(c.pend) < total {
+			return len(p), nil
+		}
+		fr := append([]byte(nil), c.pend[:total]...)
+		c.pend = c.pend[total:]
+		if err := c.emitLocked(fr); err != nil {
+			return len(p), err
+		}
+		if c.closed {
+			return len(p), nil
+		}
+	}
+}
+
+// emitLocked runs one frame through the fault pipeline and writes the
+// survivors to the inner conn. Called with mu held.
+func (c *FaultConn) emitLocked(fr []byte) error {
+	s := &c.spec
+	if c.rng.Bool(s.HardClose) {
+		c.fired.hardClose++
+		c.closed = true
+		c.stopTimerLocked()
+		return c.inner.Close()
+	}
+	if c.rng.Bool(s.Drop) {
+		c.fired.drop++
+		return c.flushHeldLocked()
+	}
+	if c.rng.Bool(s.Delay) {
+		c.fired.delay++
+		d := time.Duration(c.rng.Float64() * float64(s.MaxDelay))
+		c.mu.Unlock()
+		time.Sleep(d)
+		c.mu.Lock()
+		if c.closed {
+			return net.ErrClosed
+		}
+	}
+	if c.rng.Bool(s.Corrupt) {
+		c.fired.corrupt++
+		bit := c.rng.Intn(len(fr) * 8)
+		fr[bit/8] ^= 1 << (bit % 8)
+	}
+	if c.rng.Bool(s.Truncate) {
+		c.fired.truncate++
+		fr = fr[:1+c.rng.Intn(len(fr)-1)]
+	}
+	if c.rng.Bool(s.Reorder) && c.held == nil {
+		c.fired.reorder++
+		c.held = fr
+		c.timer = time.AfterFunc(s.HoldDelay, c.flushHeldAsync)
+		return nil
+	}
+	n := 1
+	if c.rng.Bool(s.Duplicate) {
+		c.fired.dup++
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.inner.Write(fr); err != nil {
+			return err
+		}
+	}
+	return c.flushHeldLocked()
+}
+
+// flushHeldLocked emits a frame held by a reorder fault, now that its
+// successor has passed it.
+func (c *FaultConn) flushHeldLocked() error {
+	if c.held == nil {
+		return nil
+	}
+	fr := c.held
+	c.held = nil
+	c.stopTimerLocked()
+	if c.closed {
+		return nil
+	}
+	_, err := c.inner.Write(fr)
+	return err
+}
+
+// flushHeldAsync releases a held frame whose successor never came.
+func (c *FaultConn) flushHeldAsync() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = c.flushHeldLocked()
+}
+
+func (c *FaultConn) stopTimerLocked() {
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+}
+
+// Close flushes any held frame and closes the inner conn.
+func (c *FaultConn) Close() error {
+	c.mu.Lock()
+	if !c.closed {
+		_ = c.flushHeldLocked()
+	}
+	c.closed = true
+	c.stopTimerLocked()
+	c.mu.Unlock()
+	return c.inner.Close()
+}
+
+func (c *FaultConn) LocalAddr() net.Addr                { return c.inner.LocalAddr() }
+func (c *FaultConn) RemoteAddr() net.Addr               { return c.inner.RemoteAddr() }
+func (c *FaultConn) SetDeadline(t time.Time) error      { return c.inner.SetDeadline(t) }
+func (c *FaultConn) SetReadDeadline(t time.Time) error  { return c.inner.SetReadDeadline(t) }
+func (c *FaultConn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

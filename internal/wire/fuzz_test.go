@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzDecoder feeds arbitrary bytes to the frame decoder. The decoder must
+// never panic, never return a frame violating its own invariants, never
+// allocate beyond one maximum-size frame, and must account for every input
+// byte as either a returned frame or counted damage.
+func FuzzDecoder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{Magic0})
+	f.Add([]byte{Magic0, Magic1, Version})
+	f.Add(AppendFrame(nil, Frame{Type: 1, Flow: 7, Payload: []byte("seed")}))
+	f.Add(AppendFrame(AppendFrame(nil, Frame{Type: 2, Flow: 1, Payload: nil}),
+		Frame{Type: 3, Flow: 2, Payload: bytes.Repeat([]byte{0xAA}, 300)}))
+	// A frame with another frame embedded in its payload.
+	inner := AppendFrame(nil, Frame{Type: 9, Flow: 9, Payload: []byte("inner")})
+	f.Add(AppendFrame(nil, Frame{Type: 4, Flow: 3, Payload: inner}))
+	// Forged oversize header.
+	f.Add([]byte{Magic0, Magic1, Version, 1, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	// Truncated valid frame.
+	whole := AppendFrame(nil, Frame{Type: 5, Flow: 4, Payload: bytes.Repeat([]byte{0x55}, 40)})
+	f.Add(whole[:len(whole)-3])
+	// Corrupted valid frame followed by a good one.
+	bad := append([]byte(nil), whole...)
+	bad[15] ^= 0xFF
+	f.Add(append(bad, AppendFrame(nil, Frame{Type: 6, Flow: 5, Payload: []byte("tail")})...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(bytes.NewReader(data))
+		var frames int64
+		var payloadBytes int
+		for {
+			fr, err := d.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("non-EOF error from in-memory stream: %v", err)
+			}
+			if len(fr.Payload) > MaxPayload {
+				t.Fatalf("frame payload %d exceeds MaxPayload", len(fr.Payload))
+			}
+			frames++
+			payloadBytes += len(fr.Payload)
+		}
+		st := d.Stats()
+		if st.Frames != frames {
+			t.Fatalf("stats.Frames=%d, returned %d", st.Frames, frames)
+		}
+		if d.BufCap() > MaxFrameSize {
+			t.Fatalf("decoder buffer %d exceeds MaxFrameSize %d", d.BufCap(), MaxFrameSize)
+		}
+		// Conservation: every accepted frame consumed its wire footprint,
+		// and nothing the decoder consumed can exceed the input.
+		consumed := st.ResyncBytes + frames*int64(HeaderSize+TrailerSize) + int64(payloadBytes)
+		if consumed != int64(len(data)) {
+			t.Fatalf("consumed %d bytes of %d input", consumed, len(data))
+		}
+	})
+}
+
+// FuzzRoundTrip: whatever the encoder writes, the decoder returns intact.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(byte(1), uint32(0), []byte{})
+	f.Add(byte(0xFF), uint32(0xFFFFFFFF), []byte("payload"))
+	f.Add(byte(0), uint32(1), bytes.Repeat([]byte{Magic0, Magic1}, 100))
+	f.Fuzz(func(t *testing.T, typ byte, flow uint32, payload []byte) {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		b := AppendFrame(nil, Frame{Type: typ, Flow: flow, Payload: payload})
+		if len(b) != FrameSize(len(payload)) {
+			t.Fatalf("encoded %d bytes, want %d", len(b), FrameSize(len(payload)))
+		}
+		d := NewDecoder(bytes.NewReader(b))
+		got, err := d.Next()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Type != typ || got.Flow != flow || !bytes.Equal(got.Payload, payload) {
+			t.Fatalf("round trip mismatch: got %+v", got)
+		}
+		if _, err := d.Next(); err != io.EOF {
+			t.Fatalf("trailing data after round trip: %v", err)
+		}
+	})
+}

@@ -1,0 +1,249 @@
+// Package wire is the transport framing for serving PP-ARQ links over real
+// byte streams (internal/linkserv, cmd/pprd). A wire frame is
+//
+//	magic(2) ‖ version(1) ‖ type(1) ‖ flow(4) ‖ length(4) ‖ hcrc(4) ‖ payload ‖ CRC32(4)
+//
+// carried over any io.ReadWriter — TCP sockets, net.Pipe loopbacks, or a
+// FaultConn chaos wrapper. The codec treats the transport as hostile: the
+// decoder never panics on arbitrary bytes, never allocates beyond one
+// maximum-size frame, and resynchronizes after corruption by scanning for
+// the next magic instead of giving up on the connection. Damaged frames are
+// counted and skipped — to the layers above, a corrupted wire frame is
+// indistinguishable from a lost one, which is exactly the loss model the
+// PP-ARQ machinery already recovers from.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ppr/internal/crcutil"
+)
+
+const (
+	// Magic0 and Magic1 open every wire frame.
+	Magic0 = 0x50 // 'P'
+	Magic1 = 0x52 // 'R'
+	// Version is the only protocol version this codec speaks. Frames with
+	// any other version byte are treated as noise and resynchronized over.
+	Version = 1
+	// HeaderSize is the fixed frame header: magic, version, type, flow ID,
+	// payload length, and a CRC-32 over those twelve bytes. The header CRC
+	// is what keeps a bit flip in the length field from wedging the stream:
+	// without it, a corrupted length passes the magic check and the decoder
+	// would block waiting for payload bytes that never come.
+	HeaderSize = 16
+	// TrailerSize is the CRC-32 trailer covering header and payload.
+	TrailerSize = 4
+	// MaxPayload bounds a frame payload. It is sized for the largest
+	// linkserv message — a serialized reception of a 1500-byte packet, two
+	// 9-byte soft decisions per payload byte — with generous headroom, and
+	// it caps the decoder's buffer: arbitrary input can never make the
+	// decoder allocate more than MaxFrameSize bytes.
+	MaxPayload = 128 << 10
+	// MaxFrameSize is the largest on-the-wire footprint of one frame.
+	MaxFrameSize = HeaderSize + MaxPayload + TrailerSize
+)
+
+// Frame is one decoded wire frame. Type and Flow are interpreted by the
+// link server's session layer; the codec only moves them intact.
+type Frame struct {
+	// Type is the message type byte (see internal/linkserv message types).
+	Type byte
+	// Flow addresses the per-connection flow the frame belongs to; 0 is
+	// the connection itself.
+	Flow uint32
+	// Payload is the message body. The decoder returns a fresh copy, so it
+	// remains valid after the next Next call.
+	Payload []byte
+}
+
+// AppendFrame appends the encoded frame to dst and returns the result.
+// It panics if the payload exceeds MaxPayload: senders size their messages,
+// so an oversized payload is a programming error, not a transport fault.
+func AppendFrame(dst []byte, f Frame) []byte {
+	if len(f.Payload) > MaxPayload {
+		panic(fmt.Sprintf("wire: payload %d exceeds MaxPayload %d", len(f.Payload), MaxPayload))
+	}
+	start := len(dst)
+	dst = append(dst, Magic0, Magic1, Version, f.Type)
+	dst = binary.BigEndian.AppendUint32(dst, f.Flow)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crcutil.Sum32(dst[start:start+12]))
+	dst = append(dst, f.Payload...)
+	return binary.BigEndian.AppendUint32(dst, crcutil.Sum32(dst[start:]))
+}
+
+// FrameSize returns the on-the-wire size of a frame with the given payload
+// length.
+func FrameSize(payloadLen int) int { return HeaderSize + payloadLen + TrailerSize }
+
+// Encoder writes frames to a stream, reusing one scratch buffer.
+type Encoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewEncoder returns an encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Encode writes one frame.
+func (e *Encoder) Encode(f Frame) error {
+	e.buf = AppendFrame(e.buf[:0], f)
+	_, err := e.w.Write(e.buf)
+	return err
+}
+
+// DecoderStats counts what the decoder saw, damage included.
+type DecoderStats struct {
+	// Frames is the number of intact frames returned.
+	Frames int64
+	// CRCErrors counts frames whose trailer failed verification.
+	CRCErrors int64
+	// Oversize counts headers claiming a payload beyond MaxPayload.
+	Oversize int64
+	// ResyncBytes counts bytes discarded while hunting for the next magic.
+	ResyncBytes int64
+}
+
+// Decoder reads frames from a stream, skipping damage. Its buffer is
+// bounded by MaxFrameSize regardless of input.
+type Decoder struct {
+	r     io.Reader
+	buf   []byte
+	start int
+	end   int
+	eof   bool
+	stats DecoderStats
+}
+
+// NewDecoder returns a decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Stats returns the running damage accounting.
+func (d *Decoder) Stats() DecoderStats { return d.stats }
+
+// buffered returns the bytes currently buffered.
+func (d *Decoder) buffered() []byte { return d.buf[d.start:d.end] }
+
+// discard drops n buffered bytes as resync noise.
+func (d *Decoder) discard(n int) {
+	d.start += n
+	d.stats.ResyncBytes += int64(n)
+}
+
+// fill ensures at least n bytes are buffered, reading as needed. It
+// returns false when the stream ended (or errored) first; a non-nil error
+// is a transport error distinct from plain EOF.
+func (d *Decoder) fill(n int) (bool, error) {
+	if n > MaxFrameSize {
+		panic("wire: fill beyond MaxFrameSize")
+	}
+	if d.end-d.start >= n {
+		return true, nil
+	}
+	if d.eof {
+		return false, nil
+	}
+	// Compact so the needed span fits without growing past the cap.
+	if d.start > 0 && len(d.buf)-d.start < n {
+		copy(d.buf, d.buf[d.start:d.end])
+		d.end -= d.start
+		d.start = 0
+	}
+	if need := d.start + n; cap(d.buf) < need {
+		grown := make([]byte, need)
+		copy(grown, d.buf[:d.end])
+		d.buf = grown
+	} else {
+		d.buf = d.buf[:cap(d.buf)]
+	}
+	for d.end-d.start < n {
+		m, err := d.r.Read(d.buf[d.end:])
+		d.end += m
+		if err == io.EOF {
+			d.eof = true
+			return d.end-d.start >= n, nil
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// headerOK reports whether the buffered bytes at the read position start
+// with a verified frame header, and if so its payload length. A nonzero
+// payloadLen with ok == false means a CRC-valid header claiming more than
+// MaxPayload.
+func headerOK(b []byte) (payloadLen int, ok bool) {
+	if b[0] != Magic0 || b[1] != Magic1 || b[2] != Version {
+		return 0, false
+	}
+	if crcutil.Sum32(b[:12]) != binary.BigEndian.Uint32(b[12:16]) {
+		return 0, false
+	}
+	n := int(binary.BigEndian.Uint32(b[8:12]))
+	if n > MaxPayload {
+		return n, false
+	}
+	return n, true
+}
+
+// Next returns the next intact frame. Corrupted spans are skipped with
+// their damage counted in Stats. It returns io.EOF at a clean end of
+// stream (trailing noise is discarded and counted), and the transport's
+// own error otherwise.
+func (d *Decoder) Next() (Frame, error) {
+	for {
+		ok, err := d.fill(HeaderSize)
+		if err != nil {
+			return Frame{}, err
+		}
+		if !ok {
+			// Stream over; whatever is left cannot form a frame.
+			d.discard(d.end - d.start)
+			return Frame{}, io.EOF
+		}
+		b := d.buffered()
+		payloadLen, ok := headerOK(b)
+		if !ok {
+			if payloadLen > MaxPayload {
+				d.stats.Oversize++
+			}
+			d.discard(1)
+			continue
+		}
+		total := FrameSize(payloadLen)
+		ok, err = d.fill(total)
+		if err != nil {
+			return Frame{}, err
+		}
+		if !ok {
+			// The claimed frame outlives the stream: treat the header as
+			// noise and rescan what remains.
+			d.discard(1)
+			continue
+		}
+		b = d.buffered()[:total]
+		want := binary.BigEndian.Uint32(b[total-TrailerSize:])
+		if crcutil.Sum32(b[:total-TrailerSize]) != want {
+			d.stats.CRCErrors++
+			d.discard(1)
+			continue
+		}
+		f := Frame{
+			Type:    b[3],
+			Flow:    binary.BigEndian.Uint32(b[4:8]),
+			Payload: append([]byte(nil), b[HeaderSize:HeaderSize+payloadLen]...),
+		}
+		d.start += total
+		d.stats.Frames++
+		return f, nil
+	}
+}
+
+// BufCap exposes the decoder's buffer capacity for the over-allocation
+// guard in tests and fuzzing.
+func (d *Decoder) BufCap() int { return cap(d.buf) }

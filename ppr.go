@@ -101,6 +101,7 @@ import (
 	"ppr/internal/experiments"
 	"ppr/internal/frame"
 	"ppr/internal/jam"
+	"ppr/internal/linkserv"
 	"ppr/internal/modem"
 	"ppr/internal/netsim"
 	"ppr/internal/obs"
@@ -111,6 +112,7 @@ import (
 	"ppr/internal/sim"
 	"ppr/internal/testbed"
 	"ppr/internal/topo"
+	"ppr/internal/wire"
 )
 
 // ---- Framing & postamble decoding (Sec. 4) ----
@@ -681,4 +683,41 @@ var (
 	DefaultMetrics = obs.Default
 	// NewTimelineTracer returns an empty timeline tracer.
 	NewTimelineTracer = obs.NewTracer
+)
+
+// ---- Link serving (internal/wire, internal/linkserv) ----
+
+type (
+	// LinkServer serves PP-ARQ flows over real byte streams: one session
+	// per flow drives the protocol sender over TCP or in-memory pipe
+	// connections, with bounded queues, deadlines, flow shedding and
+	// graceful drain. See cmd/pprd for the long-running daemon.
+	LinkServer = linkserv.Server
+	// LinkServerConfig tunes the server's robustness machinery: flow
+	// limits, queue bounds, deadlines, backoff and observability.
+	LinkServerConfig = linkserv.Config
+	// LinkClient is the client side of a served link: it acts as the
+	// remote radio head, synthesizing and receiving chip streams for the
+	// server's protocol exchanges.
+	LinkClient = linkserv.Client
+	// LinkClientConfig tunes the client, including the Impair hook that
+	// injects channel noise into the chip stream.
+	LinkClientConfig = linkserv.ClientConfig
+	// LinkFlow is one open PP-ARQ flow on a client connection.
+	LinkFlow = linkserv.Flow
+	// WireFaultSpec configures deterministic transport fault injection
+	// (drop, duplicate, corrupt, truncate, reorder, delay, hard-close).
+	WireFaultSpec = wire.FaultSpec
+)
+
+var (
+	// NewLinkServer returns a link server with the given configuration.
+	NewLinkServer = linkserv.NewServer
+	// NewLinkClient wraps an established connection as a link client.
+	NewLinkClient = linkserv.NewClient
+	// DialLink connects to a link server and returns a client.
+	DialLink = linkserv.Dial
+	// NewWireFaultConn wraps a connection with a deterministic transport
+	// fault injector driven by the given RNG.
+	NewWireFaultConn = wire.NewFaultConn
 )
